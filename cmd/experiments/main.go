@@ -1,0 +1,96 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-scale quick|medium|full] [-latency N] [-maxmt N] [id ...]
+//
+// With no ids, every experiment runs in paper order. Ids are the paper
+// artifact names: figure1..figure4, table1..table8.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mtsim"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "problem scale: quick, medium or full")
+	latency := flag.Int("latency", mtsim.DefaultLatency, "network round-trip latency in cycles")
+	maxMT := flag.Int("maxmt", 0, "cap on multithreading-level searches (0 = scale default)")
+	ablations := flag.Bool("ablations", false, "also run the ablation/extension experiments")
+	report := flag.String("report", "", "write an EXPERIMENTS.md-style markdown report to this file")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range mtsim.Experiments() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		for _, e := range mtsim.AblationExperiments() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	scale, err := mtsim.ParseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	o := mtsim.NewExpOptions(scale, os.Stdout)
+	o.Latency = *latency
+	if *maxMT > 0 {
+		o.MaxMT = *maxMT
+	}
+
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			fatal(err)
+		}
+		if err := mtsim.WriteExperimentReport(o, f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("report written to %s\n", *report)
+		return
+	}
+
+	var selected []*mtsim.Experiment
+	if flag.NArg() == 0 {
+		selected = mtsim.Experiments()
+		if *ablations {
+			selected = append(selected, mtsim.AblationExperiments()...)
+		}
+	} else {
+		for _, id := range flag.Args() {
+			e, err := mtsim.ExperimentByID(id)
+			if err != nil {
+				fatal(err)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	fmt.Printf("# Boothe & Ranade (ISCA 1992) reproduction — %s scale, latency %d\n", scale, o.Latency)
+	fmt.Printf("# every simulated run is verified against a host-computed reference\n\n")
+	for _, e := range selected {
+		start := time.Now()
+		fmt.Printf("== %s: %s\n", e.ID, e.Title)
+		fmt.Printf("   paper: %s\n\n", e.Paper)
+		if err := e.Run(o); err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		fmt.Printf("   [%s regenerated in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,32 @@
+// Command gengolden regenerates the golden assembly files in
+// internal/apps/testdata (run after an intended kernel or optimizer
+// change; the golden tests compare against these).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mtsim/internal/app"
+	"mtsim/internal/apps"
+	"mtsim/internal/asm"
+)
+
+func main() {
+	for _, a := range apps.All(app.Quick) {
+		if err := os.WriteFile("internal/apps/testdata/"+a.Name+".mt", []byte(asm.Format(a.Raw)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		g, _, err := a.Grouped()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile("internal/apps/testdata/"+a.Name+".grouped.mt", []byte(asm.Format(g)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(a.Name)
+	}
+}

@@ -1,0 +1,67 @@
+// Command mtopt shows the paper's grouping optimization (§5.1) applied to
+// a benchmark application: the raw assembly, the reorganized assembly
+// with explicit Switch instructions, and the grouping statistics.
+//
+// Usage:
+//
+//	mtopt -app sor            # print before/after assembly
+//	mtopt -app sor -stats     # print only the statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"mtsim"
+	"mtsim/internal/asm"
+)
+
+func main() {
+	appName := flag.String("app", "sor", "application: "+strings.Join(mtsim.AppNames(), ", "))
+	scaleName := flag.String("scale", "quick", "problem scale: quick, medium or full")
+	statsOnly := flag.Bool("stats", false, "print only grouping statistics")
+	flag.Parse()
+
+	scale, err := mtsim.ParseScale(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+	a, err := mtsim.NewApp(*appName, scale)
+	if err != nil {
+		fatal(err)
+	}
+	grouped, st, err := a.Grouped()
+	if err != nil {
+		fatal(err)
+	}
+
+	if !*statsOnly {
+		fmt.Printf("; ===== %s: raw program (%d instructions) =====\n", a.Name, len(a.Raw.Instrs))
+		fmt.Print(asm.Format(a.Raw))
+		fmt.Printf("\n; ===== %s: grouped program (%d instructions) =====\n", a.Name, len(grouped.Instrs))
+		fmt.Print(asm.Format(grouped))
+		fmt.Println()
+	}
+
+	fmt.Printf("grouping statistics for %s:\n", a.Name)
+	fmt.Printf("  basic blocks:        %d\n", st.Blocks)
+	fmt.Printf("  shared loads:        %d\n", st.SharedLoads)
+	fmt.Printf("  switches inserted:   %d\n", st.Switches)
+	fmt.Printf("  static grouping:     %.2f loads/switch\n", st.StaticGrouping())
+	sizes := make([]int, 0, len(st.GroupSizes))
+	for s := range st.GroupSizes {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	for _, s := range sizes {
+		fmt.Printf("  groups of %d loads:   %d\n", s, st.GroupSizes[s])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mtopt:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Command mtsim runs one benchmark application on the simulated
+// multithreaded multiprocessor and prints the measurements.
+//
+// Usage:
+//
+//	mtsim -app sor -model explicit-switch -procs 8 -threads 6
+//
+// The run is verified against a host-computed reference; efficiency is
+// reported against the ideal single-processor baseline, as in the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mtsim"
+)
+
+func main() {
+	appName := flag.String("app", "sor", "application: "+strings.Join(mtsim.AppNames(), ", "))
+	modelName := flag.String("model", "explicit-switch", "model: "+strings.Join(mtsim.ModelNames(), ", "))
+	scaleName := flag.String("scale", "quick", "problem scale: quick, medium or full")
+	procs := flag.Int("procs", 8, "processors")
+	threads := flag.Int("threads", 6, "threads per processor (multithreading level)")
+	latency := flag.Int("latency", mtsim.DefaultLatency, "network round-trip latency in cycles")
+	switchCost := flag.Int("switchcost", 0, "cycles lost per context switch (0 = model default)")
+	runLimit := flag.Int("runlimit", 0, "conditional-switch forced-switch interval (0 = default)")
+	window := flag.Bool("window", false, "enable the §5.2 inter-block grouping window (explicit-switch)")
+	runs := flag.Bool("runlengths", true, "collect the run-length histogram")
+	traffic := flag.Bool("traffic", false, "print the per-message-type network breakdown")
+	flag.Parse()
+
+	model, err := mtsim.ParseModel(*modelName)
+	if err != nil {
+		fatal(err)
+	}
+	scale, err := mtsim.ParseScale(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+	a, err := mtsim.NewApp(*appName, scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := mtsim.Config{
+		Procs: *procs, Threads: *threads, Model: model,
+		Latency: *latency, SwitchCost: *switchCost, RunLimit: *runLimit,
+		GroupWindow: *window, CollectRunLengths: *runs,
+	}
+	res, err := a.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	sess := mtsim.NewSession()
+	base, err := sess.Baseline(a)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s (%s): %s\n", a.Name, a.Problem, a.Description)
+	fmt.Print(res.Summary())
+	fmt.Printf("baseline (ideal 1 proc) = %d cycles\n", base)
+	fmt.Printf("speedup = %.2f, efficiency = %.3f\n", res.Speedup(base), res.Efficiency(base))
+	if *traffic {
+		fmt.Print(res.TrafficBreakdown())
+	}
+	fmt.Println("result verified against host reference: ok")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mtsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,148 @@
+package apps_test
+
+import (
+	"testing"
+
+	"mtsim/internal/app"
+	"mtsim/internal/apps"
+	"mtsim/internal/machine"
+)
+
+// TestAllAppsAllModels is the system's central correctness property:
+// every benchmark application must compute the right answer under every
+// multithreading model, at several machine shapes, and the optimizer's
+// grouped variant must never hit an implicit wait under explicit-switch.
+func TestAllAppsAllModels(t *testing.T) {
+	shapes := []struct{ procs, threads int }{
+		{1, 1},
+		{4, 2},
+		{2, 5},
+	}
+	models := []machine.Model{
+		machine.Ideal, machine.SwitchEveryCycle, machine.SwitchOnLoad,
+		machine.SwitchOnUse, machine.ExplicitSwitch, machine.SwitchOnMiss,
+		machine.SwitchOnUseMiss, machine.ConditionalSwitch,
+	}
+	for _, a := range apps.All(app.Quick) {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, model := range models {
+				for _, sh := range shapes {
+					cfg := machine.Config{
+						Procs: sh.procs, Threads: sh.threads,
+						Model: model, Latency: 60,
+					}
+					res, err := a.Run(cfg)
+					if err != nil {
+						t.Fatalf("%s p%d t%d: %v", model, sh.procs, sh.threads, err)
+					}
+					if model == machine.ExplicitSwitch && res.ImplicitWaits != 0 {
+						t.Errorf("%s p%d t%d: %d implicit waits in optimized code",
+							model, sh.procs, sh.threads, res.ImplicitWaits)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCoherenceInvariants runs every application under the cached models
+// with the machine's protocol checker enabled: a dirty line must always
+// have exactly one copy and the directory must match the caches, at
+// every coherence action of every run.
+func TestCoherenceInvariants(t *testing.T) {
+	for _, a := range apps.All(app.Quick) {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, model := range []machine.Model{machine.SwitchOnMiss, machine.SwitchOnUseMiss, machine.ConditionalSwitch} {
+				cfg := machine.Config{
+					Procs: 4, Threads: 3, Model: model, Latency: 60,
+					CheckInvariants: true,
+				}
+				if _, err := a.Run(cfg); err != nil {
+					t.Fatalf("%s: %v", model, err)
+				}
+			}
+		})
+	}
+}
+
+// TestGroupingReducesSwitches verifies the paper's headline static claim
+// (§5.1 / Table 4): grouping eliminates a large share of switch-on-load's
+// context switches for the stencil-style applications, and never makes
+// any application switch more.
+func TestGroupingReducesSwitches(t *testing.T) {
+	for _, a := range apps.All(app.Quick) {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			t.Parallel()
+			rl, err := a.Run(machine.Config{Model: machine.SwitchOnLoad, Threads: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			re, err := a.Run(machine.Config{Model: machine.ExplicitSwitch, Threads: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if re.TakenSwitches > rl.TakenSwitches {
+				t.Errorf("grouped switches %d > switch-on-load %d", re.TakenSwitches, rl.TakenSwitches)
+			}
+			t.Logf("switches: switch-on-load=%d explicit-switch=%d (%.0f%% eliminated), grouping=%.2f",
+				rl.TakenSwitches, re.TakenSwitches,
+				100*(1-float64(re.TakenSwitches)/float64(rl.TakenSwitches)),
+				re.GroupingFactor())
+		})
+	}
+}
+
+// TestAppInventory sanity-checks each application's metadata and static
+// program shape.
+func TestAppInventory(t *testing.T) {
+	for _, a := range apps.All(app.Quick) {
+		if a.Name == "" || a.Description == "" || a.Problem == "" {
+			t.Errorf("%+v: incomplete metadata", a.Name)
+		}
+		loads, stores := a.Raw.CountShared()
+		if loads == 0 {
+			t.Errorf("%s: no shared loads", a.Name)
+		}
+		if stores == 0 {
+			t.Errorf("%s: no shared stores", a.Name)
+		}
+		g, st, err := a.Grouped()
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		if len(g.Instrs) != len(a.Raw.Instrs)+st.Added {
+			t.Errorf("%s: grouped length %d != raw %d + added %d",
+				a.Name, len(g.Instrs), len(a.Raw.Instrs), st.Added)
+		}
+		if st.Switches == 0 {
+			t.Errorf("%s: optimizer inserted no switches", a.Name)
+		}
+	}
+}
+
+func TestUnknownAppRejected(t *testing.T) {
+	if _, err := apps.New("nosuch", app.Quick); err == nil {
+		t.Error("New(nosuch) succeeded")
+	}
+}
+
+// TestScalesBuild ensures every scale's parameters produce a valid
+// program (full problem sizes are built but not simulated here).
+func TestScalesBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale workload generation is slow")
+	}
+	for _, s := range []app.Scale{app.Quick, app.Medium} {
+		for _, name := range apps.Names() {
+			a := apps.MustNew(name, s)
+			if err := a.Raw.Validate(); err != nil {
+				t.Errorf("%s/%s: %v", name, s, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package apps_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mtsim/internal/app"
+	"mtsim/internal/apps"
+	"mtsim/internal/asm"
+)
+
+// TestGoldenAssembly pins every benchmark's raw and grouped code against
+// checked-in disassembly (testdata/*.mt): an unintended change to a
+// kernel, to the code generator conventions, or to the optimizer's
+// schedule shows up as a golden diff. The files also serve as readable
+// documentation of what each kernel does.
+//
+// Regenerate after an intended change with:
+//
+//	go test ./internal/apps -run TestGoldenAssembly -update
+var update = false
+
+func init() {
+	for _, a := range os.Args {
+		if a == "-update" || a == "--update" {
+			update = true
+		}
+	}
+}
+
+func TestGoldenAssembly(t *testing.T) {
+	for _, a := range apps.All(app.Quick) {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			grouped, _, err := a.Grouped()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cases := map[string]string{
+				a.Name + ".mt":         asm.Format(a.Raw),
+				a.Name + ".grouped.mt": asm.Format(grouped),
+			}
+			for file, got := range cases {
+				path := filepath.Join("testdata", file)
+				if update {
+					if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					continue
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden file %s (run with -update): %v", path, err)
+				}
+				if got != string(want) {
+					t.Errorf("%s: assembly changed; run with -update if intended", file)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenFilesParseBack: every golden file must re-assemble into a
+// program with the same instruction count — the disassembler and
+// assembler stay inverses on real programs.
+func TestGoldenFilesParseBack(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.mt"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no golden files: %v", err)
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := asm.ParseString(string(src))
+		if err != nil {
+			t.Errorf("%s: %v", f, err)
+			continue
+		}
+		if len(p.Instrs) == 0 {
+			t.Errorf("%s: parsed empty program", f)
+		}
+		if asm.Format(p) != string(src) {
+			t.Errorf("%s: format(parse(x)) != x", f)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package locus_test
+
+import (
+	"testing"
+
+	"mtsim/internal/apps/locus"
+	"mtsim/internal/machine"
+)
+
+func TestCorrectAtAwkwardShapes(t *testing.T) {
+	for _, p := range []locus.Params{
+		{G: 32, Wires: 3, Seed: 1},
+		{G: 40, Wires: 50, Seed: 7},
+	} {
+		a := locus.New(p)
+		if _, err := a.Run(machine.Config{Procs: 2, Threads: 5, Model: machine.SwitchOnUseMiss, Latency: 60}); err != nil {
+			t.Errorf("%+v: %v", p, err)
+		}
+	}
+}
+
+// TestShortRunLengthsResistGrouping: locus is the paper's hard case for
+// intra-block grouping — loop-carried single-load walks give a grouping
+// factor near 1 and a mean run-length around 8 even after grouping.
+func TestShortRunLengthsResistGrouping(t *testing.T) {
+	a := locus.New(locus.ParamsFor(0))
+	res, err := a.Run(machine.Config{
+		Procs: 8, Threads: 4, Model: machine.ExplicitSwitch,
+		Latency: 200, CollectRunLengths: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := res.GroupingFactor(); g > 1.3 {
+		t.Errorf("grouping = %.2f, want <= 1.3", g)
+	}
+	if m := res.MeanRunLength(); m < 4 || m > 14 {
+		t.Errorf("mean run-length = %.1f, want ~8 (the paper's locus)", m)
+	}
+}
+
+// TestWindowHitsHigh: the horizontal cost-array walks step through
+// consecutive addresses, so the §5.2 window hit rate must be high —
+// the paper measured 84%, the highest of the set, because "a compiler
+// could easily group loads from a large two dimensional array".
+func TestWindowHitsHigh(t *testing.T) {
+	a := locus.New(locus.ParamsFor(0))
+	res, err := a.Run(machine.Config{
+		Procs: 8, Threads: 4, Model: machine.ExplicitSwitch,
+		Latency: 200, GroupWindow: true, CollectRunLengths: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr := res.WindowHitRate(); hr < 0.7 {
+		t.Errorf("window hit rate = %.2f, want >= 0.7 (paper: 84%%)", hr)
+	}
+	if g := res.GroupingFactor(); g < 1.8 {
+		t.Errorf("window grouping = %.2f, want >= 1.8", g)
+	}
+}
+
+// TestCommitsAreDeterministic: route choices depend only on the static
+// congestion map, so the usage array must be identical across models and
+// machine shapes (checked by App.Check; here we just run a contended
+// shape under two models).
+func TestCommitsAreDeterministic(t *testing.T) {
+	a := locus.New(locus.ParamsFor(0))
+	for _, m := range []machine.Model{machine.SwitchOnLoad, machine.ConditionalSwitch} {
+		if _, err := a.Run(machine.Config{Procs: 8, Threads: 3, Model: m, Latency: 120}); err != nil {
+			t.Errorf("%s: %v", m, err)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package sieve_test
+
+import (
+	"testing"
+
+	"mtsim/internal/apps/sieve"
+	"mtsim/internal/machine"
+)
+
+func TestCorrectAtAwkwardSizes(t *testing.T) {
+	for _, n := range []int64{64, 97, 1000, 4096} {
+		a := sieve.New(sieve.Params{N: n, Chunk: 10})
+		if _, err := a.Run(machine.Config{Procs: 3, Threads: 2, Model: machine.SwitchOnLoad, Latency: 30}); err != nil {
+			t.Errorf("N=%d: %v", n, err)
+		}
+	}
+}
+
+func TestParamsNormalization(t *testing.T) {
+	a := sieve.New(sieve.Params{N: 3, Chunk: 1}) // tiny & odd: must be repaired
+	if _, err := a.Run(machine.Config{Model: machine.Ideal}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunLengthCharacter: the paper singles sieve out for its "fairly
+// constant run-length distribution" (§4.1) — marking at a constant rate
+// with counting loads spaced well apart. Short run-lengths must be rare
+// and the mean comfortably above the stencil codes'.
+func TestRunLengthCharacter(t *testing.T) {
+	a := sieve.New(sieve.ParamsFor(0))
+	res, err := a.Run(machine.Config{
+		Procs: 4, Threads: 4, Model: machine.SwitchOnLoad,
+		Latency: 200, CollectRunLengths: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf := res.RunLengths.ShortFrac(); sf > 0.10 {
+		t.Errorf("short run-length fraction = %.2f, want <= 0.10 (constant-rate character)", sf)
+	}
+	if m := res.MeanRunLength(); m < 10 || m > 200 {
+		t.Errorf("mean run-length = %.1f, want within [10,200]", m)
+	}
+}
+
+// TestScalesWell: segments are independent, so sieve must keep high
+// efficiency on the ideal machine well past the other applications'
+// drop-off (the paper's Figure 2/3 behaviour).
+func TestScalesWell(t *testing.T) {
+	a := sieve.New(sieve.ParamsFor(0))
+	r1, err := a.Run(machine.Config{Procs: 1, Threads: 1, Model: machine.Ideal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r16, err := a.Run(machine.Config{Procs: 16, Threads: 1, Model: machine.Ideal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff := r16.Efficiency(r1.Cycles); eff < 0.9 {
+		t.Errorf("16-processor ideal efficiency = %.2f, want >= 0.9", eff)
+	}
+}

@@ -1,0 +1,87 @@
+package sor_test
+
+import (
+	"testing"
+
+	"mtsim/internal/apps/sor"
+	"mtsim/internal/machine"
+)
+
+func TestCorrectAtAwkwardShapes(t *testing.T) {
+	for _, p := range []sor.Params{
+		{N: 5, Iters: 1, Omega: 1.2, Seed: 1},
+		{N: 17, Iters: 2, Omega: 1.9, Seed: 2},
+		{N: 33, Iters: 1, Omega: 0.8, Seed: 3},
+	} {
+		a := sor.New(p)
+		if _, err := a.Run(machine.Config{Procs: 3, Threads: 3, Model: machine.ConditionalSwitch, Latency: 40}); err != nil {
+			t.Errorf("%+v: %v", p, err)
+		}
+	}
+}
+
+// TestFigure4ShortRunLengths: under switch-on-load the five back-to-back
+// stencil loads give run-lengths of one or two cycles for the bulk of the
+// distribution (the paper's Table 2 shows 39% + 39%).
+func TestFigure4ShortRunLengths(t *testing.T) {
+	a := sor.New(sor.ParamsFor(0))
+	res, err := a.Run(machine.Config{
+		Procs: 4, Threads: 4, Model: machine.SwitchOnLoad,
+		Latency: 200, CollectRunLengths: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf := res.RunLengths.ShortFrac(); sf < 0.5 {
+		t.Errorf("short run-length fraction = %.2f, want >= 0.5 (back-to-back loads)", sf)
+	}
+}
+
+// TestGroupingEliminatesShortRuns: after the §5.1 transformation the
+// short run-lengths must be "completely eliminated" and the stencil must
+// group its five loads.
+func TestGroupingEliminatesShortRuns(t *testing.T) {
+	a := sor.New(sor.ParamsFor(0))
+	_, st := a.MustGrouped()
+	if st.GroupSizes[5] == 0 {
+		t.Errorf("no five-load group formed: %v", st.GroupSizes)
+	}
+	res, err := a.Run(machine.Config{
+		Procs: 4, Threads: 4, Model: machine.ExplicitSwitch,
+		Latency: 200, CollectRunLengths: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf := res.RunLengths.ShortFrac(); sf > 0.02 {
+		t.Errorf("short run-length fraction after grouping = %.3f, want ~0", sf)
+	}
+	if g := res.GroupingFactor(); g < 3.0 {
+		t.Errorf("dynamic grouping = %.2f, want >= 3 (five-load stencil)", g)
+	}
+}
+
+// TestGroupingUnlocksEfficiency: the headline: with grouping, a moderate
+// multithreading level reaches efficiency switch-on-load cannot.
+func TestGroupingUnlocksEfficiency(t *testing.T) {
+	a := sor.New(sor.ParamsFor(0))
+	base, err := a.Run(machine.Config{Procs: 1, Threads: 1, Model: machine.Ideal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	onLoad, err := a.Run(machine.Config{Procs: 4, Threads: 8, Model: machine.SwitchOnLoad, Latency: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped, err := a.Run(machine.Config{Procs: 4, Threads: 8, Model: machine.ExplicitSwitch, Latency: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	el, eg := onLoad.Efficiency(base.Cycles), grouped.Efficiency(base.Cycles)
+	if eg < 0.7 {
+		t.Errorf("grouped efficiency = %.2f, want >= 0.7", eg)
+	}
+	if eg < 1.8*el {
+		t.Errorf("grouping gain %.2f -> %.2f, want >= 1.8x", el, eg)
+	}
+}

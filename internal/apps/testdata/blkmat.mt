@@ -1,0 +1,136 @@
+.program blkmat
+.shared A 2304
+.shared B 2304
+.shared C 2304
+.shared tctr 1
+.local la 64
+.local lb 64
+.local lc 64
+
+task:
+	li	r4, 6912
+	li	r5, 1
+	faa	r5, 0(r4), r5
+	li	r19, 36
+	bge	r5, r19, done
+	li	r19, 6
+	div	r6, r5, r19
+	rem	r7, r5, r19
+	muli	r6, r6, 8
+	muli	r7, r7, 8
+	li	r10, 128
+	li	r11, 0
+	li	r12, 64
+zero:
+	sw	r0, 0(r10)
+	addi	r10, r10, 1
+	addi	r11, r11, 1
+	blt	r11, r12, zero
+	li	r8, 0
+kblock:
+	muli	r9, r8, 8
+	li	r11, 0
+copyA.row:
+	add	r19, r6, r11
+	muli	r19, r19, 48
+	add	r19, r19, r9
+	li	r20, 0
+	add	r19, r19, r20
+	muli	r10, r11, 8
+	li	r20, 0
+	add	r10, r10, r20
+	li	r12, 0
+copyA.pair:
+	ld.s	r13, 0(r19)
+	sd	r13, 0(r10)
+	addi	r19, r19, 2
+	addi	r10, r10, 2
+	addi	r12, r12, 2
+	slti	r21, r12, 8
+	bnez	r21, copyA.pair
+	addi	r11, r11, 1
+	slti	r21, r11, 8
+	bnez	r21, copyA.row
+	li	r11, 0
+copyB.row:
+	add	r19, r9, r11
+	muli	r19, r19, 48
+	add	r19, r19, r7
+	li	r20, 2304
+	add	r19, r19, r20
+	muli	r10, r11, 8
+	li	r20, 64
+	add	r10, r10, r20
+	li	r12, 0
+copyB.pair:
+	ld.s	r13, 0(r19)
+	sd	r13, 0(r10)
+	addi	r19, r19, 2
+	addi	r10, r10, 2
+	addi	r12, r12, 2
+	slti	r21, r12, 8
+	bnez	r21, copyB.pair
+	addi	r11, r11, 1
+	slti	r21, r11, 8
+	bnez	r21, copyB.row
+	li	r16, 0
+mul.i:
+	li	r17, 0
+mul.j:
+	muli	r19, r16, 8
+	add	r19, r19, r17
+	li	r20, 128
+	add	r19, r19, r20
+	flw	f1, 0(r19)
+	li	r18, 0
+mul.k:
+	muli	r20, r16, 8
+	add	r20, r20, r18
+	li	r21, 0
+	add	r20, r20, r21
+	flw	f2, 0(r20)
+	muli	r20, r18, 8
+	add	r20, r20, r17
+	li	r21, 64
+	add	r20, r20, r21
+	flw	f3, 0(r20)
+	fmul	f2, f2, f3
+	fadd	f1, f1, f2
+	addi	r18, r18, 1
+	slti	r21, r18, 8
+	bnez	r21, mul.k
+	fsw	f1, 0(r19)
+	addi	r17, r17, 1
+	slti	r21, r17, 8
+	bnez	r21, mul.j
+	addi	r16, r16, 1
+	slti	r21, r16, 8
+	bnez	r21, mul.i
+	addi	r8, r8, 1
+	li	r21, 6
+	blt	r8, r21, kblock
+	li	r11, 0
+wb.row:
+	add	r19, r6, r11
+	muli	r19, r19, 48
+	add	r19, r19, r7
+	li	r20, 4608
+	add	r19, r19, r20
+	muli	r10, r11, 8
+	li	r20, 128
+	add	r10, r10, r20
+	li	r12, 0
+wb.pair:
+	ld	r13, 0(r10)
+	sd.s	r13, 0(r19)
+	addi	r19, r19, 2
+	addi	r10, r10, 2
+	addi	r12, r12, 2
+	slti	r21, r12, 8
+	bnez	r21, wb.pair
+	addi	r11, r11, 1
+	slti	r21, r11, 8
+	bnez	r21, wb.row
+	j	task
+done:
+	halt

@@ -1,0 +1,137 @@
+.program locus+grouped
+.shared cost 4096
+.shared usage 4096
+.shared wires 1600
+.shared out 400
+.shared wctr 1
+
+	li	r4, 0
+	li	r5, 4096
+	li	r6, 8192
+	li	r7, 9792
+	li	r21, 1
+	li	r22, 64
+task:
+	li	r14, 10192
+	faa	r9, 0(r14), r21
+	li	r14, 400
+	switch
+	bge	r9, r14, done
+	slli	r15, r9, 2
+	add	r15, r15, r6
+	ld.s	r10, 0(r15)
+	ld.s	r12, 2(r15)
+	li	r16, 0
+	switch
+	mul	r15, r11, r22
+	add	r15, r15, r4
+	add	r15, r15, r10
+	mov	r17, r10
+a.row:
+	lw.s	r14, 0(r15)
+	addi	r15, r15, 1
+	addi	r17, r17, 1
+	switch
+	add	r16, r16, r14
+	bge	r12, r17, a.row
+	mul	r15, r11, r22
+	add	r15, r15, r4
+	add	r15, r15, r12
+	add	r15, r15, r22
+	addi	r17, r11, 1
+a.col:
+	bge	r13, r17, a.colbody
+	j	a.done
+a.colbody:
+	lw.s	r14, 0(r15)
+	add	r15, r15, r22
+	addi	r17, r17, 1
+	switch
+	add	r16, r16, r14
+	j	a.col
+a.done:
+	mov	r18, r16
+	li	r16, 0
+	mul	r15, r11, r22
+	add	r15, r15, r4
+	add	r15, r15, r10
+	mov	r17, r11
+b.col:
+	lw.s	r14, 0(r15)
+	add	r15, r15, r22
+	addi	r17, r17, 1
+	switch
+	add	r16, r16, r14
+	bge	r13, r17, b.col
+	mul	r15, r13, r22
+	add	r15, r15, r4
+	add	r15, r15, r10
+	addi	r15, r15, 1
+	addi	r17, r10, 1
+b.row:
+	bge	r12, r17, b.rowbody
+	j	b.done
+b.rowbody:
+	lw.s	r14, 0(r15)
+	addi	r15, r15, 1
+	addi	r17, r17, 1
+	switch
+	add	r16, r16, r14
+	j	b.row
+b.done:
+	mov	r19, r16
+	add	r14, r7, r9
+	blt	r19, r18, commitB
+	sw.s	r18, 0(r14)
+	mul	r15, r11, r22
+	add	r15, r15, r5
+	add	r15, r15, r10
+	mov	r17, r10
+ca.row:
+	faa	r14, 0(r15), r21
+	addi	r15, r15, 1
+	addi	r17, r17, 1
+	switch
+	bge	r12, r17, ca.row
+	mul	r15, r11, r22
+	add	r15, r15, r5
+	add	r15, r15, r12
+	add	r15, r15, r22
+	addi	r17, r11, 1
+ca.col:
+	bge	r13, r17, ca.colbody
+	j	task
+ca.colbody:
+	faa	r14, 0(r15), r21
+	add	r15, r15, r22
+	addi	r17, r17, 1
+	switch
+	j	ca.col
+commitB:
+	sw.s	r19, 0(r14)
+	mul	r15, r11, r22
+	add	r15, r15, r5
+	add	r15, r15, r10
+	mov	r17, r11
+cb.col:
+	faa	r14, 0(r15), r21
+	add	r15, r15, r22
+	addi	r17, r17, 1
+	switch
+	bge	r13, r17, cb.col
+	mul	r15, r13, r22
+	add	r15, r15, r5
+	add	r15, r15, r10
+	addi	r15, r15, 1
+	addi	r17, r10, 1
+cb.row:
+	bge	r12, r17, cb.rowbody
+	j	task
+cb.rowbody:
+	faa	r14, 0(r15), r21
+	addi	r15, r15, 1
+	addi	r17, r17, 1
+	switch
+	j	cb.row
+done:
+	halt

@@ -1,0 +1,99 @@
+.program mp3d
+.shared part 24000
+.shared cells 4096
+.shared bar 2
+
+	li	r4, 0
+	li	r5, 24000
+	li	r17, 28096
+	li	r21, 1
+	li	r22, 2047
+	li	r14, 4576918229304087675
+	mtf	f10, r14
+	li	r14, 4634204016564240384
+	mtf	f11, r14
+	li	r14, 4602678819172646912
+	mtf	f12, r14
+	li	r14, 3000
+	add	r14, r14, r2
+	addi	r14, r14, -1
+	div	r14, r14, r2
+	mul	r7, r14, r1
+	add	r8, r7, r14
+	li	r15, 3000
+	blt	r8, r15, hiok
+	mov	r8, r15
+hiok:
+	li	r18, 0
+step:
+	mov	r9, r7
+move:
+	bge	r9, r8, move.done
+	slli	r12, r9, 3
+	add	r12, r12, r4
+	flw.s	f1, 0(r12)
+	flw.s	f2, 1(r12)
+	flw.s	f3, 2(r12)
+	flw.s	f4, 3(r12)
+	flw.s	f5, 4(r12)
+	flw.s	f6, 5(r12)
+	fmul	f14, f4, f10
+	fadd	f1, f1, f14
+	fmul	f14, f5, f10
+	fadd	f2, f2, f14
+	fmul	f14, f6, f10
+	fadd	f3, f3, f14
+	fmul	f14, f1, f11
+	cvt.f.i	r14, f14
+	fmul	f15, f2, f11
+	cvt.f.i	r15, f15
+	slli	r15, r15, 5
+	add	r14, r14, r15
+	fmul	f15, f3, f11
+	cvt.f.i	r15, f15
+	slli	r15, r15, 10
+	add	r14, r14, r15
+	and	r14, r14, r22
+	slli	r16, r14, 1
+	add	r16, r16, r5
+	faa	r15, 0(r16), r21
+	flw.s	f14, 1(r16)
+	flt	r15, f14, f12
+	bnez	r15, nocollide
+	muli	r15, r14, 40503
+	addi	r15, r15, 7
+	and	r15, r15, r22
+	slli	r15, r15, 1
+	add	r15, r15, r5
+	flw.s	f14, 1(r15)
+	fneg	f15, f14
+	fmul	f4, f4, f15
+	fmul	f5, f5, f14
+	fmul	f6, f6, f15
+nocollide:
+	fsw.s	f1, 0(r12)
+	fsw.s	f2, 1(r12)
+	fsw.s	f3, 2(r12)
+	fsw.s	f4, 3(r12)
+	fsw.s	f5, 4(r12)
+	fsw.s	f6, 5(r12)
+	addi	r9, r9, 1
+	j	move
+move.done:
+	xori	r20, r20, 1
+	li	r14, 1
+	faa	r15, 0(r17), r14
+	addi	r15, r15, 1
+	bne	r15, r2, .barspin.80
+	sw.s	r0, 0(r17)
+	sw.s	r20, 1(r17)
+	j	.bardone.76
+.barspin.80:
+.barwait.76:
+	lw.s	r14, 1(r17) !spin
+	bne	r14, r20, .barspin.80
+.bardone.76:
+	addi	r18, r18, 1
+	slti	r14, r18, 2
+	bnez	r14, step
+	halt

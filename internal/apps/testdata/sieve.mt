@@ -1,0 +1,90 @@
+.program sieve
+.shared flags 60000
+.shared sctr 1
+.shared count 1
+.local lflags 245
+.local lprimes 245
+
+	li	r4, 0
+	li	r5, 60000
+	li	r10, 1
+	li	r13, 2
+	li	r14, 245
+lsieve:
+	bge	r13, r14, lsieve.done
+	lw	r15, 0(r13)
+	bnez	r15, lmark.done
+	mul	r9, r13, r13
+lmark:
+	bge	r9, r14, lmark.done
+	sw	r10, 0(r9)
+	add	r9, r9, r13
+	j	lmark
+lmark.done:
+lsieve.next:
+	addi	r13, r13, 1
+	j	lsieve
+lsieve.done:
+	li	r6, 0
+	li	r13, 2
+collect:
+	bge	r13, r14, collect.done
+	lw	r15, 0(r13)
+	bnez	r15, collect.next
+	sw	r13, 245(r6)
+	addi	r6, r6, 1
+collect.next:
+	addi	r13, r13, 1
+	j	collect
+collect.done:
+seg:
+	li	r8, 60000
+	li	r10, 64
+	faa	r7, 0(r8), r10
+	bge	r7, r5, seg.done
+	addi	r11, r7, 64
+	blt	r11, r5, eok
+	mov	r11, r5
+eok:
+	li	r16, 0
+	li	r10, 1
+mark.p:
+	bge	r16, r6, mark.done
+	lw	r17, 245(r16)
+	mul	r9, r17, r17
+	bge	r9, r7, mfound
+	add	r13, r7, r17
+	addi	r13, r13, -1
+	div	r13, r13, r17
+	mul	r9, r13, r17
+mfound:
+	add	r8, r4, r9
+mark.m:
+	bge	r9, r11, mark.next
+	sw.s	r10, 0(r8)
+	add	r9, r9, r17
+	add	r8, r8, r17
+	j	mark.m
+mark.next:
+	addi	r16, r16, 1
+	j	mark.p
+mark.done:
+	li	r12, 0
+	add	r8, r4, r7
+	mov	r13, r7
+cnt:
+	bge	r13, r11, cnt.done
+	ld.s	r14, 0(r8)
+	xori	r14, r14, 1
+	xori	r15, r15, 1
+	add	r12, r12, r14
+	add	r12, r12, r15
+	addi	r8, r8, 2
+	addi	r13, r13, 2
+	j	cnt
+cnt.done:
+	li	r8, 60001
+	faa	r14, 0(r8), r12
+	j	collect.done
+seg.done:
+	halt

@@ -1,0 +1,77 @@
+.program sor
+.shared grid 4356
+.shared bar 2
+
+	li	r4, 0
+	li	r5, 66
+	li	r14, 64
+	add	r15, r14, r2
+	addi	r15, r15, -1
+	div	r15, r15, r2
+	mul	r6, r15, r1
+	addi	r6, r6, 1
+	add	r7, r6, r15
+	li	r13, 65
+	blt	r7, r13, hiok
+	mov	r7, r13
+hiok:
+	li	r16, 4609434218613702656
+	mtf	f10, r16
+	li	r16, 4598175219545276416
+	mtf	f11, r16
+	li	r17, 4356
+	li	r8, 0
+iter:
+	li	r9, 0
+color:
+	mov	r10, r6
+row:
+	bge	r10, r7, rows.done
+	add	r14, r10, r9
+	addi	r14, r14, 1
+	andi	r14, r14, 1
+	addi	r11, r14, 1
+	mul	r12, r10, r5
+	add	r12, r12, r4
+pt:
+	bge	r11, r13, row.done
+	add	r14, r12, r11
+	flw.s	f1, -66(r14)
+	flw.s	f2, 66(r14)
+	flw.s	f3, -1(r14)
+	flw.s	f4, 1(r14)
+	flw.s	f5, 0(r14)
+	fadd	f1, f1, f2
+	fadd	f3, f3, f4
+	fadd	f1, f1, f3
+	fmul	f1, f1, f11
+	fsub	f1, f1, f5
+	fmul	f1, f1, f10
+	fadd	f1, f5, f1
+	fsw.s	f1, 0(r14)
+	addi	r11, r11, 2
+	j	pt
+row.done:
+	addi	r10, r10, 1
+	j	row
+rows.done:
+	xori	r20, r20, 1
+	li	r14, 1
+	faa	r15, 0(r17), r14
+	addi	r15, r15, 1
+	bne	r15, r2, .barspin.54
+	sw.s	r0, 0(r17)
+	sw.s	r20, 1(r17)
+	j	.bardone.50
+.barspin.54:
+.barwait.50:
+	lw.s	r14, 1(r17) !spin
+	bne	r14, r20, .barspin.54
+.bardone.50:
+	addi	r9, r9, 1
+	slti	r14, r9, 2
+	bnez	r14, color
+	addi	r8, r8, 1
+	slti	r14, r8, 3
+	bnez	r14, iter
+	halt

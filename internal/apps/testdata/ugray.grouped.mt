@@ -1,0 +1,101 @@
+.program ugray+grouped
+.shared faces 4096
+.shared heads 128
+.shared out 768
+.shared rctr 1
+
+	li	r4, 0
+	li	r5, 4096
+	li	r18, 4224
+	li	r19, 127
+	li	r14, 0
+	mtf	f13, r14
+tile:
+	li	r14, 4992
+	li	r15, 8
+	faa	r6, 0(r14), r15
+	li	r14, 384
+	switch
+	bge	r6, r14, done
+	addi	r20, r6, 8
+	blt	r20, r14, ray
+	mov	r20, r14
+ray:
+tileok:
+	muli	r14, r6, 13
+	addi	r14, r14, 7
+	andi	r14, r14, 255
+	cvt.i.f	f10, r14
+	li	r15, 4593671619917905920
+	mtf	f1, r15
+	fmul	f10, f10, f1
+	muli	r14, r6, 29
+	addi	r14, r14, 3
+	andi	r14, r14, 255
+	cvt.i.f	f11, r14
+	fmul	f11, f11, f1
+	li	r15, 5055640609639927018
+	mtf	f12, r15
+	li	r11, -1
+	li	r7, 0
+step:
+	srli	r14, r6, 3
+	muli	r14, r14, 40503
+	muli	r15, r7, 9973
+	add	r14, r14, r15
+	and	r8, r14, r19
+	add	r14, r5, r8
+	lw.s	r9, 0(r14)
+	switch
+face:
+	li	r14, -1
+	beq	r9, r14, step.next
+	muli	r10, r9, 8
+	add	r10, r10, r4
+	flw.s	f1, 0(r10)
+	switch
+	flt	r14, f10, f1
+	bnez	r14, face.reject
+	flw.s	f1, 1(r10)
+	switch
+	flt	r14, f1, f10
+	bnez	r14, face.reject
+	flw.s	f1, 2(r10)
+	switch
+	flt	r14, f11, f1
+	bnez	r14, face.reject
+	flw.s	f1, 3(r10)
+	switch
+	flt	r14, f1, f11
+	bnez	r14, face.reject
+	flw.s	f2, 4(r10)
+	flw.s	f3, 5(r10)
+	flw.s	f4, 6(r10)
+	switch
+	fmul	f2, f2, f10
+	fmul	f3, f3, f11
+	fadd	f2, f2, f3
+	fadd	f2, f2, f4
+	flt	r14, f13, f2
+	flt	r15, f2, f12
+	and	r14, r14, r15
+	beqz	r14, face.reject
+	fmov	f12, f2
+	mov	r11, r9
+face.reject:
+	lw.s	r9, 7(r10)
+	switch
+	j	face
+step.next:
+	addi	r7, r7, 1
+	li	r14, 6
+	blt	r7, r14, step
+	slli	r14, r6, 1
+	add	r14, r14, r18
+	sw.s	r11, 0(r14)
+	fsw.s	f12, 1(r14)
+	addi	r6, r6, 1
+	blt	r6, r20, ray
+	j	tile
+done:
+	halt

@@ -1,0 +1,150 @@
+.program water
+.shared pos 392
+.shared vel 392
+.shared frc 392
+.shared bar 2
+
+	li	r4, 0
+	li	r5, 392
+	li	r6, 784
+	li	r13, 98
+	li	r16, 49
+	li	r17, 1176
+	li	r14, 4631530004285489152
+	mtf	f10, r14
+	li	r14, 4571261708172110332
+	mtf	f11, r14
+	li	r14, 4584664420663164928
+	mtf	f12, r14
+	li	r14, 4607182418800017408
+	mtf	f13, r14
+	li	r14, 98
+	add	r14, r14, r2
+	addi	r14, r14, -1
+	div	r14, r14, r2
+	mul	r7, r14, r1
+	add	r8, r7, r14
+	blt	r8, r13, hiok
+	mov	r8, r13
+hiok:
+	li	r18, 0
+iter:
+	mov	r9, r7
+force.i:
+	bge	r9, r8, force.done
+	slli	r12, r9, 2
+	add	r12, r12, r4
+	flw.s	f1, 0(r12)
+	flw.s	f2, 1(r12)
+	flw.s	f3, 2(r12)
+	li	r14, 0
+	mtf	f7, r14
+	fmov	f8, f7
+	fmov	f9, f7
+	li	r10, 1
+force.k:
+	add	r11, r9, r10
+	blt	r11, r13, nowrap
+	sub	r11, r11, r13
+nowrap:
+	slli	r12, r11, 2
+	add	r12, r12, r4
+	flw.s	f4, 0(r12)
+	flw.s	f5, 1(r12)
+	flw.s	f6, 2(r12)
+	fsub	f4, f1, f4
+	fsub	f5, f2, f5
+	fsub	f6, f3, f6
+	fmul	f14, f4, f4
+	fmul	f15, f5, f5
+	fadd	f14, f14, f15
+	fmul	f15, f6, f6
+	fadd	f14, f14, f15
+	flt	r14, f10, f14
+	bnez	r14, force.skip
+	fadd	f15, f14, f12
+	fdiv	f15, f13, f15
+	fmul	f4, f4, f15
+	fadd	f7, f7, f4
+	fmul	f5, f5, f15
+	fadd	f8, f8, f5
+	fmul	f6, f6, f15
+	fadd	f9, f9, f6
+force.skip:
+	addi	r10, r10, 1
+	bge	r16, r10, force.k
+	slli	r12, r9, 2
+	add	r12, r12, r6
+	fsw.s	f7, 0(r12)
+	fsw.s	f8, 1(r12)
+	fsw.s	f9, 2(r12)
+	addi	r9, r9, 1
+	j	force.i
+force.done:
+	xori	r20, r20, 1
+	li	r14, 1
+	faa	r15, 0(r17), r14
+	addi	r15, r15, 1
+	bne	r15, r2, .barspin.78
+	sw.s	r0, 0(r17)
+	sw.s	r20, 1(r17)
+	j	.bardone.74
+.barspin.78:
+.barwait.74:
+	lw.s	r14, 1(r17) !spin
+	bne	r14, r20, .barspin.78
+.bardone.74:
+	mov	r9, r7
+upd.i:
+	bge	r9, r8, upd.done
+	slli	r12, r9, 2
+	add	r14, r12, r6
+	flw.s	f1, 0(r14)
+	flw.s	f2, 1(r14)
+	flw.s	f3, 2(r14)
+	add	r14, r12, r5
+	flw.s	f4, 0(r14)
+	flw.s	f5, 1(r14)
+	flw.s	f6, 2(r14)
+	fmul	f1, f1, f11
+	fadd	f4, f4, f1
+	fmul	f2, f2, f11
+	fadd	f5, f5, f2
+	fmul	f3, f3, f11
+	fadd	f6, f6, f3
+	fsw.s	f4, 0(r14)
+	fsw.s	f5, 1(r14)
+	fsw.s	f6, 2(r14)
+	add	r14, r12, r4
+	flw.s	f1, 0(r14)
+	flw.s	f2, 1(r14)
+	flw.s	f3, 2(r14)
+	fmul	f7, f4, f11
+	fadd	f1, f1, f7
+	fmul	f7, f5, f11
+	fadd	f2, f2, f7
+	fmul	f7, f6, f11
+	fadd	f3, f3, f7
+	fsw.s	f1, 0(r14)
+	fsw.s	f2, 1(r14)
+	fsw.s	f3, 2(r14)
+	addi	r9, r9, 1
+	j	upd.i
+upd.done:
+	xori	r20, r20, 1
+	li	r14, 1
+	faa	r15, 0(r17), r14
+	addi	r15, r15, 1
+	bne	r15, r2, .barspin.123
+	sw.s	r0, 0(r17)
+	sw.s	r20, 1(r17)
+	j	.bardone.119
+.barspin.123:
+.barwait.119:
+	lw.s	r14, 1(r17) !spin
+	bne	r14, r20, .barspin.123
+.bardone.119:
+	addi	r18, r18, 1
+	slti	r14, r18, 2
+	bnez	r14, iter
+	halt

@@ -1,0 +1,70 @@
+package ugray_test
+
+import (
+	"testing"
+
+	"mtsim/internal/apps/ugray"
+	"mtsim/internal/machine"
+)
+
+func TestCorrectAtAwkwardShapes(t *testing.T) {
+	for _, p := range []ugray.Params{
+		{Rays: 7, Cells: 9, FacesPerCell: 1, Steps: 2, Seed: 1}, // cells rounded to 16
+		{Rays: 33, Cells: 32, FacesPerCell: 6, Steps: 3, Seed: 2},
+	} {
+		a := ugray.New(p)
+		if _, err := a.Run(machine.Config{Procs: 2, Threads: 4, Model: machine.SwitchOnUse, Latency: 60}); err != nil {
+			t.Errorf("%+v: %v", p, err)
+		}
+	}
+}
+
+// TestIntraBlockGroupingWeak: ugray's field loads are separated by
+// bounding-box branches, so intra-block grouping barely helps — the
+// paper measured a 1.3 grouping factor.
+func TestIntraBlockGroupingWeak(t *testing.T) {
+	a := ugray.New(ugray.ParamsFor(0))
+	res, err := a.Run(machine.Config{
+		Procs: 4, Threads: 4, Model: machine.ExplicitSwitch,
+		Latency: 200, CollectRunLengths: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := res.GroupingFactor(); g > 1.4 {
+		t.Errorf("grouping = %.2f, want <= 1.4 (loads split across blocks)", g)
+	}
+}
+
+// TestWindowFindsInterBlockGrouping: the §5.2 one-line window must find
+// the grouping a smarter compiler would — face fields share a memory
+// line, so the window hit rate is substantial and the effective grouping
+// factor rises well above the intra-block one (paper: 42% hits,
+// 1.3 -> 1.9).
+func TestWindowFindsInterBlockGrouping(t *testing.T) {
+	a := ugray.New(ugray.ParamsFor(0))
+	plain, err := a.Run(machine.Config{
+		Procs: 4, Threads: 4, Model: machine.ExplicitSwitch,
+		Latency: 200, CollectRunLengths: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	win, err := a.Run(machine.Config{
+		Procs: 4, Threads: 4, Model: machine.ExplicitSwitch,
+		Latency: 200, CollectRunLengths: true, GroupWindow: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr := win.WindowHitRate(); hr < 0.35 {
+		t.Errorf("window hit rate = %.2f, want >= 0.35", hr)
+	}
+	if win.GroupingFactor() < 1.4*plain.GroupingFactor() {
+		t.Errorf("window grouping %.2f vs plain %.2f, want >= 1.4x",
+			win.GroupingFactor(), plain.GroupingFactor())
+	}
+	if win.Cycles >= plain.Cycles {
+		t.Errorf("window run not faster: %d vs %d cycles", win.Cycles, plain.Cycles)
+	}
+}

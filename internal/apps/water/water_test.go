@@ -1,0 +1,77 @@
+package water_test
+
+import (
+	"testing"
+
+	"mtsim/internal/apps/water"
+	"mtsim/internal/machine"
+)
+
+func TestCorrectAtAwkwardShapes(t *testing.T) {
+	for _, p := range []water.Params{
+		{Molecules: 5, Iters: 1, Cutoff2: 100, Dt: 0.01, Seed: 1},
+		{Molecules: 31, Iters: 3, Cutoff2: 20, Dt: 0.002, Seed: 2},
+	} {
+		a := water.New(p)
+		if _, err := a.Run(machine.Config{Procs: 3, Threads: 2, Model: machine.SwitchOnMiss, Latency: 40}); err != nil {
+			t.Errorf("%+v: %v", p, err)
+		}
+	}
+}
+
+// TestStaticBalanceDivisibility: the paper's Figure 2 observation — water
+// runs markedly better when the processor count divides the molecule
+// count evenly, because its load balancing is static.
+func TestStaticBalanceDivisibility(t *testing.T) {
+	a := water.New(water.ParamsFor(0)) // 98 molecules
+	base, err := a.Run(machine.Config{Procs: 1, Threads: 1, Model: machine.Ideal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	even, err := a.Run(machine.Config{Procs: 14, Threads: 1, Model: machine.Ideal}) // 98 = 14*7
+	if err != nil {
+		t.Fatal(err)
+	}
+	odd, err := a.Run(machine.Config{Procs: 15, Threads: 1, Model: machine.Ideal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	effEven, effOdd := even.Efficiency(base.Cycles), odd.Efficiency(base.Cycles)
+	if effEven <= effOdd {
+		t.Errorf("divisible procs eff %.3f <= non-divisible %.3f", effEven, effOdd)
+	}
+	if effEven < 0.85 {
+		t.Errorf("even-split efficiency = %.2f, want >= 0.85", effEven)
+	}
+}
+
+// TestGroupingBenefits: water's three coordinate loads group; the paper
+// lists water among the applications that "benefited the most" (§5.1).
+func TestGroupingBenefits(t *testing.T) {
+	a := water.New(water.ParamsFor(0))
+	rl, err := a.Run(machine.Config{
+		Procs: 7, Threads: 4, Model: machine.SwitchOnLoad,
+		Latency: 200, CollectRunLengths: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := a.Run(machine.Config{
+		Procs: 7, Threads: 4, Model: machine.ExplicitSwitch,
+		Latency: 200, CollectRunLengths: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.GroupingFactor() < 2.0 {
+		t.Errorf("grouping = %.2f, want >= 2 (coordinate triples)", re.GroupingFactor())
+	}
+	if re.TakenSwitches*3 > rl.TakenSwitches*2 {
+		t.Errorf("switches %d -> %d: want at least a third eliminated", rl.TakenSwitches, re.TakenSwitches)
+	}
+	// The cutoff branch makes run-lengths vary widely (§4.1): both very
+	// short and very long runs must be present under switch-on-load.
+	if rl.RunLengths.Max < 8*rl.RunLengths.Min {
+		t.Errorf("run-length spread %d..%d too uniform", rl.RunLengths.Min, rl.RunLengths.Max)
+	}
+}

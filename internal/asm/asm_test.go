@@ -1,0 +1,240 @@
+package asm_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mtsim/internal/asm"
+	"mtsim/internal/machine"
+	"mtsim/internal/prog"
+	"mtsim/internal/rng"
+)
+
+const sample = `
+; a tiny self-contained program
+.program demo
+.shared data 16
+.shared out 4
+.local scratch 8
+
+start:
+	li	r4, data        ; symbol -> base address
+	li	r5, 0
+	li	r6, 8
+loop:
+	lw.s	r7, 0(r4)
+	add	r5, r5, r7
+	addi	r4, r4, 1
+	addi	r6, r6, -1
+	bnez	r6, loop
+	li	r8, out
+	sw.s	r5, 0(r8)
+	faa	r9, 1(r8), r5 !spin
+	halt
+`
+
+func TestParseAndRun(t *testing.T) {
+	p, err := asm.ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "demo" {
+		t.Errorf("name = %q", p.Name)
+	}
+	res, err := machine.RunChecked(machine.Config{Model: machine.Ideal}, p,
+		func(sh *machine.Shared) {
+			for i := int64(0); i < 8; i++ {
+				sh.SetWordAt("data", i, i+1)
+			}
+		},
+		func(sh *machine.Shared) error {
+			if got := sh.WordAt("out", 0); got != 36 {
+				return fmt.Errorf("out = %d, want 36", got)
+			}
+			if got := sh.WordAt("out", 1); got != 36 {
+				return fmt.Errorf("faa target = %d, want 36", got)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The !spin faa must be excluded from bandwidth accounting.
+	if res.Traffic.SpinCount != 2 { // faa request counts as 2 messages (req+reply)
+		t.Errorf("spin messages = %d, want 2", res.Traffic.SpinCount)
+	}
+}
+
+func TestRoundTripPreservesSemantics(t *testing.T) {
+	p1, err := asm.ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := asm.Format(p1)
+	p2, err := asm.ParseString(text)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, text)
+	}
+	if len(p1.Instrs) != len(p2.Instrs) {
+		t.Fatalf("instr count %d != %d", len(p1.Instrs), len(p2.Instrs))
+	}
+	for i := range p1.Instrs {
+		if p1.Instrs[i] != p2.Instrs[i] {
+			t.Errorf("instr %d: %v != %v", i, p1.Instrs[i], p2.Instrs[i])
+		}
+	}
+}
+
+// TestRoundTripFuzz: random generated programs must survive
+// format -> parse -> format unchanged (fixed point after one trip).
+func TestRoundTripFuzz(t *testing.T) {
+	for seed := uint64(1); seed <= 60; seed++ {
+		p := genProgram(seed)
+		text1 := asm.Format(p)
+		q, err := asm.Parse(strings.NewReader(text1))
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, text1)
+		}
+		if len(q.Instrs) != len(p.Instrs) {
+			t.Fatalf("seed %d: instr count %d != %d", seed, len(q.Instrs), len(p.Instrs))
+		}
+		for i := range p.Instrs {
+			if p.Instrs[i] != q.Instrs[i] {
+				t.Fatalf("seed %d instr %d: %v != %v", seed, i, p.Instrs[i], q.Instrs[i])
+			}
+		}
+		text2 := asm.Format(q)
+		if text1 != text2 {
+			t.Fatalf("seed %d: format not a fixed point\n--- first\n%s\n--- second\n%s", seed, text1, text2)
+		}
+	}
+}
+
+// genProgram emits a random but well-formed program covering most operand
+// classes, including labels and branches.
+func genProgram(seed uint64) *prog.Program {
+	r := rng.New(seed)
+	b := prog.NewBuilder(fmt.Sprintf("fuzz%d", seed))
+	b.Shared("mem", 128)
+	b.Local("tmp", 32)
+	reg := func() uint8 { return uint8(4 + r.Intn(20)) }
+	freg := func() uint8 { return uint8(r.Intn(12)) }
+	n := 10 + int(r.Intn(30))
+	for i := 0; i < n; i++ {
+		switch r.Intn(16) {
+		case 0:
+			b.Li(reg(), r.Intn(100)-50)
+		case 1:
+			b.Add(reg(), reg(), reg())
+		case 2:
+			b.Slli(reg(), reg(), r.Intn(8))
+		case 3:
+			if r.Intn(2) == 0 {
+				b.Fadd(freg(), freg(), freg())
+			} else {
+				b.Fneg(freg(), freg()) // 2-operand FP form
+			}
+		case 4:
+			if r.Intn(2) == 0 {
+				b.Flt(reg(), freg(), freg())
+			} else {
+				b.Fsqrt(freg(), freg())
+			}
+		case 5:
+			b.Mtf(freg(), reg())
+		case 6:
+			b.Mff(reg(), freg())
+		case 7:
+			b.LwS(reg(), 4, r.Intn(64))
+		case 8:
+			b.SdS(uint8(4+r.Intn(19)), 4, r.Intn(64))
+		case 9:
+			b.FlwS(freg(), 4, r.Intn(64))
+		case 10:
+			b.Faa(reg(), 4, r.Intn(64), reg())
+		case 11:
+			b.Lw(reg(), 0, r.Intn(32))
+		case 12:
+			b.Fsw(freg(), 0, r.Intn(32))
+		case 13:
+			b.Switch()
+		case 14:
+			b.Use(reg())
+		case 15:
+			l := b.GenLabel("skip")
+			b.Beqz(reg(), l)
+			b.Nop()
+			b.Label(l)
+		}
+	}
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown mnemonic":  "\tfrobnicate r1, r2\n",
+		"bad register":      "\tadd r1, r2, r99\n",
+		"bad operand count": "\tadd r1, r2\n",
+		"bad directive":     ".wibble x 3\n",
+		"bad size":          ".shared x -2\n",
+		"unknown symbol":    "\tli r4, nosuch\n\thalt\n",
+		"undefined label":   "\tj nowhere\n\thalt\n",
+		"bad address":       "\tlw.s r4, r5\n",
+		"spin on alu":       "\tadd r1, r2, r3 !spin\n",
+		"fp reg as int":     "\tadd r1, f2, r3\n",
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := asm.ParseString(src); err == nil {
+				t.Errorf("accepted %q", src)
+			}
+		})
+	}
+}
+
+func TestSymbolOffsets(t *testing.T) {
+	src := `
+.shared a 10
+.shared b 10
+	li r4, b
+	li r5, b+3
+	li r6, a+9
+	halt
+`
+	p, err := asm.ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instrs[0].Imm != 10 || p.Instrs[1].Imm != 13 || p.Instrs[2].Imm != 9 {
+		t.Errorf("immediates = %d, %d, %d", p.Instrs[0].Imm, p.Instrs[1].Imm, p.Instrs[2].Imm)
+	}
+}
+
+func TestFormatBenchmarkAppsParseBack(t *testing.T) {
+	// Every benchmark program must disassemble and re-assemble exactly.
+	// (Uses the sor program via its package to avoid an import cycle on
+	// apps; the full-set version lives in the apps tests.)
+	src := asm.Format(mustSor(t))
+	p, err := asm.ParseString(src)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if len(p.Instrs) == 0 {
+		t.Fatal("empty parse")
+	}
+}
+
+func mustSor(t *testing.T) *prog.Program {
+	t.Helper()
+	b := prog.NewBuilder("mini-sor")
+	grid := b.Shared("grid", 64)
+	b.Li(4, grid.Base)
+	b.FlwS(1, 4, 0)
+	b.FlwS(2, 4, 1)
+	b.Fadd(1, 1, 2)
+	b.FswS(1, 4, 2)
+	b.Halt()
+	return b.MustBuild()
+}

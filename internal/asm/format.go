@@ -1,0 +1,137 @@
+// Package asm converts programs to and from a textual assembly format
+// (".mt" files), so kernels can be inspected, diffed, written by hand,
+// and round-tripped through the optimizer from the command line
+// (cmd/mtasm, cmd/mtopt).
+//
+// The format:
+//
+//	; comment
+//	.program sieve
+//	.shared flags 30000     ; shared segment symbol, size in cells
+//	.local  buf   64        ; per-thread local memory symbol
+//
+//	start:
+//	        li      r4, flags       ; symbol names resolve to base addresses
+//	        lw.s    r5, 0(r4)       ; shared load
+//	        faa     r7, 0(r4), r10 !spin
+//	        beq     r5, r6, start
+//	        switch
+//	        halt
+//
+// A trailing "!spin" marks synchronization spin traffic (excluded from
+// bandwidth statistics, as in the paper's §6.1 footnote 2).
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mtsim/internal/isa"
+	"mtsim/internal/prog"
+)
+
+// Format renders a program as assembly text. Every branch target gets a
+// label; targets without a user label receive a synthetic ".L<index>".
+func Format(p *prog.Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".program %s\n", p.Name)
+	for _, s := range p.Shared.Symbols() {
+		fmt.Fprintf(&b, ".shared %s %d\n", s.Name, s.Size)
+	}
+	for _, s := range p.Local.Symbols() {
+		fmt.Fprintf(&b, ".local %s %d\n", s.Name, s.Size)
+	}
+	b.WriteByte('\n')
+
+	labels := labelTable(p)
+	for i, in := range p.Instrs {
+		for _, l := range labels[int32(i)] {
+			fmt.Fprintf(&b, "%s:\n", l)
+		}
+		fmt.Fprintf(&b, "\t%s\n", formatInstr(in, labels))
+	}
+	for _, l := range labels[int32(len(p.Instrs))] {
+		fmt.Fprintf(&b, "%s:\n", l)
+	}
+	return b.String()
+}
+
+// labelTable maps instruction indices to their label names, inventing
+// ".L<idx>" names for branch targets that lack one.
+func labelTable(p *prog.Program) map[int32][]string {
+	t := make(map[int32][]string)
+	for name, idx := range p.Labels {
+		t[idx] = append(t[idx], name)
+	}
+	for idx := range t {
+		sort.Strings(t[idx])
+	}
+	for _, in := range p.Instrs {
+		if in.Op.IsControl() && in.Op != isa.Jr && in.Op != isa.Halt {
+			if len(t[in.Target]) == 0 {
+				t[in.Target] = []string{fmt.Sprintf(".L%d", in.Target)}
+			}
+		}
+	}
+	return t
+}
+
+// target returns the first label naming idx.
+func target(idx int32, labels map[int32][]string) string {
+	if ls := labels[idx]; len(ls) > 0 {
+		return ls[0]
+	}
+	return fmt.Sprintf("@%d", idx)
+}
+
+func formatInstr(in isa.Instr, labels map[int32][]string) string {
+	op := in.Op
+	spin := ""
+	if in.Spin {
+		spin = " !spin"
+	}
+	switch {
+	case op == isa.Nop || op == isa.Halt || op == isa.Switch || op == isa.CritEnter || op == isa.CritExit:
+		return op.String() + spin
+	case op >= isa.Add && op <= isa.Sltu:
+		return fmt.Sprintf("%s\tr%d, r%d, r%d", op, in.Rd, in.Rs, in.Rt)
+	case op >= isa.Addi && op <= isa.Slti:
+		return fmt.Sprintf("%s\tr%d, r%d, %d", op, in.Rd, in.Rs, in.Imm)
+	case op == isa.Li:
+		return fmt.Sprintf("li\tr%d, %d", in.Rd, in.Imm)
+	case op == isa.Mov:
+		return fmt.Sprintf("mov\tr%d, r%d", in.Rd, in.Rs)
+	case op == isa.Fmov, op == isa.Fneg, op == isa.Fabs, op == isa.Fsqrt:
+		return fmt.Sprintf("%s\tf%d, f%d", op, in.Rd, in.Rs)
+	case op == isa.Mtf, op == isa.CvtIF:
+		return fmt.Sprintf("%s\tf%d, r%d", op, in.Rd, in.Rs)
+	case op == isa.Mff, op == isa.CvtFI:
+		return fmt.Sprintf("%s\tr%d, f%d", op, in.Rd, in.Rs)
+	case op >= isa.Fadd && op <= isa.Fmax:
+		return fmt.Sprintf("%s\tf%d, f%d, f%d", op, in.Rd, in.Rs, in.Rt)
+	case op >= isa.Feq && op <= isa.Fle:
+		return fmt.Sprintf("%s\tr%d, f%d, f%d", op, in.Rd, in.Rs, in.Rt)
+	case op == isa.Beq || op == isa.Bne || op == isa.Blt || op == isa.Bge:
+		return fmt.Sprintf("%s\tr%d, r%d, %s", op, in.Rs, in.Rt, target(in.Target, labels))
+	case op == isa.Beqz || op == isa.Bnez:
+		return fmt.Sprintf("%s\tr%d, %s", op, in.Rs, target(in.Target, labels))
+	case op == isa.J || op == isa.Jal:
+		return fmt.Sprintf("%s\t%s", op, target(in.Target, labels))
+	case op == isa.Jr:
+		return fmt.Sprintf("jr\tr%d", in.Rs)
+	case op == isa.Lw || op == isa.Ld || op == isa.LwS || op == isa.LdS:
+		return fmt.Sprintf("%s\tr%d, %d(r%d)%s", op, in.Rd, in.Imm, in.Rs, spin)
+	case op == isa.Flw || op == isa.FlwS:
+		return fmt.Sprintf("%s\tf%d, %d(r%d)%s", op, in.Rd, in.Imm, in.Rs, spin)
+	case op == isa.Sw || op == isa.Sd || op == isa.SwS || op == isa.SdS:
+		return fmt.Sprintf("%s\tr%d, %d(r%d)%s", op, in.Rt, in.Imm, in.Rs, spin)
+	case op == isa.Fsw || op == isa.FswS:
+		return fmt.Sprintf("%s\tf%d, %d(r%d)%s", op, in.Rt, in.Imm, in.Rs, spin)
+	case op == isa.Faa:
+		return fmt.Sprintf("faa\tr%d, %d(r%d), r%d%s", in.Rd, in.Imm, in.Rs, in.Rt, spin)
+	case op == isa.Use:
+		return fmt.Sprintf("use\tr%d", in.Rs)
+	}
+	return op.String()
+}

@@ -1,0 +1,422 @@
+package asm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mtsim/internal/isa"
+	"mtsim/internal/prog"
+)
+
+// Parse reads assembly text (the format produced by Format) and builds a
+// program. Symbol names from .shared/.local directives may be used where
+// an immediate is expected, resolving to the symbol's base address, and
+// as "sym+N" with a constant offset.
+func Parse(r io.Reader) (*prog.Program, error) {
+	p := &parser{
+		b:    prog.NewBuilder("a.mt"),
+		syms: make(map[string]int64),
+		ops:  opTable(),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		if err := p.line(sc.Text()); err != nil {
+			return nil, fmt.Errorf("asm: line %d: %w", lineno, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("asm: %w", err)
+	}
+	prg, err := p.b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("asm: %w", err)
+	}
+	if p.name != "" {
+		prg.Name = p.name
+	}
+	return prg, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*prog.Program, error) { return Parse(strings.NewReader(s)) }
+
+// opTable maps mnemonics to opcodes.
+func opTable() map[string]isa.Op {
+	t := make(map[string]isa.Op, isa.NumOps)
+	for o := 0; o < isa.NumOps; o++ {
+		op := isa.Op(o)
+		if op.Valid() {
+			t[op.String()] = op
+		}
+	}
+	return t
+}
+
+type parser struct {
+	b    *prog.Builder
+	name string
+	syms map[string]int64
+	ops  map[string]isa.Op
+}
+
+func (p *parser) line(raw string) error {
+	// Strip comments.
+	if i := strings.IndexByte(raw, ';'); i >= 0 {
+		raw = raw[:i]
+	}
+	s := strings.TrimSpace(raw)
+	if s == "" {
+		return nil
+	}
+	// Directives.
+	if strings.HasPrefix(s, ".program") || strings.HasPrefix(s, ".shared") || strings.HasPrefix(s, ".local") {
+		return p.directive(s)
+	}
+	// Labels (possibly several per line, then an instruction).
+	for {
+		i := strings.IndexByte(s, ':')
+		if i < 0 {
+			break
+		}
+		name := strings.TrimSpace(s[:i])
+		if name == "" || strings.ContainsAny(name, " \t,()") {
+			break // a colon inside an operand would be invalid anyway
+		}
+		p.b.Label(name)
+		s = strings.TrimSpace(s[i+1:])
+		if s == "" {
+			return nil
+		}
+	}
+	return p.instr(s)
+}
+
+func (p *parser) directive(s string) error {
+	f := strings.Fields(s)
+	switch f[0] {
+	case ".program":
+		if len(f) != 2 {
+			return fmt.Errorf(".program wants a name")
+		}
+		p.name = f[1]
+		return nil
+	case ".shared", ".local":
+		if len(f) != 3 {
+			return fmt.Errorf("%s wants: name size", f[0])
+		}
+		size, err := strconv.ParseInt(f[2], 10, 64)
+		if err != nil || size <= 0 {
+			return fmt.Errorf("%s %s: bad size %q", f[0], f[1], f[2])
+		}
+		var sym prog.Sym
+		if f[0] == ".shared" {
+			sym = p.b.Shared(f[1], size)
+		} else {
+			sym = p.b.Local(f[1], size)
+		}
+		if _, dup := p.syms[f[1]]; dup {
+			return fmt.Errorf("duplicate symbol %q", f[1])
+		}
+		p.syms[f[1]] = sym.Base
+		return nil
+	}
+	return fmt.Errorf("unknown directive %q", f[0])
+}
+
+// instr parses one instruction line.
+func (p *parser) instr(s string) error {
+	spin := false
+	if strings.HasSuffix(s, "!spin") {
+		spin = true
+		s = strings.TrimSpace(strings.TrimSuffix(s, "!spin"))
+	}
+	mnemonic := s
+	rest := ""
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		mnemonic, rest = s[:i], strings.TrimSpace(s[i+1:])
+	}
+	op, ok := p.ops[mnemonic]
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	args := splitArgs(rest)
+	in, err := p.operands(op, args)
+	if err != nil {
+		return fmt.Errorf("%s: %w", mnemonic, err)
+	}
+	if spin && !op.IsSharedAccess() {
+		return fmt.Errorf("%s: !spin applies to shared accesses only", mnemonic)
+	}
+	in.Spin = spin
+
+	// Branch-family instructions go through the builder's label fixups.
+	if op.IsControl() && op != isa.Jr && op != isa.Halt {
+		label := args[len(args)-1]
+		switch op {
+		case isa.Beq:
+			p.b.Beq(in.Rs, in.Rt, label)
+		case isa.Bne:
+			p.b.Bne(in.Rs, in.Rt, label)
+		case isa.Blt:
+			p.b.Blt(in.Rs, in.Rt, label)
+		case isa.Bge:
+			p.b.Bge(in.Rs, in.Rt, label)
+		case isa.Beqz:
+			p.b.Beqz(in.Rs, label)
+		case isa.Bnez:
+			p.b.Bnez(in.Rs, label)
+		case isa.J:
+			p.b.J(label)
+		case isa.Jal:
+			p.b.Jal(label)
+		}
+		if spin {
+			return fmt.Errorf("!spin applies to shared accesses only")
+		}
+		return nil
+	}
+	p.b.Emit(in)
+	return nil
+}
+
+// splitArgs splits "r1, 8(r2), r3" into {"r1", "8(r2)", "r3"}.
+func splitArgs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// operands decodes the operand fields for op (branch targets are handled
+// by the caller).
+func (p *parser) operands(op isa.Op, args []string) (isa.Instr, error) {
+	in := isa.Instr{Op: op}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("want %d operands, got %d", n, len(args))
+		}
+		return nil
+	}
+	switch {
+	case op == isa.Nop || op == isa.Halt || op == isa.Switch || op == isa.CritEnter || op == isa.CritExit:
+		return in, need(0)
+
+	case op == isa.Fmov, op == isa.Fneg, op == isa.Fabs, op == isa.Fsqrt:
+		// Two-operand FP forms, carved out before the Fadd..Fmax range.
+		return in, p.regs2(&in, args, 'f', 'f')
+
+	case op >= isa.Add && op <= isa.Sltu, op >= isa.Fadd && op <= isa.Fmax:
+		if err := need(3); err != nil {
+			return in, err
+		}
+		return in, p.regs3(&in, args, op.IsFPOp())
+
+	case op >= isa.Feq && op <= isa.Fle:
+		if err := need(3); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Rd, err = reg(args[0], 'r'); err != nil {
+			return in, err
+		}
+		if in.Rs, err = reg(args[1], 'f'); err != nil {
+			return in, err
+		}
+		in.Rt, err = reg(args[2], 'f')
+		return in, err
+
+	case op >= isa.Addi && op <= isa.Slti:
+		if err := need(3); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Rd, err = reg(args[0], 'r'); err != nil {
+			return in, err
+		}
+		if in.Rs, err = reg(args[1], 'r'); err != nil {
+			return in, err
+		}
+		in.Imm, err = p.imm(args[2])
+		return in, err
+
+	case op == isa.Li:
+		if err := need(2); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Rd, err = reg(args[0], 'r'); err != nil {
+			return in, err
+		}
+		in.Imm, err = p.imm(args[1])
+		return in, err
+
+	case op == isa.Mov:
+		return in, p.regs2(&in, args, 'r', 'r')
+	case op == isa.Mtf, op == isa.CvtIF:
+		return in, p.regs2(&in, args, 'f', 'r')
+	case op == isa.Mff, op == isa.CvtFI:
+		return in, p.regs2(&in, args, 'r', 'f')
+
+	case op == isa.Beq, op == isa.Bne, op == isa.Blt, op == isa.Bge:
+		if err := need(3); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Rs, err = reg(args[0], 'r'); err != nil {
+			return in, err
+		}
+		in.Rt, err = reg(args[1], 'r')
+		return in, err
+	case op == isa.Beqz, op == isa.Bnez:
+		if err := need(2); err != nil {
+			return in, err
+		}
+		var err error
+		in.Rs, err = reg(args[0], 'r')
+		return in, err
+	case op == isa.J, op == isa.Jal:
+		return in, need(1)
+	case op == isa.Jr, op == isa.Use:
+		if err := need(1); err != nil {
+			return in, err
+		}
+		var err error
+		in.Rs, err = reg(args[0], 'r')
+		return in, err
+
+	case op == isa.Lw, op == isa.Ld, op == isa.LwS, op == isa.LdS:
+		return in, p.memOp(&in, args, 'r', false)
+	case op == isa.Flw, op == isa.FlwS:
+		return in, p.memOp(&in, args, 'f', false)
+	case op == isa.Sw, op == isa.Sd, op == isa.SwS, op == isa.SdS:
+		return in, p.memOp(&in, args, 'r', true)
+	case op == isa.Fsw, op == isa.FswS:
+		return in, p.memOp(&in, args, 'f', true)
+
+	case op == isa.Faa:
+		if err := need(3); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Rd, err = reg(args[0], 'r'); err != nil {
+			return in, err
+		}
+		if in.Imm, in.Rs, err = p.addr(args[1]); err != nil {
+			return in, err
+		}
+		in.Rt, err = reg(args[2], 'r')
+		return in, err
+	}
+	return in, fmt.Errorf("unhandled opcode")
+}
+
+func (p *parser) regs3(in *isa.Instr, args []string, fp bool) error {
+	bank := byte('r')
+	if fp {
+		bank = 'f'
+	}
+	var err error
+	if in.Rd, err = reg(args[0], bank); err != nil {
+		return err
+	}
+	if in.Rs, err = reg(args[1], bank); err != nil {
+		return err
+	}
+	in.Rt, err = reg(args[2], bank)
+	return err
+}
+
+func (p *parser) regs2(in *isa.Instr, args []string, dBank, sBank byte) error {
+	if len(args) != 2 {
+		return fmt.Errorf("want 2 operands, got %d", len(args))
+	}
+	var err error
+	if in.Rd, err = reg(args[0], dBank); err != nil {
+		return err
+	}
+	in.Rs, err = reg(args[1], sBank)
+	return err
+}
+
+// memOp parses "rX, imm(rY)" loads/stores; stores put the value register
+// in Rt, loads in Rd.
+func (p *parser) memOp(in *isa.Instr, args []string, bank byte, store bool) error {
+	if len(args) != 2 {
+		return fmt.Errorf("want 2 operands, got %d", len(args))
+	}
+	v, err := reg(args[0], bank)
+	if err != nil {
+		return err
+	}
+	if store {
+		in.Rt = v
+	} else {
+		in.Rd = v
+	}
+	in.Imm, in.Rs, err = p.addr(args[1])
+	return err
+}
+
+// addr parses "imm(rN)" where imm may be an integer or symbol[+off].
+func (p *parser) addr(s string) (int64, uint8, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad address %q (want imm(rN))", s)
+	}
+	immS := strings.TrimSpace(s[:open])
+	regS := strings.TrimSpace(s[open+1 : len(s)-1])
+	var imm int64
+	var err error
+	if immS != "" {
+		imm, err = p.imm(immS)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	r, err := reg(regS, 'r')
+	return imm, r, err
+}
+
+// imm parses an integer, a symbol name, or "sym+N" / "sym-N".
+func (p *parser) imm(s string) (int64, error) {
+	if v, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return v, nil
+	}
+	name, off := s, int64(0)
+	for _, sep := range []byte{'+', '-'} {
+		if i := strings.LastIndexByte(s, sep); i > 0 {
+			o, err := strconv.ParseInt(s[i:], 10, 64)
+			if err == nil {
+				name, off = s[:i], o
+				break
+			}
+		}
+	}
+	base, ok := p.syms[name]
+	if !ok {
+		return 0, fmt.Errorf("bad immediate %q (not a number or known symbol)", s)
+	}
+	return base + off, nil
+}
+
+// reg parses "r12" or "f3" according to the expected bank.
+func reg(s string, bank byte) (uint8, error) {
+	if len(s) < 2 || (s[0] != bank) {
+		return 0, fmt.Errorf("bad %c-register %q", bank, s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumIntRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}

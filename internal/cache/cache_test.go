@@ -1,0 +1,180 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Lines: 0, LineCells: 4, Assoc: 1},
+		{Lines: 3, LineCells: 4, Assoc: 1},
+		{Lines: 8, LineCells: 3, Assoc: 1},
+		{Lines: 8, LineCells: 4, Assoc: 0},
+		{Lines: 8, LineCells: 4, Assoc: 3},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%+v accepted", c)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if DefaultConfig().CellCapacity() != 4096 {
+		t.Errorf("default capacity = %d cells", DefaultConfig().CellCapacity())
+	}
+}
+
+func TestLookupFillInvalidate(t *testing.T) {
+	c := MustNew(Config{Lines: 8, LineCells: 4, Assoc: 2})
+	if c.Lookup(0) {
+		t.Error("hit in empty cache")
+	}
+	c.Fill(0)
+	if !c.Lookup(0) || !c.Lookup(3) {
+		t.Error("line [0,4) not resident after fill")
+	}
+	if c.Lookup(4) {
+		t.Error("adjacent line falsely resident")
+	}
+	if present, _ := c.Invalidate(1); !present {
+		t.Error("invalidate missed resident line")
+	}
+	if c.Contains(0) {
+		t.Error("line survives invalidation")
+	}
+	if c.Hits != 2 || c.Misses != 2 {
+		t.Errorf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+	if got := c.HitRate(); got != 0.5 {
+		t.Errorf("hit rate = %v", got)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// One set (fully associative with 2 ways): fill A, B; touch A; fill
+	// C -> B must be the victim.
+	c := MustNew(Config{Lines: 2, LineCells: 1, Assoc: 2})
+	c.Fill(10 * 1) // lines map to the single set
+	c.Fill(20)
+	c.Lookup(10)
+	ev, dirty, did := c.Fill(30)
+	if !did || ev != 20 || dirty {
+		t.Errorf("evicted %d (dirty=%v, did=%v), want 20 clean", ev, dirty, did)
+	}
+	if !c.Contains(10) || !c.Contains(30) || c.Contains(20) {
+		t.Error("wrong resident set after eviction")
+	}
+}
+
+func TestDirtyTracking(t *testing.T) {
+	c := MustNew(Config{Lines: 2, LineCells: 4, Assoc: 2})
+	c.Fill(0)
+	if c.IsDirty(0) {
+		t.Error("freshly filled line dirty")
+	}
+	if !c.SetDirty(2) {
+		t.Error("SetDirty missed resident line")
+	}
+	if !c.IsDirty(0) {
+		t.Error("dirty bit not set for whole line")
+	}
+	c.CleanLine(1)
+	if c.IsDirty(3) {
+		t.Error("CleanLine did not clear")
+	}
+	c.SetDirty(0)
+	if _, wasDirty := c.Invalidate(0); !wasDirty {
+		t.Error("Invalidate lost dirty state")
+	}
+	if c.SetDirty(100) {
+		t.Error("SetDirty hit on absent line")
+	}
+	// Dirty victim reported by Fill.
+	c2 := MustNew(Config{Lines: 1, LineCells: 1, Assoc: 1})
+	c2.Fill(5)
+	c2.SetDirty(5)
+	if _, dirty, did := c2.Fill(6); !did || !dirty {
+		t.Error("dirty eviction not reported")
+	}
+}
+
+func TestDirectory(t *testing.T) {
+	d := NewDirectory()
+	d.AddSharer(7, 1)
+	d.AddSharer(7, 2)
+	d.AddSharer(7, 1) // idempotent
+	got := d.Sharers(7, nil)
+	if len(got) != 2 {
+		t.Errorf("sharers = %v", got)
+	}
+	d.RemoveSharer(7, 1)
+	d.RemoveSharer(7, 99) // absent: no-op
+	if got := d.Sharers(7, nil); len(got) != 1 || got[0] != 2 {
+		t.Errorf("sharers = %v", got)
+	}
+	d.RemoveSharer(7, 2)
+	if got := d.Sharers(7, nil); len(got) != 0 {
+		t.Errorf("sharers = %v", got)
+	}
+}
+
+func TestWindow(t *testing.T) {
+	w := NewWindow(16)
+	if _, hit := w.Probe(5, 100); hit {
+		t.Error("first probe hit")
+	}
+	if ready, hit := w.Probe(12, 200); !hit || ready != 100 {
+		t.Errorf("same-line probe: hit=%v ready=%d, want hit at 100", hit, ready)
+	}
+	if _, hit := w.Probe(16, 300); hit {
+		t.Error("next line hit")
+	}
+	if ready, hit := w.Probe(31, 400); !hit || ready != 300 {
+		t.Errorf("window not re-established: hit=%v ready=%d", hit, ready)
+	}
+	if w.HitRate() != 0.5 {
+		t.Errorf("hit rate = %v", w.HitRate())
+	}
+}
+
+// Property: after Fill(addr), every address on the same line hits and
+// Lookup never hits on a line that was never filled.
+func TestCacheContainsProperty(t *testing.T) {
+	c := MustNew(Config{Lines: 64, LineCells: 8, Assoc: 4})
+	filled := make(map[int64]bool)
+	f := func(addrRaw uint16, doFill bool) bool {
+		addr := int64(addrRaw % 4096)
+		line := c.Line(addr)
+		if doFill {
+			ev, _, did := c.Fill(addr)
+			if did {
+				delete(filled, ev)
+			}
+			filled[line] = true
+		}
+		return c.Contains(addr) == filled[line]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hits + misses == number of Lookup calls, always.
+func TestHitMissAccountingProperty(t *testing.T) {
+	c := MustNew(Config{Lines: 16, LineCells: 4, Assoc: 2})
+	var lookups int64
+	f := func(addrRaw uint16, fill bool) bool {
+		addr := int64(addrRaw % 512)
+		if fill {
+			c.Fill(addr)
+		}
+		c.Lookup(addr)
+		lookups++
+		return c.Hits+c.Misses == lookups
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,151 @@
+// Package core ties the system together for measurement: it owns the
+// efficiency metric and the searches the paper's tables are built from.
+//
+// The paper's efficiency is speedup / processors, with speedup measured
+// against an ideal single processor: a 1-processor, 1-thread, zero-latency
+// run of the same program (§3.2, Figure 2). A Session caches that
+// baseline per application and memoizes simulation runs, since several
+// tables sweep overlapping configurations.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"mtsim/internal/app"
+	"mtsim/internal/machine"
+)
+
+// EffTargets are the efficiency levels the paper's Tables 3, 5, 6 and 8
+// report multithreading levels for.
+var EffTargets = []float64{0.50, 0.60, 0.70, 0.80, 0.90}
+
+// Session runs applications and caches baselines and results.
+type Session struct {
+	mu       sync.Mutex
+	baseline map[string]int64
+	results  map[string]*machine.Result
+	// Verify enables result checking on every run (the default); the
+	// benchmark harness can disable it to time simulation alone.
+	Verify bool
+}
+
+// NewSession returns an empty session with verification on.
+func NewSession() *Session {
+	return &Session{
+		baseline: make(map[string]int64),
+		results:  make(map[string]*machine.Result),
+		Verify:   true,
+	}
+}
+
+// key identifies a run by application and full configuration. Config is
+// a plain value struct, so its default formatting covers every field —
+// a new knob can never silently alias two different configurations.
+func key(a *app.App, cfg machine.Config) string {
+	return fmt.Sprintf("%s/%+v", a.Name, cfg)
+}
+
+// Run simulates a under cfg, memoizing by configuration.
+func (s *Session) Run(a *app.App, cfg machine.Config) (*machine.Result, error) {
+	k := key(a, cfg)
+	s.mu.Lock()
+	if r, ok := s.results[k]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+
+	p, err := a.ProgramFor(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	check := a.Check
+	if !s.Verify {
+		check = nil
+	}
+	r, err := machine.RunChecked(cfg, p, a.Init, check)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", a.Name, err)
+	}
+	s.mu.Lock()
+	s.results[k] = r
+	s.mu.Unlock()
+	return r, nil
+}
+
+// Baseline returns the ideal single-processor cycle count for a.
+func (s *Session) Baseline(a *app.App) (int64, error) {
+	s.mu.Lock()
+	if c, ok := s.baseline[a.Name]; ok {
+		s.mu.Unlock()
+		return c, nil
+	}
+	s.mu.Unlock()
+	r, err := s.Run(a, machine.Config{Procs: 1, Threads: 1, Model: machine.Ideal})
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	s.baseline[a.Name] = r.Cycles
+	s.mu.Unlock()
+	return r.Cycles, nil
+}
+
+// Efficiency runs a under cfg and returns the paper's efficiency metric.
+func (s *Session) Efficiency(a *app.App, cfg machine.Config) (float64, error) {
+	base, err := s.Baseline(a)
+	if err != nil {
+		return 0, err
+	}
+	r, err := s.Run(a, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return r.Efficiency(base), nil
+}
+
+// MTSearch finds, for each target efficiency, the smallest multithreading
+// level 1..maxMT that reaches it under the given base configuration
+// (cfg.Threads is overridden). Unreached targets report 0. It also
+// returns the best efficiency seen and the level that achieved it.
+func (s *Session) MTSearch(a *app.App, cfg machine.Config, targets []float64, maxMT int) (levels []int, bestEff float64, bestMT int, err error) {
+	levels = make([]int, len(targets))
+	found := 0
+	for mt := 1; mt <= maxMT; mt++ {
+		cfg.Threads = mt
+		eff, e := s.Efficiency(a, cfg)
+		if e != nil {
+			return nil, 0, 0, e
+		}
+		if eff > bestEff {
+			bestEff, bestMT = eff, mt
+		}
+		for i, tgt := range targets {
+			if levels[i] == 0 && eff >= tgt {
+				levels[i] = mt
+				found++
+			}
+		}
+		if found == len(targets) {
+			break
+		}
+	}
+	return levels, bestEff, bestMT, nil
+}
+
+// FormatLevels renders an MTSearch row: the level per target, or "-" for
+// targets the application never reached (the paper leaves those blank:
+// "most of the applications could not achieve all of these efficiency
+// levels", §4.2).
+func FormatLevels(levels []int) []string {
+	out := make([]string, len(levels))
+	for i, l := range levels {
+		if l == 0 {
+			out[i] = "-"
+		} else {
+			out[i] = fmt.Sprintf("%d", l)
+		}
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package core_test
+
+import (
+	"testing"
+
+	"mtsim/internal/app"
+	"mtsim/internal/apps"
+	"mtsim/internal/core"
+	"mtsim/internal/machine"
+)
+
+func TestBaselineCachedAndPositive(t *testing.T) {
+	s := core.NewSession()
+	a := apps.MustNew("sor", app.Quick)
+	b1, err := s.Baseline(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 <= 0 {
+		t.Fatalf("baseline = %d", b1)
+	}
+	b2, err := s.Baseline(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 != b2 {
+		t.Errorf("baseline not stable: %d vs %d", b1, b2)
+	}
+}
+
+func TestRunMemoization(t *testing.T) {
+	s := core.NewSession()
+	a := apps.MustNew("sieve", app.Quick)
+	cfg := machine.Config{Procs: 2, Threads: 2, Model: machine.SwitchOnLoad}
+	r1, err := s.Run(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Run(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("identical configs not memoized (distinct result pointers)")
+	}
+	// A different config must not collide.
+	cfg2 := cfg
+	cfg2.Threads = 3
+	r3, err := s.Run(a, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 == r1 {
+		t.Error("different configs collided in the memo")
+	}
+}
+
+func TestEfficiencyBounds(t *testing.T) {
+	s := core.NewSession()
+	a := apps.MustNew("sieve", app.Quick)
+	eff, err := s.Efficiency(a, machine.Config{Procs: 1, Threads: 1, Model: machine.Ideal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff != 1.0 {
+		t.Errorf("ideal 1x1 efficiency = %v, want exactly 1", eff)
+	}
+	eff2, err := s.Efficiency(a, machine.Config{Procs: 4, Threads: 1, Model: machine.SwitchOnLoad, Latency: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff2 <= 0 || eff2 >= 1 {
+		t.Errorf("latency-bound efficiency = %v, want in (0,1)", eff2)
+	}
+}
+
+func TestMTSearchMonotoneTargets(t *testing.T) {
+	s := core.NewSession()
+	a := apps.MustNew("water", app.Quick)
+	cfg := machine.Config{Procs: a.TableProcs, Model: machine.ExplicitSwitch, Latency: 200}
+	levels, best, bestMT, err := s.MTSearch(a, cfg, core.EffTargets, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best <= 0 || bestMT < 1 {
+		t.Fatalf("best = %v @ %d", best, bestMT)
+	}
+	// Levels for increasing targets must be non-decreasing where found.
+	prev := 0
+	for i, l := range levels {
+		if l == 0 {
+			continue
+		}
+		if l < prev {
+			t.Errorf("target %v needs %d threads but a higher target needed %d", core.EffTargets[i], l, prev)
+		}
+		prev = l
+	}
+	// water under explicit-switch should at least reach 60% (the paper
+	// groups its 3-load position reads).
+	if levels[1] == 0 {
+		t.Errorf("water never reached 60%%: levels = %v", levels)
+	}
+}
+
+func TestFormatLevels(t *testing.T) {
+	got := core.FormatLevels([]int{0, 3, 12})
+	want := []string{"-", "3", "12"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("cell %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

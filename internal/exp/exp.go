@@ -1,0 +1,179 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index). Each generator
+// prints a paper-style ASCII table or plot; absolute numbers come from
+// our kernels on our simulator, so the point of comparison with the paper
+// is the *shape*: who wins, by what rough factor, and where the
+// crossovers fall. EXPERIMENTS.md records that comparison.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"mtsim/internal/app"
+	"mtsim/internal/apps"
+	"mtsim/internal/core"
+	"mtsim/internal/machine"
+)
+
+// Options configures a generator run. The zero value is not usable; call
+// NewOptions.
+type Options struct {
+	// Scale selects problem sizes.
+	Scale app.Scale
+	// Latency is the network round trip (paper: 200).
+	Latency int
+	// MaxMT caps the multithreading-level searches.
+	MaxMT int
+	// Out receives the rendered tables.
+	Out io.Writer
+	// Sess memoizes runs across experiments.
+	Sess *core.Session
+
+	appSet []*app.App
+}
+
+// NewOptions returns options for a scale with paper defaults.
+func NewOptions(scale app.Scale, out io.Writer) *Options {
+	maxMT := 48
+	if scale == app.Quick {
+		maxMT = 24
+	}
+	return &Options{
+		Scale:   scale,
+		Latency: machine.DefaultLatency,
+		MaxMT:   maxMT,
+		Out:     out,
+		Sess:    core.NewSession(),
+	}
+}
+
+// Apps returns the benchmark set, built once.
+func (o *Options) Apps() []*app.App {
+	if o.appSet == nil {
+		o.appSet = apps.All(o.Scale)
+	}
+	return o.appSet
+}
+
+// App returns one application from the set by name.
+func (o *Options) App(name string) (*app.App, error) {
+	for _, a := range o.Apps() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("exp: application %q not in set", name)
+}
+
+func (o *Options) printf(format string, args ...any) {
+	fmt.Fprintf(o.Out, format, args...)
+}
+
+// Experiment is one regenerable table or figure.
+type Experiment struct {
+	// ID is the paper artifact id: "table1".."table8", "figure1".."figure4".
+	ID string
+	// Title summarizes the artifact.
+	Title string
+	// Paper states what the paper's version of the artifact showed, for
+	// shape comparison.
+	Paper string
+	// Run regenerates it.
+	Run func(o *Options) error
+}
+
+// All returns the experiments in paper order.
+func All() []*Experiment {
+	return []*Experiment{
+		{
+			ID:    "figure1",
+			Title: "Evolution of multithreading models (taxonomy smoke test)",
+			Paper: "taxonomy diagram: every model implemented and runnable",
+			Run:   Figure1,
+		},
+		{
+			ID:    "table1",
+			Title: "Parallel applications",
+			Paper: "seven applications, 87M-1353M single-processor cycles",
+			Run:   Table1,
+		},
+		{
+			ID:    "figure2",
+			Title: "Efficiency on the ideal (zero latency) machine",
+			Paper: "near-linear speedup until the fixed problem runs out of parallelism; water erratic under static balancing",
+			Run:   Figure2,
+		},
+		{
+			ID:    "table2",
+			Title: "Run-length distributions under switch-on-load",
+			Paper: "sor/locus/mp3d dominated by 1-2 cycle run-lengths; blkmat exceptionally long",
+			Run:   Table2,
+		},
+		{
+			ID:    "figure3",
+			Title: "sieve under switch-on-load multithreading (latency 200)",
+			Paper: "efficiency rises with multithreading level, ~100% by level 12",
+			Run:   Figure3,
+		},
+		{
+			ID:    "table3",
+			Title: "Switch-on-load: multithreading level needed for target efficiency",
+			Paper: "some applications bounded near 60%; short run-lengths force large levels",
+			Run:   Table3,
+		},
+		{
+			ID:    "figure4",
+			Title: "sor inner loop before and after grouping",
+			Paper: "five loads grouped together with one explicit switch",
+			Run:   Figure4,
+		},
+		{
+			ID:    "table4",
+			Title: "Run-length distributions under explicit-switch (grouped)",
+			Paper: "short run-lengths eliminated; grouping factors up to ~5",
+			Run:   Table4,
+		},
+		{
+			ID:    "table5",
+			Title: "Explicit-switch: multithreading level for target efficiency + reorganization penalty",
+			Paper: "70%+ efficiency with <=14 threads for all but locus; penalty a few percent",
+			Run:   Table5,
+		},
+		{
+			ID:    "table6",
+			Title: "Inter-block grouping estimate (one-line 32-word window)",
+			Paper: "ugray 42% window hits (grouping 1.3 -> 1.9); locus 84% (1.05 -> 6.6)",
+			Run:   Table6,
+		},
+		{
+			ID:    "table7",
+			Title: "Cache hit rates and network bandwidth (bits/cycle)",
+			Paper: "hit rates >90% and bandwidth <4 bits/cycle for all but mp3d",
+			Run:   Table7,
+		},
+		{
+			ID:    "table8",
+			Title: "Conditional-switch: multithreading level for target efficiency",
+			Paper: "80%+ efficiency with 6 or fewer threads",
+			Run:   Table8,
+		},
+	}
+}
+
+// ByID returns one experiment, searching the paper artifacts and the
+// ablation extensions.
+func ByID(id string) (*Experiment, error) {
+	var ids []string
+	for _, set := range [][]*Experiment{All(), Ablations()} {
+		for _, e := range set {
+			if e.ID == id {
+				return e, nil
+			}
+			ids = append(ids, e.ID)
+		}
+	}
+	sort.Strings(ids)
+	return nil, fmt.Errorf("exp: unknown experiment %q (have %v)", id, ids)
+}

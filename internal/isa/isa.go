@@ -1,0 +1,452 @@
+// Package isa defines the instruction set of the simulated multiprocessor.
+//
+// The instruction set follows the paper's machine model (§3): a pipelined
+// RISC processor modelled on the MIPS R3000, supplemented with
+//
+//   - local and shared versions of all load and store instructions,
+//   - Load-Double and Store-Double to reduce the number of network messages,
+//   - Fetch-and-Add as the synchronization primitive, and
+//   - an explicit context switch instruction (Switch) plus a split-phase
+//     Use instruction for the switch-on-use model family.
+//
+// Each thread has 32 integer registers (R0 is hard-wired to zero) and 32
+// floating-point registers. Instructions carry symbolic register operands,
+// a 64-bit immediate, and a branch target. Cycle costs approximate R3000 /
+// R3010 timings (see Cost).
+package isa
+
+import "fmt"
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Opcodes. The groupings matter: predicates below (IsSharedLoad, IsBranch,
+// ...) are defined in terms of contiguous ranges, and the machine,
+// optimizer and assembler all dispatch on them.
+const (
+	Nop Op = iota
+
+	// Integer ALU, register-register: Rd <- Rs op Rt.
+	Add
+	Sub
+	Mul
+	Div
+	Rem
+	And
+	Or
+	Xor
+	Nor
+	Sll
+	Srl
+	Sra
+	Slt  // set if Rs < Rt (signed)
+	Sltu // set if Rs < Rt (unsigned)
+
+	// Integer ALU, register-immediate: Rd <- Rs op Imm.
+	Addi
+	Muli
+	Andi
+	Ori
+	Xori
+	Slli
+	Srli
+	Srai
+	Slti
+	Li // Rd <- Imm (64-bit load immediate)
+
+	// Moves between register banks.
+	Mov  // Rd <- Rs (integer)
+	Fmov // Fd <- Fs
+	Mtf  // Fd <- bits or converted value of Rs (see CvtIF for conversion)
+	Mff  // Rd <- raw bits of Fs
+
+	// Floating point: Fd <- Fs op Ft.
+	Fadd
+	Fsub
+	Fmul
+	Fdiv
+	Fneg
+	Fabs
+	Fsqrt
+	Fmin
+	Fmax
+	CvtIF // Fd <- float64(Rs)
+	CvtFI // Rd <- int64(Fs) (truncating)
+	Feq   // Rd <- 1 if Fs == Ft
+	Flt   // Rd <- 1 if Fs < Ft
+	Fle   // Rd <- 1 if Fs <= Ft
+
+	// Control flow. Branch targets are label references resolved by the
+	// program builder into absolute instruction indices.
+	Beq  // branch if Rs == Rt
+	Bne  // branch if Rs != Rt
+	Blt  // branch if Rs < Rt (signed)
+	Bge  // branch if Rs >= Rt (signed)
+	Beqz // branch if Rs == 0
+	Bnez // branch if Rs != 0
+	J    // unconditional jump
+	Jal  // jump and link: R31 <- return index
+	Jr   // jump to address in Rs (returns)
+	Halt // thread terminates
+
+	// Local memory (serviced by the processor-local cache/memory; never
+	// causes a context switch, §3). Address is Rs + Imm, in words.
+	Lw  // Rd <- local[Rs+Imm]
+	Sw  // local[Rs+Imm] <- Rt
+	Ld  // Rd, R(d+1) <- local[Rs+Imm], local[Rs+Imm+1]
+	Sd  // local[Rs+Imm], local[Rs+Imm+1] <- Rt, R(t+1)
+	Flw // Fd <- local[Rs+Imm]
+	Fsw // local[Rs+Imm] <- Ft
+
+	// Shared memory (traverses the interconnection network; the
+	// multithreading models differ in how these interact with context
+	// switching). Address is Rs + Imm, in words of the shared space.
+	LwS  // Rd <- shared[Rs+Imm]
+	LdS  // Rd, R(d+1) <- shared[Rs+Imm], shared[Rs+Imm+1] (one message)
+	FlwS // Fd <- shared[Rs+Imm]
+	Faa  // Rd <- fetch-and-add(shared[Rs+Imm], Rt); atomic at memory
+	SwS  // shared[Rs+Imm] <- Rt
+	SdS  // shared[Rs+Imm], shared[Rs+Imm+1] <- Rt, R(t+1) (one message)
+	FswS // shared[Rs+Imm] <- Ft
+
+	// Multithreading control.
+	Switch // explicit context switch (conditional under a cache, §6)
+	Use    // wait until the pending load targeting register Rs completed
+
+	// Critical-region annotations (the §6.2 extension: "priority
+	// scheduling of threads inside critical regions"). Emitted by the
+	// lock macros; scheduling hints only, no architectural effect.
+	CritEnter
+	CritExit
+
+	numOps // sentinel; must be last
+)
+
+// NumOps is the number of defined opcodes.
+const NumOps = int(numOps)
+
+// Register file shape (paper §3: 32 integer and 32 floating point
+// registers per thread).
+const (
+	NumIntRegs = 32
+	NumFPRegs  = 32
+)
+
+// Conventional register assignments. The machine initializes these when a
+// thread starts; everything else is zero.
+const (
+	RZero = 0  // hard-wired zero
+	RTid  = 1  // global thread id, 0..NumThreads-1
+	RNth  = 2  // total number of threads
+	RPid  = 3  // processor id
+	RRet  = 31 // link register written by Jal
+)
+
+// names maps opcodes to their assembly mnemonics.
+var names = [numOps]string{
+	Nop: "nop",
+	Add: "add", Sub: "sub", Mul: "mul", Div: "div", Rem: "rem",
+	And: "and", Or: "or", Xor: "xor", Nor: "nor",
+	Sll: "sll", Srl: "srl", Sra: "sra", Slt: "slt", Sltu: "sltu",
+	Addi: "addi", Muli: "muli", Andi: "andi", Ori: "ori", Xori: "xori",
+	Slli: "slli", Srli: "srli", Srai: "srai", Slti: "slti", Li: "li",
+	Mov: "mov", Fmov: "fmov", Mtf: "mtf", Mff: "mff",
+	Fadd: "fadd", Fsub: "fsub", Fmul: "fmul", Fdiv: "fdiv",
+	Fneg: "fneg", Fabs: "fabs", Fsqrt: "fsqrt", Fmin: "fmin", Fmax: "fmax",
+	CvtIF: "cvt.i.f", CvtFI: "cvt.f.i",
+	Feq: "feq", Flt: "flt", Fle: "fle",
+	Beq: "beq", Bne: "bne", Blt: "blt", Bge: "bge", Beqz: "beqz", Bnez: "bnez",
+	J: "j", Jal: "jal", Jr: "jr", Halt: "halt",
+	Lw: "lw", Sw: "sw", Ld: "ld", Sd: "sd", Flw: "flw", Fsw: "fsw",
+	LwS: "lw.s", LdS: "ld.s", FlwS: "flw.s", Faa: "faa",
+	SwS: "sw.s", SdS: "sd.s", FswS: "fsw.s",
+	Switch: "switch", Use: "use",
+	CritEnter: "crit.enter", CritExit: "crit.exit",
+}
+
+// String returns the assembly mnemonic of the opcode.
+func (o Op) String() string {
+	if int(o) < len(names) && names[o] != "" {
+		return names[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o < numOps && (o == Nop || names[o] != "") }
+
+// costs holds the busy-cycle cost of each opcode, approximating R3000
+// integer and R3010 floating-point timings. Loads cost one issue cycle;
+// the memory latency itself is modelled by the machine, not the opcode.
+var costs = [numOps]uint8{
+	Mul: 5, Div: 19, Rem: 19, Muli: 5,
+	Fadd: 2, Fsub: 2, Fmul: 5, Fdiv: 19, Fsqrt: 19,
+	Fneg: 1, Fabs: 1, Fmin: 2, Fmax: 2,
+	CvtIF: 2, CvtFI: 2,
+	Feq: 2, Flt: 2, Fle: 2,
+}
+
+// Cost returns the number of busy cycles the opcode occupies the
+// processor. Every opcode costs at least one cycle.
+func (o Op) Cost() int {
+	if c := costs[o]; c > 0 {
+		return int(c)
+	}
+	return 1
+}
+
+// Predicates used by the machine, optimizer and assembler.
+
+// IsSharedLoad reports whether o reads shared memory through the network
+// and therefore interacts with the context-switch policy. Fetch-and-Add
+// counts: it returns a value from memory.
+func (o Op) IsSharedLoad() bool { return o >= LwS && o <= Faa }
+
+// IsSharedStore reports whether o writes shared memory (fire-and-forget;
+// never blocks the issuing thread, §2 "shared stores don't wait").
+func (o Op) IsSharedStore() bool { return o >= SwS && o <= FswS }
+
+// IsSharedAccess reports whether o touches shared memory at all.
+func (o Op) IsSharedAccess() bool { return o >= LwS && o <= FswS }
+
+// IsLocalLoad reports whether o reads processor-local memory.
+func (o Op) IsLocalLoad() bool { return o == Lw || o == Ld || o == Flw }
+
+// IsLocalStore reports whether o writes processor-local memory.
+func (o Op) IsLocalStore() bool { return o == Sw || o == Sd || o == Fsw }
+
+// IsMemAccess reports whether o is any load or store.
+func (o Op) IsMemAccess() bool { return o >= Lw && o <= FswS }
+
+// IsBranch reports whether o is a conditional branch.
+func (o Op) IsBranch() bool { return o >= Beq && o <= Bnez }
+
+// IsControl reports whether o can change the flow of control (branches,
+// jumps, halt). Such instructions end a basic block.
+func (o Op) IsControl() bool { return o >= Beq && o <= Halt }
+
+// IsDouble reports whether o moves a two-word datum.
+func (o Op) IsDouble() bool { return o == Ld || o == Sd || o == LdS || o == SdS }
+
+// IsFPOp reports whether o is executed by the floating-point unit.
+func (o Op) IsFPOp() bool { return o >= Fadd && o <= Fle }
+
+// Instr is one instruction. Operand meaning depends on the opcode class:
+//
+//   - ALU reg-reg:    Rd <- Rs op Rt
+//   - ALU reg-imm:    Rd <- Rs op Imm
+//   - FP:             Fd <- Fs op Ft (register numbers name the FP bank)
+//   - branches:       compare Rs (and Rt), jump to Target
+//   - loads:          Rd (or Fd) <- mem[Rs + Imm]
+//   - stores:         mem[Rs + Imm] <- Rt (or Ft)
+//   - Faa:            Rd <- shared[Rs+Imm]; shared[Rs+Imm] += Rt
+//   - Use:            wait on the pending load whose destination is Rs
+//
+// Target holds an absolute instruction index after label resolution; the
+// builder stores a label id there until Resolve runs.
+type Instr struct {
+	Op     Op
+	Rd     uint8
+	Rs     uint8
+	Rt     uint8
+	Imm    int64
+	Target int32
+
+	// Spin marks synchronization spin traffic (lock and barrier probe
+	// loops). The paper excludes these messages from bandwidth figures
+	// (§6.1 footnote 2): a real machine would provide non-spinning
+	// mechanisms for these operations.
+	Spin bool
+}
+
+// Validate checks structural invariants of the instruction: opcode
+// defined, register indices in range, branch targets only on control
+// instructions.
+func (in Instr) Validate() error {
+	if !in.Op.Valid() {
+		return fmt.Errorf("invalid opcode %d", uint8(in.Op))
+	}
+	lim := uint8(NumIntRegs)
+	if in.Rd >= lim || in.Rs >= lim || in.Rt >= lim {
+		return fmt.Errorf("%s: register operand out of range (rd=%d rs=%d rt=%d)", in.Op, in.Rd, in.Rs, in.Rt)
+	}
+	if in.Op.IsDouble() {
+		if in.Op == Ld || in.Op == LdS {
+			if in.Rd+1 >= lim {
+				return fmt.Errorf("%s: double destination r%d overflows register file", in.Op, in.Rd)
+			}
+		} else if in.Rt+1 >= lim {
+			return fmt.Errorf("%s: double source r%d overflows register file", in.Op, in.Rt)
+		}
+	}
+	if in.WritesInt() && in.Rd == RZero && in.Op != Nop && in.Op != Jal {
+		// Jal's destination is the link register, not Rd.
+		return fmt.Errorf("%s: r0 is hard-wired to zero and cannot be written", in.Op)
+	}
+	return nil
+}
+
+// WritesInt reports whether the instruction writes an integer register,
+// and is used by dependency analysis. Jal writes the link register.
+func (in Instr) WritesInt() bool {
+	switch {
+	case in.Op >= Add && in.Op <= Li:
+		return true
+	case in.Op == Mov || in.Op == Mff || in.Op == CvtFI:
+		return true
+	case in.Op >= Feq && in.Op <= Fle:
+		return true
+	case in.Op == Lw || in.Op == Ld || in.Op == LwS || in.Op == LdS || in.Op == Faa:
+		return true
+	case in.Op == Jal:
+		return true
+	}
+	return false
+}
+
+// WritesFP reports whether the instruction writes a floating-point
+// register.
+func (in Instr) WritesFP() bool {
+	switch in.Op {
+	case Fmov, Mtf, CvtIF, Fadd, Fsub, Fmul, Fdiv, Fneg, Fabs, Fsqrt, Fmin, Fmax, Flw, FlwS:
+		return true
+	}
+	return false
+}
+
+// IntDests returns the integer registers written by the instruction
+// (0, 1 or 2 of them) appended to dst.
+func (in Instr) IntDests(dst []uint8) []uint8 {
+	if !in.WritesInt() {
+		return dst
+	}
+	if in.Op == Jal {
+		return append(dst, RRet)
+	}
+	dst = append(dst, in.Rd)
+	if in.Op == Ld || in.Op == LdS {
+		dst = append(dst, in.Rd+1)
+	}
+	return dst
+}
+
+// IntSources returns the integer registers read by the instruction
+// appended to dst.
+func (in Instr) IntSources(dst []uint8) []uint8 {
+	switch {
+	case in.Op >= Add && in.Op <= Sltu: // reg-reg ALU
+		dst = append(dst, in.Rs, in.Rt)
+	case in.Op >= Addi && in.Op <= Slti: // reg-imm ALU
+		dst = append(dst, in.Rs)
+	case in.Op == Li:
+		// no sources
+	case in.Op == Mov, in.Op == Mtf, in.Op == CvtIF:
+		dst = append(dst, in.Rs)
+	case in.Op == Beq, in.Op == Bne, in.Op == Blt, in.Op == Bge:
+		dst = append(dst, in.Rs, in.Rt)
+	case in.Op == Beqz, in.Op == Bnez, in.Op == Jr:
+		dst = append(dst, in.Rs)
+	case in.Op.IsMemAccess():
+		dst = append(dst, in.Rs) // address base
+		switch in.Op {
+		case Sw, SwS:
+			dst = append(dst, in.Rt)
+		case Sd, SdS:
+			dst = append(dst, in.Rt, in.Rt+1)
+		case Faa:
+			dst = append(dst, in.Rt) // addend
+		}
+	case in.Op == Use:
+		dst = append(dst, in.Rs)
+	}
+	return dst
+}
+
+// FPDest returns the floating-point register written (or -1).
+func (in Instr) FPDest() int {
+	if in.WritesFP() {
+		return int(in.Rd)
+	}
+	return -1
+}
+
+// FPSources returns the floating-point registers read by the instruction
+// appended to dst.
+func (in Instr) FPSources(dst []uint8) []uint8 {
+	switch in.Op {
+	case Fadd, Fsub, Fmul, Fdiv, Fmin, Fmax, Feq, Flt, Fle:
+		dst = append(dst, in.Rs, in.Rt)
+	case Fmov, Fneg, Fabs, Fsqrt, CvtFI, Mff:
+		dst = append(dst, in.Rs)
+	case Fsw, FswS:
+		dst = append(dst, in.Rt)
+	}
+	return dst
+}
+
+// String disassembles the instruction. Branch targets print as absolute
+// instruction indices; the asm package prints labels instead.
+func (in Instr) String() string {
+	op := in.Op
+	switch {
+	case op == Nop || op == Halt || op == Switch || op == CritEnter || op == CritExit:
+		s := op.String()
+		if in.Spin {
+			s += " !spin"
+		}
+		return s
+	case op >= Add && op <= Sltu:
+		return fmt.Sprintf("%s r%d, r%d, r%d", op, in.Rd, in.Rs, in.Rt)
+	case op >= Addi && op <= Slti:
+		return fmt.Sprintf("%s r%d, r%d, %d", op, in.Rd, in.Rs, in.Imm)
+	case op == Li:
+		return fmt.Sprintf("li r%d, %d", in.Rd, in.Imm)
+	case op == Mov:
+		return fmt.Sprintf("mov r%d, r%d", in.Rd, in.Rs)
+	case op == Fmov, op == Fneg, op == Fabs, op == Fsqrt:
+		return fmt.Sprintf("%s f%d, f%d", op, in.Rd, in.Rs)
+	case op == Mtf, op == CvtIF:
+		return fmt.Sprintf("%s f%d, r%d", op, in.Rd, in.Rs)
+	case op == Mff, op == CvtFI:
+		return fmt.Sprintf("%s r%d, f%d", op, in.Rd, in.Rs)
+	case op >= Fadd && op <= Fmax:
+		return fmt.Sprintf("%s f%d, f%d, f%d", op, in.Rd, in.Rs, in.Rt)
+	case op >= Feq && op <= Fle:
+		return fmt.Sprintf("%s r%d, f%d, f%d", op, in.Rd, in.Rs, in.Rt)
+	case op == Beq || op == Bne || op == Blt || op == Bge:
+		return fmt.Sprintf("%s r%d, r%d, @%d", op, in.Rs, in.Rt, in.Target)
+	case op == Beqz || op == Bnez:
+		return fmt.Sprintf("%s r%d, @%d", op, in.Rs, in.Target)
+	case op == J || op == Jal:
+		return fmt.Sprintf("%s @%d", op, in.Target)
+	case op == Jr:
+		return fmt.Sprintf("jr r%d", in.Rs)
+	case op == Lw || op == LwS:
+		return memStr(op, "r", in.Rd, in, false)
+	case op == Ld || op == LdS:
+		return memStr(op, "r", in.Rd, in, false)
+	case op == Flw || op == FlwS:
+		return memStr(op, "f", in.Rd, in, false)
+	case op == Sw || op == SwS || op == Sd || op == SdS:
+		return memStr(op, "r", in.Rt, in, true)
+	case op == Fsw || op == FswS:
+		return memStr(op, "f", in.Rt, in, true)
+	case op == Faa:
+		return fmt.Sprintf("faa r%d, %d(r%d), r%d%s", in.Rd, in.Imm, in.Rs, in.Rt, spinSuffix(in))
+	case op == Use:
+		return fmt.Sprintf("use r%d", in.Rs)
+	}
+	return op.String()
+}
+
+func memStr(op Op, bank string, reg uint8, in Instr, store bool) string {
+	_ = store
+	return fmt.Sprintf("%s %s%d, %d(r%d)%s", op, bank, reg, in.Imm, in.Rs, spinSuffix(in))
+}
+
+func spinSuffix(in Instr) string {
+	if in.Spin {
+		return " !spin"
+	}
+	return ""
+}

@@ -1,0 +1,209 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpNamesUniqueAndComplete(t *testing.T) {
+	seen := make(map[string]Op)
+	for o := 0; o < NumOps; o++ {
+		op := Op(o)
+		if !op.Valid() {
+			t.Errorf("opcode %d has no name", o)
+			continue
+		}
+		name := op.String()
+		if prev, dup := seen[name]; dup {
+			t.Errorf("mnemonic %q used by both %d and %d", name, prev, op)
+		}
+		seen[name] = op
+	}
+	if Op(250).Valid() {
+		t.Error("out-of-range opcode reported valid")
+	}
+	if !strings.Contains(Op(250).String(), "op(") {
+		t.Error("out-of-range opcode String should be diagnostic")
+	}
+}
+
+func TestCostPositive(t *testing.T) {
+	for o := 0; o < NumOps; o++ {
+		if c := Op(o).Cost(); c < 1 {
+			t.Errorf("%s: cost %d < 1", Op(o), c)
+		}
+	}
+	if Fdiv.Cost() <= Fadd.Cost() {
+		t.Error("fdiv should cost more than fadd (R3010 timings)")
+	}
+	if Mul.Cost() <= Add.Cost() {
+		t.Error("integer multiply should cost more than add (R3000 timings)")
+	}
+}
+
+func TestPredicateConsistency(t *testing.T) {
+	for o := 0; o < NumOps; o++ {
+		op := Op(o)
+		if op.IsSharedLoad() && op.IsSharedStore() {
+			t.Errorf("%s is both shared load and shared store", op)
+		}
+		if (op.IsSharedLoad() || op.IsSharedStore()) && !op.IsSharedAccess() {
+			t.Errorf("%s: shared load/store but not shared access", op)
+		}
+		if op.IsSharedAccess() && !op.IsMemAccess() {
+			t.Errorf("%s: shared access but not mem access", op)
+		}
+		if (op.IsLocalLoad() || op.IsLocalStore()) && op.IsSharedAccess() {
+			t.Errorf("%s is both local and shared", op)
+		}
+		if op.IsBranch() && !op.IsControl() {
+			t.Errorf("%s: branch but not control", op)
+		}
+	}
+	// Spot checks on the class boundaries.
+	if !Faa.IsSharedLoad() {
+		t.Error("Faa must count as a shared load (it returns a value)")
+	}
+	if SwS.IsSharedLoad() || !SwS.IsSharedStore() {
+		t.Error("SwS classification wrong")
+	}
+	if !LdS.IsDouble() || !Sd.IsDouble() || Lw.IsDouble() {
+		t.Error("double classification wrong")
+	}
+	if !Halt.IsControl() || Switch.IsControl() {
+		t.Error("control classification wrong: Halt ends a block, Switch does not")
+	}
+}
+
+// TestSourcesAndDestsAgree: every register the instruction writes must be
+// reported by IntDests/FPDest, every read by IntSources/FPSources, for a
+// sample of each operand class.
+func TestSourcesAndDests(t *testing.T) {
+	cases := []struct {
+		in       Instr
+		intSrc   []uint8
+		intDst   []uint8
+		fpSrc    []uint8
+		fpDstIdx int
+	}{
+		{Instr{Op: Add, Rd: 4, Rs: 5, Rt: 6}, []uint8{5, 6}, []uint8{4}, nil, -1},
+		{Instr{Op: Addi, Rd: 4, Rs: 5, Imm: 1}, []uint8{5}, []uint8{4}, nil, -1},
+		{Instr{Op: Li, Rd: 4, Imm: 7}, nil, []uint8{4}, nil, -1},
+		{Instr{Op: Fadd, Rd: 1, Rs: 2, Rt: 3}, nil, nil, []uint8{2, 3}, 1},
+		{Instr{Op: Flt, Rd: 4, Rs: 2, Rt: 3}, nil, []uint8{4}, []uint8{2, 3}, -1},
+		{Instr{Op: Mtf, Rd: 1, Rs: 4}, []uint8{4}, nil, nil, 1},
+		{Instr{Op: Mff, Rd: 4, Rs: 1}, nil, []uint8{4}, []uint8{1}, -1},
+		{Instr{Op: LwS, Rd: 4, Rs: 5, Imm: 2}, []uint8{5}, []uint8{4}, nil, -1},
+		{Instr{Op: LdS, Rd: 4, Rs: 5}, []uint8{5}, []uint8{4, 5}, nil, -1},
+		{Instr{Op: SwS, Rt: 4, Rs: 5}, []uint8{5, 4}, nil, nil, -1},
+		{Instr{Op: SdS, Rt: 4, Rs: 5}, []uint8{5, 4, 5}, nil, nil, -1},
+		{Instr{Op: Faa, Rd: 4, Rs: 5, Rt: 6}, []uint8{5, 6}, []uint8{4}, nil, -1},
+		{Instr{Op: FlwS, Rd: 1, Rs: 5}, []uint8{5}, nil, nil, 1},
+		{Instr{Op: FswS, Rt: 1, Rs: 5}, []uint8{5}, nil, []uint8{1}, -1},
+		{Instr{Op: Beq, Rs: 4, Rt: 5}, []uint8{4, 5}, nil, nil, -1},
+		{Instr{Op: Beqz, Rs: 4}, []uint8{4}, nil, nil, -1},
+		{Instr{Op: Jal, Target: 3}, nil, []uint8{RRet}, nil, -1},
+		{Instr{Op: Jr, Rs: 31}, []uint8{31}, nil, nil, -1},
+		{Instr{Op: Use, Rs: 9}, []uint8{9}, nil, nil, -1},
+		{Instr{Op: Switch}, nil, nil, nil, -1},
+	}
+	for _, c := range cases {
+		if got := c.in.IntSources(nil); !equalU8(got, c.intSrc) {
+			t.Errorf("%s: IntSources = %v, want %v", c.in, got, c.intSrc)
+		}
+		if got := c.in.IntDests(nil); !equalU8(got, c.intDst) {
+			t.Errorf("%s: IntDests = %v, want %v", c.in, got, c.intDst)
+		}
+		if got := c.in.FPSources(nil); !equalU8(got, c.fpSrc) {
+			t.Errorf("%s: FPSources = %v, want %v", c.in, got, c.fpSrc)
+		}
+		if got := c.in.FPDest(); got != c.fpDstIdx {
+			t.Errorf("%s: FPDest = %d, want %d", c.in, got, c.fpDstIdx)
+		}
+	}
+}
+
+func equalU8(a, b []uint8) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Instr{
+		{Op: Op(200)},
+		{Op: Add, Rd: 0, Rs: 1, Rt: 2},  // writes r0
+		{Op: Add, Rd: 4, Rs: 32, Rt: 2}, // register out of range
+		{Op: LdS, Rd: 31, Rs: 4},        // double dest overflows file
+		{Op: SdS, Rt: 31, Rs: 4},        // double source overflows file
+	}
+	for _, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("%v: Validate() = nil, want error", in)
+		}
+	}
+	good := []Instr{
+		{Op: Nop},
+		{Op: Add, Rd: 4, Rs: 1, Rt: 2},
+		{Op: Beq, Rs: 1, Rt: 2, Target: 0},
+		{Op: Jal, Target: 5},
+		{Op: Switch},
+	}
+	for _, in := range good {
+		if err := in.Validate(); err != nil {
+			t.Errorf("%v: Validate() = %v, want nil", in, err)
+		}
+	}
+}
+
+// Property: for any instruction over valid opcodes and registers, every
+// reported source/dest register index is within the register file, and
+// writers never report r0.
+func TestSourceDestRangesProperty(t *testing.T) {
+	f := func(opRaw, rd, rs, rt uint8, imm int64) bool {
+		op := Op(int(opRaw) % NumOps)
+		in := Instr{Op: op, Rd: rd % 30, Rs: rs % 30, Rt: rt % 30, Imm: imm}
+		var buf []uint8
+		for _, r := range in.IntSources(buf) {
+			if int(r) >= NumIntRegs {
+				return false
+			}
+		}
+		for _, r := range in.IntDests(nil) {
+			if int(r) >= NumIntRegs {
+				return false
+			}
+		}
+		for _, r := range in.FPSources(nil) {
+			if int(r) >= NumFPRegs {
+				return false
+			}
+		}
+		if d := in.FPDest(); d >= NumFPRegs {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: String never panics and is non-empty for all opcodes and
+// operands.
+func TestStringTotalProperty(t *testing.T) {
+	f := func(opRaw, rd, rs, rt uint8, imm int64, spin bool) bool {
+		in := Instr{Op: Op(int(opRaw) % NumOps), Rd: rd % 32, Rs: rs % 32, Rt: rt % 32, Imm: imm, Spin: spin}
+		return in.String() != ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

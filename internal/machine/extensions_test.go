@@ -1,0 +1,219 @@
+package machine_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mtsim/internal/machine"
+	"mtsim/internal/net"
+	"mtsim/internal/par"
+	"mtsim/internal/prog"
+)
+
+// buildHolderWorkload is the §6.2 scenario, isolated: the first thread
+// on each processor repeatedly takes a global lock (its critical section
+// misses in the cache, so it context switches while holding the lock);
+// every other thread runs repeated long cache-hit bursts, whose
+// conditional Switch instructions are all skipped, until the lockers
+// finish. Without a run limit a woken holder waits out the rest of a
+// sibling's burst before it can release, and the serialized lock chain
+// stretches; the run limit (the paper's fix) and holder priority (its
+// §6.2 suggestion) both bound that wait.
+func buildHolderWorkload(rounds, burst, threadsPerProc, lockers int64) *prog.Program {
+	b := prog.NewBuilder("holder")
+	lk := par.AllocLock(b, "lk")
+	b.Shared("pad", 8)
+	cnt := b.Shared("cnt", 1)
+	b.Shared("pad2", 7)
+	fin := b.Shared("fin", 1)
+	b.Shared("pad3", 7)
+	done := b.Shared("done", 1)
+	b.Shared("pad4", 7)
+	hot := b.Shared("hot", 2048)
+
+	b.Li(14, threadsPerProc)
+	b.Rem(14, 1, 14) // local thread index
+	b.Bnez(14, "worker")
+
+	// Locker (one per processor): rounds of a cache-missing critical
+	// section, then bump the finish count; the last locker raises done.
+	b.Li(16, 0)
+	b.Label("round")
+	b.Li(9, lk.Base)
+	par.LockAcquire(b, 9, 0, 10, 11)
+	b.Li(6, cnt.Base)
+	b.LwS(7, 6, 0) // misses: written by lockers on other processors
+	b.Switch()
+	b.Addi(7, 7, 1)
+	b.SwS(7, 6, 0)
+	par.LockRelease(b, 9, 0, 10, 11)
+	b.Addi(16, 16, 1)
+	b.Li(11, rounds)
+	b.Blt(16, 11, "round")
+	b.Li(6, fin.Base)
+	b.Li(10, 1)
+	b.Faa(7, 6, 0, 10)
+	b.Addi(7, 7, 1)
+	b.Li(11, lockers)
+	b.Bne(7, 11, "locker.end")
+	b.Li(6, done.Base)
+	b.SwS(10, 6, 0)
+	b.Label("locker.end")
+	b.Halt()
+
+	// Worker: cache-hit bursts until the lockers are done.
+	b.Label("worker")
+	b.Slli(4, 1, 3) // &hot[8*tid]: a private, always-hitting line
+	b.Li(5, hot.Base)
+	b.Add(4, 4, 5)
+	b.Label("outer")
+	b.Li(16, 0)
+	b.Label("work")
+	b.LwS(8, 4, 0)
+	b.LwS(8, 4, 1)
+	b.Switch()
+	b.Addi(16, 16, 1)
+	b.Li(11, burst)
+	b.Blt(16, 11, "work")
+	b.Li(6, done.Base)
+	b.LwS(8, 6, 0)
+	b.Switch()
+	b.Beqz(8, "outer")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestCritPrioritySpeedsLockHandoff(t *testing.T) {
+	const rounds, burst = 12, 300
+	const procs, threads = 4, 4
+	p := buildHolderWorkload(rounds, burst, threads, procs)
+	check := func(sh *machine.Shared) error {
+		want := int64(procs) * rounds // one locker per processor
+		if got := sh.WordAt("cnt", 0); got != want {
+			return fmt.Errorf("cnt = %d, want %d", got, want)
+		}
+		return nil
+	}
+	// Disable the §6.2 run limit so the pathology is visible, then show
+	// priority fixing it.
+	cfg := machine.Config{
+		Procs: procs, Threads: threads, Model: machine.ConditionalSwitch,
+		Latency: 200, RunLimit: -1, PreemptLimit: 3000,
+	}
+	plain, err := machine.RunChecked(cfg, p, nil, check)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.CritPriority = true
+	prio, err := machine.RunChecked(cfg, p, nil, check)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prio.CritPreempts == 0 {
+		t.Error("priority never preempted")
+	}
+	if float64(prio.Cycles) > 0.8*float64(plain.Cycles) {
+		t.Errorf("priority run %d cycles vs plain %d; want a substantial win once the run limit is off",
+			prio.Cycles, plain.Cycles)
+	}
+}
+
+func TestCritNestingNeverNegative(t *testing.T) {
+	// Unbalanced CritExit must not wedge scheduling or panic.
+	b := prog.NewBuilder("unbalanced")
+	b.Shared("x", 1)
+	b.CritExit()
+	b.CritExit()
+	b.CritEnter()
+	b.Li(4, 0)
+	b.LwS(5, 4, 0)
+	b.Halt()
+	p := b.MustBuild()
+	for _, prioOn := range []bool{false, true} {
+		cfg := machine.Config{Procs: 1, Threads: 2, Model: machine.SwitchOnLoad, Latency: 50, CritPriority: prioOn}
+		if _, err := machine.Run(cfg, p, nil); err != nil {
+			t.Fatalf("prio=%v: %v", prioOn, err)
+		}
+	}
+}
+
+// TestJitterDeterministic: identical configurations with jitter must
+// produce identical cycle counts (the deviation is hash-based, not
+// random), and jitter must actually change timing relative to the
+// constant-latency run while preserving results.
+func TestJitterDeterministic(t *testing.T) {
+	p := buildCounter(50)
+	cfg := machine.Config{Procs: 2, Threads: 3, Model: machine.SwitchOnLoad, Latency: 100, LatencyJitter: 60}
+	r1, err := machine.Run(cfg, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := machine.Run(cfg, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles {
+		t.Errorf("jittered runs differ: %d vs %d cycles", r1.Cycles, r2.Cycles)
+	}
+	flat, err := machine.Run(machine.Config{Procs: 2, Threads: 3, Model: machine.SwitchOnLoad, Latency: 100}, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Cycles == r1.Cycles {
+		t.Error("jitter had no timing effect at all")
+	}
+	// Result correctness under jitter across models.
+	for _, m := range []machine.Model{machine.SwitchOnUse, machine.ExplicitSwitch, machine.ConditionalSwitch} {
+		cfg := machine.Config{Procs: 2, Threads: 3, Model: m, Latency: 100, LatencyJitter: 60}
+		if _, err := machine.RunChecked(cfg, p, nil, func(sh *machine.Shared) error {
+			if got := sh.WordAt("counter", 0); got != 2*3*50 {
+				return fmt.Errorf("counter = %d", got)
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+	}
+}
+
+func TestJitterValidation(t *testing.T) {
+	bad := machine.Config{Model: machine.SwitchOnLoad, Latency: 100, LatencyJitter: 100}
+	if err := bad.Validate(); err == nil {
+		t.Error("jitter >= latency accepted")
+	}
+	neg := machine.Config{Model: machine.SwitchOnLoad, Latency: 100, LatencyJitter: -1}
+	if err := neg.Validate(); err == nil {
+		t.Error("negative jitter accepted")
+	}
+	ok := machine.Config{Model: machine.SwitchOnLoad, Latency: 100, LatencyJitter: 99}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid jitter rejected: %v", err)
+	}
+}
+
+// TestCongestionModel: under the load-dependent network, results stay
+// correct and the observed latency responds to demand: a bandwidth-heavy
+// uncached run must see a higher peak utilization than a cached one.
+func TestCongestionModel(t *testing.T) {
+	congest := net.CongestionConfig{Enabled: true, ChannelBits: 8}
+	p := buildCounter(200)
+	un, err := machine.RunChecked(machine.Config{
+		Procs: 4, Threads: 6, Model: machine.SwitchOnLoad, Congestion: congest,
+	}, p, nil, func(sh *machine.Shared) error {
+		if got := sh.WordAt("counter", 0); got != 4*6*200 {
+			return fmt.Errorf("counter = %d", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if un.NetPeakUtilization <= 0 {
+		t.Error("no utilization recorded")
+	}
+	// The ideal model must reject the congestion config.
+	bad := machine.Config{Model: machine.Ideal, Congestion: congest}
+	if err := bad.Validate(); err == nil {
+		t.Error("congestion accepted on the ideal machine")
+	}
+}

@@ -1,0 +1,514 @@
+package machine_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"mtsim/internal/isa"
+	"mtsim/internal/machine"
+	"mtsim/internal/opt"
+	"mtsim/internal/par"
+	"mtsim/internal/prog"
+)
+
+// buildCounter returns a program in which every thread atomically
+// increments a shared counter n times and halts.
+func buildCounter(n int64) *prog.Program {
+	b := prog.NewBuilder("counter")
+	cnt := b.Shared("counter", 1)
+	b.Li(4, cnt.Base)
+	b.Li(5, 1) // addend
+	b.Li(6, 0) // i
+	b.Li(7, n)
+	b.Label("loop")
+	b.Bge(6, 7, "done")
+	b.Faa(8, 4, 0, 5)
+	b.Addi(6, 6, 1)
+	b.J("loop")
+	b.Label("done")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func allModels() []machine.Model {
+	return []machine.Model{
+		machine.Ideal, machine.SwitchEveryCycle, machine.SwitchOnLoad,
+		machine.SwitchOnUse, machine.ExplicitSwitch, machine.SwitchOnMiss,
+		machine.SwitchOnUseMiss, machine.ConditionalSwitch,
+	}
+}
+
+func TestFetchAndAddAtomicAcrossProcessors(t *testing.T) {
+	p := buildCounter(10)
+	for _, model := range allModels() {
+		t.Run(model.String(), func(t *testing.T) {
+			cfg := machine.Config{Procs: 4, Threads: 3, Model: model}
+			res, err := machine.RunChecked(cfg, p, nil, func(sh *machine.Shared) error {
+				want := int64(4 * 3 * 10)
+				if got := sh.WordAt("counter", 0); got != want {
+					return fmt.Errorf("counter = %d, want %d", got, want)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.SharedLoads != 4*3*10 {
+				t.Errorf("SharedLoads = %d, want %d", res.SharedLoads, 4*3*10)
+			}
+		})
+	}
+}
+
+func TestALUAndFPSemantics(t *testing.T) {
+	b := prog.NewBuilder("alu")
+	out := b.Shared("out", 16)
+	b.Li(4, out.Base)
+	b.Li(5, 7)
+	b.Li(6, 3)
+	b.Add(7, 5, 6)
+	b.SwS(7, 4, 0) // 10
+	b.Sub(7, 5, 6)
+	b.SwS(7, 4, 1) // 4
+	b.Mul(7, 5, 6)
+	b.SwS(7, 4, 2) // 21
+	b.Div(7, 5, 6)
+	b.SwS(7, 4, 3) // 2
+	b.Rem(7, 5, 6)
+	b.SwS(7, 4, 4) // 1
+	b.Slli(7, 5, 2)
+	b.SwS(7, 4, 5) // 28
+	b.Srai(7, 5, 1)
+	b.SwS(7, 4, 6) // 3
+	b.Slt(7, 6, 5)
+	b.SwS(7, 4, 7) // 1
+	b.LiF(1, 2.5, 8)
+	b.LiF(2, 4.0, 8)
+	b.Fadd(3, 1, 2)
+	b.FswS(3, 4, 8) // 6.5
+	b.Fmul(3, 1, 2)
+	b.FswS(3, 4, 9) // 10.0
+	b.Fdiv(3, 2, 1)
+	b.FswS(3, 4, 10) // 1.6
+	b.Fsqrt(3, 2)
+	b.FswS(3, 4, 11) // 2.0
+	b.Flt(7, 1, 2)
+	b.SwS(7, 4, 12) // 1
+	b.CvtFI(7, 2)
+	b.SwS(7, 4, 13) // 4
+	b.Li(7, -9)
+	b.Srli(7, 7, 60)
+	b.SwS(7, 4, 14) // 15 (logical shift of all-ones top bits)
+	b.Halt()
+	p := b.MustBuild()
+
+	res, err := machine.RunChecked(machine.Config{Model: machine.Ideal}, p, nil, func(sh *machine.Shared) error {
+		wantInts := map[int64]int64{0: 10, 1: 4, 2: 21, 3: 2, 4: 1, 5: 28, 6: 3, 7: 1, 12: 1, 13: 4, 14: 15}
+		for i, w := range wantInts {
+			if got := sh.WordAt("out", i); got != w {
+				return fmt.Errorf("out[%d] = %d, want %d", i, got, w)
+			}
+		}
+		wantFloats := map[int64]float64{8: 6.5, 9: 10.0, 10: 1.6, 11: 2.0}
+		for i, w := range wantFloats {
+			if got := sh.FloatAt("out", i); got != w {
+				return fmt.Errorf("out[%d] = %g, want %g", i, got, w)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instrs == 0 {
+		t.Error("no instructions executed")
+	}
+}
+
+// TestSwitchOnLoadTiming checks the model's arithmetic on a single
+// thread: each shared load stalls the thread one full round trip.
+func TestSwitchOnLoadTiming(t *testing.T) {
+	const loads = 5
+	b := prog.NewBuilder("timing")
+	data := b.Shared("data", loads)
+	b.Li(4, data.Base)
+	for i := 0; i < loads; i++ {
+		b.LwS(5, 4, int64(i))
+	}
+	b.Halt()
+	p := b.MustBuild()
+
+	cfg := machine.Config{Model: machine.SwitchOnLoad, Latency: 200}
+	res, err := machine.Run(cfg, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// li at cycle 0, load i at cycle 1 + 200(i-1) (each load's busy
+	// cycle starts its round trip; the dependent successor runs at
+	// issue+200), halt at 1+200*loads, plus the end-of-phase cycle.
+	want := int64(1 + 1 + loads*200)
+	if res.Cycles != want {
+		t.Errorf("cycles = %d, want %d", res.Cycles, want)
+	}
+	if res.TakenSwitches != loads {
+		t.Errorf("taken switches = %d, want %d", res.TakenSwitches, loads)
+	}
+}
+
+// TestExplicitSwitchGroupsLatency checks that grouped loads share one
+// round trip: five independent loads followed by one Switch cost ~one
+// latency, not five.
+func TestExplicitSwitchGroupsLatency(t *testing.T) {
+	const loads = 5
+	b := prog.NewBuilder("grouped")
+	data := b.Shared("data", loads)
+	sum := b.Shared("sum", 1)
+	b.Li(4, data.Base)
+	for i := 0; i < loads; i++ {
+		b.LwS(uint8(5+i), 4, int64(i))
+	}
+	b.Switch()
+	b.Li(11, 0)
+	for i := 0; i < loads; i++ {
+		b.Add(11, 11, uint8(5+i))
+	}
+	b.Li(4, sum.Base)
+	b.SwS(11, 4, 0)
+	b.Halt()
+	p := b.MustBuild()
+
+	init := func(sh *machine.Shared) {
+		for i := int64(0); i < loads; i++ {
+			sh.SetWordAt("data", i, i+1)
+		}
+	}
+	check := func(sh *machine.Shared) error {
+		if got := sh.WordAt("sum", 0); got != 15 {
+			return fmt.Errorf("sum = %d, want 15", got)
+		}
+		return nil
+	}
+
+	cfg := machine.Config{Model: machine.ExplicitSwitch, Latency: 200}
+	res, err := machine.RunChecked(cfg, p, init, check)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles > 230 {
+		t.Errorf("cycles = %d, want ~latency (one grouped round trip), not ~5 latencies", res.Cycles)
+	}
+	if res.TakenSwitches != 1 {
+		t.Errorf("taken switches = %d, want 1", res.TakenSwitches)
+	}
+	if res.ImplicitWaits != 0 {
+		t.Errorf("implicit waits = %d, want 0", res.ImplicitWaits)
+	}
+}
+
+// TestMultithreadingHidesLatency: with enough threads, switch-on-load
+// utilization approaches 1 on a load-every-k-cycles loop.
+func TestMultithreadingHidesLatency(t *testing.T) {
+	b := prog.NewBuilder("loadloop")
+	data := b.Shared("data", 64)
+	b.Li(4, data.Base)
+	b.Li(5, 0)
+	b.Li(6, 400)
+	b.Label("loop")
+	b.Andi(7, 5, 63)
+	b.Add(7, 7, 4)
+	b.LwS(8, 7, 0)
+	b.Addi(5, 5, 1)
+	b.Blt(5, 6, "loop")
+	b.Halt()
+	p := b.MustBuild()
+
+	low, err := machine.Run(machine.Config{Model: machine.SwitchOnLoad, Threads: 1}, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := machine.Run(machine.Config{Model: machine.SwitchOnLoad, Threads: 60}, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := low.Utilization(); u > 0.05 {
+		t.Errorf("1-thread utilization = %.3f, want < 0.05 (latency exposed)", u)
+	}
+	if u := high.Utilization(); u < 0.9 {
+		t.Errorf("60-thread utilization = %.3f, want > 0.9 (latency hidden)", u)
+	}
+}
+
+// TestBarrierAndLock exercises the par library: each thread appends its
+// tid into a log under a lock, with barriers separating two phases.
+func TestBarrierAndLock(t *testing.T) {
+	b := prog.NewBuilder("sync")
+	bar := par.AllocBarrier(b, "bar")
+	lk := par.AllocLock(b, "lock")
+	idx := b.Shared("idx", 1)
+	phase1 := b.Shared("phase1", 64)
+	total := b.Shared("total", 1)
+
+	const rSense = 20
+	// Phase 1: each thread stores tid+1 into its slot.
+	b.Li(4, phase1.Base)
+	b.Add(4, 4, isa.RTid)
+	b.Addi(5, isa.RTid, 1)
+	b.SwS(5, 4, 0)
+	b.Li(9, bar.Base)
+	par.Barrier(b, 9, 0, rSense, 10, 11)
+	// Phase 2: under a lock, total += phase1[next++] for one element.
+	b.Li(9, lk.Base)
+	par.LockAcquire(b, 9, 0, 10, 11)
+	b.Li(4, idx.Base)
+	b.LwS(5, 4, 0) // next index (protected by the lock, plain load)
+	b.Addi(6, 5, 1)
+	b.SwS(6, 4, 0)
+	b.Li(4, phase1.Base)
+	b.Add(4, 4, 5)
+	b.LwS(6, 4, 0)
+	b.Li(4, total.Base)
+	b.LwS(7, 4, 0)
+	b.Add(7, 7, 6)
+	b.SwS(7, 4, 0)
+	par.LockRelease(b, 9, 0, 10, 11)
+	b.Halt()
+	p := b.MustBuild()
+
+	for _, model := range allModels() {
+		for _, threads := range []int{1, 3} {
+			name := fmt.Sprintf("%s/t%d", model, threads)
+			t.Run(name, func(t *testing.T) {
+				procs := 4
+				n := int64(procs * threads)
+				want := n * (n + 1) / 2
+				cfg := machine.Config{Procs: procs, Threads: threads, Model: model, Latency: 40}
+				_, err := machine.RunChecked(cfg, p, nil, func(sh *machine.Shared) error {
+					if got := sh.WordAt("total", 0); got != want {
+						return fmt.Errorf("total = %d, want %d", got, want)
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestOptimizedProgramEquivalence: the grouping optimizer must preserve
+// semantics under every model, and optimized code must never hit an
+// implicit wait under explicit-switch.
+func TestOptimizedProgramEquivalence(t *testing.T) {
+	b := prog.NewBuilder("stencil")
+	grid := b.Shared("grid", 100)
+	out := b.Shared("out", 100)
+	b.Li(4, grid.Base)
+	b.Li(5, out.Base)
+	b.Li(6, 1) // i
+	b.Label("loop")
+	b.Add(7, 4, 6)
+	b.LwS(8, 7, -1)
+	b.LwS(9, 7, 0)
+	b.LwS(10, 7, 1)
+	b.Add(11, 8, 9)
+	b.Add(11, 11, 10)
+	b.Add(12, 5, 6)
+	b.SwS(11, 12, 0)
+	b.Addi(6, 6, 1)
+	b.Slti(13, 6, 99)
+	b.Bnez(13, "loop")
+	b.Halt()
+	raw := b.MustBuild()
+	grouped, st := opt.MustOptimize(raw)
+
+	if st.SharedLoads != 3 {
+		t.Errorf("static shared loads = %d, want 3", st.SharedLoads)
+	}
+	if st.Switches != 1 {
+		t.Errorf("switches inserted = %d, want 1 (one group of 3)", st.Switches)
+	}
+	if st.GroupSizes[3] != 1 {
+		t.Errorf("group sizes = %v, want one group of 3", st.GroupSizes)
+	}
+
+	init := func(sh *machine.Shared) {
+		for i := int64(0); i < 100; i++ {
+			sh.SetWordAt("grid", i, i*i%17)
+		}
+	}
+	check := func(sh *machine.Shared) error {
+		for i := int64(1); i < 99; i++ {
+			want := (i-1)*(i-1)%17 + i*i%17 + (i+1)*(i+1)%17
+			if got := sh.WordAt("out", i); got != want {
+				return fmt.Errorf("out[%d] = %d, want %d", i, got, want)
+			}
+		}
+		return nil
+	}
+
+	for _, model := range allModels() {
+		prg := raw
+		if model.UsesGrouping() {
+			prg = grouped
+		}
+		res, err := machine.RunChecked(machine.Config{Model: model, Threads: 2}, prg, init, check)
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		if model == machine.ExplicitSwitch && res.ImplicitWaits != 0 {
+			t.Errorf("%s: implicit waits = %d, want 0", model, res.ImplicitWaits)
+		}
+	}
+
+	// Grouping should cut taken switches vs switch-on-load by ~3x here.
+	rl, err := machine.Run(machine.Config{Model: machine.SwitchOnLoad}, raw, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := machine.Run(machine.Config{Model: machine.ExplicitSwitch}, grouped, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.TakenSwitches*2 >= rl.TakenSwitches {
+		t.Errorf("explicit-switch switches = %d, switch-on-load = %d; want < half",
+			re.TakenSwitches, rl.TakenSwitches)
+	}
+}
+
+// TestConditionalSwitchSkipsOnHits: with a cache and a repeating access
+// pattern, most Switch instructions should be skipped.
+func TestConditionalSwitchSkipsOnHits(t *testing.T) {
+	b := prog.NewBuilder("hot")
+	data := b.Shared("data", 8)
+	b.Li(4, data.Base)
+	b.Li(5, 0)
+	b.Li(6, 200)
+	b.Label("loop")
+	b.LwS(7, 4, 0)
+	b.LwS(8, 4, 1)
+	b.Switch()
+	b.Add(9, 7, 8)
+	b.Addi(5, 5, 1)
+	b.Blt(5, 6, "loop")
+	b.Halt()
+	p := b.MustBuild()
+
+	res, err := machine.Run(machine.Config{Model: machine.ConditionalSwitch, Threads: 2}, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SkippedSwitches == 0 {
+		t.Error("no switches skipped despite hot cache")
+	}
+	if res.CacheHitRate() < 0.9 {
+		t.Errorf("hit rate = %.3f, want > 0.9", res.CacheHitRate())
+	}
+	if res.TakenSwitches >= res.SkippedSwitches {
+		t.Errorf("taken %d >= skipped %d; conditional switch should mostly skip",
+			res.TakenSwitches, res.SkippedSwitches)
+	}
+}
+
+// TestRunLimitForcesSwitches: a long cache-hit run must be broken up by
+// the §6.2 run-limit flag.
+func TestRunLimitForcesSwitches(t *testing.T) {
+	b := prog.NewBuilder("limit")
+	data := b.Shared("data", 4)
+	b.Li(4, data.Base)
+	b.Li(5, 0)
+	b.Li(6, 2000)
+	b.Label("loop")
+	b.LwS(7, 4, 0)
+	b.Switch()
+	b.Addi(5, 5, 1)
+	b.Blt(5, 6, "loop")
+	b.Halt()
+	p := b.MustBuild()
+
+	res, err := machine.Run(machine.Config{Model: machine.ConditionalSwitch, Threads: 2, RunLimit: 200}, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ForcedSwitches == 0 {
+		t.Error("run limit never forced a switch during a long hit run")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []machine.Config{
+		{Procs: -1},
+		{Threads: -2},
+		{Model: machine.Model(99)},
+		{Model: machine.SwitchOnLoad, Latency: -5},
+		{GroupWindow: true, Model: machine.SwitchOnLoad},
+		{GroupWindow: true, Model: machine.ExplicitSwitch, WindowCells: 3},
+	}
+	for i, cfg := range cases {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d (%+v): Validate() = nil, want error", i, cfg)
+		}
+	}
+	good := machine.Config{Procs: 2, Threads: 4, Model: machine.ConditionalSwitch}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestMaxCyclesGuard(t *testing.T) {
+	b := prog.NewBuilder("spin-forever")
+	b.Shared("x", 1)
+	b.Label("loop")
+	b.J("loop")
+	p := b.MustBuild()
+	_, err := machine.Run(machine.Config{Model: machine.Ideal, MaxCycles: 1000}, p, nil)
+	if !errors.Is(err, machine.ErrMaxCycles) {
+		t.Errorf("err = %v, want ErrMaxCycles", err)
+	}
+}
+
+func TestRuntimeFaults(t *testing.T) {
+	build := func(f func(b *prog.Builder)) *prog.Program {
+		b := prog.NewBuilder("fault")
+		b.Shared("x", 4)
+		b.Local("y", 4)
+		f(b)
+		b.Halt()
+		return b.MustBuild()
+	}
+	cases := map[string]*prog.Program{
+		"shared-oob": build(func(b *prog.Builder) { b.Li(4, 1000); b.LwS(5, 4, 0) }),
+		"local-oob":  build(func(b *prog.Builder) { b.Li(4, 100); b.Lw(5, 4, 0) }),
+		"div-zero":   build(func(b *prog.Builder) { b.Li(4, 1); b.Div(5, 4, 0) }),
+		"rem-zero":   build(func(b *prog.Builder) { b.Li(4, 1); b.Rem(5, 4, 0) }),
+		"bad-jr":     build(func(b *prog.Builder) { b.Li(4, -3); b.Jr(4) }),
+	}
+	for name, p := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := machine.Run(machine.Config{Model: machine.Ideal}, p, nil); err == nil {
+				t.Error("Run() = nil error, want runtime fault")
+			}
+		})
+	}
+}
+
+// TestCycleAccountingInvariant: Busy + Idle + SwitchOverhead must equal
+// Cycles * Procs for every model.
+func TestCycleAccountingInvariant(t *testing.T) {
+	p := buildCounter(20)
+	for _, model := range allModels() {
+		cfg := machine.Config{Procs: 3, Threads: 2, Model: model, SwitchCost: 2, CollectRunLengths: true}
+		res, err := machine.Run(cfg, p, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		total := res.Cycles * int64(cfg.Procs)
+		if got := res.Busy + res.Idle + res.SwitchOverhead; got != total {
+			t.Errorf("%s: busy+idle+overhead = %d, want %d", model, got, total)
+		}
+		if res.Busy == 0 {
+			t.Errorf("%s: zero busy cycles", model)
+		}
+	}
+}

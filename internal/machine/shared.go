@@ -1,0 +1,62 @@
+package machine
+
+import (
+	"fmt"
+
+	"mtsim/internal/prog"
+)
+
+// Shared is the host-side view of the simulated shared memory, handed to
+// application Init and Check functions. It plays the role of the serial
+// setup and verification code the paper excludes from measurement
+// (§3.2): reading inputs, initialization, and checking outputs.
+type Shared struct {
+	cells  []int64
+	layout *prog.Layout
+}
+
+// NewShared allocates shared memory for a program.
+func NewShared(p *prog.Program) *Shared {
+	return &Shared{cells: make([]int64, p.Shared.Size()), layout: &p.Shared}
+}
+
+// Size returns the number of cells.
+func (s *Shared) Size() int64 { return int64(len(s.cells)) }
+
+// Cells exposes the raw backing store (used by the machine itself).
+func (s *Shared) Cells() []int64 { return s.cells }
+
+// Sym resolves a shared symbol by name, panicking if undefined — layout
+// mismatches between an app's builder and its Init/Check are programming
+// errors.
+func (s *Shared) Sym(name string) prog.Sym { return s.layout.MustLookup(name) }
+
+func (s *Shared) check(addr int64) {
+	if addr < 0 || addr >= int64(len(s.cells)) {
+		panic(fmt.Sprintf("machine: host access to shared address %d outside [0,%d)", addr, len(s.cells)))
+	}
+}
+
+// Word returns the integer at cell addr.
+func (s *Shared) Word(addr int64) int64 { s.check(addr); return s.cells[addr] }
+
+// SetWord stores an integer at cell addr.
+func (s *Shared) SetWord(addr, v int64) { s.check(addr); s.cells[addr] = v }
+
+// Float returns the float64 stored at cell addr.
+func (s *Shared) Float(addr int64) float64 { s.check(addr); return prog.BitsToFloat64(s.cells[addr]) }
+
+// SetFloat stores a float64 at cell addr.
+func (s *Shared) SetFloat(addr int64, v float64) { s.check(addr); s.cells[addr] = prog.Float64Bits(v) }
+
+// WordAt returns element i of symbol name.
+func (s *Shared) WordAt(name string, i int64) int64 { return s.Word(s.Sym(name).Addr(i)) }
+
+// SetWordAt stores element i of symbol name.
+func (s *Shared) SetWordAt(name string, i, v int64) { s.SetWord(s.Sym(name).Addr(i), v) }
+
+// FloatAt returns float element i of symbol name.
+func (s *Shared) FloatAt(name string, i int64) float64 { return s.Float(s.Sym(name).Addr(i)) }
+
+// SetFloatAt stores float element i of symbol name.
+func (s *Shared) SetFloatAt(name string, i int64, v float64) { s.SetFloat(s.Sym(name).Addr(i), v) }

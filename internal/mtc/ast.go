@@ -1,0 +1,172 @@
+package mtc
+
+// typ is an MTC value type.
+type typ int
+
+const (
+	typInt typ = iota
+	typFloat
+)
+
+func (t typ) String() string {
+	if t == typFloat {
+		return "float"
+	}
+	return "int"
+}
+
+// declKind classifies top-level declarations.
+type declKind int
+
+const (
+	declShared declKind = iota
+	declLocal
+	declLock
+	declBarrier
+)
+
+// arrayDecl is a top-level memory declaration.
+type arrayDecl struct {
+	kind declKind
+	elem typ
+	name string
+	size int64
+	line int
+}
+
+// program is the parsed compilation unit.
+type program struct {
+	name   string
+	decls  []arrayDecl
+	body   []stmt // main's statements
+	mainLn int
+}
+
+// --- statements ---
+
+type stmt interface{ stmtNode() }
+
+type varDecl struct {
+	name string
+	t    typ
+	init expr // may be nil
+	line int
+}
+
+type assign struct {
+	name string // scalar target
+	val  expr
+	line int
+}
+
+type storeStmt struct {
+	arr  string
+	idx  expr
+	val  expr
+	line int
+}
+
+type ifStmt struct {
+	cond      expr
+	then, els []stmt
+	line      int
+}
+
+type whileStmt struct {
+	cond expr
+	body []stmt
+	line int
+}
+
+type forStmt struct {
+	init stmt // assign or nil
+	cond expr // nil = true
+	post stmt // assign or nil
+	body []stmt
+	line int
+}
+
+type breakStmt struct{ line int }
+type continueStmt struct{ line int }
+type returnStmt struct{ line int }
+
+type barrierStmt struct {
+	name string
+	line int
+}
+
+type lockStmt struct {
+	name    string
+	acquire bool
+	line    int
+}
+
+type exprStmt struct {
+	e    expr
+	line int
+}
+
+func (varDecl) stmtNode()      {}
+func (assign) stmtNode()       {}
+func (storeStmt) stmtNode()    {}
+func (ifStmt) stmtNode()       {}
+func (whileStmt) stmtNode()    {}
+func (forStmt) stmtNode()      {}
+func (breakStmt) stmtNode()    {}
+func (continueStmt) stmtNode() {}
+func (returnStmt) stmtNode()   {}
+func (barrierStmt) stmtNode()  {}
+func (lockStmt) stmtNode()     {}
+func (exprStmt) stmtNode()     {}
+
+// --- expressions ---
+
+type expr interface{ exprNode() }
+
+type intLit struct {
+	v    int64
+	line int
+}
+
+type floatLit struct {
+	v    float64
+	line int
+}
+
+type varRef struct {
+	name string
+	line int
+}
+
+type indexExpr struct {
+	arr  string
+	idx  expr
+	line int
+}
+
+type binExpr struct {
+	op   string
+	l, r expr
+	line int
+}
+
+type unaryExpr struct {
+	op   string // "-" or "!"
+	e    expr
+	line int
+}
+
+// callExpr covers the builtins: faa, float, int, sqrt, abs.
+type callExpr struct {
+	fn   string
+	args []expr
+	line int
+}
+
+func (intLit) exprNode()    {}
+func (floatLit) exprNode()  {}
+func (varRef) exprNode()    {}
+func (indexExpr) exprNode() {}
+func (binExpr) exprNode()   {}
+func (unaryExpr) exprNode() {}
+func (callExpr) exprNode()  {}

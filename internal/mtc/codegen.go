@@ -1,0 +1,909 @@
+package mtc
+
+import (
+	"fmt"
+
+	"mtsim/internal/isa"
+	"mtsim/internal/par"
+	"mtsim/internal/prog"
+)
+
+// Register plan. The compiler is deliberately simple (the paper's point
+// is that even a simple compiler can group shared loads — the grouping
+// itself is a separate object-code pass): every scalar variable gets a
+// dedicated register, expressions evaluate on a small register stack,
+// and there is no spilling.
+const (
+	intVarBase   = 4 // r4..r15: integer variables (12)
+	intVarCount  = 12
+	intStackBase = 16 // r16..r27: integer expression stack (12)
+	intStackLen  = 12
+	rScratch     = 28 // Li/LiF scratch and macro scratch
+	rScratch2    = 29
+	rSense       = 30 // barrier local-sense shuttle
+
+	fpVarBase   = 1 // f1..f8: float variables (8)
+	fpVarCount  = 8
+	fpStackBase = 9 // f9..f27: float expression stack (19)
+	fpStackLen  = 19
+)
+
+// builtinVars are read-only identity registers (§3 conventions).
+var builtinVars = map[string]uint8{
+	"tid":      isa.RTid,
+	"nthreads": isa.RNth,
+	"pid":      isa.RPid,
+}
+
+// symInfo describes a declared array, lock or barrier.
+type symInfo struct {
+	decl arrayDecl
+	sym  prog.Sym
+	// senseSlot is the local-memory cell holding this barrier's local
+	// sense (barrier decls only).
+	senseSlot int64
+}
+
+// varInfo is a scalar variable binding.
+type varInfo struct {
+	t   typ
+	reg uint8
+}
+
+// gen is the code generator state for one program.
+type gen struct {
+	b    *prog.Builder
+	syms map[string]*symInfo
+	vars map[string]varInfo
+
+	nextIntVar int
+	nextFPVar  int
+	intDepth   int
+	fpDepth    int
+	// intLoad/fpLoad mark stack slots holding an unconsumed shared-load
+	// result. Such slots are not reused within a statement, so every
+	// shared load in a statement gets a distinct destination register —
+	// the property that lets the §5.1 optimizer group them (a reused
+	// destination would be a WAW hazard the group must drain at).
+	intLoad [intStackLen]bool
+	fpLoad  [fpStackLen]bool
+
+	breakLbl    []string
+	continueLbl []string
+	endLbl      string
+}
+
+// Compile translates MTC source into an executable program. The emitted
+// code is deliberately naive — shared loads appear exactly where the
+// source reads shared arrays — so that the §5.1 grouping optimizer has
+// the same job it had on the paper's compiler output.
+func Compile(name, src string) (*prog.Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prg, err := p.parseProgram(name)
+	if err != nil {
+		return nil, err
+	}
+	g := &gen{
+		b:    prog.NewBuilder(name),
+		syms: make(map[string]*symInfo),
+		vars: make(map[string]varInfo),
+	}
+	if err := g.declare(prg); err != nil {
+		return nil, err
+	}
+	g.endLbl = g.b.GenLabel("end")
+	for _, s := range foldStmts(prg.body) {
+		if err := g.stmt(s); err != nil {
+			return nil, err
+		}
+	}
+	g.b.Label(g.endLbl)
+	g.b.Halt()
+	out, err := g.b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("mtc: %w", err)
+	}
+	return out, nil
+}
+
+func (g *gen) declare(prg *program) error {
+	for _, d := range prg.decls {
+		if _, dup := g.syms[d.name]; dup {
+			return fmt.Errorf("mtc: line %d: duplicate declaration %q", d.line, d.name)
+		}
+		if _, isBuiltin := builtinVars[d.name]; isBuiltin {
+			return fmt.Errorf("mtc: line %d: %q is a builtin name", d.line, d.name)
+		}
+		info := &symInfo{decl: d}
+		switch d.kind {
+		case declShared:
+			info.sym = g.b.Shared(d.name, d.size)
+		case declLocal:
+			info.sym = g.b.Local(d.name, d.size)
+		case declLock:
+			info.sym = par.AllocLock(g.b, d.name)
+		case declBarrier:
+			info.sym = par.AllocBarrier(g.b, d.name)
+			sense := g.b.Local("."+d.name+".sense", 1)
+			info.senseSlot = sense.Base
+		}
+		g.syms[d.name] = info
+	}
+	return nil
+}
+
+// --- expression evaluation ---
+
+func (g *gen) pushInt(line int) (uint8, error) {
+	if g.intDepth >= intStackLen {
+		return 0, fmt.Errorf("mtc: line %d: integer expression too deep (max %d)", line, intStackLen)
+	}
+	r := uint8(intStackBase + g.intDepth)
+	g.intLoad[g.intDepth] = false
+	g.intDepth++
+	return r, nil
+}
+
+// resetStacks starts a fresh statement: no expression value survives a
+// statement boundary, so every slot (including shared-load slots) is
+// free again.
+func (g *gen) resetStacks() {
+	g.intDepth, g.fpDepth = 0, 0
+}
+
+func (g *gen) pushFP(line int) (uint8, error) {
+	if g.fpDepth >= fpStackLen {
+		return 0, fmt.Errorf("mtc: line %d: float expression too deep (max %d)", line, fpStackLen)
+	}
+	r := uint8(fpStackBase + g.fpDepth)
+	g.fpLoad[g.fpDepth] = false
+	g.fpDepth++
+	return r, nil
+}
+
+// releaseInt frees r if it is the top integer stack slot and does not
+// hold an in-flight shared-load result (load slots stay allocated until
+// the statement ends).
+func (g *gen) releaseInt(r uint8) {
+	if g.intDepth > 0 && r == uint8(intStackBase+g.intDepth-1) && !g.intLoad[g.intDepth-1] {
+		g.intDepth--
+	}
+}
+
+func (g *gen) releaseFP(r uint8) {
+	if g.fpDepth > 0 && r == uint8(fpStackBase+g.fpDepth-1) && !g.fpLoad[g.fpDepth-1] {
+		g.fpDepth--
+	}
+}
+
+// infer determines an expression's type.
+func (g *gen) infer(e expr) (typ, error) {
+	switch x := e.(type) {
+	case intLit:
+		return typInt, nil
+	case floatLit:
+		return typFloat, nil
+	case varRef:
+		if _, ok := builtinVars[x.name]; ok {
+			return typInt, nil
+		}
+		v, ok := g.vars[x.name]
+		if !ok {
+			return 0, fmt.Errorf("mtc: line %d: undeclared variable %q", x.line, x.name)
+		}
+		return v.t, nil
+	case indexExpr:
+		s, ok := g.syms[x.arr]
+		if !ok || (s.decl.kind != declShared && s.decl.kind != declLocal) {
+			return 0, fmt.Errorf("mtc: line %d: %q is not an array", x.line, x.arr)
+		}
+		return s.decl.elem, nil
+	case unaryExpr:
+		if x.op == "!" {
+			return typInt, nil
+		}
+		return g.infer(x.e)
+	case binExpr:
+		switch x.op {
+		case "==", "!=", "<", "<=", ">", ">=", "&&", "||":
+			return typInt, nil
+		}
+		return g.infer(x.l)
+	case callExpr:
+		switch x.fn {
+		case "float", "sqrt", "abs":
+			return typFloat, nil
+		case "int", "faa":
+			return typInt, nil
+		}
+		return 0, fmt.Errorf("mtc: line %d: unknown function %q", x.line, x.fn)
+	}
+	return 0, fmt.Errorf("mtc: unhandled expression %T", e)
+}
+
+// evalInt evaluates an integer-typed expression, returning the register
+// holding the result (a dedicated variable register, an identity
+// register, or the top of the expression stack).
+func (g *gen) evalInt(e expr) (uint8, error) {
+	t, err := g.infer(e)
+	if err != nil {
+		return 0, err
+	}
+	if t != typInt {
+		return 0, fmt.Errorf("mtc: line %d: expected an int expression (insert int(...))", lineOf(e))
+	}
+	switch x := e.(type) {
+	case intLit:
+		r, err := g.pushInt(x.line)
+		if err != nil {
+			return 0, err
+		}
+		g.b.Li(r, x.v)
+		return r, nil
+
+	case varRef:
+		if r, ok := builtinVars[x.name]; ok {
+			return r, nil
+		}
+		return g.vars[x.name].reg, nil
+
+	case indexExpr:
+		return g.loadElem(x, typInt)
+
+	case unaryExpr:
+		switch x.op {
+		case "-":
+			v, err := g.evalInt(x.e)
+			if err != nil {
+				return 0, err
+			}
+			g.releaseInt(v)
+			r, err := g.pushInt(x.line)
+			if err != nil {
+				return 0, err
+			}
+			g.b.Sub(r, isa.RZero, v)
+			return r, nil
+		case "!":
+			v, err := g.evalInt(x.e)
+			if err != nil {
+				return 0, err
+			}
+			g.releaseInt(v)
+			r, err := g.pushInt(x.line)
+			if err != nil {
+				return 0, err
+			}
+			g.b.Sltu(r, isa.RZero, v) // r = v != 0
+			g.b.Xori(r, r, 1)
+			return r, nil
+		}
+		return 0, fmt.Errorf("mtc: line %d: unknown unary %q", x.line, x.op)
+
+	case binExpr:
+		return g.evalIntBin(x)
+
+	case callExpr:
+		switch x.fn {
+		case "faa":
+			return g.evalFaa(x)
+		case "int":
+			if len(x.args) != 1 {
+				return 0, fmt.Errorf("mtc: line %d: int() takes one argument", x.line)
+			}
+			v, err := g.evalFloat(x.args[0])
+			if err != nil {
+				return 0, err
+			}
+			g.releaseFP(v)
+			r, err := g.pushInt(x.line)
+			if err != nil {
+				return 0, err
+			}
+			g.b.CvtFI(r, v)
+			return r, nil
+		}
+		return 0, fmt.Errorf("mtc: line %d: %q does not yield an int", x.line, x.fn)
+	}
+	return 0, fmt.Errorf("mtc: unhandled int expression %T", e)
+}
+
+// evalIntBin handles integer binary operators, comparisons and the
+// short-circuit logicals.
+func (g *gen) evalIntBin(x binExpr) (uint8, error) {
+	if x.op == "&&" || x.op == "||" {
+		return g.evalLogical(x)
+	}
+	lt, err := g.infer(x.l)
+	if err != nil {
+		return 0, err
+	}
+	rt, err := g.infer(x.r)
+	if err != nil {
+		return 0, err
+	}
+	if lt != rt {
+		return 0, fmt.Errorf("mtc: line %d: operator %q mixes int and float (insert float()/int())", x.line, x.op)
+	}
+	if lt == typFloat {
+		return g.evalFloatCompare(x)
+	}
+
+	// Immediate form: a literal right operand folds into the
+	// instruction (with multiplications by powers of two becoming
+	// shifts), as any 1992 compiler at -O2 would emit.
+	if lit, ok := x.r.(intLit); ok {
+		if emit, ok := g.immOp(x.op, lit.v); ok {
+			l, err := g.evalInt(x.l)
+			if err != nil {
+				return 0, err
+			}
+			g.releaseInt(l)
+			d, err := g.pushInt(x.line)
+			if err != nil {
+				return 0, err
+			}
+			emit(d, l)
+			return d, nil
+		}
+	}
+
+	l, err := g.evalInt(x.l)
+	if err != nil {
+		return 0, err
+	}
+	r, err := g.evalInt(x.r)
+	if err != nil {
+		return 0, err
+	}
+	g.releaseInt(r)
+	g.releaseInt(l)
+	d, err := g.pushInt(x.line)
+	if err != nil {
+		return 0, err
+	}
+	switch x.op {
+	case "+":
+		g.b.Add(d, l, r)
+	case "-":
+		g.b.Sub(d, l, r)
+	case "*":
+		g.b.Mul(d, l, r)
+	case "/":
+		g.b.Div(d, l, r)
+	case "%":
+		g.b.Rem(d, l, r)
+	case "&":
+		g.b.And(d, l, r)
+	case "|":
+		g.b.Or(d, l, r)
+	case "^":
+		g.b.Xor(d, l, r)
+	case "<<":
+		g.b.Sll(d, l, r)
+	case ">>":
+		g.b.Sra(d, l, r)
+	case "<":
+		g.b.Slt(d, l, r)
+	case ">":
+		g.b.Slt(d, r, l)
+	case "<=":
+		g.b.Slt(d, r, l)
+		g.b.Xori(d, d, 1)
+	case ">=":
+		g.b.Slt(d, l, r)
+		g.b.Xori(d, d, 1)
+	case "==":
+		g.b.Xor(d, l, r)
+		g.b.Sltu(d, isa.RZero, d)
+		g.b.Xori(d, d, 1)
+	case "!=":
+		g.b.Xor(d, l, r)
+		g.b.Sltu(d, isa.RZero, d)
+	default:
+		return 0, fmt.Errorf("mtc: line %d: unknown operator %q", x.line, x.op)
+	}
+	return d, nil
+}
+
+// evalFloatCompare lowers a comparison whose operands are floats.
+func (g *gen) evalFloatCompare(x binExpr) (uint8, error) {
+	l, err := g.evalFloat(x.l)
+	if err != nil {
+		return 0, err
+	}
+	r, err := g.evalFloat(x.r)
+	if err != nil {
+		return 0, err
+	}
+	g.releaseFP(r)
+	g.releaseFP(l)
+	d, err := g.pushInt(x.line)
+	if err != nil {
+		return 0, err
+	}
+	switch x.op {
+	case "==":
+		g.b.Feq(d, l, r)
+	case "!=":
+		g.b.Feq(d, l, r)
+		g.b.Xori(d, d, 1)
+	case "<":
+		g.b.Flt(d, l, r)
+	case "<=":
+		g.b.Fle(d, l, r)
+	case ">":
+		g.b.Flt(d, r, l)
+	case ">=":
+		g.b.Fle(d, r, l)
+	default:
+		return 0, fmt.Errorf("mtc: line %d: operator %q is not defined on floats", x.line, x.op)
+	}
+	return d, nil
+}
+
+// evalLogical lowers && and || with short-circuit control flow.
+func (g *gen) evalLogical(x binExpr) (uint8, error) {
+	end := g.b.GenLabel("sc")
+	l, err := g.evalInt(x.l)
+	if err != nil {
+		return 0, err
+	}
+	g.releaseInt(l)
+	d, err := g.pushInt(x.line)
+	if err != nil {
+		return 0, err
+	}
+	g.b.Sltu(d, isa.RZero, l) // normalize to 0/1
+	if x.op == "&&" {
+		g.b.Beqz(d, end)
+	} else {
+		g.b.Bnez(d, end)
+	}
+	r, err := g.evalInt(x.r)
+	if err != nil {
+		return 0, err
+	}
+	g.releaseInt(r)
+	g.b.Sltu(d, isa.RZero, r)
+	g.b.Label(end)
+	return d, nil
+}
+
+// evalFaa lowers faa(arr[idx], addend).
+func (g *gen) evalFaa(x callExpr) (uint8, error) {
+	if len(x.args) != 2 {
+		return 0, fmt.Errorf("mtc: line %d: faa(arr[idx], addend) takes two arguments", x.line)
+	}
+	ix, ok := x.args[0].(indexExpr)
+	if !ok {
+		return 0, fmt.Errorf("mtc: line %d: faa's first argument must be a shared array element", x.line)
+	}
+	s, ok := g.syms[ix.arr]
+	if !ok || s.decl.kind != declShared || s.decl.elem != typInt {
+		return 0, fmt.Errorf("mtc: line %d: faa requires a shared int array", x.line)
+	}
+	idx, err := g.evalInt(ix.idx)
+	if err != nil {
+		return 0, err
+	}
+	add, err := g.evalInt(x.args[1])
+	if err != nil {
+		return 0, err
+	}
+	g.releaseInt(add)
+	g.releaseInt(idx)
+	d, err := g.pushInt(x.line)
+	if err != nil {
+		return 0, err
+	}
+	g.b.Faa(d, idx, s.sym.Base, add)
+	g.intLoad[g.intDepth-1] = true
+	return d, nil
+}
+
+// loadElem lowers arr[idx] for the given element type. The array base is
+// folded into the load's immediate, so the only instruction beyond the
+// index computation is the load itself.
+func (g *gen) loadElem(x indexExpr, want typ) (uint8, error) {
+	s := g.syms[x.arr]
+	if s.decl.elem != want {
+		return 0, fmt.Errorf("mtc: line %d: array %q holds %s elements", x.line, x.arr, s.decl.elem)
+	}
+	idx, err := g.evalInt(x.idx)
+	if err != nil {
+		return 0, err
+	}
+	g.releaseInt(idx)
+	if want == typInt {
+		d, err := g.pushInt(x.line)
+		if err != nil {
+			return 0, err
+		}
+		if s.decl.kind == declShared {
+			g.b.LwS(d, idx, s.sym.Base)
+			g.intLoad[g.intDepth-1] = true
+		} else {
+			g.b.Lw(d, idx, s.sym.Base)
+		}
+		return d, nil
+	}
+	d, err := g.pushFP(x.line)
+	if err != nil {
+		return 0, err
+	}
+	if s.decl.kind == declShared {
+		g.b.FlwS(d, idx, s.sym.Base)
+		g.fpLoad[g.fpDepth-1] = true
+	} else {
+		g.b.Flw(d, idx, s.sym.Base)
+	}
+	return d, nil
+}
+
+// evalFloat evaluates a float-typed expression.
+func (g *gen) evalFloat(e expr) (uint8, error) {
+	t, err := g.infer(e)
+	if err != nil {
+		return 0, err
+	}
+	if t != typFloat {
+		return 0, fmt.Errorf("mtc: line %d: expected a float expression (insert float(...))", lineOf(e))
+	}
+	switch x := e.(type) {
+	case floatLit:
+		d, err := g.pushFP(x.line)
+		if err != nil {
+			return 0, err
+		}
+		g.b.LiF(d, x.v, rScratch)
+		return d, nil
+	case varRef:
+		return g.vars[x.name].reg, nil
+	case indexExpr:
+		return g.loadElem(x, typFloat)
+	case unaryExpr:
+		if x.op != "-" {
+			return 0, fmt.Errorf("mtc: line %d: unary %q is not defined on floats", x.line, x.op)
+		}
+		v, err := g.evalFloat(x.e)
+		if err != nil {
+			return 0, err
+		}
+		g.releaseFP(v)
+		d, err := g.pushFP(x.line)
+		if err != nil {
+			return 0, err
+		}
+		g.b.Fneg(d, v)
+		return d, nil
+	case binExpr:
+		l, err := g.evalFloat(x.l)
+		if err != nil {
+			return 0, err
+		}
+		r, err := g.evalFloat(x.r)
+		if err != nil {
+			return 0, err
+		}
+		g.releaseFP(r)
+		g.releaseFP(l)
+		d, err := g.pushFP(x.line)
+		if err != nil {
+			return 0, err
+		}
+		switch x.op {
+		case "+":
+			g.b.Fadd(d, l, r)
+		case "-":
+			g.b.Fsub(d, l, r)
+		case "*":
+			g.b.Fmul(d, l, r)
+		case "/":
+			g.b.Fdiv(d, l, r)
+		default:
+			return 0, fmt.Errorf("mtc: line %d: operator %q is not defined on floats", x.line, x.op)
+		}
+		return d, nil
+	case callExpr:
+		switch x.fn {
+		case "float":
+			if len(x.args) != 1 {
+				return 0, fmt.Errorf("mtc: line %d: float() takes one argument", x.line)
+			}
+			v, err := g.evalInt(x.args[0])
+			if err != nil {
+				return 0, err
+			}
+			g.releaseInt(v)
+			d, err := g.pushFP(x.line)
+			if err != nil {
+				return 0, err
+			}
+			g.b.CvtIF(d, v)
+			return d, nil
+		case "sqrt", "abs":
+			if len(x.args) != 1 {
+				return 0, fmt.Errorf("mtc: line %d: %s() takes one argument", x.line, x.fn)
+			}
+			v, err := g.evalFloat(x.args[0])
+			if err != nil {
+				return 0, err
+			}
+			g.releaseFP(v)
+			d, err := g.pushFP(x.line)
+			if err != nil {
+				return 0, err
+			}
+			if x.fn == "sqrt" {
+				g.b.Fsqrt(d, v)
+			} else {
+				g.b.Fabs(d, v)
+			}
+			return d, nil
+		}
+		return 0, fmt.Errorf("mtc: line %d: %q does not yield a float", x.line, x.fn)
+	}
+	return 0, fmt.Errorf("mtc: unhandled float expression %T", e)
+}
+
+func lineOf(e expr) int {
+	switch x := e.(type) {
+	case intLit:
+		return x.line
+	case floatLit:
+		return x.line
+	case varRef:
+		return x.line
+	case indexExpr:
+		return x.line
+	case binExpr:
+		return x.line
+	case unaryExpr:
+		return x.line
+	case callExpr:
+		return x.line
+	}
+	return 0
+}
+
+// --- statements ---
+
+func (g *gen) stmt(s stmt) error {
+	g.resetStacks()
+	switch x := s.(type) {
+	case varDecl:
+		if _, dup := g.vars[x.name]; dup {
+			return fmt.Errorf("mtc: line %d: variable %q redeclared", x.line, x.name)
+		}
+		if _, isBuiltin := builtinVars[x.name]; isBuiltin {
+			return fmt.Errorf("mtc: line %d: %q is a builtin", x.line, x.name)
+		}
+		var v varInfo
+		v.t = x.t
+		if x.t == typInt {
+			if g.nextIntVar >= intVarCount {
+				return fmt.Errorf("mtc: line %d: too many integer variables (max %d)", x.line, intVarCount)
+			}
+			v.reg = uint8(intVarBase + g.nextIntVar)
+			g.nextIntVar++
+		} else {
+			if g.nextFPVar >= fpVarCount {
+				return fmt.Errorf("mtc: line %d: too many float variables (max %d)", x.line, fpVarCount)
+			}
+			v.reg = uint8(fpVarBase + g.nextFPVar)
+			g.nextFPVar++
+		}
+		g.vars[x.name] = v
+		if x.init != nil {
+			return g.stmt(assign{name: x.name, val: x.init, line: x.line})
+		}
+		// Explicit zero: registers start zeroed, but be deliberate.
+		if x.t == typInt {
+			g.b.Li(v.reg, 0)
+		} else {
+			g.b.LiF(v.reg, 0, rScratch)
+		}
+		return nil
+
+	case assign:
+		v, ok := g.vars[x.name]
+		if !ok {
+			return fmt.Errorf("mtc: line %d: undeclared variable %q", x.line, x.name)
+		}
+		if v.t == typInt {
+			r, err := g.evalInt(x.val)
+			if err != nil {
+				return err
+			}
+			g.releaseInt(r)
+			g.b.Mov(v.reg, r)
+		} else {
+			r, err := g.evalFloat(x.val)
+			if err != nil {
+				return err
+			}
+			g.releaseFP(r)
+			g.b.Fmov(v.reg, r)
+		}
+		return nil
+
+	case storeStmt:
+		sym, ok := g.syms[x.arr]
+		if !ok || (sym.decl.kind != declShared && sym.decl.kind != declLocal) {
+			return fmt.Errorf("mtc: line %d: %q is not an array", x.line, x.arr)
+		}
+		idx, err := g.evalInt(x.idx)
+		if err != nil {
+			return err
+		}
+		if sym.decl.elem == typInt {
+			val, err := g.evalInt(x.val)
+			if err != nil {
+				return err
+			}
+			g.releaseInt(val)
+			g.releaseInt(idx)
+			if sym.decl.kind == declShared {
+				g.b.SwS(val, idx, sym.sym.Base)
+			} else {
+				g.b.Sw(val, idx, sym.sym.Base)
+			}
+		} else {
+			val, err := g.evalFloat(x.val)
+			if err != nil {
+				return err
+			}
+			g.releaseFP(val)
+			g.releaseInt(idx)
+			if sym.decl.kind == declShared {
+				g.b.FswS(val, idx, sym.sym.Base)
+			} else {
+				g.b.Fsw(val, idx, sym.sym.Base)
+			}
+		}
+		return nil
+
+	case ifStmt:
+		cond, err := g.evalInt(x.cond)
+		if err != nil {
+			return err
+		}
+		g.releaseInt(cond)
+		elseLbl := g.b.GenLabel("else")
+		endLbl := g.b.GenLabel("fi")
+		g.b.Beqz(cond, elseLbl)
+		for _, s := range x.then {
+			if err := g.stmt(s); err != nil {
+				return err
+			}
+		}
+		if len(x.els) > 0 {
+			g.b.J(endLbl)
+		}
+		g.b.Label(elseLbl)
+		for _, s := range x.els {
+			if err := g.stmt(s); err != nil {
+				return err
+			}
+		}
+		if len(x.els) > 0 {
+			g.b.Label(endLbl)
+		}
+		return nil
+
+	case whileStmt:
+		return g.loop(nil, x.cond, nil, x.body)
+
+	case forStmt:
+		return g.loop(x.init, x.cond, x.post, x.body)
+
+	case breakStmt:
+		if len(g.breakLbl) == 0 {
+			return fmt.Errorf("mtc: line %d: break outside a loop", x.line)
+		}
+		g.b.J(g.breakLbl[len(g.breakLbl)-1])
+		return nil
+
+	case continueStmt:
+		if len(g.continueLbl) == 0 {
+			return fmt.Errorf("mtc: line %d: continue outside a loop", x.line)
+		}
+		g.b.J(g.continueLbl[len(g.continueLbl)-1])
+		return nil
+
+	case returnStmt:
+		g.b.J(g.endLbl)
+		return nil
+
+	case barrierStmt:
+		s, ok := g.syms[x.name]
+		if !ok || s.decl.kind != declBarrier {
+			return fmt.Errorf("mtc: line %d: %q is not a barrier (declare with barrierdecl)", x.line, x.name)
+		}
+		// The local sense lives in local memory so any number of
+		// barrier objects stay independent.
+		g.b.Li(rScratch, s.sym.Base)
+		g.b.Lw(rSense, isa.RZero, s.senseSlot)
+		par.Barrier(g.b, rScratch, 0, rSense, rScratch2, intStackBase+uint8(g.intDepth))
+		g.b.Sw(rSense, isa.RZero, s.senseSlot)
+		return nil
+
+	case lockStmt:
+		s, ok := g.syms[x.name]
+		if !ok || s.decl.kind != declLock {
+			return fmt.Errorf("mtc: line %d: %q is not a lock (declare with lockdecl)", x.line, x.name)
+		}
+		g.b.Li(rScratch, s.sym.Base)
+		if x.acquire {
+			par.LockAcquire(g.b, rScratch, 0, rScratch2, rSense)
+		} else {
+			par.LockRelease(g.b, rScratch, 0, rScratch2, rSense)
+		}
+		return nil
+
+	case exprStmt:
+		t, err := g.infer(x.e)
+		if err != nil {
+			return err
+		}
+		if t == typInt {
+			r, err := g.evalInt(x.e)
+			if err != nil {
+				return err
+			}
+			g.releaseInt(r)
+		} else {
+			r, err := g.evalFloat(x.e)
+			if err != nil {
+				return err
+			}
+			g.releaseFP(r)
+		}
+		return nil
+	}
+	return fmt.Errorf("mtc: unhandled statement %T", s)
+}
+
+// loop lowers while (init==nil, post==nil) and for loops.
+func (g *gen) loop(init stmt, cond expr, post stmt, body []stmt) error {
+	if init != nil {
+		if err := g.stmt(init); err != nil {
+			return err
+		}
+	}
+	top := g.b.GenLabel("loop")
+	cont := g.b.GenLabel("cont")
+	end := g.b.GenLabel("pool")
+	g.b.Label(top)
+	if cond != nil {
+		c, err := g.evalInt(cond)
+		if err != nil {
+			return err
+		}
+		g.releaseInt(c)
+		g.b.Beqz(c, end)
+	}
+	g.breakLbl = append(g.breakLbl, end)
+	g.continueLbl = append(g.continueLbl, cont)
+	for _, s := range body {
+		if err := g.stmt(s); err != nil {
+			return err
+		}
+	}
+	g.breakLbl = g.breakLbl[:len(g.breakLbl)-1]
+	g.continueLbl = g.continueLbl[:len(g.continueLbl)-1]
+	g.b.Label(cont)
+	if post != nil {
+		if err := g.stmt(post); err != nil {
+			return err
+		}
+	}
+	g.b.J(top)
+	g.b.Label(end)
+	return nil
+}

@@ -1,0 +1,216 @@
+package mtc
+
+// Constant folding and immediate-form selection. The paper's kernels
+// were compiled at -O2; without at least these two classics our naive
+// code generator would pad every address computation with li/op pairs
+// and distort the run-length distributions the simulator measures.
+
+// fold rewrites an expression bottom-up, evaluating constant subtrees.
+func fold(e expr) expr {
+	switch x := e.(type) {
+	case binExpr:
+		x.l = fold(x.l)
+		x.r = fold(x.r)
+		if l, ok := x.l.(intLit); ok {
+			if r, ok := x.r.(intLit); ok {
+				if v, ok := evalConstInt(x.op, l.v, r.v); ok {
+					return intLit{v: v, line: x.line}
+				}
+			}
+			// Normalize k+x to x+k so the immediate form applies
+			// (addition and the bitwise ops commute).
+			switch x.op {
+			case "+", "*", "&", "|", "^":
+				x.l, x.r = x.r, x.l
+			}
+		}
+		if l, ok := x.l.(floatLit); ok {
+			if r, ok := x.r.(floatLit); ok {
+				if v, ok := evalConstFloat(x.op, l.v, r.v); ok {
+					return floatLit{v: v, line: x.line}
+				}
+			}
+		}
+		return x
+	case unaryExpr:
+		x.e = fold(x.e)
+		if x.op == "-" {
+			if l, ok := x.e.(intLit); ok {
+				return intLit{v: -l.v, line: x.line}
+			}
+			if l, ok := x.e.(floatLit); ok {
+				return floatLit{v: -l.v, line: x.line}
+			}
+		}
+		return x
+	case callExpr:
+		for i := range x.args {
+			x.args[i] = fold(x.args[i])
+		}
+		return x
+	case indexExpr:
+		x.idx = fold(x.idx)
+		return x
+	default:
+		return e
+	}
+}
+
+// evalConstInt folds an integer operator over literals. Division and
+// remainder by zero are left to fault at runtime, like any other
+// program error.
+func evalConstInt(op string, l, r int64) (int64, bool) {
+	switch op {
+	case "+":
+		return l + r, true
+	case "-":
+		return l - r, true
+	case "*":
+		return l * r, true
+	case "/":
+		if r == 0 {
+			return 0, false
+		}
+		return l / r, true
+	case "%":
+		if r == 0 {
+			return 0, false
+		}
+		return l % r, true
+	case "&":
+		return l & r, true
+	case "|":
+		return l | r, true
+	case "^":
+		return l ^ r, true
+	case "<<":
+		return l << (uint64(r) & 63), true
+	case ">>":
+		return l >> (uint64(r) & 63), true
+	case "<":
+		return b2i(l < r), true
+	case "<=":
+		return b2i(l <= r), true
+	case ">":
+		return b2i(l > r), true
+	case ">=":
+		return b2i(l >= r), true
+	case "==":
+		return b2i(l == r), true
+	case "!=":
+		return b2i(l != r), true
+	}
+	return 0, false
+}
+
+func evalConstFloat(op string, l, r float64) (float64, bool) {
+	switch op {
+	case "+":
+		return l + r, true
+	case "-":
+		return l - r, true
+	case "*":
+		return l * r, true
+	case "/":
+		return l / r, true
+	}
+	return 0, false
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// foldStmt applies constant folding to every expression in a statement.
+func foldStmt(s stmt) stmt {
+	switch x := s.(type) {
+	case varDecl:
+		if x.init != nil {
+			x.init = fold(x.init)
+		}
+		return x
+	case assign:
+		x.val = fold(x.val)
+		return x
+	case storeStmt:
+		x.idx = fold(x.idx)
+		x.val = fold(x.val)
+		return x
+	case ifStmt:
+		x.cond = fold(x.cond)
+		x.then = foldStmts(x.then)
+		x.els = foldStmts(x.els)
+		return x
+	case whileStmt:
+		x.cond = fold(x.cond)
+		x.body = foldStmts(x.body)
+		return x
+	case forStmt:
+		if x.init != nil {
+			x.init = foldStmt(x.init)
+		}
+		if x.cond != nil {
+			x.cond = fold(x.cond)
+		}
+		if x.post != nil {
+			x.post = foldStmt(x.post)
+		}
+		x.body = foldStmts(x.body)
+		return x
+	case exprStmt:
+		x.e = fold(x.e)
+		return x
+	default:
+		return s
+	}
+}
+
+func foldStmts(ss []stmt) []stmt {
+	for i := range ss {
+		ss[i] = foldStmt(ss[i])
+	}
+	return ss
+}
+
+// immOp returns how an integer binary op with a literal right operand
+// lowers to an immediate-form instruction: emit(dst, src, imm) plus true,
+// or false when no immediate form applies.
+func (g *gen) immOp(op string, imm int64) (func(d, s uint8), bool) {
+	switch op {
+	case "+":
+		return func(d, s uint8) { g.b.Addi(d, s, imm) }, true
+	case "-":
+		return func(d, s uint8) { g.b.Addi(d, s, -imm) }, true
+	case "*":
+		// Strength-reduce multiplication by a power of two.
+		if imm > 0 && imm&(imm-1) == 0 {
+			sh := int64(0)
+			for v := imm; v > 1; v >>= 1 {
+				sh++
+			}
+			return func(d, s uint8) { g.b.Slli(d, s, sh) }, true
+		}
+		return func(d, s uint8) { g.b.Muli(d, s, imm) }, true
+	case "&":
+		return func(d, s uint8) { g.b.Andi(d, s, imm) }, true
+	case "|":
+		return func(d, s uint8) { g.b.Ori(d, s, imm) }, true
+	case "^":
+		return func(d, s uint8) { g.b.Xori(d, s, imm) }, true
+	case "<<":
+		return func(d, s uint8) { g.b.Slli(d, s, imm) }, true
+	case ">>":
+		return func(d, s uint8) { g.b.Srai(d, s, imm) }, true
+	case "<":
+		return func(d, s uint8) { g.b.Slti(d, s, imm) }, true
+	case ">=":
+		return func(d, s uint8) {
+			g.b.Slti(d, s, imm)
+			g.b.Xori(d, d, 1)
+		}, true
+	}
+	return nil, false
+}

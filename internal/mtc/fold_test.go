@@ -1,0 +1,126 @@
+package mtc_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mtsim/internal/asm"
+	"mtsim/internal/machine"
+	"mtsim/internal/mtc"
+)
+
+// TestConstantFolding: constant subtrees vanish; results stay right.
+func TestConstantFolding(t *testing.T) {
+	src := `
+shared int out[4];
+func main() {
+    if (tid != 0) { return; }
+    out[0] = 2 + 3 * 4;          // 14, folded to one li
+    out[1] = (10 - 4) / 3;       // 2
+    out[2] = (1 << 10) | 5;      // 1029
+    out[3] = -(7 - 2);           // -5
+}
+`
+	p, err := mtc.Compile("fold", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := asm.Format(p)
+	for _, op := range []string{"mul\t", "div\t", "sll\t", "\tsub\t", "\tor\t"} {
+		if strings.Contains(text, op) {
+			t.Errorf("constant expression not folded (found %q):\n%s", strings.TrimSpace(op), text)
+		}
+	}
+	if _, err := machine.RunChecked(machine.Config{Model: machine.Ideal}, p, nil, func(sh *machine.Shared) error {
+		want := []int64{14, 2, 1029, -5}
+		for i, w := range want {
+			if got := sh.WordAt("out", int64(i)); got != w {
+				return fmt.Errorf("out[%d] = %d, want %d", i, got, w)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestImmediateForms: literal right operands lower to immediate
+// instructions, and power-of-two multiplies become shifts.
+func TestImmediateForms(t *testing.T) {
+	src := `
+shared int out[6];
+func main() {
+    if (tid != 0) { return; }
+    var x = 10;
+    out[0] = x + 5;
+    out[1] = x - 3;
+    out[2] = x * 8;    // shift, not multiply
+    out[3] = x & 6;
+    out[4] = x < 11;
+    out[5] = x * 10;   // genuine multiply-immediate
+}
+`
+	p, err := mtc.Compile("imm", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := asm.Format(p)
+	for _, want := range []string{"addi", "slli", "andi", "slti", "muli"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing immediate form %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "\tmul\t") || strings.Contains(text, "\tadd\t") {
+		t.Errorf("register-register form where immediate applies:\n%s", text)
+	}
+	if _, err := machine.RunChecked(machine.Config{Model: machine.Ideal}, p, nil, func(sh *machine.Shared) error {
+		want := []int64{15, 7, 80, 2, 1, 100}
+		for i, w := range want {
+			if got := sh.WordAt("out", int64(i)); got != w {
+				return fmt.Errorf("out[%d] = %d, want %d", i, got, w)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFoldingShrinksStencil: the folded/immediate-form stencil loop must
+// be materially smaller and faster than pessimal li/op pairs would be —
+// pin the code size so a codegen regression is caught.
+func TestFoldingShrinksStencil(t *testing.T) {
+	src := `
+shared float grid[300];
+func main() {
+    if (tid != 0) { return; }
+    var i;
+    for (i = 67; i < 200; i = i + 1) {
+        grid[i] = (grid[i-66] + grid[i+66] + grid[i-1] + grid[i+1]) * 0.25;
+    }
+}
+`
+	p, err := mtc.Compile("stencil", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loop body budget: 4 addi + 4 loads + 3 fadd + 2 (li+mtf) + fmul +
+	// store + loop control ~= 20; anything over 30 means folding broke.
+	if n := len(p.Instrs); n > 40 {
+		t.Errorf("stencil compiled to %d instructions; folding regressed", n)
+	}
+	// Division/remainder by a constant zero must not fold (it faults at
+	// runtime like any program error).
+	bad := `
+shared int out[1];
+func main() { out[0] = 1 / 0; }
+`
+	q, err := mtc.Compile("divzero", bad)
+	if err != nil {
+		t.Fatalf("compile-time rejection of 1/0: should fault at runtime instead: %v", err)
+	}
+	if _, err := machine.Run(machine.Config{Model: machine.Ideal}, q, nil); err == nil {
+		t.Error("1/0 did not fault at runtime")
+	}
+}

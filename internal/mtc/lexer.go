@@ -1,0 +1,180 @@
+// Package mtc is a small kernel language and compiler for the simulated
+// multiprocessor, demonstrating the paper's full compiler story: source
+// is compiled with straightforward code generation (shared loads emitted
+// exactly where the source reads shared arrays), and the §5.1 grouping
+// optimizer then reorganizes the object code — just as the paper's
+// post-processor reorganized compiler output.
+//
+// The language ("MTC") is C-flavoured:
+//
+//	shared int data[20000];
+//	shared int hist[16];
+//	shared int ctr[1];
+//	local  int tally[16];
+//
+//	func main() {
+//	    var i; var start; var v;
+//	    for (;;) {
+//	        start = faa(ctr[0], 128);
+//	        if (start >= 20000) { break; }
+//	        for (i = start; i < start+128 && i < 20000; i = i+1) {
+//	            v = data[i];
+//	            tally[v & 15] = tally[v & 15] + 1;
+//	        }
+//	    }
+//	    lock(hmutex);
+//	    // ...
+//	    unlock(hmutex);
+//	}
+//
+// Declarations: `shared int|float name[N];`, `local int|float name[N];`,
+// `lockdecl name;`, `barrierdecl name;`. One function, `main`, runs on
+// every thread (SPMD); the builtin variables `tid`, `nthreads` and `pid`
+// carry the thread's identity. Statements: var/fvar declarations, scalar
+// and array-element assignment, if/else, while, for, break/continue,
+// `barrier(name);`, `lock(name);`, `unlock(name);` and expression
+// statements. Expressions: integer and float arithmetic (int: + - * / %
+// & | ^ << >>, float: + - * /), comparisons (yielding int 0/1), && and
+// || (short-circuit), unary -, `faa(arr[idx], e)`, `float(e)`, `int(e)`,
+// `sqrt(e)` and `abs(e)`.
+package mtc
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokPunct   // single or multi character operator/punctuation
+	tokKeyword // reserved word
+)
+
+var keywords = map[string]bool{
+	"shared": true, "local": true, "int": true, "float": true,
+	"func": true, "var": true, "fvar": true,
+	"if": true, "else": true, "while": true, "for": true,
+	"break": true, "continue": true, "return": true,
+	"lockdecl": true, "barrierdecl": true,
+}
+
+// token is one lexeme with its source position.
+type token struct {
+	kind tokKind
+	text string
+	ival int64
+	fval float64
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokInt:
+		return fmt.Sprintf("integer %d", t.ival)
+	case tokFloat:
+		return fmt.Sprintf("float %g", t.fval)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// puncts are the multi-character operators, longest first.
+var puncts = []string{
+	"<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+	"+", "-", "*", "/", "%", "&", "|", "^", "<", ">",
+	"=", "(", ")", "[", "]", "{", "}", ";", ",", "!",
+}
+
+// lex tokenizes src. Comments run from // to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i+j] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += k
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			advance(1)
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			startCol := col
+			for i < n && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				advance(1)
+			}
+			text := src[start:i]
+			kind := tokIdent
+			if keywords[text] {
+				kind = tokKeyword
+			}
+			toks = append(toks, token{kind: kind, text: text, line: line, col: startCol})
+		case unicode.IsDigit(rune(c)):
+			start := i
+			startCol := col
+			isFloat := false
+			for i < n && (unicode.IsDigit(rune(src[i])) || src[i] == '.') {
+				if src[i] == '.' {
+					if isFloat {
+						return nil, fmt.Errorf("mtc: line %d: malformed number", line)
+					}
+					isFloat = true
+				}
+				advance(1)
+			}
+			text := src[start:i]
+			t := token{line: line, col: startCol, text: text}
+			if isFloat {
+				t.kind = tokFloat
+				if _, err := fmt.Sscanf(text, "%g", &t.fval); err != nil {
+					return nil, fmt.Errorf("mtc: line %d: bad float literal %q", line, text)
+				}
+			} else {
+				t.kind = tokInt
+				if _, err := fmt.Sscanf(text, "%d", &t.ival); err != nil {
+					return nil, fmt.Errorf("mtc: line %d: bad integer literal %q", line, text)
+				}
+			}
+			toks = append(toks, t)
+		default:
+			matched := false
+			for _, p := range puncts {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, token{kind: tokPunct, text: p, line: line, col: col})
+					advance(len(p))
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("mtc: line %d:%d: unexpected character %q", line, col, c)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line, col: col})
+	return toks, nil
+}

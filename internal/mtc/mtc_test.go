@@ -1,0 +1,346 @@
+package mtc_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mtsim/internal/machine"
+	"mtsim/internal/mtc"
+	"mtsim/internal/opt"
+)
+
+// run compiles src and executes it, returning the result and the final
+// shared memory via check.
+func run(t *testing.T, src string, cfg machine.Config, init func(*machine.Shared), check func(*machine.Shared) error) *machine.Result {
+	t.Helper()
+	p, err := mtc.Compile("test", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := machine.RunChecked(cfg, p, init, check)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func TestArithmeticAndControlFlow(t *testing.T) {
+	src := `
+shared int out[8];
+func main() {
+    if (tid != 0) { return; }
+    var a = 7; var b = 3;
+    out[0] = a + b * 2;        // 13
+    out[1] = (a - b) * (a + b); // 40
+    out[2] = a / b;            // 2
+    out[3] = a % b;            // 1
+    out[4] = (a << 2) | (b & 1); // 29
+    var i; var sum = 0;
+    for (i = 1; i <= 10; i = i + 1) { sum = sum + i; }
+    out[5] = sum;              // 55
+    var n = 0;
+    while (n < 100) {
+        n = n + 7;
+        if (n == 49) { break; }
+    }
+    out[6] = n;                // 49
+    out[7] = -a;               // -7
+}
+`
+	run(t, src, machine.Config{Model: machine.Ideal}, nil, func(sh *machine.Shared) error {
+		want := []int64{13, 40, 2, 1, 29, 55, 49, -7}
+		for i, w := range want {
+			if got := sh.WordAt("out", int64(i)); got != w {
+				return fmt.Errorf("out[%d] = %d, want %d", i, got, w)
+			}
+		}
+		return nil
+	})
+}
+
+func TestComparisonsAndLogicals(t *testing.T) {
+	src := `
+shared int out[10];
+func main() {
+    if (tid != 0) { return; }
+    var a = 5; var b = 9;
+    out[0] = a < b;  out[1] = a > b;
+    out[2] = a <= 5; out[3] = a >= 6;
+    out[4] = a == 5; out[5] = a != 5;
+    out[6] = (a < b) && (b < 10);
+    out[7] = (a > b) || (b == 9);
+    out[8] = !(a == 5);
+    // Short-circuit: the right side would fault (out of range) if run.
+    out[9] = (0 == 1) && (out[100000] == 0);
+}
+`
+	run(t, src, machine.Config{Model: machine.Ideal}, nil, func(sh *machine.Shared) error {
+		want := []int64{1, 0, 1, 0, 1, 0, 1, 1, 0, 0}
+		for i, w := range want {
+			if got := sh.WordAt("out", int64(i)); got != w {
+				return fmt.Errorf("out[%d] = %d, want %d", i, got, w)
+			}
+		}
+		return nil
+	})
+}
+
+func TestFloatKernel(t *testing.T) {
+	src := `
+shared float xs[64];
+shared float ys[64];
+func main() {
+    if (tid != 0) { return; }
+    var i;
+    for (i = 0; i < 64; i = i + 1) {
+        fvar v = xs[i];
+        ys[i] = v * v + 0.5;
+    }
+}
+`
+	init := func(sh *machine.Shared) {
+		for i := int64(0); i < 64; i++ {
+			sh.SetFloatAt("xs", i, float64(i)*0.25)
+		}
+	}
+	run(t, src, machine.Config{Model: machine.Ideal}, init, func(sh *machine.Shared) error {
+		for i := int64(0); i < 64; i++ {
+			v := float64(i) * 0.25
+			if got := sh.FloatAt("ys", i); got != v*v+0.5 {
+				return fmt.Errorf("ys[%d] = %g, want %g", i, got, v*v+0.5)
+			}
+		}
+		return nil
+	})
+}
+
+func TestConversionsSqrtAbs(t *testing.T) {
+	src := `
+shared int iout[2];
+shared float fout[3];
+func main() {
+    if (tid != 0) { return; }
+    fvar f = float(9);
+    fout[0] = sqrt(f);        // 3.0
+    fout[1] = abs(0.0 - 2.5); // 2.5
+    fout[2] = f / 2.0;        // 4.5
+    iout[0] = int(7.9);       // 7 (truncating)
+    iout[1] = int(sqrt(f)) + 1; // 4
+}
+`
+	run(t, src, machine.Config{Model: machine.Ideal}, nil, func(sh *machine.Shared) error {
+		if got := sh.FloatAt("fout", 0); got != 3.0 {
+			return fmt.Errorf("sqrt = %g", got)
+		}
+		if got := sh.FloatAt("fout", 1); got != 2.5 {
+			return fmt.Errorf("abs = %g", got)
+		}
+		if got := sh.FloatAt("fout", 2); got != 4.5 {
+			return fmt.Errorf("div = %g", got)
+		}
+		if got := sh.WordAt("iout", 0); got != 7 {
+			return fmt.Errorf("int() = %d", got)
+		}
+		if got := sh.WordAt("iout", 1); got != 4 {
+			return fmt.Errorf("int(sqrt)+1 = %d", got)
+		}
+		return nil
+	})
+}
+
+// TestParallelHistogram is the full SPMD story: self-scheduling via faa,
+// private tallies in local memory, merge under a lock.
+func TestParallelHistogram(t *testing.T) {
+	src := `
+shared int data[4000];
+shared int hist[8];
+shared int ctr[1];
+local  int tally[8];
+lockdecl hmutex;
+
+func main() {
+    var start; var i; var v;
+    for (;;) {
+        start = faa(ctr[0], 100);
+        if (start >= 4000) { break; }
+        var end = start + 100;
+        for (i = start; i < end; i = i + 1) {
+            v = data[i] & 7;
+            tally[v] = tally[v] + 1;
+        }
+    }
+    lock(hmutex);
+    for (i = 0; i < 8; i = i + 1) {
+        hist[i] = hist[i] + tally[i];
+    }
+    unlock(hmutex);
+}
+`
+	want := make([]int64, 8)
+	init := func(sh *machine.Shared) {
+		for i := int64(0); i < 4000; i++ {
+			sh.SetWordAt("data", i, i*2654435761)
+		}
+	}
+	for i := int64(0); i < 4000; i++ {
+		want[(i*2654435761)&7]++
+	}
+	check := func(sh *machine.Shared) error {
+		for i := int64(0); i < 8; i++ {
+			if got := sh.WordAt("hist", i); got != want[i] {
+				return fmt.Errorf("hist[%d] = %d, want %d", i, got, want[i])
+			}
+		}
+		return nil
+	}
+	for _, model := range []machine.Model{machine.Ideal, machine.SwitchOnLoad, machine.SwitchOnUse, machine.ConditionalSwitch} {
+		run(t, src, machine.Config{Procs: 4, Threads: 3, Model: model, Latency: 60}, init, check)
+	}
+}
+
+// TestBarrierPhases: two barrier objects used alternately must keep their
+// senses independent (the compiler stores each barrier's local sense in
+// local memory).
+func TestBarrierPhases(t *testing.T) {
+	src := `
+shared int slots[64];
+shared int bad[1];
+barrierdecl b1;
+barrierdecl b2;
+
+func main() {
+    var phase; var i; var expect;
+    for (phase = 0; phase < 4; phase = phase + 1) {
+        slots[tid] = phase + 1;
+        barrier(b1);
+        expect = phase + 1;
+        for (i = 0; i < nthreads; i = i + 1) {
+            if (slots[i] != expect) { bad[0] = 1; }
+        }
+        barrier(b2);
+    }
+}
+`
+	run(t, src, machine.Config{Procs: 4, Threads: 4, Model: machine.SwitchOnLoad, Latency: 50}, nil,
+		func(sh *machine.Shared) error {
+			if sh.WordAt("bad", 0) != 0 {
+				return fmt.Errorf("a thread crossed a barrier early")
+			}
+			return nil
+		})
+}
+
+// TestCompilerOutputGroups is the paper's pipeline end to end: MTC source
+// with several independent shared loads compiles to naive code, and the
+// §5.1 optimizer groups them.
+func TestCompilerOutputGroups(t *testing.T) {
+	src := `
+shared float grid[4416];  // 66 + 64x66 + padding, like sor's layout
+func main() {
+    if (tid != 0) { return; }
+    var i;
+    for (i = 67; i < 4350; i = i + 1) {
+        grid[i] = (grid[i-66] + grid[i+66] + grid[i-1] + grid[i+1]) * 0.25;
+    }
+}
+`
+	p, err := mtc.Compile("stencil", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped, st, err := opt.Optimize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.GroupSizes[4] == 0 {
+		t.Errorf("expected a four-load group from the stencil, got %v", st.GroupSizes)
+	}
+	// The grouped code must compute the same grid.
+	initial := make([]float64, 4416)
+	for i := range initial {
+		initial[i] = float64(i%97) * 0.125
+	}
+	init := func(sh *machine.Shared) {
+		for i, v := range initial {
+			sh.SetFloatAt("grid", int64(i), v)
+		}
+	}
+	ref := append([]float64(nil), initial...)
+	for i := 67; i < 4350; i++ {
+		ref[i] = (ref[i-66] + ref[i+66] + ref[i-1] + ref[i+1]) * 0.25
+	}
+	check := func(sh *machine.Shared) error {
+		for i := int64(0); i < 4416; i++ {
+			if got := sh.FloatAt("grid", i); got != ref[i] {
+				return fmt.Errorf("grid[%d] = %g, want %g", i, got, ref[i])
+			}
+		}
+		return nil
+	}
+	if _, err := machine.RunChecked(machine.Config{Model: machine.ExplicitSwitch, Latency: 100}, grouped, init, check); err != nil {
+		t.Fatal(err)
+	}
+	// And run faster than the raw code under switch-on-load.
+	r1, err := machine.RunChecked(machine.Config{Model: machine.SwitchOnLoad, Latency: 100, Threads: 4}, p, init, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := machine.RunChecked(machine.Config{Model: machine.ExplicitSwitch, Latency: 100, Threads: 4}, grouped, init, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Cycles >= r1.Cycles {
+		t.Errorf("grouped %d cycles >= raw %d", r2.Cycles, r1.Cycles)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := map[string]string{
+		"no main":          `shared int x[4];`,
+		"bad char":         `func main() { @ }`,
+		"undeclared var":   `func main() { x = 1; }`,
+		"undeclared array": `func main() { var v = zs[0]; }`,
+		"type mix":         `func main() { var a = 1 + 1.5; }`,
+		"float faa":        `shared float f[4]; func main() { var v = faa(f[0], 1); }`,
+		"local faa":        `local int l[4]; func main() { var v = faa(l[0], 1); }`,
+		"redeclared":       `func main() { var a; var a; }`,
+		"break outside":    `func main() { break; }`,
+		"lock undeclared":  `func main() { lock(m); }`,
+		"barrier on lock":  `lockdecl m; func main() { barrier(m); }`,
+		"two funcs":        `func main() {} func main() {}`,
+		"wrong func name":  `func other() {}`,
+		"bad array size":   `shared int x[0]; func main() {}`,
+		"unterminated":     `func main() { var a = 1;`,
+		"store type":       `shared float f[2]; func main() { f[0] = 3; }`,
+		"builtin assign":   `func main() { var tid; }`,
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := mtc.Compile("bad", src); err == nil {
+				t.Errorf("accepted:\n%s", src)
+			} else if !strings.Contains(err.Error(), "mtc:") {
+				t.Errorf("error missing mtc prefix: %v", err)
+			}
+		})
+	}
+}
+
+func TestBuiltinIdentity(t *testing.T) {
+	src := `
+shared int out[64];
+func main() {
+    out[tid] = tid * 100 + pid * 10 + nthreads;
+}
+`
+	run(t, src, machine.Config{Procs: 3, Threads: 2, Model: machine.Ideal}, nil, func(sh *machine.Shared) error {
+		for tid := int64(0); tid < 6; tid++ {
+			pid := tid / 2
+			want := tid*100 + pid*10 + 6
+			if got := sh.WordAt("out", tid); got != want {
+				return fmt.Errorf("out[%d] = %d, want %d", tid, got, want)
+			}
+		}
+		return nil
+	})
+}

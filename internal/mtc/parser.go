@@ -1,0 +1,490 @@
+package mtc
+
+import "fmt"
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(t token, format string, args ...any) error {
+	return fmt.Errorf("mtc: line %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.next()
+	if t.kind != tokPunct || t.text != s {
+		return p.errf(t, "expected %q, found %s", s, t)
+	}
+	return nil
+}
+
+func (p *parser) expectKeyword(s string) error {
+	t := p.next()
+	if t.kind != tokKeyword || t.text != s {
+		return p.errf(t, "expected %q, found %s", s, t)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return t, p.errf(t, "expected identifier, found %s", t)
+	}
+	return t, nil
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if p.cur().kind == tokPunct && p.cur().text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) isKeyword(s string) bool {
+	return p.cur().kind == tokKeyword && p.cur().text == s
+}
+
+// parseProgram parses the whole compilation unit.
+func (p *parser) parseProgram(name string) (*program, error) {
+	prg := &program{name: name}
+	for {
+		t := p.cur()
+		switch {
+		case t.kind == tokEOF:
+			if prg.body == nil {
+				return nil, p.errf(t, "missing func main()")
+			}
+			return prg, nil
+		case t.kind == tokKeyword && (t.text == "shared" || t.text == "local"):
+			d, err := p.parseArrayDecl()
+			if err != nil {
+				return nil, err
+			}
+			prg.decls = append(prg.decls, d)
+		case t.kind == tokKeyword && (t.text == "lockdecl" || t.text == "barrierdecl"):
+			p.pos++
+			id, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+			k := declLock
+			if t.text == "barrierdecl" {
+				k = declBarrier
+			}
+			prg.decls = append(prg.decls, arrayDecl{kind: k, name: id.text, size: 2, line: t.line})
+		case t.kind == tokKeyword && t.text == "func":
+			if prg.body != nil {
+				return nil, p.errf(t, "only one function, main, is allowed")
+			}
+			p.pos++
+			id, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if id.text != "main" {
+				return nil, p.errf(id, "the single function must be named main")
+			}
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			body, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			prg.body = body
+			prg.mainLn = t.line
+		default:
+			return nil, p.errf(t, "expected a declaration or func main, found %s", t)
+		}
+	}
+}
+
+func (p *parser) parseArrayDecl() (arrayDecl, error) {
+	kw := p.next() // shared | local
+	d := arrayDecl{line: kw.line}
+	if kw.text == "shared" {
+		d.kind = declShared
+	} else {
+		d.kind = declLocal
+	}
+	et := p.next()
+	switch {
+	case et.kind == tokKeyword && et.text == "int":
+		d.elem = typInt
+	case et.kind == tokKeyword && et.text == "float":
+		d.elem = typFloat
+	default:
+		return d, p.errf(et, "expected element type int or float, found %s", et)
+	}
+	id, err := p.expectIdent()
+	if err != nil {
+		return d, err
+	}
+	d.name = id.text
+	if err := p.expectPunct("["); err != nil {
+		return d, err
+	}
+	sz := p.next()
+	if sz.kind != tokInt || sz.ival <= 0 {
+		return d, p.errf(sz, "expected a positive array size, found %s", sz)
+	}
+	d.size = sz.ival
+	if err := p.expectPunct("]"); err != nil {
+		return d, err
+	}
+	return d, p.expectPunct(";")
+}
+
+func (p *parser) parseBlock() ([]stmt, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var out []stmt
+	for !p.acceptPunct("}") {
+		if p.cur().kind == tokEOF {
+			return nil, p.errf(p.cur(), "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (p *parser) parseStmt() (stmt, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokKeyword && (t.text == "var" || t.text == "fvar"):
+		p.pos++
+		id, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		d := varDecl{name: id.text, line: t.line}
+		if t.text == "fvar" {
+			d.t = typFloat
+		}
+		if p.acceptPunct("=") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			d.init = e
+		}
+		return d, p.expectPunct(";")
+
+	case t.kind == tokKeyword && t.text == "if":
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		s := ifStmt{cond: cond, then: then, line: t.line}
+		if p.isKeyword("else") {
+			p.pos++
+			if p.isKeyword("if") {
+				inner, err := p.parseStmt()
+				if err != nil {
+					return nil, err
+				}
+				s.els = []stmt{inner}
+			} else {
+				els, err := p.parseBlock()
+				if err != nil {
+					return nil, err
+				}
+				s.els = els
+			}
+		}
+		return s, nil
+
+	case t.kind == tokKeyword && t.text == "while":
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return whileStmt{cond: cond, body: body, line: t.line}, nil
+
+	case t.kind == tokKeyword && t.text == "for":
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		s := forStmt{line: t.line}
+		if !p.acceptPunct(";") {
+			init, err := p.parseSimpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.init = init
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+		}
+		if !p.acceptPunct(";") {
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.cond = cond
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+		}
+		if !p.acceptPunct(")") {
+			post, err := p.parseSimpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.post = post
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		s.body = body
+		return s, nil
+
+	case t.kind == tokKeyword && t.text == "break":
+		p.pos++
+		return breakStmt{line: t.line}, p.expectPunct(";")
+	case t.kind == tokKeyword && t.text == "continue":
+		p.pos++
+		return continueStmt{line: t.line}, p.expectPunct(";")
+	case t.kind == tokKeyword && t.text == "return":
+		p.pos++
+		return returnStmt{line: t.line}, p.expectPunct(";")
+
+	case t.kind == tokIdent && (t.text == "barrier" || t.text == "lock" || t.text == "unlock") &&
+		p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == "(":
+		p.pos++
+		p.pos++ // "("
+		id, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		switch t.text {
+		case "barrier":
+			return barrierStmt{name: id.text, line: t.line}, nil
+		case "lock":
+			return lockStmt{name: id.text, acquire: true, line: t.line}, nil
+		default:
+			return lockStmt{name: id.text, acquire: false, line: t.line}, nil
+		}
+
+	default:
+		s, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		return s, p.expectPunct(";")
+	}
+}
+
+// parseSimpleStmt parses an assignment or expression statement (no
+// trailing semicolon), as used in for-headers.
+func (p *parser) parseSimpleStmt() (stmt, error) {
+	t := p.cur()
+	if t.kind == tokIdent {
+		// Lookahead distinguishes "x = e", "a[i] = e" from expressions.
+		if p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == "=" {
+			p.pos += 2
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return assign{name: t.text, val: e, line: t.line}, nil
+		}
+		if p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == "[" {
+			// Could be a store or an index expression; parse the index
+			// and check for '='.
+			save := p.pos
+			p.pos += 2
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			if p.acceptPunct("=") {
+				val, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				return storeStmt{arr: t.text, idx: idx, val: val, line: t.line}, nil
+			}
+			p.pos = save // expression statement after all
+		}
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return exprStmt{e: e, line: t.line}, nil
+}
+
+// Operator precedence, loosest first.
+var precedence = [][]string{
+	{"||"},
+	{"&&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"|", "^"},
+	{"&"},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) parseExpr() (expr, error) { return p.parseBin(0) }
+
+func (p *parser) parseBin(level int) (expr, error) {
+	if level >= len(precedence) {
+		return p.parseUnary()
+	}
+	l, err := p.parseBin(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct || !contains(precedence[level], t.text) {
+			return l, nil
+		}
+		p.pos++
+		r, err := p.parseBin(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		l = binExpr{op: t.text, l: l, r: r, line: t.line}
+	}
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	t := p.cur()
+	if t.kind == tokPunct && (t.text == "-" || t.text == "!") {
+		p.pos++
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unaryExpr{op: t.text, e: e, line: t.line}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (expr, error) {
+	t := p.next()
+	switch {
+	case t.kind == tokInt:
+		return intLit{v: t.ival, line: t.line}, nil
+	case t.kind == tokFloat:
+		return floatLit{v: t.fval, line: t.line}, nil
+	case t.kind == tokPunct && t.text == "(":
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expectPunct(")")
+	case t.kind == tokKeyword && (t.text == "float" || t.text == "int"):
+		// Conversion builtins share keyword names.
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return callExpr{fn: t.text, args: []expr{e}, line: t.line}, nil
+	case t.kind == tokIdent:
+		if p.acceptPunct("(") {
+			var args []expr
+			if !p.acceptPunct(")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.acceptPunct(")") {
+						break
+					}
+					if err := p.expectPunct(","); err != nil {
+						return nil, err
+					}
+				}
+			}
+			return callExpr{fn: t.text, args: args, line: t.line}, nil
+		}
+		if p.acceptPunct("[") {
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			return indexExpr{arr: t.text, idx: idx, line: t.line}, nil
+		}
+		return varRef{name: t.text, line: t.line}, nil
+	}
+	return nil, p.errf(t, "expected an expression, found %s", t)
+}

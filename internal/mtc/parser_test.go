@@ -1,0 +1,192 @@
+package mtc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mtsim/internal/machine"
+	"mtsim/internal/mtc"
+)
+
+// TestOperatorPrecedence checks the binding levels end to end through
+// compiled execution, which pins both the parser and the code generator.
+func TestOperatorPrecedence(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"10 - 4 - 3", 3}, // left associative
+		{"2 * 3 % 4", 2},  // same level, left to right
+		{"1 | 2 ^ 3", 1 | 2 ^ 3},
+		{"6 & 3 | 8", 6&3 | 8},
+		{"1 << 2 + 1", 1 << 3}, // shift binds looser than +
+		{"5 < 6 == 1", 1},      // comparison then equality
+		{"1 + 1 == 2 && 2 + 2 == 4", 1},
+		{"0 == 1 || 1 == 1", 1},
+		{"-2 * 3", -6},
+		{"- (2 + 3)", -5},
+		{"!(3 < 2)", 1},
+		{"!7", 0},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.src, func(t *testing.T) {
+			src := fmt.Sprintf(`
+shared int out[1];
+func main() {
+    if (tid != 0) { return; }
+    out[0] = %s;
+}
+`, c.src)
+			p, err := mtc.Compile("prec", src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := machine.RunChecked(machine.Config{Model: machine.Ideal}, p, nil, func(sh *machine.Shared) error {
+				if got := sh.WordAt("out", 0); got != c.want {
+					return fmt.Errorf("%s = %d, want %d", c.src, got, c.want)
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	cases := []string{
+		"func main() { var x = 1.2.3; }",
+		"func main() { var x = @; }",
+	}
+	for _, src := range cases {
+		if _, err := mtc.Compile("lex", src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := "// leading comment\nshared int out[1];\t// trailing\n\n\nfunc main() {\n// body comment\n  out[0] = 42; }\n"
+	p, err := mtc.Compile("c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := machine.RunChecked(machine.Config{Model: machine.Ideal, Threads: 1}, p, nil, func(sh *machine.Shared) error {
+		if got := sh.WordAt("out", 0); got != 42 {
+			return fmt.Errorf("out = %d", got)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElseIfChain(t *testing.T) {
+	src := `
+shared int out[5];
+func main() {
+    if (tid != 0) { return; }
+    var i;
+    for (i = 0; i < 5; i = i + 1) {
+        if (i == 0) { out[i] = 10; }
+        else if (i == 1) { out[i] = 20; }
+        else if (i < 4) { out[i] = 30; }
+        else { out[i] = 40; }
+    }
+}
+`
+	p, err := mtc.Compile("elif", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := machine.RunChecked(machine.Config{Model: machine.Ideal}, p, nil, func(sh *machine.Shared) error {
+		want := []int64{10, 20, 30, 30, 40}
+		for i, w := range want {
+			if got := sh.WordAt("out", int64(i)); got != w {
+				return fmt.Errorf("out[%d] = %d, want %d", i, got, w)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContinueStatement(t *testing.T) {
+	src := `
+shared int out[1];
+func main() {
+    if (tid != 0) { return; }
+    var i; var sum = 0;
+    for (i = 0; i < 10; i = i + 1) {
+        if (i % 2 == 0) { continue; }
+        sum = sum + i;   // 1+3+5+7+9
+    }
+    out[0] = sum;
+}
+`
+	p, err := mtc.Compile("cont", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := machine.RunChecked(machine.Config{Model: machine.Ideal}, p, nil, func(sh *machine.Shared) error {
+		if got := sh.WordAt("out", 0); got != 25 {
+			return fmt.Errorf("sum = %d, want 25", got)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExpressionDepthLimit: exceeding the register stack must be a clean
+// compile error, not a miscompile.
+func TestExpressionDepthLimit(t *testing.T) {
+	deep := "1"
+	for i := 0; i < 30; i++ {
+		deep = "(" + deep + " + (1"
+	}
+	for i := 0; i < 30; i++ {
+		deep += "))"
+	}
+	src := "shared int out[1];\nfunc main() { out[0] = " + deep + "; }"
+	// Folding collapses pure literals, so force variables into the tree.
+	src2 := `
+shared int out[1];
+func main() {
+    var a = 1;
+    out[0] = (a+(a+(a+(a+(a+(a+(a+(a+(a+(a+(a+(a+(a+(a+(a+(a+a))))))))))))))));
+}
+`
+	if _, err := mtc.Compile("deep", src); err != nil {
+		// Pure literals may fold away; either outcome is fine here.
+		t.Logf("literal-deep: %v", err)
+	}
+	p, err := mtc.Compile("deep2", src2)
+	if err == nil {
+		// Right-leaning chains evaluate l first (a var, no push), so
+		// this may legitimately fit; run it to confirm correctness.
+		if _, err := machine.RunChecked(machine.Config{Model: machine.Ideal, Threads: 1}, p, nil, func(sh *machine.Shared) error {
+			if got := sh.WordAt("out", 0); got != 17 {
+				return fmt.Errorf("sum = %d, want 17", got)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestVarLimits(t *testing.T) {
+	src := "shared int out[1];\nfunc main() {\n"
+	for i := 0; i < 20; i++ {
+		src += fmt.Sprintf("var v%d;\n", i)
+	}
+	src += "}\n"
+	if _, err := mtc.Compile("vars", src); err == nil {
+		t.Error("accepted more integer variables than registers")
+	}
+}

@@ -1,0 +1,151 @@
+package net
+
+import (
+	"fmt"
+	"math"
+)
+
+// CongestionConfig parameterizes the optional load-dependent latency
+// model — the paper's stated future work (§6.1: "Simulations using
+// realistic networks are needed to fully explore this issue"). It models
+// a multistage packet-switched butterfly (the NYU Ultracomputer / RP3
+// style network the paper assumes, §3) with an open-queueing
+// approximation: each of the 2xStages hops adds an M/D/1 waiting time
+// that grows with the measured channel utilization, so the round-trip
+// latency responds to the bandwidth the program actually demands.
+//
+// The zero value disables the model (constant latency, as in the paper).
+type CongestionConfig struct {
+	// Enabled turns the model on.
+	Enabled bool
+	// Stages is the number of network stages each way. Zero means
+	// ceil(log2(procs)), the butterfly's natural depth.
+	Stages int
+	// HopCycles is the zero-load per-stage delay (default 4).
+	HopCycles int
+	// ChannelBits is the per-channel capacity in bits per cycle
+	// (default 16; the paper's §6.1 discusses 2-bit channels as a lower
+	// bound for cached codes).
+	ChannelBits int
+	// MemCycles is the memory-module service time (default 20).
+	MemCycles int
+	// Window is the utilization-averaging window in cycles (default 256).
+	Window int
+}
+
+// withDefaults fills zero fields.
+func (c CongestionConfig) withDefaults(procs int) CongestionConfig {
+	if c.Stages == 0 {
+		c.Stages = 1
+		for 1<<uint(c.Stages) < procs {
+			c.Stages++
+		}
+	}
+	if c.HopCycles == 0 {
+		c.HopCycles = 4
+	}
+	if c.ChannelBits == 0 {
+		c.ChannelBits = 16
+	}
+	if c.MemCycles == 0 {
+		c.MemCycles = 20
+	}
+	if c.Window == 0 {
+		c.Window = 256
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c CongestionConfig) Validate() error {
+	if !c.Enabled {
+		return nil
+	}
+	switch {
+	case c.Stages < 0:
+		return fmt.Errorf("net: congestion Stages %d < 0", c.Stages)
+	case c.HopCycles < 0:
+		return fmt.Errorf("net: congestion HopCycles %d < 0", c.HopCycles)
+	case c.ChannelBits < 0:
+		return fmt.Errorf("net: congestion ChannelBits %d < 0", c.ChannelBits)
+	case c.MemCycles < 0 || c.Window < 0:
+		return fmt.Errorf("net: congestion MemCycles/Window must be >= 0")
+	}
+	return nil
+}
+
+// ZeroLoadLatency is the round trip with empty queues.
+func (c CongestionConfig) ZeroLoadLatency(procs int) int64 {
+	d := c.withDefaults(procs)
+	return int64(2*d.Stages*d.HopCycles + d.MemCycles)
+}
+
+// Congestion is the runtime state: an exponentially-decayed estimate of
+// the per-processor injection rate, queried for the current round-trip
+// latency. It is owned by one simulation and is not safe for concurrent
+// use.
+type Congestion struct {
+	cfg   CongestionConfig
+	procs int
+
+	lastUpdate int64
+	windowBits float64 // decayed bits in the averaging window
+	msgs       float64 // decayed message count (for mean message size)
+
+	// PeakUtilization records the highest channel utilization observed.
+	PeakUtilization float64
+}
+
+// NewCongestion builds the runtime state for a procs-processor machine.
+func NewCongestion(cfg CongestionConfig, procs int) *Congestion {
+	return &Congestion{cfg: cfg.withDefaults(procs), procs: procs}
+}
+
+// decay ages the window to time now.
+func (g *Congestion) decay(now int64) {
+	dt := now - g.lastUpdate
+	if dt <= 0 {
+		return
+	}
+	g.lastUpdate = now
+	f := math.Exp(-float64(dt) / float64(g.cfg.Window))
+	g.windowBits *= f
+	g.msgs *= f
+}
+
+// Add records bits injected at time now.
+func (g *Congestion) Add(now, bits int64) {
+	g.decay(now)
+	g.windowBits += float64(bits)
+	g.msgs++
+}
+
+// Utilization returns the estimated per-channel utilization in [0, 0.97].
+func (g *Congestion) Utilization(now int64) float64 {
+	g.decay(now)
+	// Per-processor injection rate over the window, normalized by the
+	// channel capacity.
+	rate := g.windowBits / float64(g.cfg.Window) / float64(g.procs)
+	u := rate / float64(g.cfg.ChannelBits)
+	if u > 0.97 {
+		u = 0.97
+	}
+	if u > g.PeakUtilization {
+		g.PeakUtilization = u
+	}
+	return u
+}
+
+// Latency returns the current round-trip latency: zero-load hops plus an
+// M/D/1 waiting time per hop that diverges as utilization approaches 1.
+func (g *Congestion) Latency(now int64) int64 {
+	u := g.Utilization(now)
+	service := 2.0 // cycles to forward an average message at full rate
+	if g.msgs > 0.5 {
+		service = g.windowBits / g.msgs / float64(g.cfg.ChannelBits)
+	}
+	wait := u / (2 * (1 - u)) * service // M/D/1 mean wait
+	perHop := float64(g.cfg.HopCycles) + wait
+	lat := 2*float64(g.cfg.Stages)*perHop + float64(g.cfg.MemCycles)
+	return int64(lat + 0.5)
+}

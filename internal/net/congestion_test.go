@@ -1,0 +1,87 @@
+package net
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCongestionDefaults(t *testing.T) {
+	c := CongestionConfig{Enabled: true}.withDefaults(64)
+	if c.Stages != 6 {
+		t.Errorf("stages = %d, want log2(64) = 6", c.Stages)
+	}
+	if c.HopCycles == 0 || c.ChannelBits == 0 || c.MemCycles == 0 || c.Window == 0 {
+		t.Errorf("defaults not filled: %+v", c)
+	}
+	if got := (CongestionConfig{Enabled: true}).ZeroLoadLatency(64); got != int64(2*6*4+20) {
+		t.Errorf("zero-load latency = %d", got)
+	}
+}
+
+func TestCongestionValidate(t *testing.T) {
+	if err := (CongestionConfig{}).Validate(); err != nil {
+		t.Errorf("disabled config rejected: %v", err)
+	}
+	bad := CongestionConfig{Enabled: true, Stages: -1}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative stages accepted")
+	}
+}
+
+func TestLatencyGrowsWithLoad(t *testing.T) {
+	g := NewCongestion(CongestionConfig{Enabled: true, ChannelBits: 8}, 16)
+	idle := g.Latency(0)
+	// Inject heavy traffic.
+	for i := int64(0); i < 1000; i++ {
+		g.Add(i, 64)
+	}
+	loaded := g.Latency(1000)
+	if loaded <= idle {
+		t.Errorf("loaded latency %d <= idle %d", loaded, idle)
+	}
+	if g.PeakUtilization <= 0 {
+		t.Error("peak utilization not recorded")
+	}
+	// After a long quiet period the latency must decay back.
+	relaxed := g.Latency(1000 + 100*256)
+	if relaxed > idle+1 {
+		t.Errorf("latency did not decay: %d vs idle %d", relaxed, idle)
+	}
+}
+
+func TestUtilizationClamped(t *testing.T) {
+	g := NewCongestion(CongestionConfig{Enabled: true, ChannelBits: 1}, 1)
+	for i := int64(0); i < 10000; i++ {
+		g.Add(i, 1000)
+	}
+	if u := g.Utilization(10000); u > 0.97 {
+		t.Errorf("utilization %v above clamp", u)
+	}
+	// Latency stays finite at the clamp.
+	if l := g.Latency(10000); l <= 0 || l > 100000 {
+		t.Errorf("latency at saturation = %d", l)
+	}
+}
+
+// Property: latency is always at least the zero-load value and monotone
+// under added load at a fixed instant.
+func TestLatencyMonotoneProperty(t *testing.T) {
+	f := func(loads []uint16) bool {
+		g := NewCongestion(CongestionConfig{Enabled: true}, 16)
+		zero := g.Latency(0)
+		prev := zero
+		now := int64(1)
+		for _, b := range loads {
+			g.Add(now, int64(b%512))
+			l := g.Latency(now) // same instant: no decay between samples
+			if l < zero || l < prev-1 {
+				return false
+			}
+			prev = l
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,143 @@
+// Package net models the interconnection network's accounting.
+//
+// Following the paper (§3), the network itself is not simulated: every
+// shared access has a constant round-trip latency, delivery is ordered,
+// and combining is assumed for synchronization. What the paper does
+// measure (§6.1) is the bandwidth each application demands, in bits per
+// cycle per processor, broken down by message type and including the
+// overhead of message headers, results, acknowledgements and
+// invalidations. This package provides that accounting.
+//
+// Sizes are in bits, with the paper's 32-bit word: a header is one word,
+// an address one word, integer data one word, and floating-point or
+// Load-Double data two words.
+package net
+
+import "fmt"
+
+// Message field sizes in bits.
+const (
+	HeaderBits = 32 // message type, source and destination routing
+	AddrBits   = 32
+	WordBits   = 32 // one 32-bit data word
+	DoubleBits = 64 // Load-Double / floating-point datum
+)
+
+// MsgType enumerates the message kinds the accounting distinguishes.
+type MsgType int
+
+const (
+	ReadReq MsgType = iota
+	ReadReply
+	WriteReq
+	WriteAck
+	FaaReq
+	FaaReply
+	LineReq   // cache line fill request
+	LineReply // cache line fill data
+	Inval     // invalidation of a cached copy
+	InvalAck
+	WriteBack // flush of a dirty cache line to memory
+	numMsgTypes
+)
+
+// NumMsgTypes is the number of message kinds.
+const NumMsgTypes = int(numMsgTypes)
+
+var msgNames = [numMsgTypes]string{
+	ReadReq: "read-req", ReadReply: "read-reply",
+	WriteReq: "write-req", WriteAck: "write-ack",
+	FaaReq: "faa-req", FaaReply: "faa-reply",
+	LineReq: "line-req", LineReply: "line-reply",
+	Inval: "inval", InvalAck: "inval-ack",
+	WriteBack: "write-back",
+}
+
+func (t MsgType) String() string {
+	if int(t) < len(msgNames) {
+		return msgNames[t]
+	}
+	return fmt.Sprintf("msg(%d)", int(t))
+}
+
+// Bits returns the size of a message of type t carrying dataBits of
+// payload. Requests carry an address; replies carry only header+payload.
+func Bits(t MsgType, dataBits int) int64 {
+	switch t {
+	case ReadReq, LineReq:
+		return HeaderBits + AddrBits
+	case ReadReply, FaaReply, LineReply:
+		return int64(HeaderBits + dataBits)
+	case WriteReq, FaaReq, WriteBack:
+		return int64(HeaderBits + AddrBits + dataBits)
+	case WriteAck, InvalAck:
+		return HeaderBits
+	case Inval:
+		return HeaderBits + AddrBits
+	}
+	panic(fmt.Sprintf("net: unknown message type %d", int(t)))
+}
+
+// Traffic accumulates message counts and bits. The zero value is ready to
+// use. Spin traffic (lock and barrier probe loops) is recorded separately
+// and excluded from Bits totals, matching the paper's footnote 2.
+type Traffic struct {
+	Count [numMsgTypes]int64
+	bits  [numMsgTypes]int64
+
+	SpinCount int64
+	SpinBits  int64
+}
+
+// Add records one message of type t with dataBits of payload.
+func (tr *Traffic) Add(t MsgType, dataBits int) {
+	tr.Count[t]++
+	tr.bits[t] += Bits(t, dataBits)
+}
+
+// AddSpin records a message belonging to a synchronization spin loop.
+func (tr *Traffic) AddSpin(t MsgType, dataBits int) {
+	tr.SpinCount++
+	tr.SpinBits += Bits(t, dataBits)
+}
+
+// Bits returns the total non-spin bits transferred.
+func (tr *Traffic) Bits() int64 {
+	var sum int64
+	for _, b := range tr.bits {
+		sum += b
+	}
+	return sum
+}
+
+// BitsOf returns the non-spin bits of one message type.
+func (tr *Traffic) BitsOf(t MsgType) int64 { return tr.bits[t] }
+
+// Messages returns the total non-spin message count.
+func (tr *Traffic) Messages() int64 {
+	var sum int64
+	for _, c := range tr.Count {
+		sum += c
+	}
+	return sum
+}
+
+// PerCycle returns bandwidth in bits per cycle per processor: the sum of
+// forward and return traffic divided over the run, as in the paper's §6.1
+// bandwidth figures.
+func (tr *Traffic) PerCycle(cycles int64, procs int) float64 {
+	if cycles <= 0 || procs <= 0 {
+		return 0
+	}
+	return float64(tr.Bits()) / float64(cycles) / float64(procs)
+}
+
+// Merge adds other's counters into tr.
+func (tr *Traffic) Merge(other *Traffic) {
+	for i := range tr.Count {
+		tr.Count[i] += other.Count[i]
+		tr.bits[i] += other.bits[i]
+	}
+	tr.SpinCount += other.SpinCount
+	tr.SpinBits += other.SpinBits
+}

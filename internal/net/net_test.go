@@ -1,0 +1,105 @@
+package net
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBits(t *testing.T) {
+	cases := []struct {
+		t    MsgType
+		data int
+		want int64
+	}{
+		{ReadReq, 0, 64},
+		{ReadReply, WordBits, 64},
+		{ReadReply, DoubleBits, 96},
+		{WriteReq, WordBits, 96},
+		{WriteReq, DoubleBits, 128},
+		{WriteAck, 0, 32},
+		{FaaReq, WordBits, 96},
+		{FaaReply, WordBits, 64},
+		{LineReq, 0, 64},
+		{LineReply, 4 * DoubleBits, 32 + 256},
+		{Inval, 0, 64},
+		{InvalAck, 0, 32},
+		{WriteBack, 4 * DoubleBits, 64 + 256},
+	}
+	for _, c := range cases {
+		if got := Bits(c.t, c.data); got != c.want {
+			t.Errorf("Bits(%s, %d) = %d, want %d", c.t, c.data, got, c.want)
+		}
+	}
+}
+
+func TestMsgTypeNames(t *testing.T) {
+	for i := 0; i < NumMsgTypes; i++ {
+		if MsgType(i).String() == "" {
+			t.Errorf("message type %d unnamed", i)
+		}
+	}
+}
+
+func TestTrafficAccumulation(t *testing.T) {
+	var tr Traffic
+	tr.Add(ReadReq, 0)
+	tr.Add(ReadReply, WordBits)
+	tr.AddSpin(ReadReq, 0)
+	if tr.Messages() != 2 {
+		t.Errorf("messages = %d", tr.Messages())
+	}
+	if tr.Bits() != 128 {
+		t.Errorf("bits = %d", tr.Bits())
+	}
+	if tr.SpinCount != 1 || tr.SpinBits != 64 {
+		t.Errorf("spin = %d msgs %d bits", tr.SpinCount, tr.SpinBits)
+	}
+	if got := tr.PerCycle(64, 1); got != 2.0 {
+		t.Errorf("PerCycle = %v", got)
+	}
+	if got := tr.PerCycle(64, 2); got != 1.0 {
+		t.Errorf("PerCycle(2 procs) = %v", got)
+	}
+	if got := tr.PerCycle(0, 1); got != 0 {
+		t.Errorf("PerCycle(0 cycles) = %v", got)
+	}
+	if got := tr.BitsOf(ReadReq); got != 64 {
+		t.Errorf("BitsOf = %d", got)
+	}
+}
+
+func TestTrafficMerge(t *testing.T) {
+	var a, b Traffic
+	a.Add(WriteReq, WordBits)
+	b.Add(WriteReq, DoubleBits)
+	b.AddSpin(Inval, 0)
+	a.Merge(&b)
+	if a.Count[WriteReq] != 2 {
+		t.Errorf("count = %d", a.Count[WriteReq])
+	}
+	if a.Bits() != 96+128 {
+		t.Errorf("bits = %d", a.Bits())
+	}
+	if a.SpinCount != 1 {
+		t.Errorf("spin = %d", a.SpinCount)
+	}
+}
+
+// Property: Bits is always positive and monotone in payload for
+// data-carrying messages; spin traffic never leaks into Bits().
+func TestTrafficProperties(t *testing.T) {
+	f := func(kind uint8, data uint8, spin bool) bool {
+		mt := MsgType(int(kind) % NumMsgTypes)
+		payload := int(data%4) * WordBits
+		var tr Traffic
+		if spin {
+			tr.AddSpin(mt, payload)
+			return tr.Bits() == 0 && tr.SpinBits > 0
+		}
+		tr.Add(mt, payload)
+		return tr.Bits() >= HeaderBits && tr.Messages() == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,70 @@
+// Package opt implements the paper's compiler optimization (§5.1): it
+// finds basic blocks, performs dependency analysis within each block, and
+// reorganizes instructions so that independent shared loads are grouped
+// together with a single explicit context switch instruction inserted
+// between each group and the instructions that use the loaded values.
+//
+// Like the paper's post-processor, the analysis works at the assembly
+// level and therefore makes pessimistic assumptions: every shared store
+// might conflict with every shared load (address aliasing, §5.1
+// footnote), and likewise for local memory. Fetch-and-Add reads and
+// writes shared memory and so orders against all shared accesses.
+package opt
+
+import (
+	"sort"
+
+	"mtsim/internal/isa"
+	"mtsim/internal/prog"
+)
+
+// Block is a basic block: instructions [Start, End) of the program, of
+// which at most the last is a control transfer.
+type Block struct {
+	Start int
+	End   int
+}
+
+// Len returns the number of instructions in the block.
+func (b Block) Len() int { return b.End - b.Start }
+
+// FindBlocks partitions the program into basic blocks. Leaders are the
+// first instruction, every branch/jump target, every instruction
+// following a control transfer, and every labelled position (labels may
+// be reached indirectly through Jr).
+func FindBlocks(p *prog.Program) []Block {
+	n := len(p.Instrs)
+	if n == 0 {
+		return nil
+	}
+	leader := make([]bool, n+1)
+	leader[0] = true
+	leader[n] = true
+	for i, in := range p.Instrs {
+		if in.Op.IsControl() {
+			if i+1 <= n {
+				leader[i+1] = true
+			}
+			if in.Op != isa.Jr && in.Op != isa.Halt {
+				leader[in.Target] = true
+			}
+		}
+	}
+	for _, idx := range p.Labels {
+		leader[idx] = true
+	}
+	var starts []int
+	for i := 0; i <= n; i++ {
+		if leader[i] {
+			starts = append(starts, i)
+		}
+	}
+	sort.Ints(starts)
+	blocks := make([]Block, 0, len(starts)-1)
+	for i := 0; i+1 < len(starts); i++ {
+		if starts[i] < starts[i+1] {
+			blocks = append(blocks, Block{Start: starts[i], End: starts[i+1]})
+		}
+	}
+	return blocks
+}

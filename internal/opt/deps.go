@@ -1,0 +1,178 @@
+package opt
+
+import (
+	"mtsim/internal/isa"
+)
+
+// dag is the intra-block dependency graph: succs[i] lists instructions
+// that must execute after i; preds[i] counts i's unscheduled
+// predecessors during list scheduling. rawPreds records true-data (RAW)
+// predecessors separately: grouping needs to know which dependences carry
+// a *value* from a shared load, as opposed to anti/output/memory-order
+// edges that merely constrain placement.
+type dag struct {
+	n        int
+	succs    [][]int32
+	preds    []int32
+	rawPreds [][]int32
+}
+
+// buildDAG computes the dependency DAG of instructions ins (one basic
+// block, terminator included). Edges:
+//
+//   - RAW, WAR, WAW through integer and floating-point registers;
+//   - memory order: shared loads vs shared stores in both directions and
+//     shared store vs shared store (pessimistic full aliasing, as in the
+//     paper); the same for local memory; Fetch-and-Add counts as both a
+//     shared load and a shared store;
+//   - Switch/Use (if already present) are scheduling barriers;
+//   - a trailing control transfer is kept last by the scheduler itself.
+func buildDAG(ins []isa.Instr) *dag {
+	n := len(ins)
+	d := &dag{
+		n:        n,
+		succs:    make([][]int32, n),
+		preds:    make([]int32, n),
+		rawPreds: make([][]int32, n),
+	}
+	// edge set deduplication: a pair may arise from several hazards.
+	seen := make(map[int64]bool)
+	addEdge := func(from, to int, raw bool) {
+		if from == to {
+			return
+		}
+		key := int64(from)<<32 | int64(to)<<1
+		if raw {
+			key |= 1
+		}
+		if !raw {
+			// A non-RAW edge is redundant if the RAW edge exists, but
+			// distinguishing costs more than the duplicate; only dedup
+			// exact repeats.
+		}
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		d.succs[from] = append(d.succs[from], int32(to))
+		d.preds[to]++
+		if raw {
+			d.rawPreds[to] = append(d.rawPreds[to], int32(from))
+		}
+	}
+
+	// lastIntDef[r] is the most recent instruction writing integer
+	// register r; intReads[r] the readers since then.
+	var lastIntDef, lastFPDef [isa.NumIntRegs]int
+	var intReads, fpReads [isa.NumIntRegs][]int
+	for r := range lastIntDef {
+		lastIntDef[r], lastFPDef[r] = -1, -1
+	}
+	// Memory ordering state.
+	lastSharedStore := -1
+	var sharedLoadsSince []int
+	lastLocalStore := -1
+	var localLoadsSince []int
+	lastBarrier := -1
+
+	var buf []uint8
+	for i, in := range ins {
+		op := in.Op
+
+		// Register RAW edges.
+		buf = in.IntSources(buf[:0])
+		for _, r := range buf {
+			if def := lastIntDef[r]; def >= 0 {
+				addEdge(def, i, true)
+			}
+			intReads[r] = append(intReads[r], i)
+		}
+		buf = in.FPSources(buf[:0])
+		for _, r := range buf {
+			if def := lastFPDef[r]; def >= 0 {
+				addEdge(def, i, true)
+			}
+			fpReads[r] = append(fpReads[r], i)
+		}
+
+		// Register WAR and WAW edges. A WAW over a shared load is a
+		// *value* hazard for grouping purposes, not just an ordering
+		// edge: if the overwriting instruction ran while the load was
+		// still in flight, the late reply would clobber its result, so
+		// the group must close (switch and drain) first. WAR is safe to
+		// overlap: the reader sees the old value and the reply lands
+		// afterwards.
+		buf = in.IntDests(buf[:0])
+		for _, r := range buf {
+			for _, rd := range intReads[r] {
+				addEdge(rd, i, false)
+			}
+			if def := lastIntDef[r]; def >= 0 {
+				addEdge(def, i, ins[def].Op.IsSharedLoad())
+			}
+			lastIntDef[r] = i
+			intReads[r] = intReads[r][:0]
+		}
+		if fd := in.FPDest(); fd >= 0 {
+			for _, rd := range fpReads[fd] {
+				addEdge(rd, i, false)
+			}
+			if def := lastFPDef[fd]; def >= 0 {
+				addEdge(def, i, ins[def].Op.IsSharedLoad())
+			}
+			lastFPDef[fd] = i
+			fpReads[fd] = fpReads[fd][:0]
+		}
+
+		// Memory ordering.
+		sharedLoad := op.IsSharedLoad()
+		sharedStore := op.IsSharedStore() || op == isa.Faa
+		if sharedLoad && op != isa.Faa {
+			if lastSharedStore >= 0 {
+				addEdge(lastSharedStore, i, false)
+			}
+			sharedLoadsSince = append(sharedLoadsSince, i)
+		}
+		if sharedStore {
+			// Store (or Faa) orders after all loads since the previous
+			// store, and after that store.
+			for _, ld := range sharedLoadsSince {
+				addEdge(ld, i, false)
+			}
+			if lastSharedStore >= 0 {
+				addEdge(lastSharedStore, i, false)
+			}
+			lastSharedStore = i
+			sharedLoadsSince = sharedLoadsSince[:0]
+		}
+		if op.IsLocalLoad() {
+			if lastLocalStore >= 0 {
+				addEdge(lastLocalStore, i, false)
+			}
+			localLoadsSince = append(localLoadsSince, i)
+		}
+		if op.IsLocalStore() {
+			for _, ld := range localLoadsSince {
+				addEdge(ld, i, false)
+			}
+			if lastLocalStore >= 0 {
+				addEdge(lastLocalStore, i, false)
+			}
+			lastLocalStore = i
+			localLoadsSince = localLoadsSince[:0]
+		}
+
+		// Pre-existing Switch/Use instructions are full barriers, and
+		// critical-region boundaries must not have code migrate across
+		// them (the lock they bracket is invisible to the analysis).
+		if op == isa.Switch || op == isa.Use || op == isa.CritEnter || op == isa.CritExit {
+			for j := 0; j < i; j++ {
+				addEdge(j, i, false)
+			}
+			lastBarrier = i
+		} else if lastBarrier >= 0 {
+			addEdge(lastBarrier, i, false)
+		}
+	}
+	return d
+}

@@ -1,0 +1,205 @@
+package opt_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mtsim/internal/machine"
+	"mtsim/internal/opt"
+	"mtsim/internal/prog"
+	"mtsim/internal/rng"
+)
+
+// genProgram builds a random single-thread program: a straight-line mix
+// of ALU, floating-point, local and shared memory operations, followed by
+// a dump of every register into shared memory so that any semantic
+// difference between program variants becomes observable.
+func genProgram(seed uint64, length int) *prog.Program {
+	r := rng.New(seed)
+	b := prog.NewBuilder(fmt.Sprintf("fuzz-%d", seed))
+	b.Shared("mem", 256)
+	dump := b.Shared("dump", 64)
+	b.Local("loc", 64)
+
+	// r4 is the shared base (0), r5..r20 are data registers.
+	reg := func() uint8 { return uint8(5 + r.Intn(16)) }
+	freg := func() uint8 { return uint8(1 + r.Intn(10)) }
+	b.Li(4, 0)
+
+	for i := 0; i < length; i++ {
+		switch r.Intn(14) {
+		case 0:
+			b.Li(reg(), r.Intn(1000)-500)
+		case 1:
+			b.Add(reg(), reg(), reg())
+		case 2:
+			b.Sub(reg(), reg(), reg())
+		case 3:
+			b.Mul(reg(), reg(), reg())
+		case 4:
+			b.Xor(reg(), reg(), reg())
+		case 5:
+			b.Addi(reg(), reg(), r.Intn(64))
+		case 6:
+			b.LwS(reg(), 4, r.Intn(256))
+		case 7:
+			b.SwS(reg(), 4, r.Intn(256))
+		case 8:
+			b.FlwS(freg(), 4, r.Intn(256))
+		case 9:
+			b.FswS(freg(), 4, r.Intn(256))
+		case 10:
+			b.Fadd(freg(), freg(), freg())
+		case 11:
+			b.Fmul(freg(), freg(), freg())
+		case 12:
+			b.Lw(reg(), 0, r.Intn(64))
+		case 13:
+			b.Sw(reg(), 0, r.Intn(64))
+		}
+	}
+	// Observability: dump every register.
+	for i := uint8(5); i <= 20; i++ {
+		b.Li(21, dump.Addr(int64(i)))
+		b.SwS(i, 21, 0)
+	}
+	for f := uint8(1); f <= 10; f++ {
+		b.Li(21, dump.Addr(int64(20+f)))
+		b.FswS(f, 21, 0)
+	}
+	b.Halt()
+	return b.MustBuild()
+}
+
+func initMem(seed uint64) func(*machine.Shared) {
+	return func(sh *machine.Shared) {
+		r := rng.New(seed ^ 0xabcdef)
+		for i := int64(0); i < 256; i++ {
+			sh.SetWord(i, r.Intn(1_000_000))
+		}
+	}
+}
+
+func snapshot(p *prog.Program, cfg machine.Config, seed uint64) ([]int64, error) {
+	var snap []int64
+	_, err := machine.RunChecked(cfg, p, initMem(seed), func(sh *machine.Shared) error {
+		snap = append([]int64(nil), sh.Cells()...)
+		return nil
+	})
+	return snap, err
+}
+
+// TestOptimizerEquivalenceFuzz: for many random programs, the grouped
+// variant must leave shared memory bit-identical to the raw variant,
+// under the ideal machine, the explicit-switch machine (with latency),
+// and the conditional-switch machine (with a cache). Also: optimized code
+// must never trip an implicit wait under explicit-switch.
+func TestOptimizerEquivalenceFuzz(t *testing.T) {
+	n := 150
+	if testing.Short() {
+		n = 25
+	}
+	for seed := uint64(1); seed <= uint64(n); seed++ {
+		length := 5 + int(seed*7%60)
+		raw := genProgram(seed, length)
+		grouped, _, err := opt.Optimize(raw)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ref, err := snapshot(raw, machine.Config{Model: machine.Ideal}, seed)
+		if err != nil {
+			t.Fatalf("seed %d raw: %v", seed, err)
+		}
+		cfgs := []machine.Config{
+			{Model: machine.Ideal},
+			{Model: machine.ExplicitSwitch, Latency: 50},
+			{Model: machine.ConditionalSwitch, Latency: 50},
+		}
+		for _, cfg := range cfgs {
+			got, err := snapshot(grouped, cfg, seed)
+			if err != nil {
+				t.Fatalf("seed %d grouped %s: %v", seed, cfg.Model, err)
+			}
+			if !equal64(ref, got) {
+				t.Fatalf("seed %d: grouped program diverges under %s\nraw:\n%v\ngrouped:\n%v",
+					seed, cfg.Model, raw.Instrs, grouped.Instrs)
+			}
+		}
+		res, err := machine.Run(machine.Config{Model: machine.ExplicitSwitch, Latency: 50}, grouped, initMem(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ImplicitWaits != 0 {
+			t.Fatalf("seed %d: %d implicit waits in optimized code\n%v",
+				seed, res.ImplicitWaits, grouped.Instrs)
+		}
+	}
+}
+
+// TestRawModelEquivalenceFuzz: the raw program must compute the same
+// memory image under every model at one thread (models change timing,
+// never values).
+func TestRawModelEquivalenceFuzz(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 10
+	}
+	models := []machine.Model{
+		machine.Ideal, machine.SwitchEveryCycle, machine.SwitchOnLoad,
+		machine.SwitchOnUse, machine.SwitchOnMiss, machine.SwitchOnUseMiss,
+	}
+	for seed := uint64(100); seed < uint64(100+n); seed++ {
+		raw := genProgram(seed, 30)
+		ref, err := snapshot(raw, machine.Config{Model: machine.Ideal}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range models[1:] {
+			got, err := snapshot(raw, machine.Config{Model: m, Latency: 30}, seed)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, m, err)
+			}
+			if !equal64(ref, got) {
+				t.Fatalf("seed %d: model %s diverges", seed, m)
+			}
+		}
+	}
+}
+
+func equal64(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestGroupedRunFasterUnderLatency: on programs with several independent
+// loads, the grouped variant should finish no slower than the raw variant
+// under explicit-switch with one thread (grouping can only reduce
+// exposed latency; the added switch instructions are the only cost).
+func TestGroupedNeverMuchSlower(t *testing.T) {
+	for seed := uint64(500); seed < 540; seed++ {
+		raw := genProgram(seed, 40)
+		grouped, _, err := opt.Optimize(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1, err := machine.Run(machine.Config{Model: machine.SwitchOnLoad, Latency: 100}, raw, initMem(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := machine.Run(machine.Config{Model: machine.ExplicitSwitch, Latency: 100}, grouped, initMem(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Allow a small slack for the inserted switch instructions.
+		if float64(r2.Cycles) > 1.05*float64(r1.Cycles) {
+			t.Errorf("seed %d: grouped %d cycles vs raw %d", seed, r2.Cycles, r1.Cycles)
+		}
+	}
+}

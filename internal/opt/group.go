@@ -1,0 +1,140 @@
+package opt
+
+import (
+	"fmt"
+
+	"mtsim/internal/isa"
+)
+
+// blockResult is the reorganized instruction sequence of one basic block.
+type blockResult struct {
+	instrs []isa.Instr
+	// switches is the number of Switch instructions inserted; groups the
+	// sizes of the load groups they close.
+	switches int
+	groups   []int
+	loads    int
+}
+
+// scheduleBlock reorganizes one basic block so that independent shared
+// loads are issued together, each group closed by one Switch instruction
+// placed before the first instruction that needs a grouped value (§5.1).
+// The trailing control transfer, if any, stays last. The transformation
+// is semantics-preserving: instructions only move along orderings allowed
+// by the dependency DAG.
+func scheduleBlock(ins []isa.Instr) (blockResult, error) {
+	n := len(ins)
+	var res blockResult
+	if n == 0 {
+		return res, nil
+	}
+	term := -1
+	if ins[n-1].Op.IsControl() {
+		term = n - 1
+	}
+
+	d := buildDAG(ins)
+	preds := make([]int32, n)
+	copy(preds, d.preds)
+	scheduled := make([]bool, n)
+	open := make([]bool, n) // shared loads issued in the currently-open group
+	openCount := 0
+	remaining := n
+	res.instrs = make([]isa.Instr, 0, n+2)
+
+	rawBlocked := func(i int) bool {
+		for _, p := range d.rawPreds[i] {
+			if open[p] {
+				return true
+			}
+		}
+		return false
+	}
+	emit := func(i int) {
+		scheduled[i] = true
+		remaining--
+		res.instrs = append(res.instrs, ins[i])
+		for _, s := range d.succs[i] {
+			preds[s]--
+		}
+	}
+	closeGroup := func() {
+		if openCount == 0 {
+			return
+		}
+		res.instrs = append(res.instrs, isa.Instr{Op: isa.Switch})
+		res.switches++
+		res.groups = append(res.groups, openCount)
+		for i := range open {
+			open[i] = false
+		}
+		openCount = 0
+	}
+
+	for remaining > boolToInt(term >= 0) {
+		progress := false
+		// Phase A: issue every ready, group-eligible shared load.
+		for {
+			issued := false
+			for i := 0; i < n; i++ {
+				if scheduled[i] || i == term || !ins[i].Op.IsSharedLoad() {
+					continue
+				}
+				if preds[i] != 0 || rawBlocked(i) {
+					continue
+				}
+				emit(i)
+				open[i] = true
+				openCount++
+				res.loads++
+				issued = true
+				progress = true
+			}
+			if !issued {
+				break
+			}
+		}
+		// Phase B: one ready non-load that does not consume an open
+		// group's value; it executes before the Switch and helps cover
+		// the latency.
+		picked := -1
+		for i := 0; i < n; i++ {
+			if scheduled[i] || i == term || ins[i].Op.IsSharedLoad() {
+				continue
+			}
+			if preds[i] == 0 && !rawBlocked(i) {
+				picked = i
+				break
+			}
+		}
+		if picked >= 0 {
+			emit(picked)
+			continue
+		}
+		if progress {
+			continue
+		}
+		// Phase C: everything left needs a grouped value — close the
+		// group with one explicit context switch.
+		if openCount > 0 {
+			closeGroup()
+			continue
+		}
+		return res, fmt.Errorf("opt: scheduling deadlock with %d instructions remaining (dependency cycle?)", remaining)
+	}
+
+	// Block end: close any open group so no split-phase load is pending
+	// across a block boundary, then place the terminator.
+	closeGroup()
+	if term >= 0 {
+		emit(term)
+	}
+	return res, nil
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

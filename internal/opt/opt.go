@@ -1,0 +1,100 @@
+package opt
+
+import (
+	"fmt"
+
+	"mtsim/internal/isa"
+	"mtsim/internal/prog"
+)
+
+// Stats summarizes one optimization run.
+type Stats struct {
+	Blocks int
+	// SharedLoads is the static count of shared loads; Switches the
+	// number of Switch instructions inserted. Their ratio is the static
+	// grouping factor (the dynamic one comes from simulation).
+	SharedLoads int
+	Switches    int
+	// GroupSizes[s] counts groups of s loads.
+	GroupSizes map[int]int
+	// Added is the number of instructions added (all Switches).
+	Added int
+}
+
+// StaticGrouping returns the static loads-per-switch ratio.
+func (s *Stats) StaticGrouping() float64 {
+	if s.Switches == 0 {
+		return 0
+	}
+	return float64(s.SharedLoads) / float64(s.Switches)
+}
+
+// Optimize applies the paper's grouping transformation and returns a new
+// program; the input is not modified. The result contains the same
+// instructions reordered within basic blocks (never across), plus one
+// Switch instruction per load group. Branch targets and labels are
+// remapped onto the reorganized layout.
+func Optimize(p *prog.Program) (*prog.Program, *Stats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("opt: input: %w", err)
+	}
+	blocks := FindBlocks(p)
+	st := &Stats{Blocks: len(blocks), GroupSizes: make(map[int]int)}
+
+	out := p.Clone()
+	out.Instrs = out.Instrs[:0]
+	// startMap maps old block-leader indices to new indices. Every
+	// branch target and label is a leader, so this remaps them all.
+	startMap := make(map[int32]int32, len(blocks))
+
+	for _, b := range blocks {
+		startMap[int32(b.Start)] = int32(len(out.Instrs))
+		r, err := scheduleBlock(p.Instrs[b.Start:b.End])
+		if err != nil {
+			return nil, nil, fmt.Errorf("opt: block [%d,%d): %w", b.Start, b.End, err)
+		}
+		out.Instrs = append(out.Instrs, r.instrs...)
+		st.Switches += r.switches
+		st.SharedLoads += r.loads
+		st.Added += r.switches
+		for _, g := range r.groups {
+			st.GroupSizes[g]++
+		}
+	}
+	startMap[int32(len(p.Instrs))] = int32(len(out.Instrs))
+
+	// Remap branch targets.
+	for i := range out.Instrs {
+		in := &out.Instrs[i]
+		if in.Op.IsControl() && in.Op != isa.Jr && in.Op != isa.Halt {
+			nt, ok := startMap[in.Target]
+			if !ok {
+				return nil, nil, fmt.Errorf("opt: internal: branch target %d is not a block leader", in.Target)
+			}
+			in.Target = nt
+		}
+	}
+	// Remap labels.
+	for name, idx := range out.Labels {
+		nt, ok := startMap[idx]
+		if !ok {
+			return nil, nil, fmt.Errorf("opt: internal: label %q at %d is not a block leader", name, idx)
+		}
+		out.Labels[name] = nt
+	}
+	out.Name = p.Name + "+grouped"
+	if err := out.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("opt: output: %w", err)
+	}
+	return out, st, nil
+}
+
+// MustOptimize is Optimize that panics on error, for fixed application
+// programs whose optimizability is a build-time property.
+func MustOptimize(p *prog.Program) (*prog.Program, *Stats) {
+	q, st, err := Optimize(p)
+	if err != nil {
+		panic(err)
+	}
+	return q, st
+}

@@ -1,0 +1,266 @@
+package opt_test
+
+import (
+	"testing"
+
+	"mtsim/internal/isa"
+	"mtsim/internal/opt"
+	"mtsim/internal/prog"
+)
+
+func build(f func(b *prog.Builder)) *prog.Program {
+	b := prog.NewBuilder("t")
+	b.Shared("mem", 1024)
+	f(b)
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestFindBlocks(t *testing.T) {
+	p := build(func(b *prog.Builder) {
+		b.Li(4, 0)        // 0  block 1
+		b.Label("loop")   //    block 2 starts at 1
+		b.Addi(4, 4, 1)   // 1
+		b.Slti(5, 4, 10)  // 2
+		b.Bnez(5, "loop") // 3 ends block 2
+		b.Li(6, 0)        // 4  block 3
+	}) // halt at 5 ends block 3... halt is control: block 3 = [4,6)
+	blocks := opt.FindBlocks(p)
+	want := [][2]int{{0, 1}, {1, 4}, {4, 6}}
+	if len(blocks) != len(want) {
+		t.Fatalf("blocks = %v, want %v", blocks, want)
+	}
+	for i, w := range want {
+		if blocks[i].Start != w[0] || blocks[i].End != w[1] {
+			t.Errorf("block %d = %+v, want %v", i, blocks[i], w)
+		}
+	}
+}
+
+func TestGroupIndependentLoads(t *testing.T) {
+	p := build(func(b *prog.Builder) {
+		b.Li(4, 0)
+		b.LwS(5, 4, 0)
+		b.LwS(6, 4, 1)
+		b.LwS(7, 4, 2)
+		b.Add(8, 5, 6)
+		b.Add(8, 8, 7)
+	})
+	q, st := opt.MustOptimize(p)
+	if st.Switches != 1 || st.GroupSizes[3] != 1 {
+		t.Fatalf("stats = %+v, want one group of 3", st)
+	}
+	// The switch must appear after all three loads and before the first
+	// Add that consumes them.
+	idxSwitch, idxAdd, lastLoad := -1, -1, -1
+	for i, in := range q.Instrs {
+		switch {
+		case in.Op == isa.Switch && idxSwitch < 0:
+			idxSwitch = i
+		case in.Op == isa.Add && idxAdd < 0:
+			idxAdd = i
+		case in.Op.IsSharedLoad():
+			lastLoad = i
+		}
+	}
+	if !(lastLoad < idxSwitch && idxSwitch < idxAdd) {
+		t.Errorf("order wrong: lastLoad=%d switch=%d add=%d\n%v", lastLoad, idxSwitch, idxAdd, q.Instrs)
+	}
+}
+
+func TestDependentLoadsSplitGroups(t *testing.T) {
+	// The second load's address depends on the first load's result:
+	// they cannot share a group.
+	p := build(func(b *prog.Builder) {
+		b.Li(4, 0)
+		b.LwS(5, 4, 0) // head pointer
+		b.LwS(6, 5, 0) // *head
+		b.Add(7, 6, 6)
+	})
+	_, st := opt.MustOptimize(p)
+	if st.Switches != 2 || st.GroupSizes[1] != 2 {
+		t.Errorf("stats = %+v, want two groups of 1", st)
+	}
+}
+
+func TestStoreLoadAliasingPessimism(t *testing.T) {
+	// A shared store between two loads conflicts with the later load
+	// (the paper's pessimistic aliasing), so the loads cannot group.
+	p := build(func(b *prog.Builder) {
+		b.Li(4, 0)
+		b.LwS(5, 4, 0)
+		b.SwS(5, 4, 9)
+		b.LwS(6, 4, 1)
+		b.Add(7, 5, 6)
+	})
+	q, st := opt.MustOptimize(p)
+	if st.GroupSizes[2] != 0 {
+		t.Errorf("loads across a shared store were grouped: %+v", st)
+	}
+	// And the store must still precede the second load.
+	storeIdx, load2Idx := -1, -1
+	for i, in := range q.Instrs {
+		if in.Op == isa.SwS {
+			storeIdx = i
+		}
+		if in.Op == isa.LwS && in.Rd == 6 {
+			load2Idx = i
+		}
+	}
+	if storeIdx > load2Idx {
+		t.Errorf("store reordered past dependent load: store=%d load=%d", storeIdx, load2Idx)
+	}
+}
+
+func TestFaaOrdering(t *testing.T) {
+	// The Fetch-and-Add reads the first load's result and writes shared
+	// memory, so it must stay after the first load (data) and before the
+	// second load (memory order under ordered delivery). Grouping the
+	// Faa *with* the second load is legal — they issue in order — but
+	// the first load must be waited for separately.
+	p := build(func(b *prog.Builder) {
+		b.Li(4, 0)
+		b.LwS(5, 4, 0)
+		b.Faa(6, 4, 8, 5)
+		b.LwS(7, 4, 1)
+		b.Add(8, 7, 5)
+	})
+	q, st := opt.MustOptimize(p)
+	pos := map[string]int{}
+	for i, in := range q.Instrs {
+		switch {
+		case in.Op == isa.LwS && in.Rd == 5:
+			pos["load1"] = i
+		case in.Op == isa.Faa:
+			pos["faa"] = i
+		case in.Op == isa.LwS && in.Rd == 7:
+			pos["load2"] = i
+		}
+	}
+	if !(pos["load1"] < pos["faa"] && pos["faa"] < pos["load2"]) {
+		t.Errorf("ordering violated: %v\n%v", pos, q.Instrs)
+	}
+	// A switch must separate load1 from the Faa that consumes it.
+	sawSwitch := false
+	for i := pos["load1"] + 1; i < pos["faa"]; i++ {
+		if q.Instrs[i].Op == isa.Switch {
+			sawSwitch = true
+		}
+	}
+	if !sawSwitch {
+		t.Errorf("no switch between load1 and its consumer Faa (stats %+v)", st)
+	}
+}
+
+func TestTerminatorStaysLast(t *testing.T) {
+	p := build(func(b *prog.Builder) {
+		b.Li(4, 0)
+		b.Label("loop")
+		b.LwS(5, 4, 0)
+		b.Addi(4, 4, 1)
+		b.Slti(6, 4, 8)
+		b.Bnez(6, "loop")
+	})
+	q, _ := opt.MustOptimize(p)
+	blocks := opt.FindBlocks(q)
+	for _, blk := range blocks {
+		for i := blk.Start; i < blk.End-1; i++ {
+			if q.Instrs[i].Op.IsControl() {
+				t.Errorf("control instruction %s mid-block at %d", q.Instrs[i], i)
+			}
+		}
+	}
+}
+
+func TestBranchTargetsRemapped(t *testing.T) {
+	p := build(func(b *prog.Builder) {
+		b.Li(4, 0)
+		b.Li(9, 100)
+		b.Label("loop")
+		b.LwS(5, 4, 0)
+		b.LwS(6, 4, 1)
+		b.Add(7, 5, 6)
+		b.SwS(7, 4, 2)
+		b.Addi(4, 4, 4)
+		b.Blt(4, 9, "loop")
+	})
+	q, _ := opt.MustOptimize(p)
+	// Branch target must equal the label's remapped position.
+	for _, in := range q.Instrs {
+		if in.Op == isa.Blt {
+			if in.Target != q.Labels["loop"] {
+				t.Errorf("blt target %d != label %d", in.Target, q.Labels["loop"])
+			}
+		}
+	}
+	if err := q.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSwitchBeforeBlockEndWithPendingLoads(t *testing.T) {
+	// A load whose use is in the NEXT block must still be covered by a
+	// Switch before the block ends, so no pending register ever crosses
+	// a block boundary.
+	b := prog.NewBuilder("t")
+	b.Shared("mem", 16)
+	b.Li(4, 0)
+	b.LwS(5, 4, 0)
+	b.Label("next") // block boundary; r5 used after it
+	b.Add(6, 5, 5)
+	b.Halt()
+	p := b.MustBuild()
+	q, st := opt.MustOptimize(p)
+	if st.Switches != 1 {
+		t.Fatalf("switches = %d, want 1", st.Switches)
+	}
+	// Switch must be before the label's position.
+	var swIdx int32 = -1
+	for i, in := range q.Instrs {
+		if in.Op == isa.Switch {
+			swIdx = int32(i)
+		}
+	}
+	if swIdx < 0 || swIdx >= q.Labels["next"] {
+		t.Errorf("switch at %d not before block boundary %d", swIdx, q.Labels["next"])
+	}
+}
+
+func TestOptimizePreservesInstructionMultiset(t *testing.T) {
+	p := build(func(b *prog.Builder) {
+		b.Li(4, 0)
+		b.LwS(5, 4, 0)
+		b.LwS(6, 4, 1)
+		b.Fadd(1, 2, 3)
+		b.Add(7, 5, 6)
+		b.SwS(7, 4, 3)
+	})
+	q, st := opt.MustOptimize(p)
+	if len(q.Instrs) != len(p.Instrs)+st.Added {
+		t.Fatalf("lengths: %d vs %d + %d", len(q.Instrs), len(p.Instrs), st.Added)
+	}
+	count := func(ins []isa.Instr) map[isa.Op]int {
+		m := make(map[isa.Op]int)
+		for _, in := range ins {
+			m[in.Op]++
+		}
+		return m
+	}
+	cp, cq := count(p.Instrs), count(q.Instrs)
+	cq[isa.Switch] -= st.Switches
+	if cq[isa.Switch] == 0 {
+		delete(cq, isa.Switch)
+	}
+	for op, n := range cp {
+		if cq[op] != n {
+			t.Errorf("op %s: %d before, %d after", op, n, cq[op])
+		}
+	}
+}
+
+func TestOptimizeRejectsInvalidProgram(t *testing.T) {
+	p := &prog.Program{Name: "bad", Instrs: []isa.Instr{{Op: isa.Op(240)}}}
+	if _, _, err := opt.Optimize(p); err == nil {
+		t.Error("invalid program accepted")
+	}
+}

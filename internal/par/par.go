@@ -1,0 +1,87 @@
+// Package par is the runtime synchronization library of the simulated
+// applications. As in the paper (§3), the only hardware primitive is
+// Fetch-and-Add; locks and barriers are built from Fetch-and-Add and
+// spinning, and the spin probes are flagged so the bandwidth accounting
+// can exclude them (§6.1 footnote 2).
+//
+// The macros emit instructions into a prog.Builder. Register usage is
+// explicit: callers pass the scratch registers each macro may clobber, so
+// application code keeps full control of its register allocation.
+package par
+
+import (
+	"mtsim/internal/isa"
+	"mtsim/internal/prog"
+)
+
+// Lock memory layout: two cells, [ticket, serving]. The zero value (all
+// cells zero) is an unlocked lock. Fetch-and-Add yields a fair ticket
+// lock, the natural construction on a combining network.
+const LockCells = 2
+
+// AllocLock reserves a named lock in shared memory.
+func AllocLock(b *prog.Builder, name string) prog.Sym { return b.Shared(name, LockCells) }
+
+// LockAcquire emits a ticket-lock acquire on the lock at address
+// rBase+off. It clobbers s1 and s2; on return s1 holds the caller's
+// ticket (callers need not preserve it — release does not use it).
+func LockAcquire(b *prog.Builder, rBase uint8, off int64, s1, s2 uint8) {
+	b.Li(s2, 1)
+	b.Faa(s1, rBase, off, s2) // s1 = my ticket
+	spin := b.GenLabel("lockspin")
+	b.Label(spin)
+	b.BeginSpin()
+	b.LwS(s2, rBase, off+1) // serving
+	b.EndSpin()
+	b.Bne(s2, s1, spin)
+	b.CritEnter() // scheduling hint: the thread now holds the lock
+}
+
+// LockRelease emits a ticket-lock release: serving++. Clobbers s1 and s2.
+func LockRelease(b *prog.Builder, rBase uint8, off int64, s1, s2 uint8) {
+	b.Li(s1, 1)
+	b.Faa(s2, rBase, off+1, s1)
+	b.CritExit()
+}
+
+// Barrier memory layout: two cells, [count, sense]. The zero value is a
+// barrier no thread has entered with shared sense 0.
+const BarrierCells = 2
+
+// AllocBarrier reserves a named barrier in shared memory.
+func AllocBarrier(b *prog.Builder, name string) prog.Sym { return b.Shared(name, BarrierCells) }
+
+// Barrier emits a sense-reversing barrier over all isa.RNth threads.
+// rSense is a register persistently dedicated by the caller to the local
+// sense; it must start at 0 and must not be touched between barriers.
+// Clobbers s1 and s2.
+func Barrier(b *prog.Builder, rBase uint8, off int64, rSense, s1, s2 uint8) {
+	b.Xori(rSense, rSense, 1) // toggle local sense
+	b.Li(s1, 1)
+	b.Faa(s2, rBase, off, s1) // s2 = arrival index
+	b.Addi(s2, s2, 1)
+	wait := b.GenLabel("barwait")
+	done := b.GenLabel("bardone")
+	b.Bne(s2, isa.RNth, wait)
+	// Last arriver: reset the count, then publish the new sense.
+	b.SwS(isa.RZero, rBase, off)
+	b.SwS(rSense, rBase, off+1)
+	b.J(done)
+	b.Label(wait)
+	spin := b.GenLabel("barspin")
+	b.Label(spin)
+	b.BeginSpin()
+	b.LwS(s1, rBase, off+1)
+	b.EndSpin()
+	b.Bne(s1, rSense, spin)
+	b.Label(done)
+}
+
+// SelfSchedule emits the dynamic self-scheduling idiom the Sequent
+// applications use: grab the next chunk of work with a Fetch-and-Add on a
+// shared counter. rNext receives the first index of the claimed chunk;
+// the caller compares it against the loop bound. Clobbers s1.
+func SelfSchedule(b *prog.Builder, rBase uint8, off int64, chunk int64, rNext, s1 uint8) {
+	b.Li(s1, chunk)
+	b.Faa(rNext, rBase, off, s1)
+}

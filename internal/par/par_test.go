@@ -1,0 +1,201 @@
+package par_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mtsim/internal/isa"
+	"mtsim/internal/machine"
+	"mtsim/internal/par"
+	"mtsim/internal/prog"
+)
+
+func allModels() []machine.Model {
+	return []machine.Model{
+		machine.Ideal, machine.SwitchEveryCycle, machine.SwitchOnLoad,
+		machine.SwitchOnUse, machine.ExplicitSwitch, machine.SwitchOnMiss,
+		machine.SwitchOnUseMiss, machine.ConditionalSwitch,
+	}
+}
+
+// TestLockMutualExclusion: a non-atomic read-modify-write of a shared
+// counter, protected by the ticket lock, must never lose an update under
+// any model or machine shape. Each thread also inserts deliberate delays
+// (a shared load) inside the critical section to widen the race window.
+func TestLockMutualExclusion(t *testing.T) {
+	b := prog.NewBuilder("mutex")
+	lk := par.AllocLock(b, "l")
+	cnt := b.Shared("cnt", 1)
+	pad := b.Shared("pad", 8)
+	const rounds = 5
+
+	b.Li(20, 0) // round counter
+	b.Label("round")
+	b.Li(9, lk.Base)
+	par.LockAcquire(b, 9, 0, 10, 11)
+	b.Li(4, cnt.Base)
+	b.LwS(5, 4, 0) // read
+	b.Li(6, pad.Base)
+	b.LwS(7, 6, 0) // widen the window with a slow shared load
+	b.Addi(5, 5, 1)
+	b.SwS(5, 4, 0) // write back
+	par.LockRelease(b, 9, 0, 10, 11)
+	b.Addi(20, 20, 1)
+	b.Slti(10, 20, rounds)
+	b.Bnez(10, "round")
+	b.Halt()
+	p := b.MustBuild()
+
+	for _, model := range allModels() {
+		model := model
+		t.Run(model.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := machine.Config{Procs: 4, Threads: 3, Model: model, Latency: 80}
+			want := int64(4 * 3 * rounds)
+			if _, err := machine.RunChecked(cfg, p, nil, func(sh *machine.Shared) error {
+				if got := sh.WordAt("cnt", 0); got != want {
+					return fmt.Errorf("counter = %d, want %d (lost updates)", got, want)
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestBarrierPhaseSeparation: threads write phase 1 data; after the
+// barrier every thread checks it can see ALL phase-1 writes, recording
+// any violation. Repeats across several barrier reuses (sense reversal).
+func TestBarrierPhaseSeparation(t *testing.T) {
+	const phases = 4
+	b := prog.NewBuilder("phases")
+	bar := par.AllocBarrier(b, "bar")
+	slots := b.Shared("slots", 64)
+	bad := b.Shared("bad", 1)
+
+	const rSense = 20
+	b.Li(17, bar.Base)
+	b.Li(4, slots.Base)
+	b.Li(18, 0) // phase
+	b.Label("phase")
+	// Write slot[tid] = phase+1.
+	b.Add(5, 4, isa.RTid)
+	b.Addi(6, 18, 1)
+	b.SwS(6, 5, 0)
+	par.Barrier(b, 17, 0, rSense, 10, 11)
+	// Check every other thread's slot is phase+1.
+	b.Li(7, 0)
+	b.Label("chk")
+	b.Bge(7, isa.RNth, "chk.done")
+	b.Add(5, 4, 7)
+	b.LwS(8, 5, 0)
+	b.Addi(6, 18, 1)
+	b.Beq(8, 6, "ok")
+	b.Li(9, bad.Base)
+	b.Li(10, 1)
+	b.SwS(10, 9, 0)
+	b.Label("ok")
+	b.Addi(7, 7, 1)
+	b.J("chk")
+	b.Label("chk.done")
+	par.Barrier(b, 17, 0, rSense, 10, 11)
+	b.Addi(18, 18, 1)
+	b.Slti(10, 18, phases)
+	b.Bnez(10, "phase")
+	b.Halt()
+	p := b.MustBuild()
+
+	for _, model := range allModels() {
+		model := model
+		t.Run(model.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := machine.Config{Procs: 4, Threads: 4, Model: model, Latency: 60}
+			if _, err := machine.RunChecked(cfg, p, nil, func(sh *machine.Shared) error {
+				if sh.WordAt("bad", 0) != 0 {
+					return fmt.Errorf("a thread crossed the barrier early")
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSelfScheduleCoversAllWork: chunks claimed via SelfSchedule must
+// partition the iteration space exactly (each index processed once).
+func TestSelfScheduleCoversAllWork(t *testing.T) {
+	const n, chunk = 300, 16
+	b := prog.NewBuilder("selfsched")
+	ctr := b.Shared("ctr", 1)
+	marks := b.Shared("marks", n)
+
+	b.Li(4, marks.Base)
+	b.Li(5, n)
+	b.Li(12, 1)
+	b.Label("next")
+	b.Li(8, ctr.Base)
+	par.SelfSchedule(b, 8, 0, chunk, 7, 10)
+	b.Bge(7, 5, "done")
+	b.Addi(11, 7, chunk)
+	b.Blt(11, 5, "ok")
+	b.Mov(11, 5)
+	b.Label("ok")
+	b.Label("mark")
+	b.Add(9, 4, 7)
+	b.Faa(10, 9, 0, 12) // marks[i]++ atomically: duplicates observable
+	b.Addi(7, 7, 1)
+	b.Blt(7, 11, "mark")
+	b.J("next")
+	b.Label("done")
+	b.Halt()
+	p := b.MustBuild()
+
+	cfg := machine.Config{Procs: 4, Threads: 4, Model: machine.SwitchOnLoad, Latency: 50}
+	if _, err := machine.RunChecked(cfg, p, nil, func(sh *machine.Shared) error {
+		for i := int64(0); i < n; i++ {
+			if got := sh.WordAt("marks", i); got != 1 {
+				return fmt.Errorf("index %d processed %d times", i, got)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpinTrafficFlagged: the macros must flag exactly their spin probes.
+func TestSpinTrafficFlagged(t *testing.T) {
+	b := prog.NewBuilder("spin")
+	lk := par.AllocLock(b, "l")
+	bar := par.AllocBarrier(b, "bar")
+	b.Li(9, lk.Base)
+	par.LockAcquire(b, 9, 0, 10, 11)
+	par.LockRelease(b, 9, 0, 10, 11)
+	b.Li(9, bar.Base)
+	par.Barrier(b, 9, 0, 20, 10, 11)
+	b.Halt()
+	p := b.MustBuild()
+
+	spin, nonspin := 0, 0
+	for _, in := range p.Instrs {
+		if !in.Op.IsSharedAccess() {
+			continue
+		}
+		if in.Spin {
+			spin++
+		} else {
+			nonspin++
+		}
+	}
+	// Spin probes: one in the lock acquire, one in the barrier wait.
+	if spin != 2 {
+		t.Errorf("spin-flagged accesses = %d, want 2", spin)
+	}
+	// Faa (ticket, release, arrival) and the barrier publish stores are
+	// real work: 3 Faas + 2 stores.
+	if nonspin != 5 {
+		t.Errorf("unflagged shared accesses = %d, want 5", nonspin)
+	}
+}

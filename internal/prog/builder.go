@@ -1,0 +1,261 @@
+package prog
+
+import (
+	"fmt"
+
+	"mtsim/internal/isa"
+)
+
+// Builder assembles a Program. It is used like an assembler: emit
+// instructions in order, mark positions with Label, and reference labels
+// from branches; Build resolves references and validates the result.
+//
+// Builders are not safe for concurrent use.
+type Builder struct {
+	name   string
+	instrs []isa.Instr
+	labels map[string]int32
+	// fixups records instructions whose Target field holds an index into
+	// refs rather than a resolved instruction index.
+	fixups []int
+	refs   []string
+	shared Layout
+	local  Layout
+	spin   bool
+	errs   []error
+}
+
+// NewBuilder returns a builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, labels: make(map[string]int32)}
+}
+
+// Shared allocates words in the shared data segment.
+func (b *Builder) Shared(name string, words int64) Sym { return b.shared.Alloc(name, words) }
+
+// Local allocates words in each thread's local memory.
+func (b *Builder) Local(name string, words int64) Sym { return b.local.Alloc(name, words) }
+
+// Label marks the next emitted instruction with name.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("duplicate label %q", name))
+		return
+	}
+	b.labels[name] = int32(len(b.instrs))
+}
+
+// GenLabel returns a fresh label name with the given prefix, for use by
+// macros that expand to internal control flow.
+func (b *Builder) GenLabel(prefix string) string {
+	name := fmt.Sprintf(".%s.%d", prefix, len(b.instrs))
+	for i := 0; ; i++ {
+		if _, dup := b.labels[name]; !dup {
+			if !b.refPending(name) {
+				return name
+			}
+		}
+		name = fmt.Sprintf(".%s.%d.%d", prefix, len(b.instrs), i)
+	}
+}
+
+func (b *Builder) refPending(name string) bool {
+	for _, r := range b.refs {
+		if r == name {
+			return true
+		}
+	}
+	return false
+}
+
+// BeginSpin / EndSpin bracket synchronization spin loops. Shared accesses
+// emitted between them are flagged so the bandwidth statistics can
+// exclude them, following the paper's accounting (§6.1 footnote 2).
+func (b *Builder) BeginSpin() { b.spin = true }
+func (b *Builder) EndSpin()   { b.spin = false }
+
+// Emit appends a raw instruction.
+func (b *Builder) Emit(in isa.Instr) {
+	if b.spin && in.Op.IsSharedAccess() {
+		in.Spin = true
+	}
+	b.instrs = append(b.instrs, in)
+}
+
+func (b *Builder) emitRef(in isa.Instr, label string) {
+	in.Target = int32(len(b.refs))
+	b.refs = append(b.refs, label)
+	b.fixups = append(b.fixups, len(b.instrs))
+	b.Emit(in)
+}
+
+// Pos returns the index the next instruction will occupy.
+func (b *Builder) Pos() int { return len(b.instrs) }
+
+// Integer ALU, register-register.
+
+func (b *Builder) Add(rd, rs, rt uint8)  { b.rrr(isa.Add, rd, rs, rt) }
+func (b *Builder) Sub(rd, rs, rt uint8)  { b.rrr(isa.Sub, rd, rs, rt) }
+func (b *Builder) Mul(rd, rs, rt uint8)  { b.rrr(isa.Mul, rd, rs, rt) }
+func (b *Builder) Div(rd, rs, rt uint8)  { b.rrr(isa.Div, rd, rs, rt) }
+func (b *Builder) Rem(rd, rs, rt uint8)  { b.rrr(isa.Rem, rd, rs, rt) }
+func (b *Builder) And(rd, rs, rt uint8)  { b.rrr(isa.And, rd, rs, rt) }
+func (b *Builder) Or(rd, rs, rt uint8)   { b.rrr(isa.Or, rd, rs, rt) }
+func (b *Builder) Xor(rd, rs, rt uint8)  { b.rrr(isa.Xor, rd, rs, rt) }
+func (b *Builder) Nor(rd, rs, rt uint8)  { b.rrr(isa.Nor, rd, rs, rt) }
+func (b *Builder) Sll(rd, rs, rt uint8)  { b.rrr(isa.Sll, rd, rs, rt) }
+func (b *Builder) Srl(rd, rs, rt uint8)  { b.rrr(isa.Srl, rd, rs, rt) }
+func (b *Builder) Sra(rd, rs, rt uint8)  { b.rrr(isa.Sra, rd, rs, rt) }
+func (b *Builder) Slt(rd, rs, rt uint8)  { b.rrr(isa.Slt, rd, rs, rt) }
+func (b *Builder) Sltu(rd, rs, rt uint8) { b.rrr(isa.Sltu, rd, rs, rt) }
+
+func (b *Builder) rrr(op isa.Op, rd, rs, rt uint8) {
+	b.Emit(isa.Instr{Op: op, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// Integer ALU, register-immediate.
+
+func (b *Builder) Addi(rd, rs uint8, imm int64) { b.rri(isa.Addi, rd, rs, imm) }
+func (b *Builder) Muli(rd, rs uint8, imm int64) { b.rri(isa.Muli, rd, rs, imm) }
+func (b *Builder) Andi(rd, rs uint8, imm int64) { b.rri(isa.Andi, rd, rs, imm) }
+func (b *Builder) Ori(rd, rs uint8, imm int64)  { b.rri(isa.Ori, rd, rs, imm) }
+func (b *Builder) Xori(rd, rs uint8, imm int64) { b.rri(isa.Xori, rd, rs, imm) }
+func (b *Builder) Slli(rd, rs uint8, imm int64) { b.rri(isa.Slli, rd, rs, imm) }
+func (b *Builder) Srli(rd, rs uint8, imm int64) { b.rri(isa.Srli, rd, rs, imm) }
+func (b *Builder) Srai(rd, rs uint8, imm int64) { b.rri(isa.Srai, rd, rs, imm) }
+func (b *Builder) Slti(rd, rs uint8, imm int64) { b.rri(isa.Slti, rd, rs, imm) }
+
+func (b *Builder) rri(op isa.Op, rd, rs uint8, imm int64) {
+	b.Emit(isa.Instr{Op: op, Rd: rd, Rs: rs, Imm: imm})
+}
+
+// Li loads a 64-bit immediate.
+func (b *Builder) Li(rd uint8, imm int64) { b.Emit(isa.Instr{Op: isa.Li, Rd: rd, Imm: imm}) }
+
+// Mov copies an integer register.
+func (b *Builder) Mov(rd, rs uint8) { b.Emit(isa.Instr{Op: isa.Mov, Rd: rd, Rs: rs}) }
+
+// LiF loads a float constant into fd, clobbering the integer scratch
+// register.
+func (b *Builder) LiF(fd uint8, v float64, scratch uint8) {
+	b.Li(scratch, Float64Bits(v))
+	b.Mtf(fd, scratch)
+}
+
+// Floating point.
+
+func (b *Builder) Fmov(fd, fs uint8)     { b.Emit(isa.Instr{Op: isa.Fmov, Rd: fd, Rs: fs}) }
+func (b *Builder) Mtf(fd, rs uint8)      { b.Emit(isa.Instr{Op: isa.Mtf, Rd: fd, Rs: rs}) }
+func (b *Builder) Mff(rd, fs uint8)      { b.Emit(isa.Instr{Op: isa.Mff, Rd: rd, Rs: fs}) }
+func (b *Builder) Fadd(fd, fs, ft uint8) { b.rrr(isa.Fadd, fd, fs, ft) }
+func (b *Builder) Fsub(fd, fs, ft uint8) { b.rrr(isa.Fsub, fd, fs, ft) }
+func (b *Builder) Fmul(fd, fs, ft uint8) { b.rrr(isa.Fmul, fd, fs, ft) }
+func (b *Builder) Fdiv(fd, fs, ft uint8) { b.rrr(isa.Fdiv, fd, fs, ft) }
+func (b *Builder) Fneg(fd, fs uint8)     { b.Emit(isa.Instr{Op: isa.Fneg, Rd: fd, Rs: fs}) }
+func (b *Builder) Fabs(fd, fs uint8)     { b.Emit(isa.Instr{Op: isa.Fabs, Rd: fd, Rs: fs}) }
+func (b *Builder) Fsqrt(fd, fs uint8)    { b.Emit(isa.Instr{Op: isa.Fsqrt, Rd: fd, Rs: fs}) }
+func (b *Builder) Fmin(fd, fs, ft uint8) { b.rrr(isa.Fmin, fd, fs, ft) }
+func (b *Builder) Fmax(fd, fs, ft uint8) { b.rrr(isa.Fmax, fd, fs, ft) }
+func (b *Builder) CvtIF(fd, rs uint8)    { b.Emit(isa.Instr{Op: isa.CvtIF, Rd: fd, Rs: rs}) }
+func (b *Builder) CvtFI(rd, fs uint8)    { b.Emit(isa.Instr{Op: isa.CvtFI, Rd: rd, Rs: fs}) }
+func (b *Builder) Feq(rd, fs, ft uint8)  { b.rrr(isa.Feq, rd, fs, ft) }
+func (b *Builder) Flt(rd, fs, ft uint8)  { b.rrr(isa.Flt, rd, fs, ft) }
+func (b *Builder) Fle(rd, fs, ft uint8)  { b.rrr(isa.Fle, rd, fs, ft) }
+
+// Control flow. Targets are label names.
+
+func (b *Builder) Beq(rs, rt uint8, label string) { b.brr(isa.Beq, rs, rt, label) }
+func (b *Builder) Bne(rs, rt uint8, label string) { b.brr(isa.Bne, rs, rt, label) }
+func (b *Builder) Blt(rs, rt uint8, label string) { b.brr(isa.Blt, rs, rt, label) }
+func (b *Builder) Bge(rs, rt uint8, label string) { b.brr(isa.Bge, rs, rt, label) }
+func (b *Builder) Beqz(rs uint8, label string)    { b.emitRef(isa.Instr{Op: isa.Beqz, Rs: rs}, label) }
+func (b *Builder) Bnez(rs uint8, label string)    { b.emitRef(isa.Instr{Op: isa.Bnez, Rs: rs}, label) }
+func (b *Builder) J(label string)                 { b.emitRef(isa.Instr{Op: isa.J}, label) }
+func (b *Builder) Jal(label string)               { b.emitRef(isa.Instr{Op: isa.Jal}, label) }
+func (b *Builder) Jr(rs uint8)                    { b.Emit(isa.Instr{Op: isa.Jr, Rs: rs}) }
+func (b *Builder) Halt()                          { b.Emit(isa.Instr{Op: isa.Halt}) }
+func (b *Builder) Nop()                           { b.Emit(isa.Instr{Op: isa.Nop}) }
+
+func (b *Builder) brr(op isa.Op, rs, rt uint8, label string) {
+	b.emitRef(isa.Instr{Op: op, Rs: rs, Rt: rt}, label)
+}
+
+// Local memory.
+
+func (b *Builder) Lw(rd, rs uint8, off int64)  { b.mem(isa.Lw, rd, rs, 0, off) }
+func (b *Builder) Sw(rt, rs uint8, off int64)  { b.mem(isa.Sw, 0, rs, rt, off) }
+func (b *Builder) Ld(rd, rs uint8, off int64)  { b.mem(isa.Ld, rd, rs, 0, off) }
+func (b *Builder) Sd(rt, rs uint8, off int64)  { b.mem(isa.Sd, 0, rs, rt, off) }
+func (b *Builder) Flw(fd, rs uint8, off int64) { b.mem(isa.Flw, fd, rs, 0, off) }
+func (b *Builder) Fsw(ft, rs uint8, off int64) { b.mem(isa.Fsw, 0, rs, ft, off) }
+
+// Shared memory.
+
+func (b *Builder) LwS(rd, rs uint8, off int64)           { b.mem(isa.LwS, rd, rs, 0, off) }
+func (b *Builder) LdS(rd, rs uint8, off int64)           { b.mem(isa.LdS, rd, rs, 0, off) }
+func (b *Builder) FlwS(fd, rs uint8, off int64)          { b.mem(isa.FlwS, fd, rs, 0, off) }
+func (b *Builder) SwS(rt, rs uint8, off int64)           { b.mem(isa.SwS, 0, rs, rt, off) }
+func (b *Builder) SdS(rt, rs uint8, off int64)           { b.mem(isa.SdS, 0, rs, rt, off) }
+func (b *Builder) FswS(ft, rs uint8, off int64)          { b.mem(isa.FswS, 0, rs, ft, off) }
+func (b *Builder) Faa(rd, rs uint8, off int64, rt uint8) { b.mem(isa.Faa, rd, rs, rt, off) }
+
+func (b *Builder) mem(op isa.Op, rd, rs, rt uint8, off int64) {
+	b.Emit(isa.Instr{Op: op, Rd: rd, Rs: rs, Rt: rt, Imm: off})
+}
+
+// Multithreading control.
+
+// Switch emits the explicit context switch instruction (§5). Application
+// builders normally never call this: the optimizer inserts switches when
+// it groups shared loads. It is exported for hand-scheduled code and
+// tests.
+func (b *Builder) Switch() { b.Emit(isa.Instr{Op: isa.Switch}) }
+
+// Use emits the split-phase wait on the pending load whose destination is
+// rs (switch-on-use model family, §2).
+func (b *Builder) Use(rs uint8) { b.Emit(isa.Instr{Op: isa.Use, Rs: rs}) }
+
+// CritEnter / CritExit bracket a critical region for the §6.2
+// priority-scheduling extension (machine.Config.CritPriority). The lock
+// macros emit them automatically.
+func (b *Builder) CritEnter() { b.Emit(isa.Instr{Op: isa.CritEnter}) }
+func (b *Builder) CritExit()  { b.Emit(isa.Instr{Op: isa.CritExit}) }
+
+// Build resolves labels and returns the validated program.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	p := &Program{
+		Name:   b.name,
+		Instrs: append([]isa.Instr(nil), b.instrs...),
+		Labels: make(map[string]int32, len(b.labels)),
+		Shared: b.shared,
+		Local:  b.local,
+	}
+	for k, v := range b.labels {
+		p.Labels[k] = v
+	}
+	for _, idx := range b.fixups {
+		ref := b.refs[p.Instrs[idx].Target]
+		tgt, ok := b.labels[ref]
+		if !ok {
+			return nil, fmt.Errorf("program %q: undefined label %q referenced at instr %d", b.name, ref, idx)
+		}
+		p.Instrs[idx].Target = tgt
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("program %q: %w", b.name, err)
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error, for application constructors
+// whose programs are fixed at compile time.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,171 @@
+// Package prog holds the program representation executed by the machine:
+// a flat instruction sequence with resolved branch targets, plus symbol
+// tables describing the program's shared-memory and thread-local-memory
+// layout.
+//
+// Programs are SPMD: every thread executes the same code from instruction
+// 0 and learns its identity from the conventional registers (isa.RTid,
+// isa.RNth, isa.RPid). The forked phase of the paper's applications is
+// exactly one Program run; host-side Init/Check functions play the role
+// of the serial setup and verification code the paper excludes from its
+// measurements (§3.2).
+package prog
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mtsim/internal/isa"
+)
+
+// Sym describes a named region of the shared data segment, in words.
+type Sym struct {
+	Name string
+	Base int64 // word address of the first element
+	Size int64 // number of words
+}
+
+// Addr returns the word address of element i, panicking on out-of-range
+// indices so that layout bugs in application builders fail fast.
+func (s Sym) Addr(i int64) int64 {
+	if i < 0 || i >= s.Size {
+		panic(fmt.Sprintf("prog: symbol %q index %d out of range [0,%d)", s.Name, i, s.Size))
+	}
+	return s.Base + i
+}
+
+// Layout is an ordered symbol table for a memory segment.
+type Layout struct {
+	syms map[string]Sym
+	size int64
+}
+
+// Alloc reserves words for name and returns its symbol. Each name may be
+// allocated once.
+func (l *Layout) Alloc(name string, words int64) Sym {
+	if words <= 0 {
+		panic(fmt.Sprintf("prog: allocation %q of %d words", name, words))
+	}
+	if l.syms == nil {
+		l.syms = make(map[string]Sym)
+	}
+	if _, dup := l.syms[name]; dup {
+		panic(fmt.Sprintf("prog: duplicate symbol %q", name))
+	}
+	s := Sym{Name: name, Base: l.size, Size: words}
+	l.syms[name] = s
+	l.size += words
+	return s
+}
+
+// Lookup returns the symbol for name.
+func (l *Layout) Lookup(name string) (Sym, bool) {
+	s, ok := l.syms[name]
+	return s, ok
+}
+
+// MustLookup returns the symbol for name, panicking if absent.
+func (l *Layout) MustLookup(name string) Sym {
+	s, ok := l.syms[name]
+	if !ok {
+		panic(fmt.Sprintf("prog: unknown symbol %q", name))
+	}
+	return s
+}
+
+// Size returns the total segment size in words.
+func (l *Layout) Size() int64 { return l.size }
+
+// Symbols returns all symbols ordered by base address.
+func (l *Layout) Symbols() []Sym {
+	out := make([]Sym, 0, len(l.syms))
+	for _, s := range l.syms {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Base < out[j].Base })
+	return out
+}
+
+// Program is a validated, executable program.
+type Program struct {
+	Name   string
+	Instrs []isa.Instr
+
+	// Labels maps label names to instruction indices (for disassembly
+	// and the optimizer's block analysis; execution uses resolved
+	// Target fields only).
+	Labels map[string]int32
+
+	// Shared is the shared data segment layout; Local the per-thread
+	// local memory layout.
+	Shared Layout
+	Local  Layout
+}
+
+// Validate checks every instruction and branch target.
+func (p *Program) Validate() error {
+	n := int32(len(p.Instrs))
+	for i, in := range p.Instrs {
+		if err := in.Validate(); err != nil {
+			return fmt.Errorf("instr %d: %w", i, err)
+		}
+		if in.Op.IsControl() && in.Op != isa.Jr && in.Op != isa.Halt {
+			if in.Target < 0 || in.Target >= n {
+				return fmt.Errorf("instr %d (%s): branch target %d out of range [0,%d)", i, in.Op, in.Target, n)
+			}
+		}
+	}
+	for name, idx := range p.Labels {
+		if idx < 0 || idx > n {
+			return fmt.Errorf("label %q: index %d out of range", name, idx)
+		}
+	}
+	return nil
+}
+
+// CountShared returns the number of static shared-load and shared-store
+// instructions (not dynamic accesses).
+func (p *Program) CountShared() (loads, stores int) {
+	for _, in := range p.Instrs {
+		if in.Op.IsSharedLoad() {
+			loads++
+		} else if in.Op.IsSharedStore() {
+			stores++
+		}
+	}
+	return loads, stores
+}
+
+// Clone returns a deep copy of the program. The optimizer transforms
+// clones so that the raw program remains available for the switch-on-load
+// baseline.
+func (p *Program) Clone() *Program {
+	q := &Program{Name: p.Name, Shared: p.Shared, Local: p.Local}
+	q.Instrs = append([]isa.Instr(nil), p.Instrs...)
+	q.Labels = make(map[string]int32, len(p.Labels))
+	for k, v := range p.Labels {
+		q.Labels[k] = v
+	}
+	// Layouts contain a map; share is fine semantically (layouts are
+	// immutable after Build), but copy defensively so Alloc on a clone
+	// cannot corrupt the original.
+	q.Shared = copyLayout(p.Shared)
+	q.Local = copyLayout(p.Local)
+	return q
+}
+
+func copyLayout(l Layout) Layout {
+	c := Layout{size: l.size, syms: make(map[string]Sym, len(l.syms))}
+	for k, v := range l.syms {
+		c.syms[k] = v
+	}
+	return c
+}
+
+// Float64Bits converts a float to its storage representation in the
+// simulated memory (one 64-bit word per float).
+func Float64Bits(v float64) int64 { return int64(math.Float64bits(v)) }
+
+// BitsToFloat64 is the inverse of Float64Bits.
+func BitsToFloat64(b int64) float64 { return math.Float64frombits(uint64(b)) }

@@ -1,0 +1,222 @@
+package prog
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mtsim/internal/isa"
+)
+
+func TestLayoutAllocation(t *testing.T) {
+	var l Layout
+	a := l.Alloc("a", 10)
+	b := l.Alloc("b", 5)
+	if a.Base != 0 || a.Size != 10 {
+		t.Errorf("a = %+v", a)
+	}
+	if b.Base != 10 || b.Size != 5 {
+		t.Errorf("b = %+v", b)
+	}
+	if l.Size() != 15 {
+		t.Errorf("size = %d", l.Size())
+	}
+	if s, ok := l.Lookup("a"); !ok || s != a {
+		t.Error("lookup a failed")
+	}
+	if _, ok := l.Lookup("c"); ok {
+		t.Error("lookup of missing symbol succeeded")
+	}
+	syms := l.Symbols()
+	if len(syms) != 2 || syms[0].Name != "a" || syms[1].Name != "b" {
+		t.Errorf("symbols = %v", syms)
+	}
+}
+
+func TestLayoutPanics(t *testing.T) {
+	assertPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	var l Layout
+	l.Alloc("a", 4)
+	assertPanic("duplicate", func() { l.Alloc("a", 4) })
+	assertPanic("zero size", func() { l.Alloc("z", 0) })
+	assertPanic("missing lookup", func() { l.MustLookup("nope") })
+	a := l.MustLookup("a")
+	assertPanic("addr out of range", func() { a.Addr(4) })
+	assertPanic("addr negative", func() { a.Addr(-1) })
+	if got := a.Addr(3); got != 3 {
+		t.Errorf("Addr(3) = %d", got)
+	}
+}
+
+func TestBuilderLabelsAndBranches(t *testing.T) {
+	b := NewBuilder("t")
+	b.Label("start")
+	b.Li(4, 1)
+	b.Bne(4, 0, "end")
+	b.J("start")
+	b.Label("end")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instrs[1].Target != 3 {
+		t.Errorf("bne target = %d, want 3", p.Instrs[1].Target)
+	}
+	if p.Instrs[2].Target != 0 {
+		t.Errorf("j target = %d, want 0", p.Instrs[2].Target)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.J("nowhere")
+	b.Halt()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Errorf("err = %v, want undefined-label error", err)
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.Label("x")
+	b.Nop()
+	b.Label("x")
+	b.Halt()
+	if _, err := b.Build(); err == nil {
+		t.Error("duplicate label accepted")
+	}
+}
+
+func TestGenLabelUnique(t *testing.T) {
+	b := NewBuilder("t")
+	seen := make(map[string]bool)
+	for i := 0; i < 50; i++ {
+		l := b.GenLabel("x")
+		if seen[l] {
+			t.Fatalf("GenLabel repeated %q", l)
+		}
+		seen[l] = true
+		b.Label(l)
+		b.Nop()
+	}
+	b.Halt()
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpinFlagging(t *testing.T) {
+	b := NewBuilder("t")
+	b.Shared("x", 4)
+	b.LwS(4, 0, 0) // not spin
+	b.BeginSpin()
+	b.LwS(5, 0, 0) // spin
+	b.Addi(6, 6, 1)
+	b.Faa(7, 0, 0, 6) // spin
+	b.EndSpin()
+	b.SwS(4, 0, 0) // not spin
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{false, true, false, true, false, false}
+	for i, w := range want {
+		if p.Instrs[i].Spin != w {
+			t.Errorf("instr %d (%s): spin = %v, want %v", i, p.Instrs[i], p.Instrs[i].Spin, w)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	b := NewBuilder("t")
+	b.Shared("x", 4)
+	b.Label("l")
+	b.Nop()
+	b.J("l")
+	p := b.MustBuild()
+	q := p.Clone()
+	q.Instrs[0].Op = isa.Halt
+	q.Labels["l"] = 1
+	q.Shared.Alloc("extra", 8)
+	if p.Instrs[0].Op != isa.Nop {
+		t.Error("clone shares instruction storage")
+	}
+	if p.Labels["l"] != 0 {
+		t.Error("clone shares label map")
+	}
+	if _, ok := p.Shared.Lookup("extra"); ok {
+		t.Error("clone shares layout map")
+	}
+}
+
+func TestValidateBranchTargets(t *testing.T) {
+	p := &Program{
+		Name:   "bad",
+		Instrs: []isa.Instr{{Op: isa.J, Target: 99}},
+	}
+	if err := p.Validate(); err == nil {
+		t.Error("out-of-range branch target accepted")
+	}
+}
+
+func TestCountShared(t *testing.T) {
+	b := NewBuilder("t")
+	b.Shared("x", 8)
+	b.LwS(4, 0, 0)
+	b.LdS(6, 0, 2)
+	b.FlwS(1, 0, 4)
+	b.Faa(5, 0, 0, 4)
+	b.SwS(4, 0, 1)
+	b.FswS(1, 0, 5)
+	b.Lw(4, 0, 0) // local: not counted -- needs local memory
+	p := &Program{Name: "x", Instrs: b.instrs}
+	ld, st := p.CountShared()
+	if ld != 4 || st != 2 {
+		t.Errorf("CountShared = %d, %d; want 4, 2", ld, st)
+	}
+}
+
+func TestFloatBitsRoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) {
+			return true // NaN payloads round-trip but don't compare ==
+		}
+		return BitsToFloat64(Float64Bits(v)) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: builder emission order is preserved and label resolution maps
+// each branch to the instruction following its label position.
+func TestBuildResolutionProperty(t *testing.T) {
+	f := func(nops uint8) bool {
+		k := int(nops%20) + 1
+		b := NewBuilder("p")
+		for i := 0; i < k; i++ {
+			b.Nop()
+		}
+		b.Label("target")
+		b.Halt()
+		b.J("target")
+		p, err := b.Build()
+		if err != nil {
+			return false
+		}
+		return int(p.Instrs[k+1].Target) == k && len(p.Instrs) == k+2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,44 @@
+// Package rng is a tiny deterministic xorshift64* generator used by the
+// application workload builders and their host-side verification mirrors.
+// Determinism matters more than quality here: every simulated run must be
+// exactly reproducible so that results can be checked bit-for-bit, and
+// the module is restricted to problem-size-independent seeding.
+package rng
+
+// R is a xorshift64* state. The zero value is invalid; use New.
+type R struct{ s uint64 }
+
+// New returns a generator seeded from seed (any value, including 0, is
+// accepted and remapped to a nonzero state).
+func New(seed uint64) *R {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &R{s: seed}
+}
+
+// Next returns the next 64-bit value.
+func (r *R) Next() uint64 {
+	x := r.s
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.s = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a value in [0, n). n must be positive.
+func (r *R) Intn(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int64(r.Next() % uint64(n))
+}
+
+// Float returns a value in [0, 1) with 53 bits of precision.
+func (r *R) Float() float64 {
+	return float64(r.Next()>>11) / (1 << 53)
+}
+
+// Range returns a float in [lo, hi).
+func (r *R) Range(lo, hi float64) float64 { return lo + (hi-lo)*r.Float() }

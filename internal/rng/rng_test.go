@@ -1,0 +1,84 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestZeroSeedRemapped(t *testing.T) {
+	r := New(0)
+	if r.Next() == 0 && r.Next() == 0 {
+		t.Error("zero seed produced zero stream")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	seen := make(map[int64]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("only %d of 10 values seen", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloatRange(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Float()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float() = %v", v)
+		}
+	}
+}
+
+func TestRangeProperty(t *testing.T) {
+	r := New(11)
+	f := func(lo8, span8 uint8) bool {
+		lo := float64(lo8)
+		hi := lo + float64(span8) + 1
+		v := r.Range(lo, hi)
+		return v >= lo && v < hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoughUniformity(t *testing.T) {
+	r := New(13)
+	const n, bins = 100000, 16
+	var counts [bins]int
+	for i := 0; i < n; i++ {
+		counts[r.Intn(bins)]++
+	}
+	want := n / bins
+	for b, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Errorf("bin %d: %d, want ~%d", b, c, want)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+// Package stats provides the measurement machinery the paper's tables are
+// built from: run-length histograms (Tables 2 and 4), means, and small
+// formatting helpers shared by the experiment generators.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Run-length buckets used by the distribution tables. A run-length is the
+// number of busy cycles a thread executes between two taken context
+// switches (§4.1).
+var bucketEdges = []int64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// NumBuckets is the number of histogram buckets (the last is open-ended).
+const NumBuckets = 9
+
+// BucketLabel returns the column heading for bucket i.
+func BucketLabel(i int) string {
+	switch {
+	case i == 0:
+		return "1"
+	case i == 1:
+		return "2"
+	case i < NumBuckets-1:
+		return fmt.Sprintf("%d-%d", bucketEdges[i-1]+1, bucketEdges[i])
+	default:
+		return fmt.Sprintf(">%d", bucketEdges[len(bucketEdges)-1])
+	}
+}
+
+// Hist is a run-length histogram. The zero value is empty and ready to
+// use.
+type Hist struct {
+	Buckets [NumBuckets]int64
+	N       int64
+	Sum     int64
+	Min     int64
+	Max     int64
+}
+
+// Add records one run-length.
+func (h *Hist) Add(v int64) {
+	if v < 1 {
+		v = 1
+	}
+	i := 0
+	for i < len(bucketEdges) && v > bucketEdges[i] {
+		i++
+	}
+	h.Buckets[i]++
+	if h.N == 0 || v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+	h.N++
+	h.Sum += v
+}
+
+// Mean returns the mean run-length.
+func (h *Hist) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.N)
+}
+
+// Pct returns the percentage of samples in bucket i.
+func (h *Hist) Pct(i int) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return 100 * float64(h.Buckets[i]) / float64(h.N)
+}
+
+// ShortFrac returns the fraction of run-lengths of one or two cycles —
+// the "troublesome short run-lengths" the paper's grouping eliminates.
+func (h *Hist) ShortFrac() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Buckets[0]+h.Buckets[1]) / float64(h.N)
+}
+
+// Merge adds other into h.
+func (h *Hist) Merge(other *Hist) {
+	if other.N == 0 {
+		return
+	}
+	for i, b := range other.Buckets {
+		h.Buckets[i] += b
+	}
+	if h.N == 0 || other.Min < h.Min {
+		h.Min = other.Min
+	}
+	if other.Max > h.Max {
+		h.Max = other.Max
+	}
+	h.N += other.N
+	h.Sum += other.Sum
+}
+
+// Row formats the bucket percentages plus mean as table cells.
+func (h *Hist) Row() []string {
+	cells := make([]string, 0, NumBuckets+1)
+	for i := 0; i < NumBuckets; i++ {
+		cells = append(cells, fmt.Sprintf("%4.1f", h.Pct(i)))
+	}
+	cells = append(cells, fmt.Sprintf("%6.1f", h.Mean()))
+	return cells
+}
+
+// Table renders rows of cells under a header, columns padded to width.
+// It is deliberately plain (ASCII, stdlib only) — the experiment binaries
+// print paper-style tables with it.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a footnote line printed under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			if i == 0 {
+				// Left-align the row label column.
+				b.WriteString(c)
+				b.WriteString(strings.Repeat(" ", pad))
+			} else {
+				b.WriteString(strings.Repeat(" ", pad))
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	if total > 2 {
+		b.WriteString(strings.Repeat("-", total-2))
+		b.WriteByte('\n')
+	}
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		b.WriteString("  note: ")
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Series is a named sequence of (x, y) points, used by the figure
+// generators (efficiency-vs-processors curves).
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Append adds a point.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// AsciiPlot renders series as a crude scatter/line chart for terminal
+// output: y in [0,1] (efficiency), x on a log2 axis. It exists so the
+// figure regenerators can show the *shape* of the paper's plots without
+// any graphics dependency.
+func AsciiPlot(title string, series []*Series, width, height int) string {
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	if len(series) == 0 {
+		return b.String()
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, x := range s.X {
+			minX = math.Min(minX, x)
+			maxX = math.Max(maxX, x)
+		}
+	}
+	if minX <= 0 || maxX <= minX {
+		minX, maxX = 1, math.Max(2, maxX)
+	}
+	lmin, lmax := math.Log2(minX), math.Log2(maxX)
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "*+o#x@%&"
+	for si, s := range series {
+		m := marks[si%len(marks)]
+		for i := range s.X {
+			fx := 0.0
+			if lmax > lmin {
+				fx = (math.Log2(s.X[i]) - lmin) / (lmax - lmin)
+			}
+			col := int(fx * float64(width-1))
+			row := height - 1 - int(math.Min(1, math.Max(0, s.Y[i]))*float64(height-1))
+			if row >= 0 && row < height && col >= 0 && col < width {
+				grid[row][col] = m
+			}
+		}
+	}
+	for i, row := range grid {
+		yval := 1 - float64(i)/float64(height-1)
+		fmt.Fprintf(&b, "%4.2f |%s|\n", yval, string(row))
+	}
+	fmt.Fprintf(&b, "      %s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "      %-10.0f%*s\n", minX, width-10, fmt.Sprintf("%.0f (log2 x)", maxX))
+	for si, s := range series {
+		fmt.Fprintf(&b, "      %c = %s\n", marks[si%len(marks)], s.Name)
+	}
+	return b.String()
+}

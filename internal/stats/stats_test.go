@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistBuckets(t *testing.T) {
+	var h Hist
+	for _, v := range []int64{1, 1, 2, 3, 4, 8, 9, 200} {
+		h.Add(v)
+	}
+	if h.N != 8 {
+		t.Fatalf("N = %d", h.N)
+	}
+	if h.Buckets[0] != 2 || h.Buckets[1] != 1 || h.Buckets[2] != 2 || h.Buckets[3] != 1 || h.Buckets[4] != 1 || h.Buckets[8] != 1 {
+		t.Errorf("buckets = %v", h.Buckets)
+	}
+	if h.Min != 1 || h.Max != 200 {
+		t.Errorf("min/max = %d/%d", h.Min, h.Max)
+	}
+	if got := h.Mean(); got != 228.0/8 {
+		t.Errorf("mean = %v", got)
+	}
+	if got := h.ShortFrac(); got != 3.0/8 {
+		t.Errorf("short frac = %v", got)
+	}
+	if got := h.Pct(0); got != 25 {
+		t.Errorf("pct(0) = %v", got)
+	}
+}
+
+func TestHistClampsBelowOne(t *testing.T) {
+	var h Hist
+	h.Add(0)
+	h.Add(-5)
+	if h.Buckets[0] != 2 || h.Min != 1 {
+		t.Errorf("clamping failed: %+v", h)
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b Hist
+	a.Add(1)
+	a.Add(100)
+	b.Add(50)
+	b.Add(3)
+	a.Merge(&b)
+	if a.N != 4 || a.Min != 1 || a.Max != 100 || a.Sum != 154 {
+		t.Errorf("merged = %+v", a)
+	}
+	var empty Hist
+	a.Merge(&empty)
+	if a.N != 4 {
+		t.Error("merging empty changed N")
+	}
+}
+
+func TestBucketLabels(t *testing.T) {
+	want := []string{"1", "2", "3-4", "5-8", "9-16", "17-32", "33-64", "65-128", ">128"}
+	for i, w := range want {
+		if got := BucketLabel(i); got != w {
+			t.Errorf("label %d = %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestHistRowLength(t *testing.T) {
+	var h Hist
+	h.Add(5)
+	if got := len(h.Row()); got != NumBuckets+1 {
+		t.Errorf("row cells = %d", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		Title:  "T",
+		Header: []string{"app", "x"},
+	}
+	tb.AddRow("sieve", "1.0")
+	tb.AddRow("a-much-longer-name", "2")
+	tb.AddNote("note %d", 7)
+	s := tb.String()
+	if !strings.Contains(s, "T\n") || !strings.Contains(s, "sieve") || !strings.Contains(s, "note 7") {
+		t.Errorf("render:\n%s", s)
+	}
+	lines := strings.Split(s, "\n")
+	// Header and rows must be aligned: the x column is right-aligned.
+	if !strings.Contains(lines[1], "app") {
+		t.Errorf("header line: %q", lines[1])
+	}
+}
+
+func TestSeriesAndPlot(t *testing.T) {
+	s1 := &Series{Name: "a"}
+	s1.Append(1, 1.0)
+	s1.Append(64, 0.5)
+	s2 := &Series{Name: "b"}
+	s2.Append(1, 0.2)
+	out := AsciiPlot("plot", []*Series{s1, s2}, 40, 8)
+	if !strings.Contains(out, "plot") || !strings.Contains(out, "* = a") || !strings.Contains(out, "+ = b") {
+		t.Errorf("plot:\n%s", out)
+	}
+	if AsciiPlot("empty", nil, 10, 4) == "" {
+		t.Error("empty plot renders nothing")
+	}
+}
+
+// Property: bucket counts always sum to N, mean within [min, max].
+func TestHistInvariantsProperty(t *testing.T) {
+	f := func(vals []uint16) bool {
+		var h Hist
+		for _, v := range vals {
+			h.Add(int64(v))
+		}
+		var sum int64
+		for _, b := range h.Buckets {
+			sum += b
+		}
+		if sum != h.N {
+			return false
+		}
+		if h.N > 0 {
+			m := h.Mean()
+			return m >= float64(h.Min) && m <= float64(h.Max)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every value lands in exactly the bucket whose label range
+// contains it.
+func TestBucketPlacementProperty(t *testing.T) {
+	edges := []int64{1, 2, 4, 8, 16, 32, 64, 128}
+	f := func(raw uint16) bool {
+		v := int64(raw%300) + 1
+		var h Hist
+		h.Add(v)
+		want := 0
+		for want < len(edges) && v > edges[want] {
+			want++
+		}
+		return h.Buckets[want] == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,250 @@
+// Package trace analyzes dynamic shared-access traces, playing the role
+// of the trace analysis in the paper's methodology (§3.1: the simulator
+// is built on pixie-style code augmentation, and "in our simulator we use
+// trace analysis" to characterize the programs).
+//
+// A Collector consumes machine.TraceEvents during a run and produces the
+// measurements the paper reasons with: per-symbol access profiles,
+// read/write sharing between processors, inter-access gaps (the static
+// underpinning of run-lengths), address-space locality, and hot spots.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mtsim/internal/isa"
+	"mtsim/internal/machine"
+	"mtsim/internal/prog"
+)
+
+// symProfile accumulates per-symbol statistics.
+type symProfile struct {
+	sym    prog.Sym
+	loads  int64
+	stores int64
+	faas   int64
+	// readers/writers are processor sets (bitmask for <=64 procs,
+	// overflow bucket beyond).
+	readers uint64
+	writers uint64
+}
+
+// Collector accumulates a run's shared-access trace. Create with New,
+// pass Collect as the machine.Tracer, then read the analyses.
+type Collector struct {
+	syms []symProfile // sorted by base, resolved by binary search
+
+	// lineShift aggregates addresses into lines for locality analysis.
+	lineShift uint
+	lineProcs map[int64]uint64 // line -> processor touch mask
+	lineTouch map[int64]int64  // line -> access count
+
+	// lastAccess tracks, per thread, the cycle of its previous shared
+	// access: the gap distribution is the trace-side view of the
+	// paper's run-length analysis.
+	lastAccess map[int64]int64
+	gaps       []int64
+
+	total  int64
+	loads  int64
+	stores int64
+	faas   int64
+}
+
+// New builds a collector for program p, aggregating locality at
+// lineCells granularity (power of two).
+func New(p *prog.Program, lineCells int) *Collector {
+	if lineCells <= 0 || lineCells&(lineCells-1) != 0 {
+		panic(fmt.Sprintf("trace: line size %d must be a positive power of two", lineCells))
+	}
+	c := &Collector{
+		lineProcs:  make(map[int64]uint64),
+		lineTouch:  make(map[int64]int64),
+		lastAccess: make(map[int64]int64),
+	}
+	for s := 1; s < lineCells; s <<= 1 {
+		c.lineShift++
+	}
+	for _, s := range p.Shared.Symbols() {
+		c.syms = append(c.syms, symProfile{sym: s})
+	}
+	return c
+}
+
+// Collect is the machine.Tracer hook.
+func (c *Collector) Collect(ev machine.TraceEvent) {
+	c.total++
+	isStore := ev.Op.IsSharedStore()
+	switch {
+	case ev.Op == isa.Faa:
+		c.faas++
+	case isStore:
+		c.stores++
+	default:
+		c.loads++
+	}
+
+	if i := c.findSym(ev.Addr); i >= 0 {
+		p := &c.syms[i]
+		bit := procBit(ev.Proc)
+		switch {
+		case ev.Op == isa.Faa:
+			p.faas++
+			p.readers |= bit
+			p.writers |= bit
+		case isStore:
+			p.stores++
+			p.writers |= bit
+		default:
+			p.loads++
+			p.readers |= bit
+		}
+	}
+
+	line := ev.Addr >> c.lineShift
+	c.lineProcs[line] |= procBit(ev.Proc)
+	c.lineTouch[line]++
+
+	if last, ok := c.lastAccess[ev.Thread]; ok {
+		if gap := ev.Cycle - last; gap >= 0 {
+			c.gaps = append(c.gaps, gap)
+		}
+	}
+	c.lastAccess[ev.Thread] = ev.Cycle
+}
+
+// procBit maps a processor id onto the touch mask; processors beyond 63
+// share the top bit (the sharing analysis degrades gracefully for very
+// wide machines).
+func procBit(p int32) uint64 {
+	if p > 63 {
+		p = 63
+	}
+	return 1 << uint(p)
+}
+
+func (c *Collector) findSym(addr int64) int {
+	i := sort.Search(len(c.syms), func(i int) bool {
+		return c.syms[i].sym.Base+c.syms[i].sym.Size > addr
+	})
+	if i < len(c.syms) && addr >= c.syms[i].sym.Base {
+		return i
+	}
+	return -1
+}
+
+// Total returns the number of traced accesses.
+func (c *Collector) Total() int64 { return c.total }
+
+// SharingSummary reports line-granularity sharing: how many touched
+// lines were private to one processor versus shared by several — the
+// locality property that decides whether caching can work (§6.1).
+func (c *Collector) SharingSummary() (private, shared int64) {
+	for _, mask := range c.lineProcs {
+		if mask&(mask-1) == 0 {
+			private++
+		} else {
+			shared++
+		}
+	}
+	return private, shared
+}
+
+// MeanGap returns the mean cycles between a thread's consecutive shared
+// accesses — the quantity whose inverse drives the multithreading level
+// the paper's model requires.
+func (c *Collector) MeanGap() float64 {
+	if len(c.gaps) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, g := range c.gaps {
+		sum += g
+	}
+	return float64(sum) / float64(len(c.gaps))
+}
+
+// HotLines returns the n most-touched lines with their access counts,
+// most-touched first (hot-spot analysis; the paper's combining-network
+// assumption exists exactly because of synchronization hot spots).
+func (c *Collector) HotLines(n int) []struct {
+	Line  int64
+	Count int64
+} {
+	type hl struct {
+		Line  int64
+		Count int64
+	}
+	all := make([]hl, 0, len(c.lineTouch))
+	for l, n := range c.lineTouch {
+		all = append(all, hl{l, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Line < all[j].Line
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]struct {
+		Line  int64
+		Count int64
+	}, n)
+	for i := 0; i < n; i++ {
+		out[i] = struct {
+			Line  int64
+			Count int64
+		}{all[i].Line, all[i].Count}
+	}
+	return out
+}
+
+// SymbolName resolves the symbol containing line's first address.
+func (c *Collector) SymbolName(line int64) string {
+	if i := c.findSym(line << c.lineShift); i >= 0 {
+		return c.syms[i].sym.Name
+	}
+	return "?"
+}
+
+// Report renders the full analysis.
+func (c *Collector) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "traced shared accesses: %d (loads %d, stores %d, fetch-and-adds %d)\n",
+		c.total, c.loads, c.stores, c.faas)
+	fmt.Fprintf(&b, "mean cycles between a thread's shared accesses: %.1f\n", c.MeanGap())
+	priv, shr := c.SharingSummary()
+	tot := priv + shr
+	if tot > 0 {
+		fmt.Fprintf(&b, "touched lines: %d private to one processor (%.0f%%), %d shared\n",
+			priv, 100*float64(priv)/float64(tot), shr)
+	}
+
+	b.WriteString("\nper-symbol profile:\n")
+	fmt.Fprintf(&b, "%-10s %10s %10s %8s %9s %9s\n", "symbol", "loads", "stores", "faas", "readers", "writers")
+	for _, p := range c.syms {
+		if p.loads+p.stores+p.faas == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s %10d %10d %8d %9d %9d\n",
+			p.sym.Name, p.loads, p.stores, p.faas, popcount(p.readers), popcount(p.writers))
+	}
+
+	b.WriteString("\nhottest lines:\n")
+	for _, h := range c.HotLines(8) {
+		fmt.Fprintf(&b, "  line %6d (%s): %d accesses\n", h.Line, c.SymbolName(h.Line), h.Count)
+	}
+	return b.String()
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

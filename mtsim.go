@@ -1,0 +1,204 @@
+// Package mtsim is a library-level reproduction of Boothe & Ranade,
+// "Improved Multithreading Techniques for Hiding Communication Latency in
+// Multiprocessors" (ISCA 1992).
+//
+// It provides:
+//
+//   - a cycle-level simulator of a multithreaded shared-memory
+//     multiprocessor with the paper's full Figure 1 taxonomy of
+//     context-switch models (switch-every-cycle, switch-on-load,
+//     switch-on-use, explicit-switch, switch-on-miss, switch-on-use-miss,
+//     conditional-switch, plus the zero-latency ideal reference machine);
+//   - the paper's compiler optimization: basic-block dependency analysis
+//     that groups independent shared loads and inserts explicit context
+//     switch instructions (§5);
+//   - the seven benchmark applications of Table 1 as IR kernels with
+//     host-verified results; and
+//   - generators that regenerate every table and figure of the paper's
+//     evaluation (see DESIGN.md and EXPERIMENTS.md).
+//
+// Quick start:
+//
+//	a := mtsim.MustNewApp("sor", mtsim.Quick)
+//	res, err := a.Run(mtsim.Config{
+//	    Procs: 8, Threads: 4,
+//	    Model: mtsim.ExplicitSwitch, Latency: 200,
+//	})
+//	fmt.Println(res.Summary())
+//
+// Custom programs are written against the prog.Builder assembler-style
+// API; see examples/customapp.
+package mtsim
+
+import (
+	"io"
+
+	"mtsim/internal/app"
+	"mtsim/internal/apps"
+	"mtsim/internal/core"
+	"mtsim/internal/exp"
+	"mtsim/internal/machine"
+	"mtsim/internal/mtc"
+	"mtsim/internal/opt"
+	"mtsim/internal/par"
+	"mtsim/internal/prog"
+)
+
+// Core simulation types.
+type (
+	// Config parameterizes a simulation run.
+	Config = machine.Config
+	// Result reports one run's measurements.
+	Result = machine.Result
+	// Model is a context-switch policy.
+	Model = machine.Model
+	// Shared is the host view of simulated shared memory.
+	Shared = machine.Shared
+	// App is one benchmark application instance.
+	App = app.App
+	// Scale selects problem sizes.
+	Scale = app.Scale
+	// Program is an executable simulated program.
+	Program = prog.Program
+	// Builder assembles custom Programs.
+	Builder = prog.Builder
+	// OptStats reports what the grouping optimizer did.
+	OptStats = opt.Stats
+	// Experiment is one regenerable paper table or figure.
+	Experiment = exp.Experiment
+	// ExpOptions configures experiment generation.
+	ExpOptions = exp.Options
+	// Session memoizes runs and baselines across measurements.
+	Session = core.Session
+	// Sym names a region of simulated memory.
+	Sym = prog.Sym
+)
+
+// Context-switch models (the paper's Figure 1 taxonomy).
+const (
+	Ideal             = machine.Ideal
+	SwitchEveryCycle  = machine.SwitchEveryCycle
+	SwitchOnLoad      = machine.SwitchOnLoad
+	SwitchOnUse       = machine.SwitchOnUse
+	ExplicitSwitch    = machine.ExplicitSwitch
+	SwitchOnMiss      = machine.SwitchOnMiss
+	SwitchOnUseMiss   = machine.SwitchOnUseMiss
+	ConditionalSwitch = machine.ConditionalSwitch
+)
+
+// Problem scales.
+const (
+	Quick  = app.Quick
+	Medium = app.Medium
+	Full   = app.Full
+)
+
+// DefaultLatency is the paper's 200-cycle round trip.
+const DefaultLatency = machine.DefaultLatency
+
+// EffTargets are the efficiency levels the paper's tables report
+// multithreading requirements for.
+var EffTargets = core.EffTargets
+
+// ParseModel resolves a model name like "explicit-switch".
+func ParseModel(s string) (Model, error) { return machine.ParseModel(s) }
+
+// ModelNames lists the models in taxonomy order.
+func ModelNames() []string { return machine.ModelNames() }
+
+// ParseScale resolves "quick", "medium" or "full".
+func ParseScale(s string) (Scale, error) { return app.ParseScale(s) }
+
+// AppNames lists the benchmark applications in Table 1 order.
+func AppNames() []string { return apps.Names() }
+
+// NewApp builds one benchmark application at a scale.
+func NewApp(name string, s Scale) (*App, error) { return apps.New(name, s) }
+
+// MustNewApp is NewApp that panics on an unknown name.
+func MustNewApp(name string, s Scale) *App { return apps.MustNew(name, s) }
+
+// AllApps builds the full benchmark set.
+func AllApps(s Scale) []*App { return apps.All(s) }
+
+// Run simulates program p under cfg with optional shared-memory init.
+func Run(cfg Config, p *Program, init func(*Shared)) (*Result, error) {
+	return machine.Run(cfg, p, init)
+}
+
+// RunChecked is Run plus a result verification callback.
+func RunChecked(cfg Config, p *Program, init func(*Shared), check func(*Shared) error) (*Result, error) {
+	return machine.RunChecked(cfg, p, init, check)
+}
+
+// NewProgram returns a builder for a custom program.
+func NewProgram(name string) *Builder { return prog.NewBuilder(name) }
+
+// Optimize applies the paper's shared-load grouping transformation.
+func Optimize(p *Program) (*Program, *OptStats, error) { return opt.Optimize(p) }
+
+// CompileMTC compiles MTC kernel-language source (see internal/mtc) into
+// a program, completing the paper's compiler pipeline: naive code
+// generation followed by Optimize's grouping pass.
+func CompileMTC(name, src string) (*Program, error) { return mtc.Compile(name, src) }
+
+// NewSession returns a measurement session (cached baselines/results).
+func NewSession() *Session { return core.NewSession() }
+
+// Experiments returns the paper's tables and figures in order.
+func Experiments() []*Experiment { return exp.All() }
+
+// AblationExperiments returns the extension experiments: parameter sweeps
+// beyond the paper plus its §6.2 priority-scheduling suggestion.
+func AblationExperiments() []*Experiment { return exp.Ablations() }
+
+// WriteExperimentReport regenerates every experiment and writes the
+// EXPERIMENTS.md-style paper-vs-measured markdown report.
+func WriteExperimentReport(o *ExpOptions, w io.Writer) error { return exp.WriteReport(o, w) }
+
+// ExperimentByID resolves e.g. "table5" or "figure2".
+func ExperimentByID(id string) (*Experiment, error) { return exp.ByID(id) }
+
+// NewExpOptions returns experiment options writing to out.
+func NewExpOptions(scale Scale, out io.Writer) *ExpOptions { return exp.NewOptions(scale, out) }
+
+// Synchronization macros (Fetch-and-Add based, as in the paper's §3; the
+// spin probes they emit are excluded from bandwidth statistics).
+
+// AllocLock reserves a ticket lock in shared memory.
+func AllocLock(b *Builder, name string) Sym { return par.AllocLock(b, name) }
+
+// LockAcquire emits a ticket-lock acquire on rBase+off, clobbering s1/s2.
+func LockAcquire(b *Builder, rBase uint8, off int64, s1, s2 uint8) {
+	par.LockAcquire(b, rBase, off, s1, s2)
+}
+
+// LockRelease emits a ticket-lock release, clobbering s1/s2.
+func LockRelease(b *Builder, rBase uint8, off int64, s1, s2 uint8) {
+	par.LockRelease(b, rBase, off, s1, s2)
+}
+
+// AllocBarrier reserves a sense-reversing barrier in shared memory.
+func AllocBarrier(b *Builder, name string) Sym { return par.AllocBarrier(b, name) }
+
+// Barrier emits a barrier over all threads; rSense must be a register
+// dedicated to the barrier's local sense (starting at 0); s1/s2 are
+// clobbered.
+func Barrier(b *Builder, rBase uint8, off int64, rSense, s1, s2 uint8) {
+	par.Barrier(b, rBase, off, rSense, s1, s2)
+}
+
+// SelfSchedule emits the Fetch-and-Add work-claiming idiom: rNext
+// receives the first index of the next chunk.
+func SelfSchedule(b *Builder, rBase uint8, off int64, chunk int64, rNext, s1 uint8) {
+	par.SelfSchedule(b, rBase, off, chunk, rNext, s1)
+}
+
+// Thread-identity register conventions (initialized by the machine when
+// a thread starts).
+const (
+	RegZero    = 0 // hard-wired zero
+	RegTid     = 1 // global thread id
+	RegThreads = 2 // total thread count
+	RegProc    = 3 // processor id
+)
