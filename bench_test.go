@@ -17,6 +17,11 @@ import (
 
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
+	benchExperimentJobs(b, id, 0) // 0 = GOMAXPROCS workers
+}
+
+func benchExperimentJobs(b *testing.B, id string, jobs int) {
+	b.Helper()
 	e, err := mtsim.ExperimentByID(id)
 	if err != nil {
 		b.Fatal(err)
@@ -24,6 +29,9 @@ func benchExperiment(b *testing.B, id string) {
 	for i := 0; i < b.N; i++ {
 		// A fresh session each iteration so runs are not memoized away.
 		o := mtsim.NewExpOptions(mtsim.Quick, io.Discard)
+		if jobs > 0 {
+			o.SetJobs(jobs)
+		}
 		if err := e.Run(o); err != nil {
 			b.Fatal(err)
 		}
@@ -42,6 +50,14 @@ func BenchmarkTable5_ExplicitSwitchLevels(b *testing.B)    { benchExperiment(b, 
 func BenchmarkTable6_InterBlockWindow(b *testing.B)        { benchExperiment(b, "table6") }
 func BenchmarkTable7_CacheBandwidth(b *testing.B)          { benchExperiment(b, "table7") }
 func BenchmarkTable8_ConditionalSwitchLevels(b *testing.B) { benchExperiment(b, "table8") }
+
+// Sequential (-j 1) counterparts of two experiment benchmarks: comparing
+// them against the default (GOMAXPROCS-worker) variants above measures
+// the parallel engine's speedup on multi-core hosts. On a single-core
+// host the pairs time identically.
+
+func BenchmarkTable5_Sequential(b *testing.B)  { benchExperimentJobs(b, "table5", 1) }
+func BenchmarkFigure2_Sequential(b *testing.B) { benchExperimentJobs(b, "figure2", 1) }
 
 // Ablation/extension experiments (see DESIGN.md §4 extensions).
 
@@ -63,6 +79,25 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := a.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs = res.Instrs
+	}
+	b.ReportMetric(float64(instrs), "sim-instrs/op")
+}
+
+// BenchmarkMachineHotLoop measures the event-driven cycle loop itself at
+// a high processor count — 64 processors x 4 threads of sieve under
+// switch-on-load, result verification off — so event dispatch and thread
+// scheduling dominate the profile rather than per-instruction work.
+func BenchmarkMachineHotLoop(b *testing.B) {
+	a := mtsim.MustNewApp("sieve", mtsim.Quick)
+	cfg := mtsim.Config{Procs: 64, Threads: 4, Model: mtsim.SwitchOnLoad, Latency: 200}
+	var instrs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := mtsim.Run(cfg, a.Raw, a.Init)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -2,10 +2,15 @@
 //
 // Usage:
 //
-//	experiments [-scale quick|medium|full] [-latency N] [-maxmt N] [id ...]
+//	experiments [-scale quick|medium|full] [-latency N] [-maxmt N] [-j N] [id ...]
 //
 // With no ids, every experiment runs in paper order. Ids are the paper
 // artifact names: figure1..figure4, table1..table8.
+//
+// -j sets the worker-goroutine count (default GOMAXPROCS; 1 runs
+// sequentially). Independent experiments render into per-experiment
+// buffers and simulations deduplicate through the session memo, so the
+// output is byte-identical at every -j setting.
 package main
 
 import (
@@ -21,6 +26,7 @@ func main() {
 	scaleFlag := flag.String("scale", "quick", "problem scale: quick, medium or full")
 	latency := flag.Int("latency", mtsim.DefaultLatency, "network round-trip latency in cycles")
 	maxMT := flag.Int("maxmt", 0, "cap on multithreading-level searches (0 = scale default)")
+	jobs := flag.Int("j", 0, "worker goroutines for simulations and rendering (0 = GOMAXPROCS)")
 	ablations := flag.Bool("ablations", false, "also run the ablation/extension experiments")
 	report := flag.String("report", "", "write an EXPERIMENTS.md-style markdown report to this file")
 	list := flag.Bool("list", false, "list experiment ids and exit")
@@ -44,6 +50,9 @@ func main() {
 	o.Latency = *latency
 	if *maxMT > 0 {
 		o.MaxMT = *maxMT
+	}
+	if *jobs > 0 {
+		o.SetJobs(*jobs)
 	}
 
 	if *report != "" {
@@ -79,14 +88,15 @@ func main() {
 
 	fmt.Printf("# Boothe & Ranade (ISCA 1992) reproduction — %s scale, latency %d\n", scale, o.Latency)
 	fmt.Printf("# every simulated run is verified against a host-computed reference\n\n")
-	for _, e := range selected {
-		start := time.Now()
+	outs, times, err := mtsim.RenderExperiments(o, selected)
+	if err != nil {
+		fatal(err)
+	}
+	for i, e := range selected {
 		fmt.Printf("== %s: %s\n", e.ID, e.Title)
 		fmt.Printf("   paper: %s\n\n", e.Paper)
-		if err := e.Run(o); err != nil {
-			fatal(fmt.Errorf("%s: %w", e.ID, err))
-		}
-		fmt.Printf("   [%s regenerated in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		os.Stdout.WriteString(outs[i])
+		fmt.Printf("   [%s regenerated in %v]\n\n", e.ID, times[i].Round(time.Millisecond))
 	}
 }
 

@@ -1,0 +1,172 @@
+package core_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"mtsim/internal/app"
+	"mtsim/internal/apps"
+	"mtsim/internal/core"
+	"mtsim/internal/machine"
+)
+
+// TestRunConcurrentSameConfig hammers one configuration from many
+// goroutines: exactly one simulation must execute and every caller must
+// receive the identical *Result.
+func TestRunConcurrentSameConfig(t *testing.T) {
+	s := core.NewSession()
+	a := apps.MustNew("sieve", app.Quick)
+	cfg := machine.Config{Procs: 2, Threads: 2, Model: machine.SwitchOnLoad, Latency: 200}
+
+	const n = 16
+	results := make([]*machine.Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			results[i], errs[i] = s.Run(a, cfg)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if results[i] != results[0] {
+			t.Errorf("goroutine %d got a different *Result than goroutine 0", i)
+		}
+	}
+	if got := s.SimCount(); got != 1 {
+		t.Errorf("simulations executed = %d, want 1 (singleflight)", got)
+	}
+}
+
+// TestRunConcurrentDistinctConfigs hammers distinct configurations
+// concurrently: one simulation per key, distinct results per key, and a
+// second round must add no simulations.
+func TestRunConcurrentDistinctConfigs(t *testing.T) {
+	s := core.NewSession()
+	a := apps.MustNew("sieve", app.Quick)
+
+	const n = 6
+	run := func() [n]*machine.Result {
+		var results [n]*machine.Result
+		var errs [n]error
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				cfg := machine.Config{Procs: 2, Threads: i + 1, Model: machine.SwitchOnLoad, Latency: 200}
+				results[i], errs[i] = s.Run(a, cfg)
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("config %d: %v", i, err)
+			}
+		}
+		return results
+	}
+
+	first := run()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if first[i] == first[j] {
+				t.Errorf("configs %d and %d collided on one *Result", i, j)
+			}
+		}
+	}
+	if got := s.SimCount(); got != n {
+		t.Errorf("simulations executed = %d, want %d", got, n)
+	}
+	second := run()
+	if got := s.SimCount(); got != n {
+		t.Errorf("simulations after re-run = %d, want still %d (memo)", got, n)
+	}
+	for i := 0; i < n; i++ {
+		if second[i] != first[i] {
+			t.Errorf("config %d: re-run returned a different *Result", i)
+		}
+	}
+}
+
+// TestRunBatchMatchesRun checks that RunBatch returns, in order, the
+// exact memoized results sequential Run calls produce.
+func TestRunBatchMatchesRun(t *testing.T) {
+	a := apps.MustNew("sor", app.Quick)
+	var jobs []core.Job
+	for th := 1; th <= 4; th++ {
+		jobs = append(jobs, core.Job{App: a, Cfg: machine.Config{
+			Procs: 2, Threads: th, Model: machine.ExplicitSwitch, Latency: 200,
+		}})
+	}
+
+	par := core.NewSession()
+	par.Workers = 8
+	got, err := par.RunBatch(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := core.NewSession()
+	seq.Workers = 1
+	for i, j := range jobs {
+		want, err := seq.Run(j.App, j.Cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i].Cycles != want.Cycles || got[i].Instrs != want.Instrs {
+			t.Errorf("job %d: parallel (%d cyc, %d instr) != sequential (%d cyc, %d instr)",
+				i, got[i].Cycles, got[i].Instrs, want.Cycles, want.Instrs)
+		}
+		// Within the parallel session the batch result must be the
+		// memoized pointer.
+		r, err := par.Run(j.App, j.Cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r != got[i] {
+			t.Errorf("job %d: batch result not the session's memoized result", i)
+		}
+	}
+	if par.SimCount() != int64(len(jobs)) {
+		t.Errorf("parallel session ran %d simulations, want %d", par.SimCount(), len(jobs))
+	}
+}
+
+// TestMTSearchParallelMatchesSequential runs the wave search at widths 1
+// and 8: levels, best efficiency and best level must match exactly.
+func TestMTSearchParallelMatchesSequential(t *testing.T) {
+	a := apps.MustNew("sieve", app.Quick)
+	cfg := machine.Config{Procs: 4, Model: machine.SwitchOnLoad, Latency: 200}
+
+	seq := core.NewSession()
+	seq.Workers = 1
+	wantLevels, wantBest, wantMT, err := seq.MTSearch(a, cfg, core.EffTargets, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := core.NewSession()
+	par.Workers = 8
+	gotLevels, gotBest, gotMT, err := par.MTSearch(a, cfg, core.EffTargets, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantLevels {
+		if gotLevels[i] != wantLevels[i] {
+			t.Errorf("target %v: level %d (parallel) != %d (sequential)",
+				core.EffTargets[i], gotLevels[i], wantLevels[i])
+		}
+	}
+	if math.Abs(gotBest-wantBest) != 0 || gotMT != wantMT {
+		t.Errorf("best = %v@%d (parallel), want %v@%d", gotBest, gotMT, wantBest, wantMT)
+	}
+}

@@ -6,11 +6,19 @@
 // run of the same program (§3.2, Figure 2). A Session caches that
 // baseline per application and memoizes simulation runs, since several
 // tables sweep overlapping configurations.
+//
+// A Session is safe for concurrent use. Run deduplicates in-flight work
+// singleflight-style: the first caller for a configuration simulates,
+// later callers for the same key block until it finishes and share the
+// same *Result. RunBatch and MTSearch exploit that to sweep independent
+// configurations on a worker pool sized by Workers (default GOMAXPROCS).
 package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"mtsim/internal/app"
 	"mtsim/internal/machine"
@@ -20,42 +28,99 @@ import (
 // report multithreading levels for.
 var EffTargets = []float64{0.50, 0.60, 0.70, 0.80, 0.90}
 
+// runKey identifies a run by application and full configuration.
+// machine.Config is a flat value struct of scalars, so the key is
+// comparable and costs nothing to build — unlike the formatted string it
+// replaced, which allocated on every Run call in the sweep hot path. A
+// new non-comparable Config field would fail to compile here rather than
+// silently alias two configurations.
+type runKey struct {
+	appName string
+	cfg     machine.Config
+}
+
+// inflight is a singleflight slot: the first Run for a key creates one,
+// simulates, fills res/err and closes done; concurrent callers for the
+// same key wait on done and share the outcome.
+type inflight struct {
+	done chan struct{}
+	res  *machine.Result
+	err  error
+}
+
 // Session runs applications and caches baselines and results.
 type Session struct {
 	mu       sync.Mutex
 	baseline map[string]int64
-	results  map[string]*machine.Result
+	results  map[runKey]*machine.Result
+	running  map[runKey]*inflight
+	sims     atomic.Int64
 	// Verify enables result checking on every run (the default); the
 	// benchmark harness can disable it to time simulation alone.
 	Verify bool
+	// Workers bounds the worker pool used by RunBatch and MTSearch.
+	// Zero or negative means GOMAXPROCS.
+	Workers int
 }
 
 // NewSession returns an empty session with verification on.
 func NewSession() *Session {
 	return &Session{
 		baseline: make(map[string]int64),
-		results:  make(map[string]*machine.Result),
+		results:  make(map[runKey]*machine.Result),
+		running:  make(map[runKey]*inflight),
 		Verify:   true,
 	}
 }
 
-// key identifies a run by application and full configuration. Config is
-// a plain value struct, so its default formatting covers every field —
-// a new knob can never silently alias two different configurations.
-func key(a *app.App, cfg machine.Config) string {
-	return fmt.Sprintf("%s/%+v", a.Name, cfg)
+// workers resolves the effective pool size.
+func (s *Session) workers() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
-// Run simulates a under cfg, memoizing by configuration.
+// SimCount reports how many simulations this session has actually
+// executed (memo hits and singleflight followers excluded). Tests use it
+// to assert deduplication.
+func (s *Session) SimCount() int64 {
+	return s.sims.Load()
+}
+
+// Run simulates a under cfg, memoizing by configuration. Concurrent
+// callers with the same configuration trigger a single simulation and
+// receive the identical *Result. Errors are not memoized: a failed key
+// is released so a later call retries, matching the sequential behavior.
 func (s *Session) Run(a *app.App, cfg machine.Config) (*machine.Result, error) {
-	k := key(a, cfg)
+	k := runKey{a.Name, cfg}
 	s.mu.Lock()
 	if r, ok := s.results[k]; ok {
 		s.mu.Unlock()
 		return r, nil
 	}
+	if fl, ok := s.running[k]; ok {
+		s.mu.Unlock()
+		<-fl.done
+		return fl.res, fl.err
+	}
+	fl := &inflight{done: make(chan struct{})}
+	s.running[k] = fl
 	s.mu.Unlock()
 
+	fl.res, fl.err = s.simulate(a, cfg)
+	s.mu.Lock()
+	if fl.err == nil {
+		s.results[k] = fl.res
+	}
+	delete(s.running, k)
+	s.mu.Unlock()
+	close(fl.done)
+	return fl.res, fl.err
+}
+
+// simulate performs one actual machine run.
+func (s *Session) simulate(a *app.App, cfg machine.Config) (*machine.Result, error) {
 	p, err := a.ProgramFor(cfg.Model)
 	if err != nil {
 		return nil, err
@@ -64,14 +129,45 @@ func (s *Session) Run(a *app.App, cfg machine.Config) (*machine.Result, error) {
 	if !s.Verify {
 		check = nil
 	}
+	s.sims.Add(1)
 	r, err := machine.RunChecked(cfg, p, a.Init, check)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", a.Name, err)
 	}
-	s.mu.Lock()
-	s.results[k] = r
-	s.mu.Unlock()
 	return r, nil
+}
+
+// Job names one simulation for RunBatch.
+type Job struct {
+	App *app.App
+	Cfg machine.Config
+}
+
+// RunBatch runs the jobs on a worker pool of at most Workers goroutines
+// and returns results in job order. On error it returns the error of the
+// lowest-indexed failing job — the one a sequential loop would have hit
+// first — alongside the partial results.
+func (s *Session) RunBatch(jobs []Job) ([]*machine.Result, error) {
+	res := make([]*machine.Result, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, s.workers())
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j Job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res[i], errs[i] = s.Run(j.App, j.Cfg)
+		}(i, j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return res, err
+		}
+	}
+	return res, nil
 }
 
 // Baseline returns the ideal single-processor cycle count for a.
@@ -109,26 +205,61 @@ func (s *Session) Efficiency(a *app.App, cfg machine.Config) (float64, error) {
 // level 1..maxMT that reaches it under the given base configuration
 // (cfg.Threads is overridden). Unreached targets report 0. It also
 // returns the best efficiency seen and the level that achieved it.
+//
+// Levels are probed speculatively in waves of Workers at a time, then
+// consumed strictly in level order with the sequential early-exit rule,
+// so the returned values are identical to a one-by-one scan — a wave
+// merely warms the memo past the level the scan stops at.
 func (s *Session) MTSearch(a *app.App, cfg machine.Config, targets []float64, maxMT int) (levels []int, bestEff float64, bestMT int, err error) {
+	// The baseline is shared by every probe; resolve it once up front so
+	// wave members don't singleflight-pile on it.
+	if _, err := s.Baseline(a); err != nil {
+		return nil, 0, 0, err
+	}
 	levels = make([]int, len(targets))
 	found := 0
-	for mt := 1; mt <= maxMT; mt++ {
-		cfg.Threads = mt
-		eff, e := s.Efficiency(a, cfg)
-		if e != nil {
-			return nil, 0, 0, e
+	wave := s.workers()
+	for lo := 1; lo <= maxMT; lo += wave {
+		hi := lo + wave - 1
+		if hi > maxMT {
+			hi = maxMT
 		}
-		if eff > bestEff {
-			bestEff, bestMT = eff, mt
-		}
-		for i, tgt := range targets {
-			if levels[i] == 0 && eff >= tgt {
-				levels[i] = mt
-				found++
+		effs := make([]float64, hi-lo+1)
+		errs := make([]error, hi-lo+1)
+		if wave > 1 {
+			var wg sync.WaitGroup
+			for mt := lo; mt <= hi; mt++ {
+				wg.Add(1)
+				go func(mt int) {
+					defer wg.Done()
+					c := cfg
+					c.Threads = mt
+					effs[mt-lo], errs[mt-lo] = s.Efficiency(a, c)
+				}(mt)
 			}
+			wg.Wait()
+		} else {
+			c := cfg
+			c.Threads = lo
+			effs[0], errs[0] = s.Efficiency(a, c)
 		}
-		if found == len(targets) {
-			break
+		for mt := lo; mt <= hi; mt++ {
+			if e := errs[mt-lo]; e != nil {
+				return nil, 0, 0, e
+			}
+			eff := effs[mt-lo]
+			if eff > bestEff {
+				bestEff, bestMT = eff, mt
+			}
+			for i, tgt := range targets {
+				if levels[i] == 0 && eff >= tgt {
+					levels[i] = mt
+					found++
+				}
+			}
+			if found == len(targets) {
+				return levels, bestEff, bestMT, nil
+			}
 		}
 	}
 	return levels, bestEff, bestMT, nil

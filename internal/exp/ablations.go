@@ -113,6 +113,15 @@ func AblationLineSize(o *Options) error {
 	for _, s := range sizes {
 		t.Header = append(t.Header, fmt.Sprintf("hit@%d", s), fmt.Sprintf("b/c@%d", s))
 	}
+	var warm []core.Job
+	for _, name := range []string{"sor", "mp3d"} {
+		if a, err := o.App(name); err == nil {
+			for _, s := range sizes {
+				warm = append(warm, core.Job{App: a, Cfg: lineSizeCfg(o, a, s)})
+			}
+		}
+	}
+	o.prefetch(warm)
 	for _, name := range []string{"sor", "mp3d"} {
 		a, err := o.App(name)
 		if err != nil {
@@ -120,14 +129,7 @@ func AblationLineSize(o *Options) error {
 		}
 		row := []string{a.Name}
 		for _, s := range sizes {
-			cfg := machine.Config{
-				Procs: a.TableProcs, Threads: 6,
-				Model: machine.ConditionalSwitch, Latency: o.Latency,
-			}
-			cfg.Cache.LineCells = s
-			cfg.Cache.Lines = 4096 / s // constant capacity
-			cfg.Cache.Assoc = 4
-			r, err := o.Sess.Run(a, cfg)
+			r, err := o.Sess.Run(a, lineSizeCfg(o, a, s))
 			if err != nil {
 				return err
 			}
@@ -138,6 +140,19 @@ func AblationLineSize(o *Options) error {
 	t.AddNote("capacity held at 4096 cells; sor gains from longer lines, mp3d's scattered lookups waste them")
 	o.printf("%s\n", t)
 	return nil
+}
+
+// lineSizeCfg is the constant-capacity cache configuration AblationLineSize
+// sweeps.
+func lineSizeCfg(o *Options, a *appPkg, lineCells int) machine.Config {
+	cfg := machine.Config{
+		Procs: a.TableProcs, Threads: 6,
+		Model: machine.ConditionalSwitch, Latency: o.Latency,
+	}
+	cfg.Cache.LineCells = lineCells
+	cfg.Cache.Lines = 4096 / lineCells // constant capacity
+	cfg.Cache.Assoc = 4
+	return cfg
 }
 
 // AblationSwitchCost sweeps the pipeline-flush cost of switch-on-miss.
@@ -158,6 +173,14 @@ func AblationSwitchCost(o *Options) error {
 		Title:  fmt.Sprintf("Ablation: switch-on-miss pipeline-flush cost (mp3d, %d procs, 6 threads)", a.TableProcs),
 		Header: []string{"switch cost", "cycles", "efficiency", "overhead cycles"},
 	}
+	var warm []core.Job
+	for _, c := range costs {
+		warm = append(warm, core.Job{App: a, Cfg: machine.Config{
+			Procs: a.TableProcs, Threads: 6,
+			Model: machine.SwitchOnMiss, Latency: o.Latency, SwitchCost: c,
+		}})
+	}
+	o.prefetch(warm)
 	for _, c := range costs {
 		cfg := machine.Config{
 			Procs: a.TableProcs, Threads: 6,
@@ -196,6 +219,20 @@ func AblationNetwork(o *Options) error {
 		t.Header = append(t.Header, fmt.Sprintf("%dt", th))
 	}
 	t.Header = append(t.Header, "peak-util", "final-lat")
+	var warm []core.Job
+	for _, name := range []string{"sor", "mp3d"} {
+		if a, err := o.App(name); err == nil {
+			for _, model := range []machine.Model{machine.ExplicitSwitch, machine.ConditionalSwitch} {
+				for _, th := range threads {
+					warm = append(warm, core.Job{App: a, Cfg: machine.Config{
+						Procs: a.TableProcs, Threads: th, Model: model,
+						Latency: o.Latency, Congestion: congest,
+					}})
+				}
+			}
+		}
+	}
+	o.prefetch(warm)
 	for _, name := range []string{"sor", "mp3d"} {
 		a, err := o.App(name)
 		if err != nil {
@@ -247,7 +284,10 @@ func AblationMP3DSort(o *Options) error {
 		Title:  fmt.Sprintf("Ablation: mp3d particle layout (conditional-switch, %d procs, 6 threads, latency %d)", procs, o.Latency),
 		Header: []string{"layout", "cycles", "hit-rate", "b/cyc", "taken switches", "skipped"},
 	}
-	for _, a := range []*appPkg{plainApp, sortedApp} {
+	layouts := []*appPkg{plainApp, sortedApp}
+	runs := make([]*machine.Result, len(layouts))
+	err := o.forEach(len(layouts), func(i int) error {
+		a := layouts[i]
 		cfg := machine.Config{
 			Procs: procs, Threads: 6,
 			Model: machine.ConditionalSwitch, Latency: o.Latency,
@@ -256,10 +296,14 @@ func AblationMP3DSort(o *Options) error {
 		if err != nil {
 			return err
 		}
-		rg, err := machine.RunChecked(cfg, g, a.Init, a.Check)
-		if err != nil {
-			return err
-		}
+		runs[i], err = machine.RunChecked(cfg, g, a.Init, a.Check)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	for i, a := range layouts {
+		rg := runs[i]
 		t.AddRow(a.Name, fmt.Sprint(rg.Cycles),
 			fmt.Sprintf("%.2f", rg.CacheHitRate()),
 			fmt.Sprintf("%.2f", rg.BitsPerCycle()),
@@ -289,7 +333,13 @@ func AblationPriority(o *Options) error {
 		Header: []string{"procs x threads", "no limit", "run-limit 200", "priority",
 			"limit+priority", "limit gain", "priority gain", "combined gain"},
 	}
-	for _, shape := range []struct{ p, th int }{{2, 4}, {4, 4}, {4, 8}} {
+	shapes := []struct{ p, th int }{{2, 4}, {4, 4}, {4, 8}}
+	// Four scheduling variants per shape, all direct (unmemoized) machine
+	// runs; spread the 12 across the worker pool and render afterwards.
+	const variants = 4
+	runs := make([]*machine.Result, len(shapes)*variants)
+	err := o.forEach(len(runs), func(k int) error {
+		shape := shapes[k/variants]
 		p := buildLockWorkload(rounds, burst, int64(shape.th), int64(shape.p))
 		check := func(sh *machine.Shared) error {
 			want := int64(shape.p) * rounds // one locker per processor
@@ -307,30 +357,32 @@ func AblationPriority(o *Options) error {
 		noLimit := base
 		noLimit.RunLimit = -1
 		noLimit.PreemptLimit = 3000
-		unlimited, err := machine.RunChecked(noLimit, p, nil, check)
-		if err != nil {
-			return err
+		var cfg machine.Config
+		switch k % variants {
+		case 0:
+			cfg = noLimit
+		case 1:
+			// The paper's fix: force a switch every 200 busy cycles.
+			cfg = base
+		case 2:
+			// The paper's suggested improvement: priority for lock
+			// holders, no run limit needed.
+			cfg = noLimit
+			cfg.CritPriority = true
+		case 3:
+			// Both: the paper's run limit plus holder priority.
+			cfg = base
+			cfg.CritPriority = true
 		}
-		// The paper's fix: force a switch every 200 busy cycles.
-		limited, err := machine.RunChecked(base, p, nil, check)
-		if err != nil {
-			return err
-		}
-		// The paper's suggested improvement: priority for lock holders,
-		// no run limit needed.
-		prioCfg := noLimit
-		prioCfg.CritPriority = true
-		prio, err := machine.RunChecked(prioCfg, p, nil, check)
-		if err != nil {
-			return err
-		}
-		// Both: the paper's run limit plus holder priority.
-		bothCfg := base
-		bothCfg.CritPriority = true
-		both, err := machine.RunChecked(bothCfg, p, nil, check)
-		if err != nil {
-			return err
-		}
+		var err error
+		runs[k], err = machine.RunChecked(cfg, p, nil, check)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	for i, shape := range shapes {
+		unlimited, limited, prio, both := runs[i*variants], runs[i*variants+1], runs[i*variants+2], runs[i*variants+3]
 		t.AddRow(fmt.Sprintf("%dx%d", shape.p, shape.th),
 			fmt.Sprint(unlimited.Cycles), fmt.Sprint(limited.Cycles),
 			fmt.Sprint(prio.Cycles), fmt.Sprint(both.Cycles),
@@ -420,6 +472,15 @@ func AblationJitter(o *Options) error {
 	for _, f := range fracs {
 		t.Header = append(t.Header, fmt.Sprintf("±%.0f%%", 100*f))
 	}
+	var warm []core.Job
+	for _, name := range []string{"sieve", "sor", "water"} {
+		if a, err := o.App(name); err == nil {
+			for _, f := range fracs {
+				warm = append(warm, core.Job{App: a, Cfg: jitterCfg(o, a, f)})
+			}
+		}
+	}
+	o.prefetch(warm)
 	for _, name := range []string{"sieve", "sor", "water"} {
 		a, err := o.App(name)
 		if err != nil {
@@ -431,12 +492,7 @@ func AblationJitter(o *Options) error {
 		}
 		row := []string{a.Name}
 		for _, f := range fracs {
-			cfg := machine.Config{
-				Procs: a.TableProcs, Threads: 8,
-				Model: machine.ExplicitSwitch, Latency: o.Latency,
-				LatencyJitter: int(f * float64(o.Latency)),
-			}
-			r, err := o.Sess.Run(a, cfg)
+			r, err := o.Sess.Run(a, jitterCfg(o, a, f))
 			if err != nil {
 				return err
 			}
@@ -448,4 +504,13 @@ func AblationJitter(o *Options) error {
 	t.AddNote("threads barely cover the latency (sor at 8): unordered replies idle the round-robin schedule")
 	o.printf("%s\n", t)
 	return nil
+}
+
+// jitterCfg is the per-fraction configuration AblationJitter sweeps.
+func jitterCfg(o *Options, a *appPkg, frac float64) machine.Config {
+	return machine.Config{
+		Procs: a.TableProcs, Threads: 8,
+		Model: machine.ExplicitSwitch, Latency: o.Latency,
+		LatencyJitter: int(frac * float64(o.Latency)),
+	}
 }

@@ -9,7 +9,11 @@ package exp
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"strings"
+	"sync"
+	"time"
 
 	"mtsim/internal/app"
 	"mtsim/internal/apps"
@@ -30,6 +34,12 @@ type Options struct {
 	Out io.Writer
 	// Sess memoizes runs across experiments.
 	Sess *core.Session
+	// Jobs bounds the worker goroutines used to prefetch simulations and
+	// render independent experiments (cmd/experiments -j). Zero or
+	// negative means GOMAXPROCS; 1 disables parallelism. Output is
+	// byte-identical at every setting: workers only warm the session
+	// memo or fill per-experiment buffers that are emitted in order.
+	Jobs int
 
 	appSet []*app.App
 }
@@ -46,7 +56,101 @@ func NewOptions(scale app.Scale, out io.Writer) *Options {
 		MaxMT:   maxMT,
 		Out:     out,
 		Sess:    core.NewSession(),
+		Jobs:    runtime.GOMAXPROCS(0),
 	}
+}
+
+// SetJobs sets the worker-pool width for this options value and its
+// session (the -j flag).
+func (o *Options) SetJobs(n int) {
+	o.Jobs = n
+	o.Sess.Workers = n
+}
+
+// jobs resolves the effective worker count.
+func (o *Options) jobs() int {
+	if o.Jobs > 0 {
+		return o.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// prefetch warms the session memo with the given runs on the worker
+// pool. Errors are deliberately dropped: the sequential render path
+// re-issues the same configurations and reports the first failure at the
+// same point a serial run would have. A no-op at Jobs <= 1.
+func (o *Options) prefetch(jobs []core.Job) {
+	if o.jobs() <= 1 || len(jobs) < 2 {
+		return
+	}
+	_, _ = o.Sess.RunBatch(jobs)
+}
+
+// forEach calls f(0..n-1) on min(Jobs, n) workers and returns the
+// lowest-index error, mirroring where a sequential loop would have
+// stopped. Generators use it for work that bypasses the session memo
+// (direct machine runs).
+func (o *Options) forEach(n int, f func(i int) error) error {
+	w := o.jobs()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rendered runs the given experiments — concurrently when Jobs allows —
+// each into its own buffer, and returns the rendered outputs and wall
+// times in input order. The outputs are byte-identical to running the
+// experiments sequentially: each one owns its buffer, and the shared
+// session's singleflight memo returns identical results regardless of
+// which experiment simulates a configuration first.
+func Rendered(o *Options, exps []*Experiment) ([]string, []time.Duration, error) {
+	o.Apps() // build the app set once, before any worker can race on it
+	outs := make([]string, len(exps))
+	times := make([]time.Duration, len(exps))
+	err := o.forEach(len(exps), func(i int) error {
+		start := time.Now()
+		var buf strings.Builder
+		sub := *o
+		sub.Out = &buf
+		if err := exps[i].Run(&sub); err != nil {
+			return fmt.Errorf("%s: %w", exps[i].ID, err)
+		}
+		outs[i] = buf.String()
+		times[i] = time.Since(start)
+		return nil
+	})
+	return outs, times, err
 }
 
 // Apps returns the benchmark set, built once.

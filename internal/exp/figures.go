@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 
+	"mtsim/internal/core"
 	"mtsim/internal/isa"
 	"mtsim/internal/machine"
 	"mtsim/internal/prog"
@@ -18,6 +19,11 @@ func Figure1(o *Options) error {
 	if err != nil {
 		return err
 	}
+	warm := []core.Job{{App: a, Cfg: machine.Config{Procs: 1, Threads: 1, Model: machine.Ideal}}}
+	for m := machine.Model(0); int(m) < machine.NumModels; m++ {
+		warm = append(warm, core.Job{App: a, Cfg: machine.Config{Procs: 4, Threads: 4, Model: m, Latency: o.Latency}})
+	}
+	o.prefetch(warm)
 	base, err := o.Sess.Baseline(a)
 	if err != nil {
 		return err
@@ -72,6 +78,18 @@ func Figure2(o *Options) error {
 		procCounts = append(procCounts, p)
 		table.Header = append(table.Header, fmt.Sprint(p))
 	}
+	var warm []core.Job
+	for _, a := range o.Apps() {
+		for _, p := range procCounts {
+			warm = append(warm, core.Job{App: a, Cfg: machine.Config{Procs: p, Threads: 1, Model: machine.Ideal}})
+		}
+	}
+	if a, err := o.App("water"); err == nil && a.TableProcs > 1 {
+		warm = append(warm,
+			core.Job{App: a, Cfg: machine.Config{Procs: a.TableProcs, Threads: 1, Model: machine.Ideal}},
+			core.Job{App: a, Cfg: machine.Config{Procs: a.TableProcs + 1, Threads: 1, Model: machine.Ideal}})
+	}
+	o.prefetch(warm)
 	for _, a := range o.Apps() {
 		s := &stats.Series{Name: a.Name}
 		row := []string{a.Name}
@@ -132,6 +150,19 @@ func Figure3(o *Options) error {
 		procCounts = append(procCounts, p)
 	}
 	levels := []int{1, 2, 4, 6, 8, 10, 12}
+
+	var warm []core.Job
+	for _, p := range procCounts {
+		warm = append(warm, core.Job{App: a, Cfg: machine.Config{Procs: p, Threads: 1, Model: machine.Ideal}})
+	}
+	for _, mt := range levels {
+		for _, p := range procCounts {
+			warm = append(warm, core.Job{App: a, Cfg: machine.Config{
+				Procs: p, Threads: mt, Model: machine.SwitchOnLoad, Latency: o.Latency,
+			}})
+		}
+	}
+	o.prefetch(warm)
 
 	table := &stats.Table{
 		Title:  fmt.Sprintf("Figure 3: sieve efficiency vs processors (switch-on-load, latency %d)", o.Latency),

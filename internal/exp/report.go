@@ -187,21 +187,18 @@ substitution rationale).
 	}
 	for _, sec := range sections {
 		fmt.Fprintf(w, "## %s\n\n", sec.title)
-		for _, e := range sec.exps {
-			start := time.Now()
-			var buf strings.Builder
-			sub := *o
-			sub.Out = &buf
-			if err := e.Run(&sub); err != nil {
-				return fmt.Errorf("report: %s: %w", e.ID, err)
-			}
+		outs, times, err := Rendered(o, sec.exps)
+		if err != nil {
+			return fmt.Errorf("report: %w", err)
+		}
+		for i, e := range sec.exps {
 			fmt.Fprintf(w, "### %s — %s\n\n", e.ID, e.Title)
 			fmt.Fprintf(w, "**Paper:** %s\n\n", e.Paper)
-			fmt.Fprintf(w, "```\n%s```\n\n", strings.TrimLeft(buf.String(), "\n"))
+			fmt.Fprintf(w, "```\n%s```\n\n", strings.TrimLeft(outs[i], "\n"))
 			if c, ok := commentary[e.ID]; ok {
 				fmt.Fprintf(w, "%s\n\n", strings.TrimSpace(c))
 			}
-			fmt.Fprintf(w, "_regenerated in %v_\n\n", time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(w, "_regenerated in %v_\n\n", times[i].Round(time.Millisecond))
 		}
 	}
 	return nil

@@ -19,6 +19,7 @@ func Table1(o *Options) error {
 		Title:  fmt.Sprintf("Table 1: parallel applications (%s scale)", o.Scale),
 		Header: []string{"application", "instrs", "cycles", "shared ld/st", "description & problem size"},
 	}
+	o.prefetch(baselineJobs(o))
 	for _, a := range o.Apps() {
 		base, err := o.Sess.Baseline(a)
 		if err != nil {
@@ -56,12 +57,9 @@ func Table2(o *Options) error {
 		Title:  fmt.Sprintf("Table 2: switch-on-load run-length distribution (%% of run-lengths, latency %d)", o.Latency),
 		Header: append(append([]string{"application"}, bucketHeaders()...), "mean"),
 	}
+	o.prefetch(runLengthJobs(o, machine.SwitchOnLoad))
 	for _, a := range o.Apps() {
-		cfg := machine.Config{
-			Procs: a.TableProcs, Threads: 4,
-			Model: machine.SwitchOnLoad, Latency: o.Latency,
-			CollectRunLengths: true,
-		}
+		cfg := runLengthCfg(o, a, machine.SwitchOnLoad)
 		r, err := o.Sess.Run(a, cfg)
 		if err != nil {
 			return err
@@ -95,12 +93,9 @@ func Table4(o *Options) error {
 		Title:  fmt.Sprintf("Table 4: explicit-switch (grouped) run-length distribution (%% of run-lengths, latency %d)", o.Latency),
 		Header: append(append([]string{"application"}, bucketHeaders()...), "mean", "grouping"),
 	}
+	o.prefetch(runLengthJobs(o, machine.ExplicitSwitch))
 	for _, a := range o.Apps() {
-		cfg := machine.Config{
-			Procs: a.TableProcs, Threads: 4,
-			Model: machine.ExplicitSwitch, Latency: o.Latency,
-			CollectRunLengths: true,
-		}
+		cfg := runLengthCfg(o, a, machine.ExplicitSwitch)
 		r, err := o.Sess.Run(a, cfg)
 		if err != nil {
 			return err
@@ -118,17 +113,32 @@ func Table4(o *Options) error {
 // the code-reorganization penalty (grouped vs raw cycles on the ideal
 // machine, §5.1).
 func Table5(o *Options) error {
-	penalty := func(a appHandle) (string, error) {
+	// The penalty runs bypass the session memo (the grouped program under
+	// a raw-code model), so precompute every cell on the worker pool
+	// instead of paying for them one at a time inside the render loop.
+	set := o.Apps()
+	cells := make([]string, len(set))
+	err := o.forEach(len(set), func(i int) error {
+		a := appHandle{a: set[i]}
 		raw, err := o.Sess.Run(a.a, machine.Config{Procs: 1, Threads: 1, Model: machine.Ideal})
 		if err != nil {
-			return "", err
+			return err
 		}
 		grouped, err := machineRunGrouped(o, a, machine.Config{Procs: 1, Threads: 1, Model: machine.Ideal})
 		if err != nil {
-			return "", err
+			return err
 		}
-		return fmt.Sprintf("%+.1f%%", 100*(float64(grouped.Cycles)/float64(raw.Cycles)-1)), nil
+		cells[i] = fmt.Sprintf("%+.1f%%", 100*(float64(grouped.Cycles)/float64(raw.Cycles)-1))
+		return nil
+	})
+	if err != nil {
+		return err
 	}
+	byName := make(map[string]string, len(set))
+	for i, a := range set {
+		byName[a.Name] = cells[i]
+	}
+	penalty := func(a appHandle) (string, error) { return byName[a.a.Name], nil }
 	return mtTable(o, "Table 5", machine.ExplicitSwitch, &extraCol{name: "penalty", f: penalty})
 }
 
@@ -142,16 +152,22 @@ func Table6(o *Options) error {
 		Header: append(append([]string{"application", "window-hits", "grouping", "grouping+win"},
 			effHeaders()...), "best"),
 	}
+	var warm []core.Job
+	for _, name := range []string{"ugray", "locus"} {
+		if a, err := o.App(name); err == nil {
+			plain := runLengthCfg(o, a, machine.ExplicitSwitch)
+			win := plain
+			win.GroupWindow = true
+			warm = append(warm, core.Job{App: a, Cfg: plain}, core.Job{App: a, Cfg: win})
+		}
+	}
+	o.prefetch(warm)
 	for _, name := range []string{"ugray", "locus"} {
 		a, err := o.App(name)
 		if err != nil {
 			return err
 		}
-		base := machine.Config{
-			Procs: a.TableProcs, Threads: 4,
-			Model: machine.ExplicitSwitch, Latency: o.Latency,
-			CollectRunLengths: true,
-		}
+		base := runLengthCfg(o, a, machine.ExplicitSwitch)
 		plain, err := o.Sess.Run(a, base)
 		if err != nil {
 			return err
@@ -195,6 +211,16 @@ func Table7(o *Options) error {
 		Title:  fmt.Sprintf("Table 7: network bandwidth, %d threads/proc, latency %d (spin traffic excluded)", mt, o.Latency),
 		Header: []string{"application", "procs", "uncached b/cyc", "hit-rate", "cached b/cyc", "b/cyc ratio", "traffic ratio", "speedup"},
 	}
+	var warm []core.Job
+	for _, a := range o.Apps() {
+		for _, m := range []machine.Model{machine.ExplicitSwitch, machine.ConditionalSwitch} {
+			warm = append(warm, core.Job{App: a, Cfg: machine.Config{
+				Procs: a.TableProcs, Threads: mt,
+				Model: m, Latency: o.Latency,
+			}})
+		}
+	}
+	o.prefetch(warm)
 	for _, a := range o.Apps() {
 		un, err := o.Sess.Run(a, machine.Config{
 			Procs: a.TableProcs, Threads: mt,
@@ -235,6 +261,43 @@ func Table7(o *Options) error {
 // (cache + grouped code + 200-cycle run limit).
 func Table8(o *Options) error {
 	return mtTable(o, "Table 8", machine.ConditionalSwitch, nil)
+}
+
+// --- prefetch job lists shared by the table generators ---
+
+// baselineCfg is the ideal single-processor configuration every
+// efficiency number is measured against.
+func baselineCfg() machine.Config {
+	return machine.Config{Procs: 1, Threads: 1, Model: machine.Ideal}
+}
+
+// baselineJobs lists one baseline run per application.
+func baselineJobs(o *Options) []core.Job {
+	jobs := make([]core.Job, 0, len(o.Apps()))
+	for _, a := range o.Apps() {
+		jobs = append(jobs, core.Job{App: a, Cfg: baselineCfg()})
+	}
+	return jobs
+}
+
+// runLengthCfg is the 4-thread table-processor configuration the
+// run-length distribution tables (2, 4 and 6) share.
+func runLengthCfg(o *Options, a *appPkg, model machine.Model) machine.Config {
+	return machine.Config{
+		Procs: a.TableProcs, Threads: 4,
+		Model: model, Latency: o.Latency,
+		CollectRunLengths: true,
+	}
+}
+
+// runLengthJobs lists the run-length distribution run for every
+// application under one model.
+func runLengthJobs(o *Options, model machine.Model) []core.Job {
+	jobs := make([]core.Job, 0, len(o.Apps()))
+	for _, a := range o.Apps() {
+		jobs = append(jobs, core.Job{App: a, Cfg: runLengthCfg(o, a, model)})
+	}
+	return jobs
 }
 
 // --- shared machinery for the multithreading-level tables ---

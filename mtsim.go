@@ -32,6 +32,7 @@ package mtsim
 
 import (
 	"io"
+	"time"
 
 	"mtsim/internal/app"
 	"mtsim/internal/apps"
@@ -68,8 +69,14 @@ type (
 	Experiment = exp.Experiment
 	// ExpOptions configures experiment generation.
 	ExpOptions = exp.Options
-	// Session memoizes runs and baselines across measurements.
+	// Session memoizes runs and baselines across measurements. It is
+	// safe for concurrent use: simultaneous Run calls on the same
+	// configuration are deduplicated singleflight-style and share one
+	// result, and Session.Workers sizes its worker pools.
 	Session = core.Session
+	// RunJob names one (application, configuration) simulation for
+	// Session.RunBatch.
+	RunJob = core.Job
 	// Sym names a region of simulated memory.
 	Sym = prog.Sym
 )
@@ -159,8 +166,18 @@ func WriteExperimentReport(o *ExpOptions, w io.Writer) error { return exp.WriteR
 // ExperimentByID resolves e.g. "table5" or "figure2".
 func ExperimentByID(id string) (*Experiment, error) { return exp.ByID(id) }
 
-// NewExpOptions returns experiment options writing to out.
+// NewExpOptions returns experiment options writing to out. The options
+// default to ExpOptions.Jobs = GOMAXPROCS worker goroutines; call
+// SetJobs to change the width (1 disables parallelism). Output is
+// byte-identical at any setting.
 func NewExpOptions(scale Scale, out io.Writer) *ExpOptions { return exp.NewOptions(scale, out) }
+
+// RenderExperiments runs the experiments — concurrently up to
+// o.Jobs workers — each into its own buffer, returning outputs and wall
+// times in input order, byte-identical to a sequential run.
+func RenderExperiments(o *ExpOptions, exps []*Experiment) ([]string, []time.Duration, error) {
+	return exp.Rendered(o, exps)
+}
 
 // Synchronization macros (Fetch-and-Add based, as in the paper's §3; the
 // spin probes they emit are excluded from bandwidth statistics).
