@@ -2,7 +2,8 @@
 //
 // Usage:
 //
-//	experiments [-scale quick|medium|full] [-latency N] [-maxmt N] [-j N] [id ...]
+//	experiments [-scale quick|medium|full] [-latency N] [-maxmt N] [-j N]
+//	            [-faults R] [-jitter N] [-seed N] [id ...]
 //
 // With no ids, every experiment runs in paper order. Ids are the paper
 // artifact names: figure1..figure4, table1..table8.
@@ -30,7 +31,26 @@ func main() {
 	ablations := flag.Bool("ablations", false, "also run the ablation/extension experiments")
 	report := flag.String("report", "", "write an EXPERIMENTS.md-style markdown report to this file")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	faults := flag.Float64("faults", 0.05, "harshest fault rate the robustness ablation sweeps to, in [0,1)")
+	jitter := flag.Int("jitter", 0, "latency jitter in cycles for the robustness ablation (0 = half the latency)")
+	seed := flag.Uint64("seed", 1, "seed for the robustness ablation's deterministic fault streams")
 	flag.Parse()
+
+	// Validate the numeric flags up front with specific messages.
+	switch {
+	case *latency < 1:
+		fatalf("-latency %d: the experiments need a positive round trip", *latency)
+	case *maxMT < 0:
+		fatalf("-maxmt %d: the search cap cannot be negative", *maxMT)
+	case *jobs < 0:
+		fatalf("-j %d: the worker count cannot be negative", *jobs)
+	case *faults < 0 || *faults >= 1:
+		fatalf("-faults %v: rate must be in [0, 1)", *faults)
+	case *jitter < 0:
+		fatalf("-jitter %d: jitter cannot be negative", *jitter)
+	case *jitter > 0 && *jitter >= *latency:
+		fatalf("-jitter %d: must stay below the round trip (-latency %d)", *jitter, *latency)
+	}
 
 	if *list {
 		for _, e := range mtsim.Experiments() {
@@ -54,6 +74,9 @@ func main() {
 	if *jobs > 0 {
 		o.SetJobs(*jobs)
 	}
+	o.FaultRate = *faults
+	o.FaultJitter = *jitter
+	o.FaultSeed = *seed
 
 	if *report != "" {
 		f, err := os.Create(*report)
@@ -102,5 +125,10 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
 	os.Exit(1)
 }

@@ -30,7 +30,27 @@ func main() {
 	window := flag.Bool("window", false, "enable the §5.2 inter-block grouping window (explicit-switch)")
 	runs := flag.Bool("runlengths", true, "collect the run-length histogram")
 	traffic := flag.Bool("traffic", false, "print the per-message-type network breakdown")
+	faults := flag.Float64("faults", 0, "fault injection rate in [0,1): replies dropped/delayed at this rate, duplicated at half")
+	jitter := flag.Int("jitter", 0, "deterministic per-access latency jitter in cycles (must stay below -latency)")
+	seed := flag.Uint64("seed", 1, "seed for the deterministic fault stream")
 	flag.Parse()
+
+	// Validate the numeric flags up front with specific messages; the
+	// library would reject them too, but only after building the app.
+	switch {
+	case *procs < 1:
+		fatalf("-procs %d: need at least one processor", *procs)
+	case *threads < 1:
+		fatalf("-threads %d: need at least one thread per processor", *threads)
+	case *latency < 0:
+		fatalf("-latency %d: a round trip cannot be negative", *latency)
+	case *faults < 0 || *faults >= 1:
+		fatalf("-faults %v: rate must be in [0, 1)", *faults)
+	case *jitter < 0:
+		fatalf("-jitter %d: jitter cannot be negative", *jitter)
+	case *jitter > 0 && *jitter >= *latency:
+		fatalf("-jitter %d: must stay below the round trip (-latency %d)", *jitter, *latency)
+	}
 
 	model, err := mtsim.ParseModel(*modelName)
 	if err != nil {
@@ -49,6 +69,13 @@ func main() {
 		Procs: *procs, Threads: *threads, Model: model,
 		Latency: *latency, SwitchCost: *switchCost, RunLimit: *runLimit,
 		GroupWindow: *window, CollectRunLengths: *runs,
+		LatencyJitter: *jitter,
+	}
+	if *faults > 0 {
+		cfg.Faults = mtsim.FaultConfig{
+			Enabled: true, Seed: *seed,
+			DropRate: *faults, DupRate: *faults / 2, DelayRate: *faults,
+		}
 	}
 	res, err := a.Run(cfg)
 	if err != nil {
@@ -73,5 +100,10 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mtsim:", err)
+	os.Exit(1)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mtsim: "+format+"\n", args...)
 	os.Exit(1)
 }

@@ -15,14 +15,59 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"mtsim/internal/app"
 	"mtsim/internal/machine"
 )
+
+// PanicError is a worker panic recovered into a structured per-job
+// error: a bug in an application kernel (or the simulator itself) fails
+// that one job instead of crashing the whole sweep.
+type PanicError struct {
+	App   string
+	Cfg   machine.Config
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: panic in %s [model=%s procs=%d threads=%d latency=%d]: %v",
+		e.App, e.Cfg.Model, e.Cfg.Procs, e.Cfg.Threads, e.Cfg.Latency, e.Value)
+}
+
+// BatchError aggregates the per-job failures of a RunBatch. Errs is
+// job-aligned (nil for jobs that succeeded); Unwrap exposes the non-nil
+// entries so errors.Is/As traverse the whole set.
+type BatchError struct {
+	Errs   []error
+	Failed int
+}
+
+func (e *BatchError) Error() string {
+	for _, err := range e.Errs {
+		if err != nil {
+			return fmt.Sprintf("core: %d of %d jobs failed; first: %v", e.Failed, len(e.Errs), err)
+		}
+	}
+	return "core: batch error with no failures"
+}
+
+// Unwrap returns the non-nil per-job errors.
+func (e *BatchError) Unwrap() []error {
+	out := make([]error, 0, e.Failed)
+	for _, err := range e.Errs {
+		if err != nil {
+			out = append(out, err)
+		}
+	}
+	return out
+}
 
 // EffTargets are the efficiency levels the paper's Tables 3, 5, 6 and 8
 // report multithreading levels for.
@@ -119,8 +164,16 @@ func (s *Session) Run(a *app.App, cfg machine.Config) (*machine.Result, error) {
 	return fl.res, fl.err
 }
 
-// simulate performs one actual machine run.
-func (s *Session) simulate(a *app.App, cfg machine.Config) (*machine.Result, error) {
+// simulate performs one actual machine run. A panic anywhere below —
+// application Init/Check, program generation, the simulator itself — is
+// recovered into a *PanicError, so one broken kernel fails its own job
+// instead of killing the sweep's worker pool.
+func (s *Session) simulate(a *app.App, cfg machine.Config) (res *machine.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, &PanicError{App: a.Name, Cfg: cfg, Value: v, Stack: debug.Stack()}
+		}
+	}()
 	p, err := a.ProgramFor(cfg.Model)
 	if err != nil {
 		return nil, err
@@ -132,6 +185,12 @@ func (s *Session) simulate(a *app.App, cfg machine.Config) (*machine.Result, err
 	s.sims.Add(1)
 	r, err := machine.RunChecked(cfg, p, a.Init, check)
 	if err != nil {
+		if errors.Is(err, machine.ErrMaxCycles) {
+			// Name the offending app and configuration: a livelock report
+			// from deep inside a sweep is useless without them.
+			return nil, fmt.Errorf("core: %s [model=%s procs=%d threads=%d latency=%d]: %w",
+				a.Name, cfg.Model, cfg.Procs, cfg.Threads, cfg.Latency, err)
+		}
 		return nil, fmt.Errorf("core: %s: %w", a.Name, err)
 	}
 	return r, nil
@@ -144,9 +203,12 @@ type Job struct {
 }
 
 // RunBatch runs the jobs on a worker pool of at most Workers goroutines
-// and returns results in job order. On error it returns the error of the
-// lowest-indexed failing job — the one a sequential loop would have hit
-// first — alongside the partial results.
+// and returns results in job order. Every job runs to completion
+// regardless of other jobs' failures: a livelocked or panicking
+// configuration costs only its own slot. On any failure the returned
+// error is a *BatchError whose Errs slice is job-aligned, so callers can
+// pair each nil result with its cause; the partial results are always
+// returned.
 func (s *Session) RunBatch(jobs []Job) ([]*machine.Result, error) {
 	res := make([]*machine.Result, len(jobs))
 	errs := make([]error, len(jobs))
@@ -162,10 +224,14 @@ func (s *Session) RunBatch(jobs []Job) ([]*machine.Result, error) {
 		}(i, j)
 	}
 	wg.Wait()
+	failed := 0
 	for _, err := range errs {
 		if err != nil {
-			return res, err
+			failed++
 		}
+	}
+	if failed > 0 {
+		return res, &BatchError{Errs: errs, Failed: failed}
 	}
 	return res, nil
 }
@@ -210,6 +276,11 @@ func (s *Session) Efficiency(a *app.App, cfg machine.Config) (float64, error) {
 // consumed strictly in level order with the sequential early-exit rule,
 // so the returned values are identical to a one-by-one scan — a wave
 // merely warms the memo past the level the scan stops at.
+//
+// A failing level (livelock, panic) does not abort the search: the
+// level is skipped, the remaining levels are still probed, and the
+// failures come back joined in err alongside the partial results. Only
+// a baseline failure — which makes every efficiency undefined — aborts.
 func (s *Session) MTSearch(a *app.App, cfg machine.Config, targets []float64, maxMT int) (levels []int, bestEff float64, bestMT int, err error) {
 	// The baseline is shared by every probe; resolve it once up front so
 	// wave members don't singleflight-pile on it.
@@ -218,6 +289,7 @@ func (s *Session) MTSearch(a *app.App, cfg machine.Config, targets []float64, ma
 	}
 	levels = make([]int, len(targets))
 	found := 0
+	var sweepErrs []error
 	wave := s.workers()
 	for lo := 1; lo <= maxMT; lo += wave {
 		hi := lo + wave - 1
@@ -245,7 +317,8 @@ func (s *Session) MTSearch(a *app.App, cfg machine.Config, targets []float64, ma
 		}
 		for mt := lo; mt <= hi; mt++ {
 			if e := errs[mt-lo]; e != nil {
-				return nil, 0, 0, e
+				sweepErrs = append(sweepErrs, fmt.Errorf("threads=%d: %w", mt, e))
+				continue
 			}
 			eff := effs[mt-lo]
 			if eff > bestEff {
@@ -258,11 +331,11 @@ func (s *Session) MTSearch(a *app.App, cfg machine.Config, targets []float64, ma
 				}
 			}
 			if found == len(targets) {
-				return levels, bestEff, bestMT, nil
+				return levels, bestEff, bestMT, errors.Join(sweepErrs...)
 			}
 		}
 	}
-	return levels, bestEff, bestMT, nil
+	return levels, bestEff, bestMT, errors.Join(sweepErrs...)
 }
 
 // FormatLevels renders an MTSearch row: the level per target, or "-" for

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 
 	"mtsim/internal/apps/mp3d"
@@ -55,6 +56,12 @@ func Ablations() []*Experiment {
 			Title: "Load-dependent network latency (the paper's §6.1 future work)",
 			Paper: "\"simulations using realistic networks are needed to fully explore this issue\"",
 			Run:   AblationNetwork,
+		},
+		{
+			ID:    "ablation-faults",
+			Title: "Fault injection: efficiency under an unreliable, jittery network",
+			Paper: "extension: the paper's network never loses a reply; this one drops, delays and duplicates them",
+			Run:   AblationFaults,
 		},
 		{
 			ID:    "ablation-mp3dsort",
@@ -458,6 +465,92 @@ func buildLockWorkload(rounds, burst, threadsPerProc, lockers int64) *prog.Progr
 	b.Beqz(8, "outer")
 	b.Halt()
 	return b.MustBuild()
+}
+
+// AblationFaults runs every application through an unreliable network:
+// replies are dropped, delayed and duplicated at increasing rates, with
+// and without latency jitter, and the machine's recovery protocol
+// (timeout, NACK-retry with capped exponential backoff, sequence-number
+// dedup) takes the hit in cycles. Faults are drawn from a seeded stream,
+// so each cell is deterministic and memoizes like a clean run. A cell
+// whose recovery stalls past MaxCycles renders as "stall" instead of
+// failing the whole table — the sweep itself is fault-tolerant.
+func AblationFaults(o *Options) error {
+	rates := []float64{0, o.FaultRate / 5, o.FaultRate}
+	jitter := o.FaultJitter
+	if jitter == 0 {
+		jitter = o.Latency / 2
+	}
+	t := &stats.Table{
+		Title: fmt.Sprintf("Ablation: fault injection (drop/delay/dup at rate r, seed %d), efficiency (conditional-switch, 6 threads)",
+			o.FaultSeed),
+		Header: []string{"application (procs)"},
+	}
+	for _, r := range rates {
+		t.Header = append(t.Header, fmt.Sprintf("r=%.3f", r), fmt.Sprintf("r=%.3f±j", r))
+	}
+	t.Header = append(t.Header, "retries@worst")
+	var warm []core.Job
+	for _, a := range o.Apps() {
+		for _, r := range rates {
+			for _, j := range []int{0, jitter} {
+				warm = append(warm, core.Job{App: a, Cfg: faultsCfg(o, a, r, j)})
+			}
+		}
+	}
+	o.prefetch(warm)
+	for _, a := range o.Apps() {
+		base, err := o.Sess.Baseline(a)
+		if err != nil {
+			return err
+		}
+		row := []string{fmt.Sprintf("%s (%d)", a.Name, a.TableProcs)}
+		var worst *machine.Result
+		for _, r := range rates {
+			for _, j := range []int{0, jitter} {
+				res, err := o.Sess.Run(a, faultsCfg(o, a, r, j))
+				switch {
+				case err == nil:
+					row = append(row, fmt.Sprintf("%.3f", res.Efficiency(base)))
+					worst = res
+				case errors.Is(err, machine.ErrMaxCycles):
+					// Fault-induced stall (or livelock): report the cell,
+					// keep the sweep going.
+					row = append(row, "stall")
+				default:
+					return err
+				}
+			}
+		}
+		retries := "-"
+		if worst != nil && worst.Config.Faults.Enabled {
+			retries = fmt.Sprint(worst.Faults.Retries)
+		}
+		row = append(row, retries)
+		t.AddRow(row...)
+	}
+	t.AddNote("±j adds a deterministic ±half-latency jitter on top of the fault rate")
+	t.AddNote("every cell recomputes the correct answer: faults cost cycles (timeouts, backoff), never correctness")
+	o.printf("%s\n", t)
+	return nil
+}
+
+// faultsCfg is the per-cell configuration AblationFaults sweeps. Rate
+// drives drops and delays fully and duplicates at half weight;
+// protocol constants stay at their latency-derived defaults.
+func faultsCfg(o *Options, a *appPkg, rate float64, jitter int) machine.Config {
+	cfg := machine.Config{
+		Procs: a.TableProcs, Threads: 6,
+		Model: machine.ConditionalSwitch, Latency: o.Latency,
+		LatencyJitter: jitter,
+	}
+	if rate > 0 {
+		cfg.Faults = net.FaultConfig{
+			Enabled: true, Seed: o.FaultSeed,
+			DropRate: rate, DupRate: rate / 2, DelayRate: rate,
+		}
+	}
+	return cfg
 }
 
 // AblationJitter relaxes the constant-latency assumption: a deterministic

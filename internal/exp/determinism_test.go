@@ -13,12 +13,14 @@ import (
 // byte-identical to -j 1. The experiment subset covers every concurrency
 // mechanism — prefetched memo runs (figure1, table2), the grid prefetch
 // (figure3), the wave MTSearch plus the parallel penalty column
-// (table5), and unmemoized direct machine runs (ablation-priority).
+// (table5), unmemoized direct machine runs (ablation-priority), and the
+// seeded fault-injection sweep (ablation-faults), whose fixed-seed
+// degraded runs must be bit-reproducible at any worker width.
 func TestRenderedParallelMatchesSequential(t *testing.T) {
 	if testing.Short() {
 		t.Skip("regenerates experiments twice; not short")
 	}
-	ids := []string{"figure1", "table2", "figure3", "table5", "ablation-priority"}
+	ids := []string{"figure1", "table2", "figure3", "table5", "ablation-priority", "ablation-faults"}
 	exps := make([]*exp.Experiment, len(ids))
 	for i, id := range ids {
 		e, err := exp.ByID(id)

@@ -40,6 +40,16 @@ type Options struct {
 	// byte-identical at every setting: workers only warm the session
 	// memo or fill per-experiment buffers that are emitted in order.
 	Jobs int
+	// FaultSeed seeds the robustness ablation's deterministic fault
+	// streams (cmd/experiments -seed).
+	FaultSeed uint64
+	// FaultRate is the harshest drop/delay probability the robustness
+	// ablation sweeps up to (cmd/experiments -faults).
+	FaultRate float64
+	// FaultJitter is the latency jitter, in cycles, of the ablation's
+	// degraded-network column; zero means half the round trip
+	// (cmd/experiments -jitter).
+	FaultJitter int
 
 	appSet []*app.App
 }
@@ -51,12 +61,14 @@ func NewOptions(scale app.Scale, out io.Writer) *Options {
 		maxMT = 24
 	}
 	return &Options{
-		Scale:   scale,
-		Latency: machine.DefaultLatency,
-		MaxMT:   maxMT,
-		Out:     out,
-		Sess:    core.NewSession(),
-		Jobs:    runtime.GOMAXPROCS(0),
+		Scale:     scale,
+		Latency:   machine.DefaultLatency,
+		MaxMT:     maxMT,
+		Out:       out,
+		Sess:      core.NewSession(),
+		Jobs:      runtime.GOMAXPROCS(0),
+		FaultSeed: 1,
+		FaultRate: 0.05,
 	}
 }
 

@@ -30,8 +30,8 @@ func TestRegistryCompleteAndOrdered(t *testing.T) {
 
 func TestAblationsRegistered(t *testing.T) {
 	abls := exp.Ablations()
-	if len(abls) != 7 {
-		t.Fatalf("ablations = %d, want 7", len(abls))
+	if len(abls) != 8 {
+		t.Fatalf("ablations = %d, want 8", len(abls))
 	}
 	for _, e := range abls {
 		if e.ID == "" || e.Run == nil || e.Title == "" {
@@ -51,7 +51,7 @@ func TestAblationSmoke(t *testing.T) {
 	var sb strings.Builder
 	o := exp.NewOptions(app.Quick, &sb)
 	o.MaxMT = 8 // keep the latency sweep fast for the smoke test
-	for _, id := range []string{"ablation-priority", "ablation-jitter", "ablation-switchcost", "ablation-linesize"} {
+	for _, id := range []string{"ablation-priority", "ablation-jitter", "ablation-switchcost", "ablation-linesize", "ablation-faults"} {
 		sb.Reset()
 		e, err := exp.ByID(id)
 		if err != nil {

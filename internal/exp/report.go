@@ -146,6 +146,18 @@ per step, and no data layout fixes that. The result supports the
 paper's pessimism — mp3d needs algorithmic restructuring, not just
 layout, to become cache-friendly.`,
 
+	"ablation-faults": `Extension breaking the §3 perfect-network assumption outright: replies
+are dropped, delayed past the requester's timeout, and duplicated, and
+a recovery protocol (timeout, NACK-retry with capped exponential
+backoff, sequence-number dedup) pays for it in cycles. Every cell still
+computes the correct answer — faults cost time, never correctness — and
+because the fault schedule is a pure function of (seed, access number),
+each degraded run is as deterministic and memoizable as a clean one.
+Low rates are nearly free (the protocol's timeouts overlap other
+threads' work, the same slack that hides latency); the harsh column
+compounds retries with jitter and shows which applications have slack
+left to absorb them.`,
+
 	"ablation-jitter": `Extension relaxing the §3 constant-latency assumption with
 deterministic per-access deviations (unordered delivery). Applications
 with slack in their thread coverage are nearly unaffected; an

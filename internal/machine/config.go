@@ -171,6 +171,13 @@ type Config struct {
 	// bandwidth the program demands instead of staying constant. When
 	// enabled, Latency is ignored in favour of the model's output.
 	Congestion net.CongestionConfig
+	// Faults enables fault injection on shared-memory round trips
+	// (drop/duplicate/delay plus degraded latency distributions) and the
+	// requester-side recovery protocol: timeout, NACK-retry with capped
+	// exponential backoff, sequence-number dedup. Deterministic per
+	// (Seed, config), so faulted runs memoize like clean ones. The zero
+	// value is the paper's perfect network.
+	Faults net.FaultConfig
 	// GroupWindow enables the §5.2 inter-block grouping estimate: each
 	// thread carries a one-line window of WindowCells cells, and a
 	// shared load hitting the window completes with the reference that
@@ -251,6 +258,7 @@ func (cfg Config) withDefaults() Config {
 	if cfg.MaxCycles == 0 {
 		cfg.MaxCycles = defaultMaxCycles
 	}
+	cfg.Faults = cfg.Faults.WithDefaults(cfg.Latency)
 	return cfg
 }
 
@@ -283,6 +291,12 @@ func (cfg Config) Validate() error {
 	}
 	if c.Congestion.Enabled && c.Model == Ideal {
 		return fmt.Errorf("machine: the congestion model does not apply to the ideal (zero latency) machine")
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	if c.Faults.Enabled && c.Model == Ideal {
+		return fmt.Errorf("machine: fault injection does not apply to the ideal (zero latency) machine")
 	}
 	if c.GroupWindow {
 		if c.Model != ExplicitSwitch {

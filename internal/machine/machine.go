@@ -15,6 +15,13 @@ import (
 // always a livelocked spin loop caused by an application bug.
 var ErrMaxCycles = errors.New("machine: exceeded MaxCycles (livelock?)")
 
+// ErrFaultStall is the watchdog's verdict when a run exceeded MaxCycles
+// while the fault-injection recovery protocol was actively retrying:
+// the stall is (at least partly) fault-induced rather than a plain
+// application livelock. It wraps ErrMaxCycles, so errors.Is against
+// either matches.
+var ErrFaultStall = fmt.Errorf("%w under fault injection (fault-induced stall)", ErrMaxCycles)
+
 const never = math.MaxInt64
 
 // thread is one hardware thread context: its own 32 integer and 32
@@ -94,6 +101,7 @@ type m struct {
 	preempt    int64
 	trace      Tracer
 	congestion *net.Congestion
+	faults     *net.FaultPlan
 	// nowApprox mirrors the run loop's current cycle for accounting
 	// hooks that are not passed the time explicitly.
 	nowApprox int64
@@ -170,6 +178,9 @@ func runInternal(cfg Config, p *prog.Program, init func(*Shared), check func(*Sh
 	sim.trace = tr
 	if cfg.Congestion.Enabled {
 		sim.congestion = net.NewCongestion(cfg.Congestion, cfg.Procs)
+	}
+	if cfg.Faults.Enabled {
+		sim.faults = net.NewFaultPlan(cfg.Faults, cfg.Latency)
 	}
 	sim.shared = NewShared(p)
 	if init != nil {
@@ -248,7 +259,7 @@ func (sim *m) run() error {
 	now := int64(0)
 	for {
 		if now > sim.cfg.MaxCycles {
-			return fmt.Errorf("%w at cycle %d (program %q, model %s)", ErrMaxCycles, now, sim.prg.Name, sim.cfg.Model)
+			return sim.maxCyclesErr(now)
 		}
 		sim.nowApprox = now
 		// Cohort pass: execute everything due now, track the two
@@ -275,7 +286,7 @@ func (sim *m) run() error {
 		for min1 < min2 {
 			now = min1
 			if now > sim.cfg.MaxCycles {
-				return fmt.Errorf("%w at cycle %d (program %q, model %s)", ErrMaxCycles, now, sim.prg.Name, sim.cfg.Model)
+				return sim.maxCyclesErr(now)
 			}
 			sim.nowApprox = now
 			if err := sim.execOne(mp, now); err != nil {
@@ -298,6 +309,19 @@ func (sim *m) run() error {
 	}
 	sim.finish(sim.nowApprox + 1)
 	return nil
+}
+
+// maxCyclesErr builds the watchdog error for a run that exceeded
+// MaxCycles, distinguishing a fault-induced stall (the recovery protocol
+// was timing out and retrying) from a plain application livelock. Fault
+// stats accumulate at issue time, so they are current here.
+func (sim *m) maxCyclesErr(now int64) error {
+	if sim.faults != nil && sim.faults.Stats.Timeouts > 0 {
+		st := sim.faults.Stats
+		return fmt.Errorf("%w at cycle %d (program %q, model %s; drops=%d timeouts=%d retries=%d backoff-cycles=%d)",
+			ErrFaultStall, now, sim.prg.Name, sim.cfg.Model, st.Drops, st.Timeouts, st.Retries, st.BackoffCycles)
+	}
+	return fmt.Errorf("%w at cycle %d (program %q, model %s)", ErrMaxCycles, now, sim.prg.Name, sim.cfg.Model)
 }
 
 // finish closes the books. end is one past the cycle on which the last
@@ -324,6 +348,9 @@ func (sim *m) finish(end int64) {
 	if sim.congestion != nil {
 		sim.res.NetPeakUtilization = sim.congestion.PeakUtilization
 		sim.res.NetFinalLatency = sim.congestion.Latency(end)
+	}
+	if sim.faults != nil {
+		sim.res.Faults = sim.faults.Stats
 	}
 	sim.res.Cycles = end
 	if sim.res.Cycles < 1 {
@@ -795,6 +822,12 @@ func (sim *m) sharedLoadTiming(pr *proc, t *thread, in *isa.Instr, addr, now int
 		lat = sim.congestion.Latency(now)
 	}
 	ready := now + lat
+	if sim.faults != nil {
+		// Fault injection + recovery protocol: the entire drop/retry
+		// schedule is resolved at issue time, so the split-phase
+		// scoreboard sees only the final completion cycle.
+		ready = sim.faults.Deliver(now, lat)
+	}
 	if sim.jitter > 0 && sim.lat > 0 {
 		// Deterministic per-access congestion deviation: delivery is no
 		// longer ordered, but the scoreboard tracks each load's own

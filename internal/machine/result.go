@@ -75,6 +75,10 @@ type Result struct {
 	NetPeakUtilization float64
 	NetFinalLatency    int64
 
+	// Faults is the fault-injection and recovery-protocol accounting
+	// (Config.Faults runs only).
+	Faults net.FaultStats
+
 	// ProcBusy is the per-processor useful busy-cycle breakdown
 	// (synchronization spinning excluded), for load balance analysis
 	// (the paper's water discussion, §3.2).
@@ -198,6 +202,11 @@ func (r *Result) Summary() string {
 	if r.Config.Congestion.Enabled {
 		fmt.Fprintf(&b, "network-model: peak-utilization=%.2f final-latency=%d\n",
 			r.NetPeakUtilization, r.NetFinalLatency)
+	}
+	if r.Config.Faults.Enabled {
+		fmt.Fprintf(&b, "faults: drops=%d dups=%d delays=%d timeouts=%d retries=%d backoff-cycles=%d hot=%d exhausted=%d\n",
+			r.Faults.Drops, r.Faults.Dups, r.Faults.Delays, r.Faults.Timeouts,
+			r.Faults.Retries, r.Faults.BackoffCycles, r.Faults.HotAccesses, r.Faults.Exhausted)
 	}
 	if r.RunLengths.N > 0 {
 		fmt.Fprintf(&b, "run-length: mean=%.1f max=%d grouping=%.2f\n",

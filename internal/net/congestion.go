@@ -136,8 +136,17 @@ func (g *Congestion) Utilization(now int64) float64 {
 	return u
 }
 
+// MaxRoundTrip bounds the modelled round trip. The M/D/1 wait scales
+// with the mean message size, so a pathological window — one enormous
+// accounted transfer against a tiny channel — could otherwise push the
+// float latency past what an int64 conversion can represent (which in
+// Go is undefined, not saturating). No simulation survives a round trip
+// this long anyway: MaxCycles fires first.
+const MaxRoundTrip = int64(1) << 32
+
 // Latency returns the current round-trip latency: zero-load hops plus an
 // M/D/1 waiting time per hop that diverges as utilization approaches 1.
+// The result is clamped to [0, MaxRoundTrip].
 func (g *Congestion) Latency(now int64) int64 {
 	u := g.Utilization(now)
 	service := 2.0 // cycles to forward an average message at full rate
@@ -147,5 +156,8 @@ func (g *Congestion) Latency(now int64) int64 {
 	wait := u / (2 * (1 - u)) * service // M/D/1 mean wait
 	perHop := float64(g.cfg.HopCycles) + wait
 	lat := 2*float64(g.cfg.Stages)*perHop + float64(g.cfg.MemCycles)
+	if lat >= float64(MaxRoundTrip) || math.IsNaN(lat) {
+		return MaxRoundTrip
+	}
 	return int64(lat + 0.5)
 }

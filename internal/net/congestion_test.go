@@ -1,6 +1,7 @@
 package net
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -60,6 +61,59 @@ func TestUtilizationClamped(t *testing.T) {
 	// Latency stays finite at the clamp.
 	if l := g.Latency(10000); l <= 0 || l > 100000 {
 		t.Errorf("latency at saturation = %d", l)
+	}
+}
+
+// TestZeroTrafficWindow: with no traffic ever injected, the latency at
+// any instant — including far in the future, where the decay factor
+// underflows — is exactly the zero-load round trip.
+func TestZeroTrafficWindow(t *testing.T) {
+	g := NewCongestion(CongestionConfig{Enabled: true}, 16)
+	zero := CongestionConfig{Enabled: true}.ZeroLoadLatency(16)
+	for _, now := range []int64{0, 1, 1000, 1 << 40} {
+		if l := g.Latency(now); l != zero {
+			t.Errorf("Latency(%d) = %d with no traffic, want zero-load %d", now, l, zero)
+		}
+	}
+	if u := g.Utilization(1 << 41); u != 0 {
+		t.Errorf("Utilization = %v with no traffic", u)
+	}
+	if g.PeakUtilization != 0 {
+		t.Errorf("PeakUtilization = %v with no traffic", g.PeakUtilization)
+	}
+}
+
+// TestSingleMessageBurst: a lone message must never drop latency below
+// the zero-load value, and after many idle windows the estimate must
+// decay back to exactly zero-load (no sticky residue).
+func TestSingleMessageBurst(t *testing.T) {
+	g := NewCongestion(CongestionConfig{Enabled: true}, 1)
+	zero := g.Latency(0)
+	g.Add(10, 128)
+	if after := g.Latency(10); after < zero {
+		t.Errorf("latency %d dropped below zero-load %d after one message", after, zero)
+	}
+	if relaxed := g.Latency(10 + 100*256); relaxed != zero {
+		t.Errorf("latency %d did not decay back to zero-load %d", relaxed, zero)
+	}
+}
+
+// TestBandwidthOverflowGuard: absurd injected bit counts (near-MaxInt64
+// transfers against a 1-bit channel) must keep the modelled latency
+// positive, finite, and clamped — the float result would otherwise
+// overflow the int64 conversion, which Go leaves undefined.
+func TestBandwidthOverflowGuard(t *testing.T) {
+	g := NewCongestion(CongestionConfig{Enabled: true, ChannelBits: 1, Window: 1}, 1)
+	for i := 0; i < 10; i++ {
+		g.Add(5, math.MaxInt64/4)
+	}
+	l := g.Latency(5)
+	if l <= 0 || l > MaxRoundTrip {
+		t.Errorf("latency under overflow load = %d, want in (0, %d]", l, MaxRoundTrip)
+	}
+	// Utilization stays clamped even at this load.
+	if u := g.Utilization(5); u > 0.97 {
+		t.Errorf("utilization %v above clamp", u)
 	}
 }
 

@@ -1,0 +1,274 @@
+package net
+
+import (
+	"fmt"
+
+	"mtsim/internal/rng"
+)
+
+// This file models what the paper's §3 machine assumes away: an
+// unreliable, non-uniform network. Replies can be late, lost or
+// duplicated, and the requester runs a recovery protocol — timeout,
+// NACK-retry with capped exponential backoff, sequence-number
+// deduplication. Everything is drawn from a seeded rng stream, so a
+// faulted run is exactly as deterministic (and memoizable) as a clean
+// one: delivery outcomes are a pure function of (Seed, access sequence
+// number).
+
+// DelayDist selects the per-access round-trip distribution of a
+// degraded network. The paper assumes a constant round trip (§3); these
+// relax that for the robustness experiments.
+type DelayDist int
+
+const (
+	// DistConstant is the paper's fixed round trip.
+	DistConstant DelayDist = iota
+	// DistUniform draws each round trip uniformly from
+	// [latency-Spread, latency+Spread].
+	DistUniform
+	// DistHotSpot routes HotRate of accesses through a contended module
+	// that multiplies their round trip by HotFactor.
+	DistHotSpot
+	numDists
+)
+
+var distNames = [numDists]string{
+	DistConstant: "constant", DistUniform: "uniform", DistHotSpot: "hot-spot",
+}
+
+func (d DelayDist) String() string {
+	if d >= 0 && int(d) < len(distNames) {
+		return distNames[d]
+	}
+	return fmt.Sprintf("dist(%d)", int(d))
+}
+
+// FaultConfig parameterizes fault injection and degraded delivery for
+// shared-memory round trips. It is a flat comparable value: machine
+// configs embed it and the session memo uses the whole config as a map
+// key, so a (seed, rates) plan memoizes like any other parameter. The
+// zero value disables the model entirely — the paper's perfect network
+// — and every added field must keep the struct comparable.
+type FaultConfig struct {
+	// Enabled turns the model on.
+	Enabled bool
+	// Seed seeds the deterministic fault stream: equal seeds and configs
+	// give bit-identical runs.
+	Seed uint64
+	// Dist selects the round-trip distribution.
+	Dist DelayDist
+	// Spread is DistUniform's half-width in cycles.
+	Spread int
+	// HotRate is DistHotSpot's fraction of accesses hitting the hot
+	// module; HotFactor multiplies their round trip (default 4).
+	HotRate   float64
+	HotFactor int
+	// DropRate is the probability a reply is lost; the requester times
+	// out and NACK-retries with capped exponential backoff.
+	DropRate float64
+	// DupRate is the probability the network duplicates a reply; the
+	// extra copy is discarded by sequence-number deduplication.
+	DupRate float64
+	// DelayRate is the probability a reply is held up DelayCycles extra
+	// cycles (a misrouted packet); a delay past TimeoutCycles triggers a
+	// spurious retry and the late original is deduplicated on arrival.
+	DelayRate float64
+	// DelayCycles is the extra delay of a delayed reply (default: the
+	// nominal round trip).
+	DelayCycles int
+	// TimeoutCycles is how long the requester waits for a reply before
+	// NACK-retrying (default: 4x the nominal round trip).
+	TimeoutCycles int
+	// MaxRetries caps the retry protocol. The attempt after the last
+	// retry rides the reliable escorted path and always delivers, so
+	// every access completes and runs terminate (default 8).
+	MaxRetries int
+	// BackoffBase is the first retry's backoff wait in cycles (default:
+	// half the nominal round trip); each further retry doubles it up to
+	// BackoffMax (default: 8x the nominal round trip).
+	BackoffBase int
+	BackoffMax  int
+}
+
+// WithDefaults fills zero fields from the machine's nominal round-trip
+// latency.
+func (c FaultConfig) WithDefaults(latency int) FaultConfig {
+	if !c.Enabled {
+		return c
+	}
+	if latency < 1 {
+		latency = 1
+	}
+	if c.HotFactor == 0 {
+		c.HotFactor = 4
+	}
+	if c.DelayCycles == 0 {
+		c.DelayCycles = latency
+	}
+	if c.TimeoutCycles == 0 {
+		c.TimeoutCycles = 4 * latency
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 8
+	}
+	if c.BackoffBase == 0 {
+		c.BackoffBase = (latency + 1) / 2
+	}
+	if c.BackoffMax == 0 {
+		c.BackoffMax = 8 * latency
+	}
+	return c
+}
+
+// Validate reports configuration errors. A disabled config is always
+// valid, mirroring CongestionConfig.
+func (c FaultConfig) Validate() error {
+	if !c.Enabled {
+		return nil
+	}
+	switch {
+	case c.Dist < 0 || c.Dist >= numDists:
+		return fmt.Errorf("net: fault Dist %d unknown", int(c.Dist))
+	case c.Spread < 0:
+		return fmt.Errorf("net: fault Spread %d < 0", c.Spread)
+	case !rate01(c.HotRate) || !rate01(c.DropRate) || !rate01(c.DupRate) || !rate01(c.DelayRate):
+		return fmt.Errorf("net: fault rates must be in [0,1] (hot=%v drop=%v dup=%v delay=%v)",
+			c.HotRate, c.DropRate, c.DupRate, c.DelayRate)
+	case c.HotFactor < 0:
+		return fmt.Errorf("net: fault HotFactor %d < 0", c.HotFactor)
+	case c.DelayCycles < 0 || c.TimeoutCycles < 0:
+		return fmt.Errorf("net: fault DelayCycles/TimeoutCycles must be >= 0")
+	case c.MaxRetries < 0:
+		return fmt.Errorf("net: fault MaxRetries %d < 0", c.MaxRetries)
+	case c.BackoffBase < 0 || c.BackoffMax < 0:
+		return fmt.Errorf("net: fault BackoffBase/BackoffMax must be >= 0")
+	}
+	return nil
+}
+
+func rate01(r float64) bool { return r >= 0 && r <= 1 }
+
+// FaultStats counts what the plan injected and what the recovery
+// protocol did about it.
+type FaultStats struct {
+	// Drops counts replies lost in the network.
+	Drops int64
+	// Dups counts duplicate replies discarded by sequence-number dedup
+	// (network duplicates plus late originals after a spurious retry).
+	Dups int64
+	// Delays counts replies held up DelayCycles.
+	Delays int64
+	// Timeouts counts requester timeouts, spurious ones included.
+	Timeouts int64
+	// Retries counts NACK-retries issued.
+	Retries int64
+	// BackoffCycles is the total backoff wait the protocol added.
+	BackoffCycles int64
+	// HotAccesses counts DistHotSpot accesses that hit the hot module.
+	HotAccesses int64
+	// Exhausted counts accesses that fell back to the escorted path
+	// after MaxRetries.
+	Exhausted int64
+}
+
+// FaultPlan is the per-run runtime: a deterministic schedule of faults
+// drawn from a seeded rng stream, plus the requester-side recovery
+// protocol. It is owned by one simulation and is not safe for
+// concurrent use.
+type FaultPlan struct {
+	cfg  FaultConfig
+	root *rng.R
+	seq  uint64
+
+	// Stats accumulates this run's fault and recovery counts.
+	Stats FaultStats
+}
+
+// NewFaultPlan builds the runtime for one simulation; latency is the
+// machine's nominal round trip, used to default the protocol constants.
+func NewFaultPlan(cfg FaultConfig, latency int) *FaultPlan {
+	d := cfg.WithDefaults(latency)
+	return &FaultPlan{cfg: d, root: rng.New(d.Seed)}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (f *FaultPlan) Config() FaultConfig { return f.cfg }
+
+// Deliver returns the cycle at which the reply for a shared access
+// issued at cycle issue with nominal round trip lat reaches the
+// requester, after injecting this access's scheduled faults and walking
+// the recovery protocol. All bookkeeping happens at issue time: the
+// simulator's split-phase scoreboard only needs the final completion
+// cycle, exactly as with plain latency, so the event loop is untouched.
+func (f *FaultPlan) Deliver(issue, lat int64) int64 {
+	r := f.root.Fork(f.seq)
+	f.seq++
+	lat = f.sampleLatency(r, lat)
+	start := issue
+	backoff := int64(f.cfg.BackoffBase)
+	for attempt := 0; attempt < f.cfg.MaxRetries; attempt++ {
+		if f.cfg.DropRate > 0 && r.Float() < f.cfg.DropRate {
+			// Reply lost: the requester's timeout fires and it
+			// NACK-retries after the current backoff.
+			f.Stats.Drops++
+			start = f.retryAfter(start, &backoff)
+			continue
+		}
+		ready := start + lat
+		if f.cfg.DelayRate > 0 && r.Float() < f.cfg.DelayRate {
+			f.Stats.Delays++
+			ready += int64(f.cfg.DelayCycles)
+			if ready-start > int64(f.cfg.TimeoutCycles) {
+				// So late the requester had already timed out: the retry
+				// is spurious and the late original becomes a duplicate,
+				// discarded by its sequence number on arrival.
+				f.Stats.Dups++
+				start = f.retryAfter(start, &backoff)
+				continue
+			}
+		}
+		if f.cfg.DupRate > 0 && r.Float() < f.cfg.DupRate {
+			// The network duplicated the reply; dedup drops the copy.
+			// No timing effect: the first copy carries the data.
+			f.Stats.Dups++
+		}
+		return ready
+	}
+	// Retry budget exhausted: the final attempt rides the escorted
+	// reliable path, so every access completes and runs terminate.
+	f.Stats.Exhausted++
+	return start + lat
+}
+
+// retryAfter charges one timeout + backoff and returns the reissue
+// cycle, doubling the backoff up to the cap.
+func (f *FaultPlan) retryAfter(start int64, backoff *int64) int64 {
+	f.Stats.Timeouts++
+	f.Stats.Retries++
+	f.Stats.BackoffCycles += *backoff
+	next := start + int64(f.cfg.TimeoutCycles) + *backoff
+	*backoff *= 2
+	if lim := int64(f.cfg.BackoffMax); *backoff > lim {
+		*backoff = lim
+	}
+	return next
+}
+
+// sampleLatency applies the configured round-trip distribution.
+func (f *FaultPlan) sampleLatency(r *rng.R, lat int64) int64 {
+	switch f.cfg.Dist {
+	case DistUniform:
+		if f.cfg.Spread > 0 {
+			lat += r.Intn(2*int64(f.cfg.Spread)+1) - int64(f.cfg.Spread)
+			if lat < 1 {
+				lat = 1
+			}
+		}
+	case DistHotSpot:
+		if f.cfg.HotRate > 0 && r.Float() < f.cfg.HotRate {
+			f.Stats.HotAccesses++
+			lat *= int64(f.cfg.HotFactor)
+		}
+	}
+	return lat
+}

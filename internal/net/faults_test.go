@@ -1,0 +1,215 @@
+package net
+
+import (
+	"testing"
+)
+
+func TestFaultConfigDefaults(t *testing.T) {
+	c := FaultConfig{Enabled: true}.WithDefaults(200)
+	if c.DelayCycles != 200 || c.TimeoutCycles != 800 || c.MaxRetries != 8 ||
+		c.BackoffBase != 100 || c.BackoffMax != 1600 || c.HotFactor != 4 {
+		t.Errorf("defaults not filled as documented: %+v", c)
+	}
+	// Disabled configs pass through untouched.
+	if got := (FaultConfig{}).WithDefaults(200); got != (FaultConfig{}) {
+		t.Errorf("disabled config mutated by WithDefaults: %+v", got)
+	}
+}
+
+func TestFaultConfigValidate(t *testing.T) {
+	if err := (FaultConfig{}).Validate(); err != nil {
+		t.Errorf("disabled config rejected: %v", err)
+	}
+	bad := []FaultConfig{
+		{Enabled: true, Dist: numDists},
+		{Enabled: true, Spread: -1},
+		{Enabled: true, DropRate: 1.5},
+		{Enabled: true, DupRate: -0.1},
+		{Enabled: true, DelayRate: 2},
+		{Enabled: true, HotRate: -1},
+		{Enabled: true, HotFactor: -1},
+		{Enabled: true, DelayCycles: -1},
+		{Enabled: true, TimeoutCycles: -1},
+		{Enabled: true, MaxRetries: -1},
+		{Enabled: true, BackoffBase: -1},
+		{Enabled: true, BackoffMax: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d (%+v): accepted", i, c)
+		}
+	}
+	if err := (FaultConfig{Enabled: true, DropRate: 0.5, DupRate: 1}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+// TestDeliverCleanPath: with every knob at zero an enabled plan is
+// timing-neutral — reply at issue+lat, no stats.
+func TestDeliverCleanPath(t *testing.T) {
+	f := NewFaultPlan(FaultConfig{Enabled: true, Seed: 3}, 200)
+	for i := int64(0); i < 100; i++ {
+		if got := f.Deliver(i*10, 200); got != i*10+200 {
+			t.Fatalf("Deliver(%d, 200) = %d, want %d", i*10, got, i*10+200)
+		}
+	}
+	if f.Stats != (FaultStats{}) {
+		t.Errorf("clean plan accumulated stats: %+v", f.Stats)
+	}
+}
+
+// TestDeliverDeterministic: two plans with the same seed produce the
+// same delivery schedule; a different seed produces a different one.
+func TestDeliverDeterministic(t *testing.T) {
+	cfg := FaultConfig{Enabled: true, Seed: 7, DropRate: 0.3, DupRate: 0.2, DelayRate: 0.2}
+	a, b := NewFaultPlan(cfg, 100), NewFaultPlan(cfg, 100)
+	diffSeed := cfg
+	diffSeed.Seed = 8
+	c := NewFaultPlan(diffSeed, 100)
+	divergent := false
+	for i := int64(0); i < 500; i++ {
+		va, vb := a.Deliver(i, 100), b.Deliver(i, 100)
+		if va != vb {
+			t.Fatalf("access %d: same seed delivered at %d vs %d", i, va, vb)
+		}
+		if c.Deliver(i, 100) != va {
+			divergent = true
+		}
+	}
+	if a.Stats != b.Stats {
+		t.Errorf("same seed, different stats: %+v vs %+v", a.Stats, b.Stats)
+	}
+	if !divergent {
+		t.Error("different seed never changed a delivery time")
+	}
+}
+
+// TestDeliverDropRetriesWithBackoff: with DropRate 1 every attempt is
+// lost; the plan must walk exactly MaxRetries timeouts with doubling,
+// capped backoff, then deliver on the escorted path.
+func TestDeliverDropRetriesWithBackoff(t *testing.T) {
+	cfg := FaultConfig{
+		Enabled: true, Seed: 1, DropRate: 1,
+		TimeoutCycles: 400, MaxRetries: 4, BackoffBase: 50, BackoffMax: 120,
+	}
+	f := NewFaultPlan(cfg, 100)
+	got := f.Deliver(1000, 100)
+	// Backoffs: 50, 100, 120 (capped), 120. Four timeouts of 400 each.
+	wantBackoff := int64(50 + 100 + 120 + 120)
+	want := 1000 + 4*400 + wantBackoff + 100
+	if got != want {
+		t.Errorf("Deliver = %d, want %d", got, want)
+	}
+	st := f.Stats
+	if st.Drops != 4 || st.Timeouts != 4 || st.Retries != 4 || st.Exhausted != 1 {
+		t.Errorf("stats = %+v, want 4 drops/timeouts/retries and 1 exhausted", st)
+	}
+	if st.BackoffCycles != wantBackoff {
+		t.Errorf("BackoffCycles = %d, want %d", st.BackoffCycles, wantBackoff)
+	}
+}
+
+// TestDeliverDelayAndDup: a delayed reply inside the timeout arrives
+// late but is not retried; a delay past the timeout forces a spurious
+// retry and dedups the late original.
+func TestDeliverDelayAndDup(t *testing.T) {
+	// Delay within the timeout window: +DelayCycles, no retry.
+	in := NewFaultPlan(FaultConfig{
+		Enabled: true, Seed: 1, DelayRate: 1, DelayCycles: 50, TimeoutCycles: 400,
+	}, 100)
+	if got := in.Deliver(0, 100); got != 150 {
+		t.Errorf("delayed reply at %d, want 150", got)
+	}
+	if in.Stats.Delays != 1 || in.Stats.Retries != 0 {
+		t.Errorf("in-window delay stats: %+v", in.Stats)
+	}
+
+	// Delay past the timeout: spurious retry, late original deduped.
+	// Every attempt is delayed, so the retries exhaust and the escorted
+	// attempt delivers at start+lat.
+	over := NewFaultPlan(FaultConfig{
+		Enabled: true, Seed: 1, DelayRate: 1, DelayCycles: 1000,
+		TimeoutCycles: 400, MaxRetries: 2, BackoffBase: 10, BackoffMax: 10,
+	}, 100)
+	got := over.Deliver(0, 100)
+	want := int64(2*(400+10) + 100)
+	if got != want {
+		t.Errorf("over-timeout delivery at %d, want %d", got, want)
+	}
+	st := over.Stats
+	if st.Timeouts != 2 || st.Dups != 2 || st.Delays != 2 || st.Exhausted != 1 {
+		t.Errorf("over-timeout stats: %+v", st)
+	}
+
+	// Pure duplication: no timing effect, counted once per duplicate.
+	dup := NewFaultPlan(FaultConfig{Enabled: true, Seed: 1, DupRate: 1}, 100)
+	if got := dup.Deliver(7, 100); got != 107 {
+		t.Errorf("duplicated reply at %d, want 107", got)
+	}
+	if dup.Stats.Dups != 1 {
+		t.Errorf("dup stats: %+v", dup.Stats)
+	}
+}
+
+// TestSampleLatencyDistributions checks the uniform bounds and the
+// hot-spot multiplier.
+func TestSampleLatencyDistributions(t *testing.T) {
+	uni := NewFaultPlan(FaultConfig{Enabled: true, Seed: 5, Dist: DistUniform, Spread: 40}, 100)
+	varied := false
+	for i := 0; i < 500; i++ {
+		got := uni.Deliver(0, 100)
+		if got < 60 || got > 140 {
+			t.Fatalf("uniform delivery %d outside [60, 140]", got)
+		}
+		if got != 100 {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("uniform spread never varied the latency")
+	}
+
+	hot := NewFaultPlan(FaultConfig{Enabled: true, Seed: 5, Dist: DistHotSpot, HotRate: 0.5, HotFactor: 3}, 100)
+	sawHot, sawCold := false, false
+	for i := 0; i < 500; i++ {
+		switch hot.Deliver(0, 100) {
+		case 100:
+			sawCold = true
+		case 300:
+			sawHot = true
+		default:
+			t.Fatal("hot-spot produced a latency that is neither cold nor hot")
+		}
+	}
+	if !sawHot || !sawCold {
+		t.Errorf("hot-spot mix degenerate: hot=%v cold=%v", sawHot, sawCold)
+	}
+	if hot.Stats.HotAccesses == 0 {
+		t.Error("hot accesses not counted")
+	}
+}
+
+// TestDeliverRatesApproximate: observed drop frequency tracks the
+// configured rate (the rng stream is uniform enough per access).
+func TestDeliverRatesApproximate(t *testing.T) {
+	cfg := FaultConfig{Enabled: true, Seed: 11, DropRate: 0.2, MaxRetries: 1}
+	f := NewFaultPlan(cfg, 100)
+	const n = 20000
+	for i := int64(0); i < n; i++ {
+		f.Deliver(i, 100)
+	}
+	frac := float64(f.Stats.Drops) / n
+	if frac < 0.17 || frac > 0.23 {
+		t.Errorf("observed drop rate %.3f, want ~0.2", frac)
+	}
+}
+
+func TestDistString(t *testing.T) {
+	if DistConstant.String() != "constant" || DistUniform.String() != "uniform" ||
+		DistHotSpot.String() != "hot-spot" {
+		t.Error("dist names wrong")
+	}
+	if DelayDist(99).String() == "" {
+		t.Error("unknown dist has empty name")
+	}
+}

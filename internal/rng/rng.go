@@ -27,6 +27,23 @@ func (r *R) Next() uint64 {
 	return x * 0x2545F4914F6CDD1D
 }
 
+// Fork returns an independent generator for substream tag, derived from
+// r's current state without advancing it: forking the same tag twice
+// yields identical streams, and distinct tags yield decorrelated ones
+// (a splitmix64 finalizer over state and tag). The fault-injection plan
+// forks one substream per message sequence number, so every delivery
+// decision is a pure function of (seed, sequence) — independent of how
+// many draws any other message consumed.
+func (r *R) Fork(tag uint64) *R {
+	h := r.s + 0x9E3779B97F4A7C15*(tag+1)
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return New(h)
+}
+
 // Intn returns a value in [0, n). n must be positive.
 func (r *R) Intn(n int64) int64 {
 	if n <= 0 {

@@ -21,6 +21,42 @@ func TestZeroSeedRemapped(t *testing.T) {
 	}
 }
 
+func TestForkDeterministicAndOrderFree(t *testing.T) {
+	// Same tag from equally-seeded parents: identical streams, in any
+	// fork order, and forking must not advance the parent.
+	a, b := New(42), New(42)
+	fa1 := a.Fork(7)
+	_ = b.Fork(3) // interleave an unrelated fork first
+	fb1 := b.Fork(7)
+	for i := 0; i < 100; i++ {
+		if fa1.Next() != fb1.Next() {
+			t.Fatal("Fork(7) streams diverge depending on fork order")
+		}
+	}
+	if a.Next() != b.Next() {
+		t.Error("Fork advanced the parent state")
+	}
+}
+
+func TestForkSubstreamsDecorrelated(t *testing.T) {
+	r := New(99)
+	// Adjacent tags must not produce overlapping or shifted streams.
+	x, y := r.Fork(1), r.Fork(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if x.Next() == y.Next() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("adjacent substreams collided %d/1000 times", same)
+	}
+	// A fork of a different parent seed differs too.
+	if New(1).Fork(5).Next() == New(2).Fork(5).Next() {
+		t.Error("same tag under different seeds produced equal values")
+	}
+}
+
 func TestIntnRange(t *testing.T) {
 	r := New(7)
 	seen := make(map[int64]bool)

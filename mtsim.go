@@ -40,6 +40,7 @@ import (
 	"mtsim/internal/exp"
 	"mtsim/internal/machine"
 	"mtsim/internal/mtc"
+	"mtsim/internal/net"
 	"mtsim/internal/opt"
 	"mtsim/internal/par"
 	"mtsim/internal/prog"
@@ -79,6 +80,39 @@ type (
 	RunJob = core.Job
 	// Sym names a region of simulated memory.
 	Sym = prog.Sym
+	// FaultConfig parameterizes fault injection on shared-memory round
+	// trips (Config.Faults): drop/duplicate/delay rates, degraded latency
+	// distributions, and the recovery protocol's timeout/backoff
+	// constants. Deterministic per (Seed, config).
+	FaultConfig = net.FaultConfig
+	// FaultStats reports what a faulted run injected and recovered
+	// (Result.Faults).
+	FaultStats = net.FaultStats
+	// DelayDist selects a degraded round-trip distribution.
+	DelayDist = net.DelayDist
+	// BatchError aggregates per-job failures from Session.RunBatch while
+	// the healthy jobs' results are still returned.
+	BatchError = core.BatchError
+	// PanicError is a worker panic recovered into a structured per-job
+	// error.
+	PanicError = core.PanicError
+)
+
+// Degraded round-trip distributions for FaultConfig.Dist.
+const (
+	DistConstant = net.DistConstant
+	DistUniform  = net.DistUniform
+	DistHotSpot  = net.DistHotSpot
+)
+
+// Sentinel errors of the simulator's watchdog.
+var (
+	// ErrMaxCycles marks a run that exceeded Config.MaxCycles — almost
+	// always a livelocked spin loop.
+	ErrMaxCycles = machine.ErrMaxCycles
+	// ErrFaultStall marks a MaxCycles overrun during active fault
+	// recovery (wraps ErrMaxCycles).
+	ErrFaultStall = machine.ErrFaultStall
 )
 
 // Context-switch models (the paper's Figure 1 taxonomy).
