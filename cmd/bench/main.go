@@ -1,0 +1,255 @@
+// Command bench is the repeatable performance-regression harness: it
+// runs a fixed suite of simulator benchmarks — the event-loop hot loop
+// plus one verified run per benchmark application — and reads/writes
+// BENCH_*.json records with a stable schema that later PRs append to.
+//
+// Two kinds of numbers are recorded per benchmark:
+//
+//   - sim_instrs / sim_cycles: the simulated work. These are
+//     deterministic (the simulator is bit-reproducible), so -check
+//     compares them exactly on any machine; a mismatch means the
+//     simulator's behavior changed, not that the host was slow.
+//   - ns_per_op: wall time. Only comparable on the same machine;
+//     -timing=false skips measuring it (the CI mode), and -check only
+//     enforces the -tolerance bound when both records carry timings.
+//
+// Usage:
+//
+//	bench -out BENCH_PR3.json -label pr3          # record
+//	bench -baseline BENCH_PR3.json -check         # enforce (exit 1 on regression)
+//	bench -baseline BENCH_PR3.json -check -timing=false   # CI: determinism only
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"mtsim"
+)
+
+// SchemaVersion identifies the BENCH_*.json layout.
+const SchemaVersion = 1
+
+// Record is the on-disk benchmark report.
+type Record struct {
+	Schema int    `json:"schema"`
+	Label  string `json:"label,omitempty"`
+	Go     string `json:"go"`
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	CPUs   int    `json:"cpus"`
+	Scale  string `json:"scale"`
+	// Timing records whether ns_per_op was measured (false: the
+	// determinism-only CI mode wrote zeros).
+	Timing     bool          `json:"timing"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+// BenchResult is one benchmark's measurements.
+type BenchResult struct {
+	Name     string `json:"name"`
+	Iters    int    `json:"iters"`
+	NsPerOp  int64  `json:"ns_per_op"`
+	SimInstr int64  `json:"sim_instrs"`
+	SimCycle int64  `json:"sim_cycles"`
+}
+
+// benchmark is one suite entry: run executes a single operation and
+// returns its simulated-work result.
+type benchmark struct {
+	name string
+	run  func() (*mtsim.Result, error)
+}
+
+// suite builds the fixed benchmark list: the event-loop hot loop
+// (verification off, high processor count, so dispatch and scheduling
+// dominate) plus one verified paper-configuration run per application.
+func suite() []benchmark {
+	bs := []benchmark{{
+		name: "machine-hot-loop",
+		run: func() (*mtsim.Result, error) {
+			a := mtsim.MustNewApp("sieve", mtsim.Quick)
+			cfg := mtsim.Config{Procs: 64, Threads: 4, Model: mtsim.SwitchOnLoad, Latency: 200}
+			return mtsim.Run(cfg, a.Raw, a.Init)
+		},
+	}}
+	for _, name := range mtsim.AppNames() {
+		name := name
+		bs = append(bs, benchmark{
+			name: "app-" + name,
+			run: func() (*mtsim.Result, error) {
+				a := mtsim.MustNewApp(name, mtsim.Quick)
+				cfg := mtsim.Config{Procs: 8, Threads: 4, Model: mtsim.ExplicitSwitch, Latency: 200}
+				return a.Run(cfg)
+			},
+		})
+	}
+	return bs
+}
+
+func main() {
+	out := flag.String("out", "", "write the benchmark record as JSON to this file")
+	baseline := flag.String("baseline", "", "baseline BENCH_*.json to compare against")
+	check := flag.Bool("check", false, "with -baseline: exit 1 on determinism mismatch or timing regression")
+	tolerance := flag.Float64("tolerance", 0.10, "with -check: maximum allowed ns/op regression (0.10 = 10%)")
+	timing := flag.Bool("timing", true, "measure wall time (disable for cross-machine CI checks)")
+	benchtime := flag.Duration("benchtime", 500*time.Millisecond, "minimum measuring time per benchmark")
+	label := flag.String("label", "", "free-form label stored in the record")
+	flag.Parse()
+
+	if *check && *baseline == "" {
+		fatalf("-check needs -baseline")
+	}
+	if *tolerance <= 0 {
+		fatalf("-tolerance %v: must be positive", *tolerance)
+	}
+
+	rec := Record{
+		Schema: SchemaVersion,
+		Label:  *label,
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		CPUs:   runtime.NumCPU(),
+		Scale:  "quick",
+		Timing: *timing,
+	}
+	for _, b := range suite() {
+		res, err := measure(b, *timing, *benchtime)
+		if err != nil {
+			fatalf("%s: %v", b.name, err)
+		}
+		rec.Benchmarks = append(rec.Benchmarks, res)
+		if *timing {
+			fmt.Printf("%-18s %4d iters  %12d ns/op  %10d sim-instrs  %10d sim-cycles\n",
+				res.Name, res.Iters, res.NsPerOp, res.SimInstr, res.SimCycle)
+		} else {
+			fmt.Printf("%-18s %10d sim-instrs  %10d sim-cycles\n",
+				res.Name, res.SimInstr, res.SimCycle)
+		}
+	}
+
+	if *out != "" {
+		if err := writeRecord(*out, &rec); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("record written to %s\n", *out)
+	}
+	if *baseline != "" {
+		base, err := readRecord(*baseline)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		failures := compare(base, &rec, *tolerance)
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "bench: FAIL:", f)
+		}
+		if len(failures) > 0 {
+			if *check {
+				os.Exit(1)
+			}
+		} else {
+			fmt.Printf("baseline %s: ok (%d benchmarks compared)\n", *baseline, len(base.Benchmarks))
+		}
+	}
+}
+
+// measure runs one benchmark: a first iteration captures the simulated
+// work (deterministic, so one run suffices); with timing on, further
+// iterations run until benchtime has elapsed.
+func measure(b benchmark, timing bool, benchtime time.Duration) (BenchResult, error) {
+	start := time.Now()
+	res, err := b.run()
+	if err != nil {
+		return BenchResult{}, err
+	}
+	out := BenchResult{Name: b.name, Iters: 1, SimInstr: res.Instrs, SimCycle: res.Cycles}
+	if !timing {
+		return out, nil
+	}
+	elapsed := time.Since(start)
+	for elapsed < benchtime {
+		if _, err := b.run(); err != nil {
+			return BenchResult{}, err
+		}
+		out.Iters++
+		elapsed = time.Since(start)
+	}
+	out.NsPerOp = elapsed.Nanoseconds() / int64(out.Iters)
+	return out, nil
+}
+
+// compare returns one message per violated contract between a baseline
+// record and the current one. Simulated work must match exactly; wall
+// time is only held to the tolerance when both records measured it.
+func compare(base, cur *Record, tolerance float64) []string {
+	byName := make(map[string]BenchResult, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		byName[b.Name] = b
+	}
+	var fails []string
+	for _, c := range cur.Benchmarks {
+		b, ok := byName[c.Name]
+		if !ok {
+			// New benchmarks are allowed: future PRs append to the suite.
+			continue
+		}
+		if c.SimInstr != b.SimInstr || c.SimCycle != b.SimCycle {
+			fails = append(fails, fmt.Sprintf(
+				"%s: simulated work changed: instrs %d -> %d, cycles %d -> %d (the simulator is deterministic; this is a behavior change, not noise)",
+				c.Name, b.SimInstr, c.SimInstr, b.SimCycle, c.SimCycle))
+		}
+		if base.Timing && cur.Timing && b.NsPerOp > 0 && c.NsPerOp > 0 {
+			if ratio := float64(c.NsPerOp)/float64(b.NsPerOp) - 1; ratio > tolerance {
+				fails = append(fails, fmt.Sprintf(
+					"%s: ns/op regressed %.1f%% (%d -> %d, tolerance %.0f%%)",
+					c.Name, 100*ratio, b.NsPerOp, c.NsPerOp, 100*tolerance))
+			}
+		}
+	}
+	for _, b := range base.Benchmarks {
+		found := false
+		for _, c := range cur.Benchmarks {
+			if c.Name == b.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fails = append(fails, fmt.Sprintf("%s: present in baseline but not run", b.Name))
+		}
+	}
+	return fails
+}
+
+func writeRecord(path string, rec *Record) error {
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func readRecord(path string) (*Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rec.Schema != SchemaVersion {
+		return nil, fmt.Errorf("%s: schema %d, this binary reads %d", path, rec.Schema, SchemaVersion)
+	}
+	return &rec, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -15,8 +15,11 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
@@ -34,6 +37,8 @@ func main() {
 	faults := flag.Float64("faults", 0.05, "harshest fault rate the robustness ablation sweeps to, in [0,1)")
 	jitter := flag.Int("jitter", 0, "latency jitter in cycles for the robustness ablation (0 = half the latency)")
 	seed := flag.Uint64("seed", 1, "seed for the robustness ablation's deterministic fault streams")
+	metricsOut := flag.String("metrics", "", "collect cycle-accounting metrics on every simulation and write the aggregate JSON to this file (\"-\" for stdout)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar (engine counters) on this address, e.g. localhost:6060")
 	flag.Parse()
 
 	// Validate the numeric flags up front with specific messages.
@@ -77,6 +82,11 @@ func main() {
 	o.FaultRate = *faults
 	o.FaultJitter = *jitter
 	o.FaultSeed = *seed
+	o.Sess.CollectMetrics = *metricsOut != ""
+
+	if *pprofAddr != "" {
+		servePprof(*pprofAddr, o.Sess)
+	}
 
 	if *report != "" {
 		f, err := os.Create(*report)
@@ -90,6 +100,7 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("report written to %s\n", *report)
+		emitMetrics(*metricsOut, o)
 		return
 	}
 
@@ -121,6 +132,38 @@ func main() {
 		os.Stdout.WriteString(outs[i])
 		fmt.Printf("   [%s regenerated in %v]\n\n", e.ID, times[i].Round(time.Millisecond))
 	}
+	emitMetrics(*metricsOut, o)
+}
+
+// emitMetrics writes the session's aggregate cycle accounting (the
+// -metrics flag): the stable-schema JSON to path plus a rendered
+// summary on stdout. A no-op when the flag was not given, keeping the
+// default output byte-identical.
+func emitMetrics(path string, o *mtsim.ExpOptions) {
+	if path == "" {
+		return
+	}
+	bm := o.SessionMetrics()
+	if err := mtsim.WriteMetricsFile(path, bm); err != nil {
+		fatal(err)
+	}
+	if path != "-" {
+		mtsim.WriteMetricsSummary(os.Stdout, bm)
+		fmt.Printf("metrics written to %s\n", path)
+	}
+}
+
+// servePprof exposes net/http/pprof plus expvar engine counters on
+// addr, for profiling long experiment sweeps.
+func servePprof(addr string, sess *mtsim.Session) {
+	expvar.Publish("mtsim.sims", expvar.Func(func() any { return sess.SimCount() }))
+	expvar.Publish("mtsim.memo_hits", expvar.Func(func() any { return sess.MemoHits() }))
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: pprof:", err)
+		}
+	}()
+	fmt.Printf("# pprof/expvar listening on http://%s/debug/pprof\n", addr)
 }
 
 func fatal(err error) {

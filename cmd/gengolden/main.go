@@ -1,32 +1,55 @@
-// Command gengolden regenerates the golden assembly files in
-// internal/apps/testdata (run after an intended kernel or optimizer
-// change; the golden tests compare against these).
+// Command gengolden regenerates the repository's golden files (run
+// from the repo root after an intended behavior change; the golden
+// tests compare against these):
+//
+//   - internal/apps/testdata/*.mt — kernel and optimizer assembly;
+//   - internal/exp/testdata/*.golden.* — deterministic experiment
+//     renderings and the metrics JSON schema pins (see exp.GoldenSet).
 package main
 
 import (
 	"fmt"
 	"os"
+	"sort"
 
 	"mtsim/internal/app"
 	"mtsim/internal/apps"
 	"mtsim/internal/asm"
+	"mtsim/internal/exp"
 )
 
 func main() {
 	for _, a := range apps.All(app.Quick) {
-		if err := os.WriteFile("internal/apps/testdata/"+a.Name+".mt", []byte(asm.Format(a.Raw)), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		write("internal/apps/testdata/"+a.Name+".mt", []byte(asm.Format(a.Raw)))
 		g, _, err := a.Grouped()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
-		if err := os.WriteFile("internal/apps/testdata/"+a.Name+".grouped.mt", []byte(asm.Format(g)), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		write("internal/apps/testdata/"+a.Name+".grouped.mt", []byte(asm.Format(g)))
 		fmt.Println(a.Name)
 	}
+	set, err := exp.GoldenSet()
+	if err != nil {
+		fatal(err)
+	}
+	names := make([]string, 0, len(set))
+	for name := range set {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		write("internal/exp/testdata/"+name, set[name])
+		fmt.Println(name)
+	}
+}
+
+func write(path string, data []byte) {
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

@@ -33,6 +33,7 @@ func main() {
 	faults := flag.Float64("faults", 0, "fault injection rate in [0,1): replies dropped/delayed at this rate, duplicated at half")
 	jitter := flag.Int("jitter", 0, "deterministic per-access latency jitter in cycles (must stay below -latency)")
 	seed := flag.Uint64("seed", 1, "seed for the deterministic fault stream")
+	metricsOut := flag.String("metrics", "", "collect cycle-accounting metrics and write the run's JSON record to this file (\"-\" for stdout)")
 	flag.Parse()
 
 	// Validate the numeric flags up front with specific messages; the
@@ -69,7 +70,8 @@ func main() {
 		Procs: *procs, Threads: *threads, Model: model,
 		Latency: *latency, SwitchCost: *switchCost, RunLimit: *runLimit,
 		GroupWindow: *window, CollectRunLengths: *runs,
-		LatencyJitter: *jitter,
+		LatencyJitter:  *jitter,
+		CollectMetrics: *metricsOut != "",
 	}
 	if *faults > 0 {
 		cfg.Faults = mtsim.FaultConfig{
@@ -96,6 +98,32 @@ func main() {
 		fmt.Print(res.TrafficBreakdown())
 	}
 	fmt.Println("result verified against host reference: ok")
+	if *metricsOut != "" {
+		if err := writeRunMetrics(*metricsOut, res); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeRunMetrics emits the run's cycle-accounting record as
+// stable-schema JSON (the -metrics flag).
+func writeRunMetrics(path string, res *mtsim.Result) error {
+	if path == "-" {
+		return mtsim.WriteMetricsJSON(os.Stdout, res.Metrics)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := mtsim.WriteMetricsJSON(f, res.Metrics); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("metrics written to %s\n", path)
+	return nil
 }
 
 func fatal(err error) {

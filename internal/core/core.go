@@ -24,6 +24,7 @@ import (
 
 	"mtsim/internal/app"
 	"mtsim/internal/machine"
+	"mtsim/internal/metrics"
 )
 
 // PanicError is a worker panic recovered into a structured per-job
@@ -100,12 +101,21 @@ type Session struct {
 	results  map[runKey]*machine.Result
 	running  map[runKey]*inflight
 	sims     atomic.Int64
+	memoHits atomic.Int64
+	batch    metrics.Batch // guarded by mu
 	// Verify enables result checking on every run (the default); the
 	// benchmark harness can disable it to time simulation alone.
 	Verify bool
 	// Workers bounds the worker pool used by RunBatch and MTSearch.
 	// Zero or negative means GOMAXPROCS.
 	Workers int
+	// CollectMetrics turns on the cycle-accounting observability layer
+	// for every simulation this session executes: each Result carries
+	// its RunMetrics and Metrics() aggregates them. Set it before the
+	// first Run, like Verify and Workers. The flag is applied inside
+	// simulate, after the memo key is built, so a metrics-collecting
+	// session memoizes exactly like a plain one.
+	CollectMetrics bool
 }
 
 // NewSession returns an empty session with verification on.
@@ -133,6 +143,26 @@ func (s *Session) SimCount() int64 {
 	return s.sims.Load()
 }
 
+// MemoHits reports how many successful Run calls were served without a
+// fresh simulation: memo-map hits plus singleflight followers. Counting
+// followers keeps the number a function of the job list alone — a
+// duplicate configuration scores one hit whether the pool ran it
+// sequentially (map hit) or concurrently (follower) — so engine metrics
+// stay byte-identical across worker-pool widths.
+func (s *Session) MemoHits() int64 {
+	return s.memoHits.Load()
+}
+
+// Metrics snapshots the session's aggregated cycle accounting: the
+// BatchMetrics over every simulation executed so far (empty unless
+// CollectMetrics is set) with the engine's own counters attached.
+func (s *Session) Metrics() *metrics.BatchMetrics {
+	engine := metrics.EngineMetrics{Sims: s.sims.Load(), MemoHits: s.memoHits.Load()}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.batch.Metrics(engine)
+}
+
 // Run simulates a under cfg, memoizing by configuration. Concurrent
 // callers with the same configuration trigger a single simulation and
 // receive the identical *Result. Errors are not memoized: a failed key
@@ -142,11 +172,15 @@ func (s *Session) Run(a *app.App, cfg machine.Config) (*machine.Result, error) {
 	s.mu.Lock()
 	if r, ok := s.results[k]; ok {
 		s.mu.Unlock()
+		s.memoHits.Add(1)
 		return r, nil
 	}
 	if fl, ok := s.running[k]; ok {
 		s.mu.Unlock()
 		<-fl.done
+		if fl.err == nil {
+			s.memoHits.Add(1)
+		}
 		return fl.res, fl.err
 	}
 	fl := &inflight{done: make(chan struct{})}
@@ -174,6 +208,11 @@ func (s *Session) simulate(a *app.App, cfg machine.Config) (res *machine.Result,
 			res, err = nil, &PanicError{App: a.Name, Cfg: cfg, Value: v, Stack: debug.Stack()}
 		}
 	}()
+	if s.CollectMetrics {
+		// cfg is this call's copy: the memo key was already built from
+		// the caller's value, so collection never forks the memo space.
+		cfg.CollectMetrics = true
+	}
 	p, err := a.ProgramFor(cfg.Model)
 	if err != nil {
 		return nil, err
@@ -192,6 +231,11 @@ func (s *Session) simulate(a *app.App, cfg machine.Config) (res *machine.Result,
 				a.Name, cfg.Model, cfg.Procs, cfg.Threads, cfg.Latency, err)
 		}
 		return nil, fmt.Errorf("core: %s: %w", a.Name, err)
+	}
+	if r.Metrics != nil {
+		s.mu.Lock()
+		s.batch.Add(r.Metrics)
+		s.mu.Unlock()
 	}
 	return r, nil
 }

@@ -1,0 +1,110 @@
+package core_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mtsim/internal/app"
+	"mtsim/internal/apps"
+	"mtsim/internal/core"
+	"mtsim/internal/machine"
+	"mtsim/internal/metrics"
+)
+
+func metricsModels() []machine.Model {
+	return []machine.Model{
+		machine.Ideal, machine.SwitchEveryCycle, machine.SwitchOnLoad,
+		machine.SwitchOnUse, machine.ExplicitSwitch, machine.SwitchOnMiss,
+		machine.SwitchOnUseMiss, machine.ConditionalSwitch,
+	}
+}
+
+// TestMetricsExactOnEveryApp sweeps the Figure 1 model taxonomy over
+// every application kernel and asserts the accounting layer's exactness
+// guarantee on each: per-state cycles sum to Procs x Cycles.
+func TestMetricsExactOnEveryApp(t *testing.T) {
+	s := core.NewSession()
+	s.CollectMetrics = true
+	var jobs []core.Job
+	for _, a := range apps.All(app.Quick) {
+		for _, m := range metricsModels() {
+			jobs = append(jobs, core.Job{App: a, Cfg: machine.Config{
+				Procs: 2, Threads: 2, Model: m, Latency: 16}})
+		}
+	}
+	results, err := s.RunBatch(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		j := jobs[i]
+		rm := r.Metrics
+		if rm == nil {
+			t.Fatalf("%s/%s: no metrics collected", j.App.Name, j.Cfg.Model)
+		}
+		if want := r.Cycles * int64(j.Cfg.Procs); rm.States.Total() != want {
+			t.Errorf("%s/%s: states sum to %d, want Procs x Cycles = %d",
+				j.App.Name, j.Cfg.Model, rm.States.Total(), want)
+		}
+		for _, pm := range rm.Procs {
+			if pm.States.Total() != r.Cycles {
+				t.Errorf("%s/%s: proc %d sums to %d, want %d",
+					j.App.Name, j.Cfg.Model, pm.Proc, pm.States.Total(), r.Cycles)
+			}
+		}
+		// The explicit-switch models run the grouped program variant, so
+		// Program carries the app name plus a transform suffix.
+		if !strings.HasPrefix(rm.Program, j.App.Name) || rm.Model != j.Cfg.Model.String() {
+			t.Errorf("labels (%q, %q) want (%q*, %q)", rm.Program, rm.Model, j.App.Name, j.Cfg.Model)
+		}
+	}
+	bm := s.Metrics()
+	if bm.Runs < len(jobs) { // baselines may add runs; duplicates may not
+		t.Errorf("batch aggregated %d runs, want >= %d", bm.Runs, len(jobs))
+	}
+	if bm.Engine.Sims != s.SimCount() {
+		t.Errorf("engine sims = %d, want %d", bm.Engine.Sims, s.SimCount())
+	}
+}
+
+// TestSessionMemoHitsAndAggregation: duplicate jobs count as memo hits
+// (whatever the pool width), aggregate exactly once, and the batch
+// snapshot is byte-identical across worker counts — the contract the
+// -metrics flag and the determinism fuzz test build on.
+func TestSessionMemoHitsAndAggregation(t *testing.T) {
+	a := apps.MustNew("sieve", app.Quick)
+	base := machine.Config{Procs: 2, Threads: 2, Model: machine.SwitchOnLoad, Latency: 16}
+	var jobs []core.Job
+	for _, m := range []machine.Model{machine.SwitchOnLoad, machine.SwitchOnUse, machine.ExplicitSwitch} {
+		cfg := base
+		cfg.Model = m
+		jobs = append(jobs, core.Job{App: a, Cfg: cfg}, core.Job{App: a, Cfg: cfg})
+	}
+	snapshot := func(workers int) (*metrics.BatchMetrics, []byte) {
+		s := core.NewSession()
+		s.CollectMetrics = true
+		s.Workers = workers
+		if _, err := s.RunBatch(jobs); err != nil {
+			t.Fatal(err)
+		}
+		bm := s.Metrics()
+		var buf bytes.Buffer
+		if err := metrics.WriteJSON(&buf, bm); err != nil {
+			t.Fatal(err)
+		}
+		return bm, buf.Bytes()
+	}
+	bm1, js1 := snapshot(1)
+	if bm1.Runs != 3 {
+		t.Errorf("runs = %d, want 3 (duplicates share one run)", bm1.Runs)
+	}
+	if bm1.Engine.Sims != 3 || bm1.Engine.MemoHits != 3 {
+		t.Errorf("engine = %+v, want 3 sims / 3 memo hits", bm1.Engine)
+	}
+	for _, w := range []int{4, 16} {
+		if _, js := snapshot(w); !bytes.Equal(js1, js) {
+			t.Errorf("batch metrics JSON differs between -j 1 and -j %d:\n%s\nvs\n%s", w, js1, js)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package exp_test
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"mtsim/internal/app"
+	"mtsim/internal/apps"
+	"mtsim/internal/core"
+	"mtsim/internal/machine"
+	"mtsim/internal/metrics"
+	"mtsim/internal/net"
+)
+
+// FuzzRunBatchDeterminism fuzzes the engine's byte-identical-at-any-
+// width contract over the inputs most likely to break it: the fault
+// seed (per-access rng streams), the execution model (different
+// scheduler paths), and the fault rate (retry/backoff protocol depth).
+// For every fuzzed triple, a batch with duplicate jobs must produce
+// the same result summaries AND the same aggregate metrics JSON at
+// worker widths 1, 4 and 16 — the metrics half is the hard part, since
+// aggregation order follows completion order.
+func FuzzRunBatchDeterminism(f *testing.F) {
+	f.Add(uint64(1), uint8(2), 0.05)
+	f.Add(uint64(42), uint8(4), 0.0)
+	f.Add(uint64(7), uint8(6), 0.3)
+	f.Fuzz(func(t *testing.T, seed uint64, modelIdx uint8, rate float64) {
+		// Clamp the fuzzed inputs into the valid domain rather than
+		// rejecting them, so every input exercises the engine. Skip
+		// Ideal (model 0): it has no latency to hide, hence no faults.
+		model := machine.Model(1 + int(modelIdx)%(machine.NumModels-1))
+		if math.IsNaN(rate) || math.IsInf(rate, 0) || rate < 0 {
+			rate = 0
+		}
+		if rate > 0.3 {
+			rate = 0.3
+		}
+
+		a := apps.MustNew("sor", app.Quick)
+		cfg := machine.Config{
+			Procs: 2, Threads: 2, Model: model, Latency: 16,
+			Faults: net.FaultConfig{
+				Enabled: true, Seed: seed,
+				DropRate: rate / 2, DelayRate: rate,
+			},
+		}
+		vary := cfg
+		vary.Latency = 32
+		// Duplicates exercise the memo/singleflight paths, whose metrics
+		// must still aggregate identically at every width.
+		jobs := []core.Job{{App: a, Cfg: cfg}, {App: a, Cfg: vary}, {App: a, Cfg: cfg}}
+
+		snapshot := func(workers int) string {
+			s := core.NewSession()
+			s.Workers = workers
+			s.CollectMetrics = true
+			results, err := s.RunBatch(jobs)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			var buf bytes.Buffer
+			for _, r := range results {
+				fmt.Fprintln(&buf, r.Summary())
+			}
+			if err := metrics.WriteJSON(&buf, s.Metrics()); err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			return buf.String()
+		}
+
+		base := snapshot(1)
+		for _, w := range []int{4, 16} {
+			if got := snapshot(w); got != base {
+				t.Errorf("seed=%d model=%s rate=%g: workers=%d output differs from workers=1\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s",
+					seed, model, rate, w, base, w, got)
+			}
+		}
+	})
+}

@@ -128,6 +128,12 @@ func Table5(o *Options) error {
 		if err != nil {
 			return err
 		}
+		if raw.Cycles <= 0 {
+			// A degenerate baseline makes the penalty undefined; render
+			// the paper's blank rather than an Inf/NaN percentage.
+			cells[i] = "-"
+			return nil
+		}
 		cells[i] = fmt.Sprintf("%+.1f%%", 100*(float64(grouped.Cycles)/float64(raw.Cycles)-1))
 		return nil
 	})
@@ -244,12 +250,15 @@ func Table7(o *Options) error {
 		if cbits := ca.Traffic.Bits(); cbits > 0 {
 			traf = fmt.Sprintf("%.1fx", float64(un.Traffic.Bits())/float64(cbits))
 		}
+		speedup := "-"
+		if ca.Cycles > 0 {
+			speedup = fmt.Sprintf("%.2fx", float64(un.Cycles)/float64(ca.Cycles))
+		}
 		t.AddRow(a.Name, fmt.Sprint(a.TableProcs),
 			fmt.Sprintf("%.2f", ub),
 			fmt.Sprintf("%.2f", ca.CacheHitRate()),
 			fmt.Sprintf("%.2f", cb),
-			red, traf,
-			fmt.Sprintf("%.2fx", float64(un.Cycles)/float64(ca.Cycles)))
+			red, traf, speedup)
 	}
 	t.AddNote("bits/cycle per processor, forward + return traffic, incl. headers, acks, invalidations and write-backs")
 	t.AddNote("'traffic ratio' compares total bits moved; per-cycle demand can rise simply because the cached run finishes faster")

@@ -191,6 +191,12 @@ type Config struct {
 	MaxCycles int64
 	// CollectRunLengths enables the per-switch run-length histogram.
 	CollectRunLengths bool
+	// CollectMetrics enables the cycle-accounting observability layer
+	// (internal/metrics): Result.Metrics receives the per-processor,
+	// per-thread state timelines and counters. Off by default; with it
+	// off no metrics code runs and results are byte-identical to a
+	// build without the layer.
+	CollectMetrics bool
 	// CheckInvariants makes the machine verify the coherence protocol's
 	// invariants (a dirty line has exactly one copy; the directory
 	// matches cache contents) after every coherence action. Meant for

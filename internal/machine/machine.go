@@ -7,6 +7,7 @@ import (
 
 	"mtsim/internal/cache"
 	"mtsim/internal/isa"
+	"mtsim/internal/metrics"
 	"mtsim/internal/net"
 	"mtsim/internal/prog"
 )
@@ -102,6 +103,10 @@ type m struct {
 	trace      Tracer
 	congestion *net.Congestion
 	faults     *net.FaultPlan
+	// mx is the cycle-accounting collector (Config.CollectMetrics).
+	// nil when disabled: every hook below sits behind one nil check so
+	// the hot loop pays nothing for the observability layer.
+	mx *metrics.Collector
 	// nowApprox mirrors the run loop's current cycle for accounting
 	// hooks that are not passed the time explicitly.
 	nowApprox int64
@@ -181,6 +186,9 @@ func runInternal(cfg Config, p *prog.Program, init func(*Shared), check func(*Sh
 	}
 	if cfg.Faults.Enabled {
 		sim.faults = net.NewFaultPlan(cfg.Faults, cfg.Latency)
+	}
+	if cfg.CollectMetrics {
+		sim.mx = metrics.NewCollector(cfg.Procs, cfg.Threads)
 	}
 	sim.shared = NewShared(p)
 	if init != nil {
@@ -361,6 +369,26 @@ func (sim *m) finish(end int64) {
 	if sim.res.Idle < 0 {
 		sim.res.Idle = 0
 	}
+	if sim.mx != nil {
+		rm := sim.mx.Finish(sim.res.Cycles)
+		rm.Program = sim.prg.Name
+		rm.Model = sim.cfg.Model.String()
+		rm.NumProcs = sim.cfg.Procs
+		rm.NumThreads = sim.cfg.Threads
+		rm.Counters = metrics.Counters{
+			Instrs:          sim.res.Instrs,
+			SwitchesTaken:   sim.res.TakenSwitches,
+			SwitchesSkipped: sim.res.SkippedSwitches,
+			SwitchesForced:  sim.res.ForcedSwitches,
+			RunLengthMean:   sim.res.RunLengths.Mean(),
+			RunLengthMax:    sim.res.RunLengths.Max,
+			NetRoundTrips:   sim.res.SharedLoads,
+			NetMessages:     sim.res.Traffic.Messages(),
+			FaultRetries:    sim.res.Faults.Retries,
+			FaultTimeouts:   sim.res.Faults.Timeouts,
+		}
+		sim.res.Metrics = rm
+	}
 }
 
 // runtimeErr builds a diagnostic for a simulated-program fault.
@@ -459,6 +487,12 @@ func (sim *m) execInstr(pr *proc, t *thread, in *isa.Instr, now int64) error {
 	pc := t.pc
 	op := in.Op
 	cost := int64(op.Cost())
+	// ti pins the executing thread's index: takeSwitch and yieldThread
+	// rotate pr.cur before the metrics hook at the tail runs.
+	ti := pr.cur
+	if sim.mx != nil {
+		sim.mx.BeginExec(int(pr.id), ti, now, t.wake)
+	}
 
 	if t.maxReady > now {
 		// Writing a register supersedes any in-flight load targeting it
@@ -632,6 +666,9 @@ func (sim *m) execInstr(pr *proc, t *thread, in *isa.Instr, now int64) error {
 		}
 		if sim.cfg.CollectRunLengths && t.runLen > 0 {
 			sim.res.RunLengths.Add(t.runLen)
+		}
+		if sim.mx != nil {
+			sim.mx.EndExec(int(pr.id), ti, now, cost, 0)
 		}
 		sim.updateNext(pr, now+cost)
 		return nil
@@ -808,6 +845,9 @@ func (sim *m) execInstr(pr *proc, t *thread, in *isa.Instr, now int64) error {
 		// be identically ~1).
 		pr.cur = (pr.cur + 1) % len(pr.threads)
 	}
+	if sim.mx != nil {
+		sim.mx.EndExec(int(pr.id), ti, now, cost, switchCost)
+	}
 	sim.updateNext(pr, now+cost+switchCost)
 	return nil
 }
@@ -827,6 +867,12 @@ func (sim *m) sharedLoadTiming(pr *proc, t *thread, in *isa.Instr, addr, now int
 		// schedule is resolved at issue time, so the split-phase
 		// scoreboard sees only the final completion cycle.
 		ready = sim.faults.Deliver(now, lat)
+		if sim.mx != nil {
+			// The protocol's overhead (timeouts, retries, backoff) is
+			// booked as fault-recovery debt: the stall it later causes
+			// is split out of plain stalled-on-memory time.
+			sim.mx.AddFaultDebt(int(pr.id), pr.cur, sim.faults.LastOverhead())
+		}
 	}
 	if sim.jitter > 0 && sim.lat > 0 {
 		// Deterministic per-access congestion deviation: delivery is no
@@ -897,6 +943,9 @@ func (sim *m) sharedLoadTiming(pr *proc, t *thread, in *isa.Instr, addr, now int
 			hit = hit && hit2
 		}
 		if hit {
+			if sim.mx != nil {
+				sim.mx.MarkHit() // a continuing hit, not plain running
+			}
 			return 0, 0, false
 		}
 		if sim.cfg.Model == SwitchOnMiss {

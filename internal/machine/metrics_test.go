@@ -1,0 +1,215 @@
+package machine_test
+
+import (
+	"testing"
+
+	"mtsim/internal/machine"
+	"mtsim/internal/metrics"
+	"mtsim/internal/net"
+)
+
+// metricsConfigs is the Figure 1 taxonomy crossed with the machine's
+// extension features, so the exactness invariant is exercised on every
+// accounting path: plain switching, explicit switch cost, cache-based
+// models, fault recovery, grouping windows and network congestion.
+func metricsConfigs() map[string]machine.Config {
+	cfgs := make(map[string]machine.Config)
+	for _, model := range allModels() {
+		cfgs[model.String()] = machine.Config{Procs: 3, Threads: 2, Model: model, Latency: 16}
+	}
+	cfgs["switch-cost"] = machine.Config{
+		Procs: 2, Threads: 3, Model: machine.ExplicitSwitch, Latency: 32, SwitchCost: 4}
+	cfgs["faulted"] = machine.Config{
+		Procs: 2, Threads: 2, Model: machine.SwitchOnUse, Latency: 20,
+		Faults: net.FaultConfig{Enabled: true, Seed: 7, DropRate: 0.2, DupRate: 0.1, DelayRate: 0.2}}
+	cfgs["window"] = machine.Config{
+		Procs: 2, Threads: 2, Model: machine.ExplicitSwitch, Latency: 16, GroupWindow: true}
+	cfgs["congestion"] = machine.Config{
+		Procs: 2, Threads: 2, Model: machine.SwitchOnLoad, Latency: 16,
+		Congestion: net.CongestionConfig{Enabled: true}}
+	return cfgs
+}
+
+// TestMetricsStateSumsExact pins the layer's headline guarantee: after
+// any run, the six state counters sum to exactly Cycles for every
+// processor and every thread context, hence Procs x Cycles machine-wide.
+func TestMetricsStateSumsExact(t *testing.T) {
+	p := buildCounter(20)
+	for name, cfg := range metricsConfigs() {
+		t.Run(name, func(t *testing.T) {
+			cfg.CollectMetrics = true
+			cfg.CollectRunLengths = true
+			res, err := machine.Run(cfg, p, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rm := res.Metrics
+			if rm == nil {
+				t.Fatal("CollectMetrics set but Result.Metrics is nil")
+			}
+			if rm.Schema != metrics.SchemaVersion {
+				t.Errorf("schema = %d, want %d", rm.Schema, metrics.SchemaVersion)
+			}
+			if rm.Cycles != res.Cycles || rm.NumProcs != cfg.Procs || rm.NumThreads != cfg.Threads {
+				t.Errorf("echoed shape = (%d procs, %d threads, %d cycles), want (%d, %d, %d)",
+					rm.NumProcs, rm.NumThreads, rm.Cycles, cfg.Procs, cfg.Threads, res.Cycles)
+			}
+			if want := res.Cycles * int64(cfg.Procs); rm.States.Total() != want {
+				t.Errorf("machine states sum to %d, want Procs x Cycles = %d\n%s",
+					rm.States.Total(), want, rm.States.Breakdown(want))
+			}
+			if len(rm.Procs) != cfg.Procs {
+				t.Fatalf("per_proc has %d entries, want %d", len(rm.Procs), cfg.Procs)
+			}
+			var check metrics.StateCycles
+			for _, pm := range rm.Procs {
+				if pm.States.Total() != res.Cycles {
+					t.Errorf("proc %d states sum to %d, want %d\n%s",
+						pm.Proc, pm.States.Total(), res.Cycles, pm.States.Breakdown(res.Cycles))
+				}
+				for _, tm := range pm.Threads {
+					if tm.States.Total() != res.Cycles {
+						t.Errorf("proc %d thread %d states sum to %d, want %d",
+							pm.Proc, tm.Thread, tm.States.Total(), res.Cycles)
+					}
+				}
+				check.Running += pm.States.Running
+				check.Switching += pm.States.Switching
+				check.StalledMem += pm.States.StalledMem
+				check.CacheHit += pm.States.CacheHit
+				check.Idle += pm.States.Idle
+				check.FaultRecovery += pm.States.FaultRecovery
+			}
+			if check != rm.States {
+				t.Errorf("machine states %+v != sum of per-proc states %+v", rm.States, check)
+			}
+			if rm.States.Busy() == 0 {
+				t.Error("zero busy (running + cache-hit) cycles")
+			}
+			if rm.Counters.Instrs != res.Instrs || rm.Counters.SwitchesTaken != res.TakenSwitches ||
+				rm.Counters.NetRoundTrips != res.SharedLoads {
+				t.Errorf("counters %+v disagree with result (instrs=%d taken=%d loads=%d)",
+					rm.Counters, res.Instrs, res.TakenSwitches, res.SharedLoads)
+			}
+		})
+	}
+}
+
+// TestMetricsMatchCoarseAccounting ties the fine-grained states to the
+// machine's coarse Busy/SwitchOverhead counters. The only permitted
+// divergence is the end-of-run overshoot: a final instruction whose
+// cost extends past the last issue cycle is trimmed from the timelines
+// (they must sum exactly) but stays in pr.busy, so the fine counters
+// may fall short by at most a few cycles per processor.
+func TestMetricsMatchCoarseAccounting(t *testing.T) {
+	p := buildCounter(20)
+	for _, model := range allModels() {
+		cfg := machine.Config{
+			Procs: 3, Threads: 2, Model: model, Latency: 16, SwitchCost: 2, CollectMetrics: true}
+		res, err := machine.Run(cfg, p, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		slack := int64(cfg.Procs) * 8
+		if busy := res.Metrics.States.Busy(); busy > res.Busy || res.Busy-busy > slack {
+			t.Errorf("%s: fine busy = %d, coarse busy = %d (slack %d)", model, busy, res.Busy, slack)
+		}
+		if sw := res.Metrics.States.Switching; sw > res.SwitchOverhead || res.SwitchOverhead-sw > slack {
+			t.Errorf("%s: fine switching = %d, coarse overhead = %d (slack %d)",
+				model, sw, res.SwitchOverhead, slack)
+		}
+	}
+}
+
+// TestMetricsFaultRecoverySplit: a heavily faulted run must attribute
+// part of its stall time to the recovery protocol, and the split must
+// not break exactness.
+func TestMetricsFaultRecoverySplit(t *testing.T) {
+	p := buildCounter(30)
+	// Switch-on-load blocks each thread until its reply is delivered, so
+	// the recovery protocol's overhead actually surfaces as stall time
+	// (under switch-on-use the counter kernel never reads the Faa result
+	// and a late reply would block nothing).
+	cfg := machine.Config{
+		Procs: 2, Threads: 2, Model: machine.SwitchOnLoad, Latency: 20, CollectMetrics: true,
+		Faults: net.FaultConfig{Enabled: true, Seed: 3, DropRate: 0.3, DelayRate: 0.3},
+	}
+	res, err := machine.Run(cfg, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := res.Metrics
+	if res.Faults.Retries == 0 {
+		t.Fatal("fault plan injected nothing; raise the rates")
+	}
+	if rm.States.FaultRecovery == 0 {
+		t.Errorf("retries = %d but fault-recovery time is zero\n%s",
+			res.Faults.Retries, rm.States.Breakdown(res.Cycles*int64(cfg.Procs)))
+	}
+	if want := res.Cycles * int64(cfg.Procs); rm.States.Total() != want {
+		t.Errorf("faulted run states sum to %d, want %d", rm.States.Total(), want)
+	}
+	if rm.Counters.FaultRetries != res.Faults.Retries || rm.Counters.FaultTimeouts != res.Faults.Timeouts {
+		t.Errorf("fault counters %+v disagree with result %+v", rm.Counters, res.Faults)
+	}
+}
+
+// TestMetricsDisabledIsFree: with CollectMetrics off the observability
+// layer must not exist — no Metrics record, and a byte-identical
+// summary to a run that never heard of the layer.
+func TestMetricsDisabledIsFree(t *testing.T) {
+	p := buildCounter(30)
+	for _, model := range allModels() {
+		cfg := machine.Config{Procs: 3, Threads: 2, Model: model, Latency: 16}
+		plain, err := machine.Run(cfg, p, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		if plain.Metrics != nil {
+			t.Fatalf("%s: Metrics non-nil without CollectMetrics", model)
+		}
+		on := cfg
+		on.CollectMetrics = true
+		collected, err := machine.Run(on, p, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		if collected.Metrics == nil {
+			t.Fatalf("%s: Metrics nil with CollectMetrics", model)
+		}
+		// Collection must be observation only: every simulated quantity
+		// is unchanged.
+		if plain.Summary() != collected.Summary() {
+			t.Errorf("%s: collection changed the run:\n--- plain\n%s--- collected\n%s",
+				model, plain.Summary(), collected.Summary())
+		}
+	}
+}
+
+// TestEfficiencyGuards pins the degenerate-denominator fix: a zero or
+// negative baseline (a failed or absurd baseline run) must yield 0, not
+// a panic, an Inf or a negative efficiency.
+func TestEfficiencyGuards(t *testing.T) {
+	r := &machine.Result{Cycles: 100, Config: machine.Config{Procs: 4}}
+	for _, base := range []int64{0, -5} {
+		if got := r.Efficiency(base); got != 0 {
+			t.Errorf("Efficiency(%d) = %v, want 0", base, got)
+		}
+		if got := r.Speedup(base); got != 0 {
+			t.Errorf("Speedup(%d) = %v, want 0", base, got)
+		}
+	}
+	if got := (&machine.Result{Config: machine.Config{Procs: 4}}).Efficiency(100); got != 0 {
+		t.Errorf("Efficiency with zero cycles = %v, want 0", got)
+	}
+	if got := (&machine.Result{Cycles: 100}).Efficiency(100); got != 0 {
+		t.Errorf("Efficiency with zero procs = %v, want 0", got)
+	}
+	r2 := &machine.Result{Cycles: 200, Config: machine.Config{Procs: 2}}
+	if got, want := r2.Efficiency(100), 0.25; got != want {
+		t.Errorf("Efficiency(100) = %v, want %v", got, want)
+	}
+	if got, want := r2.Speedup(100), 0.5; got != want {
+		t.Errorf("Speedup(100) = %v, want %v", got, want)
+	}
+}

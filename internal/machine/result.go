@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"mtsim/internal/metrics"
 	"mtsim/internal/net"
 	"mtsim/internal/stats"
 )
@@ -83,6 +84,11 @@ type Result struct {
 	// (synchronization spinning excluded), for load balance analysis
 	// (the paper's water discussion, §3.2).
 	ProcBusy []int64
+
+	// Metrics is the cycle-accounting observability record: exact
+	// per-processor, per-thread state timelines plus counters. Only
+	// filled when Config.CollectMetrics; nil otherwise.
+	Metrics *metrics.RunMetrics
 }
 
 // Imbalance returns max/mean of per-processor busy cycles: 1.0 is a
@@ -118,17 +124,20 @@ func (r *Result) Utilization() float64 {
 
 // Efficiency returns the paper's efficiency metric given the cycle count
 // of the one-processor zero-latency baseline run: speedup / processors =
-// baseline / (P * cycles).
+// baseline / (P * cycles). A non-positive baseline or cycle count — a
+// degenerate or failed baseline run — yields 0 rather than a zero,
+// negative or NaN-propagating ratio.
 func (r *Result) Efficiency(baselineCycles int64) float64 {
-	if r.Cycles == 0 || r.Config.Procs == 0 {
+	if baselineCycles <= 0 || r.Cycles <= 0 || r.Config.Procs <= 0 {
 		return 0
 	}
 	return float64(baselineCycles) / (float64(r.Cycles) * float64(r.Config.Procs))
 }
 
-// Speedup returns baseline / cycles.
+// Speedup returns baseline / cycles, with the same degenerate-input
+// guard as Efficiency.
 func (r *Result) Speedup(baselineCycles int64) float64 {
-	if r.Cycles == 0 {
+	if baselineCycles <= 0 || r.Cycles <= 0 {
 		return 0
 	}
 	return float64(baselineCycles) / float64(r.Cycles)

@@ -1,0 +1,241 @@
+// Package metrics is the cycle-accounting observability layer of the
+// simulator: a per-processor, per-thread decomposition of every machine
+// cycle into the states the paper's efficiency figures are built from
+// (busy vs. switching vs. stalled vs. idle, Figures 4-9), extended with
+// the cache-hit and fault-recovery states our later models added.
+//
+// The layer is strictly additive and zero-cost when disabled: the
+// machine only constructs a Collector when Config.CollectMetrics is
+// set, every hook in the hot loop is behind one nil check, and a
+// metrics-off run produces byte-identical results to a build without
+// the package.
+//
+// Accounting is exact by construction: the Collector closes the time
+// line of each processor (and each thread) at every instruction
+// boundary, so after Finish the six state counters of every processor
+// sum to exactly the run's cycle count — machine-wide,
+// sum(states) == Procs x Cycles. Attribution *within* the stall states
+// (stalled-on-memory vs. fault-recovery, stalled vs. ready-waiting for
+// a thread) follows the wake times and fault-overhead debts recorded at
+// issue; it is a faithful but not unique decomposition, and only the
+// totals carry the exactness guarantee.
+package metrics
+
+// State is one of the mutually-exclusive activities a processor (or
+// thread) is performing during a cycle.
+type State int
+
+const (
+	// StateRunning is executing an instruction.
+	StateRunning State = iota
+	// StateSwitching is context-switch overhead (Config.SwitchCost).
+	StateSwitching
+	// StateStalledMem is waiting on outstanding shared-memory round
+	// trips (for a thread: blocked at a use point or a blocking load;
+	// for a processor: no thread runnable because all are waiting).
+	StateStalledMem
+	// StateCacheHit is executing a shared load that hit the cache and
+	// continued without switching (the cache-based models' fast path).
+	StateCacheHit
+	// StateIdle is having no work: a processor whose threads have all
+	// halted, or a thread that is runnable but waiting for the CPU (or
+	// has halted).
+	StateIdle
+	// StateFaultRecovery is the portion of a memory stall attributable
+	// to the fault-injection recovery protocol (timeouts, retries,
+	// backoff) rather than the nominal round trip.
+	StateFaultRecovery
+
+	// NumStates is the number of defined states.
+	NumStates
+)
+
+var stateNames = [NumStates]string{
+	StateRunning:       "running",
+	StateSwitching:     "context-switching",
+	StateStalledMem:    "stalled-on-memory",
+	StateCacheHit:      "cache-hit-continue",
+	StateIdle:          "idle",
+	StateFaultRecovery: "fault-recovery",
+}
+
+// String names the state.
+func (s State) String() string {
+	if s >= 0 && s < NumStates {
+		return stateNames[s]
+	}
+	return "state(?)"
+}
+
+// acct is one accounted timeline (a processor's or a thread's).
+type acct struct {
+	// lastEnd is the first cycle not yet accounted.
+	lastEnd int64
+	// faultDebt is recovery-protocol overhead issued but not yet
+	// attributed to a stall gap.
+	faultDebt int64
+	states    [NumStates]int64
+}
+
+// addGap classifies the waiting cycles [a.lastEnd, now) ending at an
+// execution. stallUntil bounds the memory-stall portion: cycles past it
+// are ready-waiting (idle). Pass now (or any value >= now) to classify
+// the whole gap as a stall. Fault debt converts the leading part of the
+// stall into fault-recovery time.
+func (a *acct) addGap(now, stallUntil int64) {
+	if now <= a.lastEnd {
+		return
+	}
+	stallEnd := stallUntil
+	if stallEnd > now {
+		stallEnd = now
+	}
+	if stallEnd < a.lastEnd {
+		// Woken before (or while) the last accounted span ended: the
+		// whole gap is ready-waiting.
+		stallEnd = a.lastEnd
+	}
+	if stall := stallEnd - a.lastEnd; stall > 0 {
+		fault := a.faultDebt
+		if fault > stall {
+			fault = stall
+		}
+		a.faultDebt -= fault
+		a.states[StateFaultRecovery] += fault
+		a.states[StateStalledMem] += stall - fault
+	}
+	if ready := now - stallEnd; ready > 0 {
+		a.states[StateIdle] += ready
+	}
+	a.lastEnd = now
+}
+
+// addExec accounts one executed instruction at cycle now: cost cycles
+// of running (or cache-hit-continue) plus switchCost cycles of
+// context-switch overhead.
+func (a *acct) addExec(now, cost, switchCost int64, hit bool) {
+	if hit {
+		a.states[StateCacheHit] += cost
+	} else {
+		a.states[StateRunning] += cost
+	}
+	a.states[StateSwitching] += switchCost
+	a.lastEnd = now + cost + switchCost
+}
+
+// close settles the timeline at the run's end cycle: trailing
+// unaccounted cycles become idle; an overshoot (a final instruction
+// whose cost extends past the last issue cycle) is trimmed from the
+// most recently accumulated states so the total stays exact.
+func (a *acct) close(end int64) {
+	if a.lastEnd < end {
+		a.states[StateIdle] += end - a.lastEnd
+		a.lastEnd = end
+		return
+	}
+	over := a.lastEnd - end
+	for _, s := range [...]State{StateSwitching, StateCacheHit, StateRunning, StateIdle, StateFaultRecovery, StateStalledMem} {
+		if over <= 0 {
+			break
+		}
+		d := a.states[s]
+		if d > over {
+			d = over
+		}
+		a.states[s] -= d
+		over -= d
+	}
+	a.lastEnd = end
+}
+
+// Collector accumulates the state timelines of one simulation. It is
+// owned by a single machine run and is not safe for concurrent use.
+type Collector struct {
+	nthreads int
+	procs    []acct
+	threads  []acct // proc-major: threads[p*nthreads+t]
+	// hit marks the instruction currently executing as a continuing
+	// cache hit (set between BeginExec and EndExec).
+	hit bool
+}
+
+// NewCollector sizes a collector for procs processors of nthreads
+// thread contexts each.
+func NewCollector(procs, nthreads int) *Collector {
+	return &Collector{
+		nthreads: nthreads,
+		procs:    make([]acct, procs),
+		threads:  make([]acct, procs*nthreads),
+	}
+}
+
+// BeginExec closes the waiting gap of processor p and thread t up to
+// cycle now, at which an instruction of t is about to execute. wake is
+// the cycle t last became runnable, splitting its gap into
+// stalled-on-memory (before wake) and ready-waiting (after).
+func (c *Collector) BeginExec(p, t int, now, wake int64) {
+	// The processor executes the moment any thread is runnable, so its
+	// whole gap is a stall.
+	c.procs[p].addGap(now, now)
+	c.threads[p*c.nthreads+t].addGap(now, wake)
+}
+
+// MarkHit classifies the instruction between this call's BeginExec and
+// EndExec as a continuing cache hit.
+func (c *Collector) MarkHit() { c.hit = true }
+
+// AddFaultDebt records recovery-protocol overhead (timeout, retry,
+// backoff cycles) issued by thread t of processor p; the next stall
+// gaps consume it as fault-recovery time.
+func (c *Collector) AddFaultDebt(p, t int, debt int64) {
+	if debt <= 0 {
+		return
+	}
+	c.procs[p].faultDebt += debt
+	c.threads[p*c.nthreads+t].faultDebt += debt
+}
+
+// EndExec accounts the instruction executed at cycle now by thread t of
+// processor p: cost busy cycles plus switchCost switch-overhead cycles.
+func (c *Collector) EndExec(p, t int, now, cost, switchCost int64) {
+	c.procs[p].addExec(now, cost, switchCost, c.hit)
+	c.threads[p*c.nthreads+t].addExec(now, cost, switchCost, c.hit)
+	c.hit = false
+}
+
+// Finish settles every timeline at the run's final cycle count and
+// returns the per-processor, per-thread state breakdown. After Finish,
+// each processor's (and each thread's) states sum to exactly end.
+func (c *Collector) Finish(end int64) *RunMetrics {
+	rm := &RunMetrics{
+		Schema: SchemaVersion,
+		Cycles: end,
+		Procs:  make([]ProcMetrics, len(c.procs)),
+	}
+	for p := range c.procs {
+		c.procs[p].close(end)
+		pm := &rm.Procs[p]
+		pm.Proc = p
+		pm.States = stateCycles(&c.procs[p])
+		rm.States.accumulate(&pm.States)
+		pm.Threads = make([]ThreadMetrics, c.nthreads)
+		for t := 0; t < c.nthreads; t++ {
+			a := &c.threads[p*c.nthreads+t]
+			a.close(end)
+			pm.Threads[t] = ThreadMetrics{Thread: t, States: stateCycles(a)}
+		}
+	}
+	return rm
+}
+
+// stateCycles copies an acct's counters into the schema struct.
+func stateCycles(a *acct) StateCycles {
+	return StateCycles{
+		Running:       a.states[StateRunning],
+		Switching:     a.states[StateSwitching],
+		StalledMem:    a.states[StateStalledMem],
+		CacheHit:      a.states[StateCacheHit],
+		Idle:          a.states[StateIdle],
+		FaultRecovery: a.states[StateFaultRecovery],
+	}
+}

@@ -179,6 +179,10 @@ type FaultPlan struct {
 	cfg  FaultConfig
 	root *rng.R
 	seq  uint64
+	// lastOverhead is the recovery overhead of the most recent Deliver:
+	// how many cycles the timeout/retry/backoff protocol added beyond
+	// the (possibly degraded) network round trip itself.
+	lastOverhead int64
 
 	// Stats accumulates this run's fault and recovery counts.
 	Stats FaultStats
@@ -232,13 +236,21 @@ func (f *FaultPlan) Deliver(issue, lat int64) int64 {
 			// No timing effect: the first copy carries the data.
 			f.Stats.Dups++
 		}
+		f.lastOverhead = ready - (issue + lat)
 		return ready
 	}
 	// Retry budget exhausted: the final attempt rides the escorted
 	// reliable path, so every access completes and runs terminate.
 	f.Stats.Exhausted++
+	f.lastOverhead = start - issue
 	return start + lat
 }
+
+// LastOverhead reports how many cycles the recovery protocol (timeouts,
+// retries, backoff, in-timeout delays) added to the most recent Deliver
+// beyond its sampled network round trip. The cycle-accounting layer
+// books this as fault-recovery time.
+func (f *FaultPlan) LastOverhead() int64 { return f.lastOverhead }
 
 // retryAfter charges one timeout + backoff and returns the reissue
 // cycle, doubling the backoff up to the cap.

@@ -1,0 +1,135 @@
+package net_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"mtsim/internal/net"
+)
+
+// These are property tests for the fault model's contracts (the
+// comments at the top of faults.go): delivery outcomes are a pure
+// function of (Seed, access index), no access is ever lost permanently,
+// and the recovery protocol's added delay is bounded by the configured
+// timeout/backoff constants.
+
+// propConfigs enumerates fault configurations spanning the parameter
+// space: each distribution, light and harsh rates, and degenerate
+// protocols (tiny retry budgets, certain drops).
+func propConfigs() map[string]net.FaultConfig {
+	return map[string]net.FaultConfig{
+		"light": {Enabled: true, Seed: 1,
+			DropRate: 0.01, DupRate: 0.01, DelayRate: 0.02},
+		"harsh": {Enabled: true, Seed: 99,
+			DropRate: 0.4, DupRate: 0.3, DelayRate: 0.4},
+		"uniform": {Enabled: true, Seed: 3, Dist: net.DistUniform, Spread: 40,
+			DropRate: 0.1, DelayRate: 0.1},
+		"hot-spot": {Enabled: true, Seed: 4, Dist: net.DistHotSpot, HotRate: 0.2,
+			DropRate: 0.1, DupRate: 0.1},
+		"all-drops":    {Enabled: true, Seed: 5, DropRate: 1},
+		"one-retry":    {Enabled: true, Seed: 6, DropRate: 0.5, MaxRetries: 1},
+		"slow-timeout": {Enabled: true, Seed: 7, DropRate: 0.3, DelayRate: 0.3, TimeoutCycles: 1000},
+	}
+}
+
+const (
+	propLatency  = 50
+	propAccesses = 2000
+)
+
+// TestFaultPlanPurity asserts that the outcome of access k is a pure
+// function of (Seed, k, lat): two plans with the same config yield
+// bit-identical recovery overheads for every access index, even when
+// their issue times differ wildly. This purity is what makes a faulted
+// run memoizable and the parallel engine byte-identical at any width.
+func TestFaultPlanPurity(t *testing.T) {
+	for name, cfg := range propConfigs() {
+		t.Run(name, func(t *testing.T) {
+			a := net.NewFaultPlan(cfg, propLatency)
+			b := net.NewFaultPlan(cfg, propLatency)
+			issueA, issueB := int64(0), int64(1_000_000)
+			r := rand.New(rand.NewSource(int64(cfg.Seed)))
+			for k := 0; k < propAccesses; k++ {
+				// Different (and differently-spaced) issue times per plan:
+				// only the relative outcome may depend on them.
+				issueA += int64(r.Intn(100))
+				issueB += int64(r.Intn(3))
+				readyA := a.Deliver(issueA, propLatency)
+				readyB := b.Deliver(issueB, propLatency)
+				if readyA-issueA != readyB-issueB {
+					t.Fatalf("access %d: round trip %d at issue %d but %d at issue %d; outcome must be pure in (seed, index)",
+						k, readyA-issueA, issueA, readyB-issueB, issueB)
+				}
+				if a.LastOverhead() != b.LastOverhead() {
+					t.Fatalf("access %d: overhead %d vs %d", k, a.LastOverhead(), b.LastOverhead())
+				}
+			}
+			if a.Stats != b.Stats {
+				t.Errorf("stats diverged:\n%+v\n%+v", a.Stats, b.Stats)
+			}
+		})
+	}
+}
+
+// TestFaultPlanNeverLosesAccesses asserts the termination contract:
+// every Deliver returns a finite ready cycle no earlier than a one-way
+// trip could allow, even at DropRate 1 — the post-MaxRetries attempt
+// rides the escorted reliable path instead of retrying forever.
+func TestFaultPlanNeverLosesAccesses(t *testing.T) {
+	for name, cfg := range propConfigs() {
+		t.Run(name, func(t *testing.T) {
+			f := net.NewFaultPlan(cfg, propLatency)
+			for k := 0; k < propAccesses; k++ {
+				issue := int64(k) * 17
+				ready := f.Deliver(issue, propLatency)
+				if ready <= issue {
+					t.Fatalf("access %d: ready %d <= issue %d; reply lost", k, ready, issue)
+				}
+			}
+			if cfg.DropRate == 1 && f.Stats.Exhausted != propAccesses {
+				t.Errorf("DropRate 1: %d of %d accesses exhausted; all should fall back to the escorted path",
+					f.Stats.Exhausted, propAccesses)
+			}
+		})
+	}
+}
+
+// TestFaultPlanDelayBounded asserts the worst-case delivery bound
+// implied by the protocol constants: at most MaxRetries timeouts each
+// waiting TimeoutCycles + a capped backoff, plus the (possibly
+// degraded) round trip and one in-timeout delay. LastOverhead must
+// account for exactly the cycles beyond issue + sampled round trip.
+func TestFaultPlanDelayBounded(t *testing.T) {
+	for name, cfg := range propConfigs() {
+		t.Run(name, func(t *testing.T) {
+			f := net.NewFaultPlan(cfg, propLatency)
+			eff := f.Config() // defaults filled in
+			maxLat := int64(propLatency)
+			switch eff.Dist {
+			case net.DistUniform:
+				maxLat += int64(eff.Spread)
+			case net.DistHotSpot:
+				maxLat *= int64(eff.HotFactor)
+			}
+			bound := int64(eff.MaxRetries)*int64(eff.TimeoutCycles+eff.BackoffMax) +
+				maxLat + int64(eff.DelayCycles)
+			for k := 0; k < propAccesses; k++ {
+				issue := int64(k) * 31
+				ready := f.Deliver(issue, propLatency)
+				if trip := ready - issue; trip > bound {
+					t.Fatalf("access %d: round trip %d exceeds protocol bound %d", k, trip, bound)
+				}
+				if ov := f.LastOverhead(); ov < 0 {
+					t.Fatalf("access %d: negative recovery overhead %d", k, ov)
+				}
+				if eff.Dist == net.DistConstant {
+					// With a constant round trip the decomposition is exact:
+					// ready = issue + latency + recovery overhead.
+					if want := issue + propLatency + f.LastOverhead(); ready != want {
+						t.Fatalf("access %d: ready %d, want issue+lat+overhead = %d", k, ready, want)
+					}
+				}
+			}
+		})
+	}
+}

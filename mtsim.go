@@ -39,6 +39,7 @@ import (
 	"mtsim/internal/core"
 	"mtsim/internal/exp"
 	"mtsim/internal/machine"
+	"mtsim/internal/metrics"
 	"mtsim/internal/mtc"
 	"mtsim/internal/net"
 	"mtsim/internal/opt"
@@ -96,7 +97,32 @@ type (
 	// PanicError is a worker panic recovered into a structured per-job
 	// error.
 	PanicError = core.PanicError
+	// RunMetrics is the cycle-accounting observability record of one run
+	// (Result.Metrics, filled when Config.CollectMetrics is set): exact
+	// per-processor, per-thread state timelines plus event counters.
+	RunMetrics = metrics.RunMetrics
+	// BatchMetrics aggregates RunMetrics across a session's simulations
+	// (Session.Metrics, filled when Session.CollectMetrics is set).
+	BatchMetrics = metrics.BatchMetrics
+	// StateCycles is the six-state cycle breakdown of one timeline.
+	StateCycles = metrics.StateCycles
 )
+
+// MetricsSchemaVersion identifies the stable JSON layout of RunMetrics
+// and BatchMetrics, as emitted by the -metrics flags.
+const MetricsSchemaVersion = metrics.SchemaVersion
+
+// WriteMetricsJSON marshals a *RunMetrics or *BatchMetrics in the
+// stable indented-JSON form of the -metrics flags and golden files.
+func WriteMetricsJSON(w io.Writer, v any) error { return metrics.WriteJSON(w, v) }
+
+// WriteMetricsFile writes a session's aggregate metrics as JSON to a
+// file path ("-" for stdout).
+func WriteMetricsFile(path string, bm *BatchMetrics) error { return exp.WriteMetricsFile(path, bm) }
+
+// WriteMetricsSummary renders an aggregate's state breakdown and engine
+// counters in the experiment report's ASCII style.
+func WriteMetricsSummary(w io.Writer, bm *BatchMetrics) { exp.WriteMetricsSummary(w, bm) }
 
 // Degraded round-trip distributions for FaultConfig.Dist.
 const (
