@@ -21,11 +21,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"mtsim"
@@ -58,36 +61,77 @@ type BenchResult struct {
 	SimCycle int64  `json:"sim_cycles"`
 }
 
-// benchmark is one suite entry: run executes a single operation and
-// returns its simulated-work result.
+// benchmark is one suite entry: run executes a single operation under
+// ctx and reports the simulated work it performed.
 type benchmark struct {
 	name string
-	run  func() (*mtsim.Result, error)
+	run  func(ctx context.Context) (simInstr, simCycle int64, err error)
+}
+
+// oneRun adapts a single-simulation benchmark body to the suite entry
+// signature.
+func oneRun(f func(ctx context.Context) (*mtsim.Result, error)) func(context.Context) (int64, int64, error) {
+	return func(ctx context.Context) (int64, int64, error) {
+		res, err := f(ctx)
+		if err != nil {
+			return 0, 0, err
+		}
+		return res.Instrs, res.Cycles, nil
+	}
 }
 
 // suite builds the fixed benchmark list: the event-loop hot loop
 // (verification off, high processor count, so dispatch and scheduling
-// dominate) plus one verified paper-configuration run per application.
+// dominate), one verified paper-configuration run per application, and
+// a session-batch benchmark that times the measurement layer itself
+// (memo, singleflight, worker pool) over the context-first batch API.
 func suite() []benchmark {
 	bs := []benchmark{{
 		name: "machine-hot-loop",
-		run: func() (*mtsim.Result, error) {
+		run: oneRun(func(ctx context.Context) (*mtsim.Result, error) {
 			a := mtsim.MustNewApp("sieve", mtsim.Quick)
 			cfg := mtsim.Config{Procs: 64, Threads: 4, Model: mtsim.SwitchOnLoad, Latency: 200}
-			return mtsim.Run(cfg, a.Raw, a.Init)
-		},
+			return mtsim.RunContext(ctx, cfg, a.Raw, a.Init)
+		}),
 	}}
 	for _, name := range mtsim.AppNames() {
 		name := name
 		bs = append(bs, benchmark{
 			name: "app-" + name,
-			run: func() (*mtsim.Result, error) {
+			run: oneRun(func(ctx context.Context) (*mtsim.Result, error) {
 				a := mtsim.MustNewApp(name, mtsim.Quick)
 				cfg := mtsim.Config{Procs: 8, Threads: 4, Model: mtsim.ExplicitSwitch, Latency: 200}
-				return a.Run(cfg)
-			},
+				return a.RunContext(ctx, cfg)
+			}),
 		})
 	}
+	bs = append(bs, benchmark{
+		name: "session-batch",
+		run: func(ctx context.Context) (int64, int64, error) {
+			// A fresh session each iteration so nothing is memoized
+			// between operations; Workers pinned so the simulated work
+			// is the same at any GOMAXPROCS.
+			sess := mtsim.NewSession()
+			sess.Workers = 4
+			jobs := make([]mtsim.RunJob, 0, len(mtsim.AppNames()))
+			for _, name := range mtsim.AppNames() {
+				jobs = append(jobs, mtsim.RunJob{
+					App: mtsim.MustNewApp(name, mtsim.Quick),
+					Cfg: mtsim.Config{Procs: 4, Threads: 2, Model: mtsim.SwitchOnUse, Latency: 200},
+				})
+			}
+			results, err := sess.RunBatchContext(ctx, jobs)
+			if err != nil {
+				return 0, 0, err
+			}
+			var instrs, cycles int64
+			for _, r := range results {
+				instrs += r.Instrs
+				cycles += r.Cycles
+			}
+			return instrs, cycles, nil
+		},
+	})
 	return bs
 }
 
@@ -108,6 +152,11 @@ func main() {
 		fatalf("-tolerance %v: must be positive", *tolerance)
 	}
 
+	// An interrupted bench exits promptly with the in-flight simulation
+	// canceled instead of finishing the whole suite.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	rec := Record{
 		Schema: SchemaVersion,
 		Label:  *label,
@@ -119,7 +168,7 @@ func main() {
 		Timing: *timing,
 	}
 	for _, b := range suite() {
-		res, err := measure(b, *timing, *benchtime)
+		res, err := measure(ctx, b, *timing, *benchtime)
 		if err != nil {
 			fatalf("%s: %v", b.name, err)
 		}
@@ -161,19 +210,19 @@ func main() {
 // measure runs one benchmark: a first iteration captures the simulated
 // work (deterministic, so one run suffices); with timing on, further
 // iterations run until benchtime has elapsed.
-func measure(b benchmark, timing bool, benchtime time.Duration) (BenchResult, error) {
+func measure(ctx context.Context, b benchmark, timing bool, benchtime time.Duration) (BenchResult, error) {
 	start := time.Now()
-	res, err := b.run()
+	instrs, cycles, err := b.run(ctx)
 	if err != nil {
 		return BenchResult{}, err
 	}
-	out := BenchResult{Name: b.name, Iters: 1, SimInstr: res.Instrs, SimCycle: res.Cycles}
+	out := BenchResult{Name: b.name, Iters: 1, SimInstr: instrs, SimCycle: cycles}
 	if !timing {
 		return out, nil
 	}
 	elapsed := time.Since(start)
-	for elapsed < benchtime {
-		if _, err := b.run(); err != nil {
+	for elapsed < benchtime && ctx.Err() == nil {
+		if _, _, err := b.run(ctx); err != nil {
 			return BenchResult{}, err
 		}
 		out.Iters++

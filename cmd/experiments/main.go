@@ -15,12 +15,15 @@
 package main
 
 import (
+	"context"
 	"expvar"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"mtsim"
@@ -41,20 +44,8 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar (engine counters) on this address, e.g. localhost:6060")
 	flag.Parse()
 
-	// Validate the numeric flags up front with specific messages.
-	switch {
-	case *latency < 1:
-		fatalf("-latency %d: the experiments need a positive round trip", *latency)
-	case *maxMT < 0:
-		fatalf("-maxmt %d: the search cap cannot be negative", *maxMT)
-	case *jobs < 0:
+	if *jobs < 0 {
 		fatalf("-j %d: the worker count cannot be negative", *jobs)
-	case *faults < 0 || *faults >= 1:
-		fatalf("-faults %v: rate must be in [0, 1)", *faults)
-	case *jitter < 0:
-		fatalf("-jitter %d: jitter cannot be negative", *jitter)
-	case *jitter > 0 && *jitter >= *latency:
-		fatalf("-jitter %d: must stay below the round trip (-latency %d)", *jitter, *latency)
 	}
 
 	if *list {
@@ -71,18 +62,31 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	o := mtsim.NewExpOptions(scale, os.Stdout)
-	o.Latency = *latency
+
+	// Ctrl-C / SIGTERM cancels the sweep cooperatively: in-flight
+	// simulations abort and the command exits instead of finishing a
+	// full-scale render nobody is waiting for.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	opts := []mtsim.ExpOption{
+		mtsim.WithScale(scale),
+		mtsim.WithLatency(*latency),
+		mtsim.WithFaults(*faults, *jitter, *seed),
+		mtsim.WithMetrics(*metricsOut != ""),
+		mtsim.WithContext(ctx),
+	}
 	if *maxMT > 0 {
-		o.MaxMT = *maxMT
+		opts = append(opts, mtsim.WithMaxMT(*maxMT))
 	}
 	if *jobs > 0 {
-		o.SetJobs(*jobs)
+		opts = append(opts, mtsim.WithJobs(*jobs))
 	}
-	o.FaultRate = *faults
-	o.FaultJitter = *jitter
-	o.FaultSeed = *seed
-	o.Sess.CollectMetrics = *metricsOut != ""
+	o := mtsim.NewExp(os.Stdout, opts...)
+	// The same option validation the mtsimd experiments endpoint runs.
+	if err := o.Validate(); err != nil {
+		fatal(err)
+	}
 
 	if *pprofAddr != "" {
 		servePprof(*pprofAddr, o.Sess)

@@ -8,9 +8,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"mtsim/internal/app"
 	"mtsim/internal/apps"
@@ -19,6 +22,12 @@ import (
 )
 
 func main() {
+	// An interrupted regeneration aborts its simulations and exits
+	// before writing any experiment golden, rather than half-updating
+	// testdata.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	for _, a := range apps.All(app.Quick) {
 		write("internal/apps/testdata/"+a.Name+".mt", []byte(asm.Format(a.Raw)))
 		g, _, err := a.Grouped()
@@ -28,7 +37,7 @@ func main() {
 		write("internal/apps/testdata/"+a.Name+".grouped.mt", []byte(asm.Format(g)))
 		fmt.Println(a.Name)
 	}
-	set, err := exp.GoldenSet()
+	set, err := exp.GoldenSetContext(ctx)
 	if err != nil {
 		fatal(err)
 	}

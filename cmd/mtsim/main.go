@@ -10,10 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"mtsim"
 )
@@ -35,23 +38,6 @@ func main() {
 	seed := flag.Uint64("seed", 1, "seed for the deterministic fault stream")
 	metricsOut := flag.String("metrics", "", "collect cycle-accounting metrics and write the run's JSON record to this file (\"-\" for stdout)")
 	flag.Parse()
-
-	// Validate the numeric flags up front with specific messages; the
-	// library would reject them too, but only after building the app.
-	switch {
-	case *procs < 1:
-		fatalf("-procs %d: need at least one processor", *procs)
-	case *threads < 1:
-		fatalf("-threads %d: need at least one thread per processor", *threads)
-	case *latency < 0:
-		fatalf("-latency %d: a round trip cannot be negative", *latency)
-	case *faults < 0 || *faults >= 1:
-		fatalf("-faults %v: rate must be in [0, 1)", *faults)
-	case *jitter < 0:
-		fatalf("-jitter %d: jitter cannot be negative", *jitter)
-	case *jitter > 0 && *jitter >= *latency:
-		fatalf("-jitter %d: must stay below the round trip (-latency %d)", *jitter, *latency)
-	}
 
 	model, err := mtsim.ParseModel(*modelName)
 	if err != nil {
@@ -79,13 +65,24 @@ func main() {
 			DropRate: *faults, DupRate: *faults / 2, DelayRate: *faults,
 		}
 	}
-	res, err := a.Run(cfg)
+	// One validation path for every front end: the same Config.Validate
+	// the library and the mtsimd request decoder run, called before any
+	// simulation starts so a bad flag fails in microseconds.
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+
+	// Ctrl-C cancels the run cooperatively instead of killing mid-print.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	res, err := a.RunContext(ctx, cfg)
 	if err != nil {
 		fatal(err)
 	}
 
 	sess := mtsim.NewSession()
-	base, err := sess.Baseline(a)
+	base, err := sess.BaselineContext(ctx, a)
 	if err != nil {
 		fatal(err)
 	}
@@ -128,10 +125,5 @@ func writeRunMetrics(path string, res *mtsim.Result) error {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mtsim:", err)
-	os.Exit(1)
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "mtsim: "+format+"\n", args...)
 	os.Exit(1)
 }

@@ -1,0 +1,80 @@
+// Command mtsimd serves simulations over HTTP/JSON: the library's
+// context-first API behind bounded admission control, per-request
+// deadlines, and graceful drain. See internal/serve for the endpoints
+// and the README for a curl quick-start.
+//
+// Usage:
+//
+//	mtsimd [-addr :8080] [-workers N] [-queue N] [-timeout 60s] [-drain 30s]
+//
+// SIGTERM/SIGINT starts a graceful drain: listeners close immediately,
+// in-flight simulations run to completion until -drain expires, then
+// their contexts are canceled and the event loops unwind cooperatively.
+// A clean drain (either way) exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mtsim/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "max concurrently running requests (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "max requests waiting beyond the running ones (0 = default 64); excess gets 429")
+	sessWorkers := flag.Int("session-workers", 0, "per-session simulation pool width (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "default per-request deadline (0 = 60s)")
+	maxTimeout := flag.Duration("max-timeout", 0, "cap on client-requested deadlines (0 = 10m)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "mtsimd: unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		SessionWorkers: *sessWorkers,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	srv.PublishVars()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+	log.Printf("mtsimd: listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		// Listener failed before any signal (bad addr, port in use).
+		log.Fatalf("mtsimd: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	log.Printf("mtsimd: draining (up to %s)", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("mtsimd: drain window expired, canceled remaining runs: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("mtsimd: %v", err)
+	}
+	log.Printf("mtsimd: drained, bye")
+}

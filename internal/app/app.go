@@ -11,6 +11,7 @@
 package app
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -117,13 +118,21 @@ func (a *App) ProgramFor(model machine.Model) (*prog.Program, error) {
 }
 
 // Run builds the right program variant for cfg.Model, runs it, and
-// verifies the result.
+// verifies the result. It is RunContext with context.Background(); new
+// callers should prefer the context form.
 func (a *App) Run(cfg machine.Config) (*machine.Result, error) {
+	return a.RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run under a context: a canceled or expired ctx aborts
+// the simulation cooperatively (see machine.RunContext) with an error
+// wrapping ctx.Err().
+func (a *App) RunContext(ctx context.Context, cfg machine.Config) (*machine.Result, error) {
 	p, err := a.ProgramFor(cfg.Model)
 	if err != nil {
 		return nil, err
 	}
-	res, err := machine.RunChecked(cfg, p, a.Init, a.Check)
+	res, err := machine.RunCheckedContext(ctx, cfg, p, a.Init, a.Check)
 	if err != nil {
 		return nil, fmt.Errorf("app %s: %w", a.Name, err)
 	}

@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -167,42 +168,78 @@ func (s *Session) Metrics() *metrics.BatchMetrics {
 // callers with the same configuration trigger a single simulation and
 // receive the identical *Result. Errors are not memoized: a failed key
 // is released so a later call retries, matching the sequential behavior.
+//
+// Run is RunContext with context.Background(); new callers should
+// prefer the context form.
 func (s *Session) Run(a *app.App, cfg machine.Config) (*machine.Result, error) {
+	return s.RunContext(context.Background(), a, cfg)
+}
+
+// RunContext is Run under a context. A canceled or expired ctx aborts
+// the caller's own simulation cooperatively (the memo stays clean:
+// errors are never memoized) and unblocks a singleflight follower
+// waiting on another caller's in-flight run. If the leader of a shared
+// key is canceled, followers whose own context is still live retry the
+// key rather than inheriting the leader's cancellation, so one aborted
+// request cannot fail an unrelated one that raced onto the same
+// configuration.
+func (s *Session) RunContext(ctx context.Context, a *app.App, cfg machine.Config) (*machine.Result, error) {
 	k := runKey{a.Name, cfg}
-	s.mu.Lock()
-	if r, ok := s.results[k]; ok {
-		s.mu.Unlock()
-		s.memoHits.Add(1)
-		return r, nil
-	}
-	if fl, ok := s.running[k]; ok {
-		s.mu.Unlock()
-		<-fl.done
-		if fl.err == nil {
-			s.memoHits.Add(1)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
+		s.mu.Lock()
+		if r, ok := s.results[k]; ok {
+			s.mu.Unlock()
+			s.memoHits.Add(1)
+			return r, nil
+		}
+		if fl, ok := s.running[k]; ok {
+			s.mu.Unlock()
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if fl.err == nil {
+				s.memoHits.Add(1)
+				return fl.res, nil
+			}
+			if isCancellation(fl.err) {
+				// The leader's request died, not the configuration:
+				// retry under our own (still live) context.
+				continue
+			}
+			return fl.res, fl.err
+		}
+		fl := &inflight{done: make(chan struct{})}
+		s.running[k] = fl
+		s.mu.Unlock()
+
+		fl.res, fl.err = s.simulate(ctx, a, cfg)
+		s.mu.Lock()
+		if fl.err == nil {
+			s.results[k] = fl.res
+		}
+		delete(s.running, k)
+		s.mu.Unlock()
+		close(fl.done)
 		return fl.res, fl.err
 	}
-	fl := &inflight{done: make(chan struct{})}
-	s.running[k] = fl
-	s.mu.Unlock()
+}
 
-	fl.res, fl.err = s.simulate(a, cfg)
-	s.mu.Lock()
-	if fl.err == nil {
-		s.results[k] = fl.res
-	}
-	delete(s.running, k)
-	s.mu.Unlock()
-	close(fl.done)
-	return fl.res, fl.err
+// isCancellation reports whether err stems from a canceled or expired
+// context rather than from the simulated configuration itself.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // simulate performs one actual machine run. A panic anywhere below —
 // application Init/Check, program generation, the simulator itself — is
 // recovered into a *PanicError, so one broken kernel fails its own job
 // instead of killing the sweep's worker pool.
-func (s *Session) simulate(a *app.App, cfg machine.Config) (res *machine.Result, err error) {
+func (s *Session) simulate(ctx context.Context, a *app.App, cfg machine.Config) (res *machine.Result, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			res, err = nil, &PanicError{App: a.Name, Cfg: cfg, Value: v, Stack: debug.Stack()}
@@ -222,8 +259,11 @@ func (s *Session) simulate(a *app.App, cfg machine.Config) (res *machine.Result,
 		check = nil
 	}
 	s.sims.Add(1)
-	r, err := machine.RunChecked(cfg, p, a.Init, check)
+	r, err := machine.RunCheckedContext(ctx, cfg, p, a.Init, check)
 	if err != nil {
+		if isCancellation(err) {
+			return nil, err // already names program and cycle
+		}
 		if errors.Is(err, machine.ErrMaxCycles) {
 			// Name the offending app and configuration: a livelock report
 			// from deep inside a sweep is useless without them.
@@ -253,7 +293,20 @@ type Job struct {
 // error is a *BatchError whose Errs slice is job-aligned, so callers can
 // pair each nil result with its cause; the partial results are always
 // returned.
+//
+// RunBatch is RunBatchContext with context.Background(); new callers
+// should prefer the context form.
 func (s *Session) RunBatch(jobs []Job) ([]*machine.Result, error) {
+	return s.RunBatchContext(context.Background(), jobs)
+}
+
+// RunBatchContext is RunBatch under a context. Once ctx is canceled the
+// pool stops scheduling new jobs — each unstarted job fails with
+// ctx.Err() in its own slot — and in-flight simulations abort
+// cooperatively, so the call returns promptly with job-aligned partial
+// results: every job that completed before the cancellation still
+// reports its *Result, exactly as it would have in an uncanceled batch.
+func (s *Session) RunBatchContext(ctx context.Context, jobs []Job) ([]*machine.Result, error) {
 	res := make([]*machine.Result, len(jobs))
 	errs := make([]error, len(jobs))
 	var wg sync.WaitGroup
@@ -262,9 +315,14 @@ func (s *Session) RunBatch(jobs []Job) ([]*machine.Result, error) {
 		wg.Add(1)
 		go func(i int, j Job) {
 			defer wg.Done()
-			sem <- struct{}{}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
+				return
+			}
 			defer func() { <-sem }()
-			res[i], errs[i] = s.Run(j.App, j.Cfg)
+			res[i], errs[i] = s.RunContext(ctx, j.App, j.Cfg)
 		}(i, j)
 	}
 	wg.Wait()
@@ -280,15 +338,21 @@ func (s *Session) RunBatch(jobs []Job) ([]*machine.Result, error) {
 	return res, nil
 }
 
-// Baseline returns the ideal single-processor cycle count for a.
+// Baseline returns the ideal single-processor cycle count for a. It is
+// BaselineContext with context.Background().
 func (s *Session) Baseline(a *app.App) (int64, error) {
+	return s.BaselineContext(context.Background(), a)
+}
+
+// BaselineContext is Baseline under a context.
+func (s *Session) BaselineContext(ctx context.Context, a *app.App) (int64, error) {
 	s.mu.Lock()
 	if c, ok := s.baseline[a.Name]; ok {
 		s.mu.Unlock()
 		return c, nil
 	}
 	s.mu.Unlock()
-	r, err := s.Run(a, machine.Config{Procs: 1, Threads: 1, Model: machine.Ideal})
+	r, err := s.RunContext(ctx, a, machine.Config{Procs: 1, Threads: 1, Model: machine.Ideal})
 	if err != nil {
 		return 0, err
 	}
@@ -299,12 +363,18 @@ func (s *Session) Baseline(a *app.App) (int64, error) {
 }
 
 // Efficiency runs a under cfg and returns the paper's efficiency metric.
+// It is EfficiencyContext with context.Background().
 func (s *Session) Efficiency(a *app.App, cfg machine.Config) (float64, error) {
-	base, err := s.Baseline(a)
+	return s.EfficiencyContext(context.Background(), a, cfg)
+}
+
+// EfficiencyContext is Efficiency under a context.
+func (s *Session) EfficiencyContext(ctx context.Context, a *app.App, cfg machine.Config) (float64, error) {
+	base, err := s.BaselineContext(ctx, a)
 	if err != nil {
 		return 0, err
 	}
-	r, err := s.Run(a, cfg)
+	r, err := s.RunContext(ctx, a, cfg)
 	if err != nil {
 		return 0, err
 	}
@@ -325,10 +395,21 @@ func (s *Session) Efficiency(a *app.App, cfg machine.Config) (float64, error) {
 // level is skipped, the remaining levels are still probed, and the
 // failures come back joined in err alongside the partial results. Only
 // a baseline failure — which makes every efficiency undefined — aborts.
+//
+// MTSearch is MTSearchContext with context.Background(); new callers
+// should prefer the context form.
 func (s *Session) MTSearch(a *app.App, cfg machine.Config, targets []float64, maxMT int) (levels []int, bestEff float64, bestMT int, err error) {
+	return s.MTSearchContext(context.Background(), a, cfg, targets, maxMT)
+}
+
+// MTSearchContext is MTSearch under a context. Cancellation stops the
+// search between waves (and aborts the wave's in-flight probes
+// cooperatively): the levels found so far are returned alongside an
+// error that wraps ctx.Err().
+func (s *Session) MTSearchContext(ctx context.Context, a *app.App, cfg machine.Config, targets []float64, maxMT int) (levels []int, bestEff float64, bestMT int, err error) {
 	// The baseline is shared by every probe; resolve it once up front so
 	// wave members don't singleflight-pile on it.
-	if _, err := s.Baseline(a); err != nil {
+	if _, err := s.BaselineContext(ctx, a); err != nil {
 		return nil, 0, 0, err
 	}
 	levels = make([]int, len(targets))
@@ -336,6 +417,10 @@ func (s *Session) MTSearch(a *app.App, cfg machine.Config, targets []float64, ma
 	var sweepErrs []error
 	wave := s.workers()
 	for lo := 1; lo <= maxMT; lo += wave {
+		if cerr := ctx.Err(); cerr != nil {
+			sweepErrs = append(sweepErrs, fmt.Errorf("search stopped before threads=%d: %w", lo, cerr))
+			break
+		}
 		hi := lo + wave - 1
 		if hi > maxMT {
 			hi = maxMT
@@ -350,14 +435,14 @@ func (s *Session) MTSearch(a *app.App, cfg machine.Config, targets []float64, ma
 					defer wg.Done()
 					c := cfg
 					c.Threads = mt
-					effs[mt-lo], errs[mt-lo] = s.Efficiency(a, c)
+					effs[mt-lo], errs[mt-lo] = s.EfficiencyContext(ctx, a, c)
 				}(mt)
 			}
 			wg.Wait()
 		} else {
 			c := cfg
 			c.Threads = lo
-			effs[0], errs[0] = s.Efficiency(a, c)
+			effs[0], errs[0] = s.EfficiencyContext(ctx, a, c)
 		}
 		for mt := lo; mt <= hi; mt++ {
 			if e := errs[mt-lo]; e != nil {

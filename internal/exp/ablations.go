@@ -94,7 +94,7 @@ func AblationLatency(o *Options) error {
 		row := []string{fmt.Sprintf("%s (%d)", a.Name, a.TableProcs)}
 		for _, l := range latencies {
 			cfg := machine.Config{Procs: a.TableProcs, Model: machine.ExplicitSwitch, Latency: l}
-			levels, _, _, err := o.Sess.MTSearch(a, cfg, []float64{0.70}, o.MaxMT)
+			levels, _, _, err := o.Sess.MTSearchContext(o.Context(), a, cfg, []float64{0.70}, o.MaxMT)
 			if err != nil {
 				return err
 			}
@@ -136,7 +136,7 @@ func AblationLineSize(o *Options) error {
 		}
 		row := []string{a.Name}
 		for _, s := range sizes {
-			r, err := o.Sess.Run(a, lineSizeCfg(o, a, s))
+			r, err := o.Sess.RunContext(o.Context(), a, lineSizeCfg(o, a, s))
 			if err != nil {
 				return err
 			}
@@ -172,7 +172,7 @@ func AblationSwitchCost(o *Options) error {
 	if err != nil {
 		return err
 	}
-	base, err := o.Sess.Baseline(a)
+	base, err := o.Sess.BaselineContext(o.Context(), a)
 	if err != nil {
 		return err
 	}
@@ -193,7 +193,7 @@ func AblationSwitchCost(o *Options) error {
 			Procs: a.TableProcs, Threads: 6,
 			Model: machine.SwitchOnMiss, Latency: o.Latency, SwitchCost: c,
 		}
-		r, err := o.Sess.Run(a, cfg)
+		r, err := o.Sess.RunContext(o.Context(), a, cfg)
 		if err != nil {
 			return err
 		}
@@ -245,7 +245,7 @@ func AblationNetwork(o *Options) error {
 		if err != nil {
 			return err
 		}
-		base, err := o.Sess.Baseline(a)
+		base, err := o.Sess.BaselineContext(o.Context(), a)
 		if err != nil {
 			return err
 		}
@@ -257,7 +257,7 @@ func AblationNetwork(o *Options) error {
 					Procs: a.TableProcs, Threads: th, Model: model,
 					Latency: o.Latency, Congestion: congest,
 				}
-				r, err := o.Sess.Run(a, cfg)
+				r, err := o.Sess.RunContext(o.Context(), a, cfg)
 				if err != nil {
 					return err
 				}
@@ -500,7 +500,7 @@ func AblationFaults(o *Options) error {
 	}
 	o.prefetch(warm)
 	for _, a := range o.Apps() {
-		base, err := o.Sess.Baseline(a)
+		base, err := o.Sess.BaselineContext(o.Context(), a)
 		if err != nil {
 			return err
 		}
@@ -508,7 +508,7 @@ func AblationFaults(o *Options) error {
 		var worst *machine.Result
 		for _, r := range rates {
 			for _, j := range []int{0, jitter} {
-				res, err := o.Sess.Run(a, faultsCfg(o, a, r, j))
+				res, err := o.Sess.RunContext(o.Context(), a, faultsCfg(o, a, r, j))
 				switch {
 				case err == nil:
 					row = append(row, fmt.Sprintf("%.3f", res.Efficiency(base)))
@@ -579,13 +579,13 @@ func AblationJitter(o *Options) error {
 		if err != nil {
 			return err
 		}
-		base, err := o.Sess.Baseline(a)
+		base, err := o.Sess.BaselineContext(o.Context(), a)
 		if err != nil {
 			return err
 		}
 		row := []string{a.Name}
 		for _, f := range fracs {
-			r, err := o.Sess.Run(a, jitterCfg(o, a, f))
+			r, err := o.Sess.RunContext(o.Context(), a, jitterCfg(o, a, f))
 			if err != nil {
 				return err
 			}

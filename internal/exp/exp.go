@@ -7,6 +7,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -22,7 +23,7 @@ import (
 )
 
 // Options configures a generator run. The zero value is not usable; call
-// NewOptions.
+// New (or the legacy NewOptions).
 type Options struct {
 	// Scale selects problem sizes.
 	Scale app.Scale
@@ -52,31 +53,151 @@ type Options struct {
 	FaultJitter int
 
 	appSet []*app.App
+	// ctx bounds every simulation and render issued through these
+	// options (WithContext); nil means context.Background().
+	ctx context.Context
 }
 
-// NewOptions returns options for a scale with paper defaults.
-func NewOptions(scale app.Scale, out io.Writer) *Options {
-	maxMT := 48
-	if scale == app.Quick {
-		maxMT = 24
+// Option configures an Options value at construction (New). Options are
+// applied in order, so later ones win.
+type Option func(*Options)
+
+// WithScale selects the problem scale (default Quick). The
+// multithreading-search cap adjusts with it unless WithMaxMT overrides.
+func WithScale(s app.Scale) Option {
+	return func(o *Options) {
+		o.Scale = s
+		o.MaxMT = defaultMaxMT(s)
 	}
-	return &Options{
-		Scale:     scale,
+}
+
+// WithLatency sets the network round trip in cycles (default: the
+// paper's 200).
+func WithLatency(cycles int) Option {
+	return func(o *Options) { o.Latency = cycles }
+}
+
+// WithMaxMT caps the multithreading-level searches.
+func WithMaxMT(n int) Option {
+	return func(o *Options) { o.MaxMT = n }
+}
+
+// WithJobs bounds the worker goroutines used to prefetch simulations
+// and render independent experiments, for both the options and their
+// session (1 disables parallelism; 0 or negative means GOMAXPROCS).
+// Output is byte-identical at every width.
+func WithJobs(n int) Option {
+	return func(o *Options) {
+		o.Jobs = n
+		o.Sess.Workers = n
+	}
+}
+
+// WithMetrics turns the session's cycle-accounting collection on or off
+// (see core.Session.CollectMetrics); the aggregate is read back with
+// SessionMetrics.
+func WithMetrics(on bool) Option {
+	return func(o *Options) { o.Sess.CollectMetrics = on }
+}
+
+// WithContext bounds every simulation and render issued through the
+// options: cancellation stops scheduling new work and aborts in-flight
+// simulations cooperatively. A completed render is byte-identical to an
+// unbounded one.
+func WithContext(ctx context.Context) Option {
+	return func(o *Options) { o.ctx = ctx }
+}
+
+// WithSession substitutes a caller-owned session, sharing its memo (and
+// its Workers/CollectMetrics settings) across several options values —
+// the serving layer uses this to reuse one session cache across
+// requests.
+func WithSession(s *core.Session) Option {
+	return func(o *Options) { o.Sess = s }
+}
+
+// WithFaults parameterizes the robustness ablation: the harshest
+// drop/delay rate swept to, the degraded column's latency jitter in
+// cycles (0 = half the round trip), and the deterministic stream seed.
+func WithFaults(rate float64, jitter int, seed uint64) Option {
+	return func(o *Options) {
+		o.FaultRate = rate
+		o.FaultJitter = jitter
+		o.FaultSeed = seed
+	}
+}
+
+// defaultMaxMT is the search cap a scale defaults to.
+func defaultMaxMT(s app.Scale) int {
+	if s == app.Quick {
+		return 24
+	}
+	return 48
+}
+
+// New returns options writing to out, configured by opts over the paper
+// defaults (Quick scale, 200-cycle latency, GOMAXPROCS workers).
+func New(out io.Writer, opts ...Option) *Options {
+	o := &Options{
+		Scale:     app.Quick,
 		Latency:   machine.DefaultLatency,
-		MaxMT:     maxMT,
+		MaxMT:     defaultMaxMT(app.Quick),
 		Out:       out,
 		Sess:      core.NewSession(),
 		Jobs:      runtime.GOMAXPROCS(0),
 		FaultSeed: 1,
 		FaultRate: 0.05,
 	}
+	for _, opt := range opts {
+		opt(o)
+	}
+	return o
+}
+
+// NewOptions returns options for a scale with paper defaults.
+//
+// Deprecated: use New with WithScale; NewOptions remains as a thin
+// wrapper so existing callers keep working.
+func NewOptions(scale app.Scale, out io.Writer) *Options {
+	return New(out, WithScale(scale))
 }
 
 // SetJobs sets the worker-pool width for this options value and its
 // session (the -j flag).
+//
+// Deprecated: pass WithJobs to New instead.
 func (o *Options) SetJobs(n int) {
 	o.Jobs = n
 	o.Sess.Workers = n
+}
+
+// Context returns the context bounding this options value's work:
+// the WithContext value, or context.Background().
+func (o *Options) Context() context.Context {
+	if o.ctx != nil {
+		return o.ctx
+	}
+	return context.Background()
+}
+
+// Validate reports option errors with flag-quality messages. It is the
+// one validation path shared by cmd/experiments and the serving layer's
+// experiment endpoint, mirroring how machine.Config.Validate serves
+// both the library and the server's run decoder.
+func (o *Options) Validate() error {
+	switch {
+	case o.Latency < 1:
+		return fmt.Errorf("exp: latency %d: the experiments need a positive round trip", o.Latency)
+	case o.MaxMT < 1:
+		return fmt.Errorf("exp: maxmt %d: the search cap must be positive", o.MaxMT)
+	case o.FaultRate < 0 || o.FaultRate >= 1:
+		return fmt.Errorf("exp: fault rate %v: must be in [0, 1)", o.FaultRate)
+	case o.FaultJitter < 0:
+		return fmt.Errorf("exp: jitter %d: cannot be negative", o.FaultJitter)
+	case o.FaultJitter > 0 && o.FaultJitter >= o.Latency:
+		return fmt.Errorf("exp: jitter %d: must stay below the round trip (latency %d)", o.FaultJitter, o.Latency)
+	}
+	return nil
 }
 
 // jobs resolves the effective worker count.
@@ -95,20 +216,26 @@ func (o *Options) prefetch(jobs []core.Job) {
 	if o.jobs() <= 1 || len(jobs) < 2 {
 		return
 	}
-	_, _ = o.Sess.RunBatch(jobs)
+	_, _ = o.Sess.RunBatchContext(o.Context(), jobs)
 }
 
 // forEach calls f(0..n-1) on min(Jobs, n) workers and returns the
 // lowest-index error, mirroring where a sequential loop would have
 // stopped. Generators use it for work that bypasses the session memo
-// (direct machine runs).
+// (direct machine runs). A canceled options context stops new items and
+// fails the undone ones with ctx.Err(), so the lowest-index error still
+// matches where a sequential loop would have stopped.
 func (o *Options) forEach(n int, f func(i int) error) error {
+	ctx := o.Context()
 	w := o.jobs()
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := f(i); err != nil {
 				return err
 			}
@@ -123,6 +250,10 @@ func (o *Options) forEach(n int, f func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
 				errs[i] = f(i)
 			}
 		}()

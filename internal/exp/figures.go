@@ -24,7 +24,7 @@ func Figure1(o *Options) error {
 		warm = append(warm, core.Job{App: a, Cfg: machine.Config{Procs: 4, Threads: 4, Model: m, Latency: o.Latency}})
 	}
 	o.prefetch(warm)
-	base, err := o.Sess.Baseline(a)
+	base, err := o.Sess.BaselineContext(o.Context(), a)
 	if err != nil {
 		return err
 	}
@@ -34,7 +34,7 @@ func Figure1(o *Options) error {
 	}
 	for m := machine.Model(0); int(m) < machine.NumModels; m++ {
 		cfg := machine.Config{Procs: 4, Threads: 4, Model: m, Latency: o.Latency}
-		r, err := o.Sess.Run(a, cfg)
+		r, err := o.Sess.RunContext(o.Context(), a, cfg)
 		if err != nil {
 			return err
 		}
@@ -94,7 +94,7 @@ func Figure2(o *Options) error {
 		s := &stats.Series{Name: a.Name}
 		row := []string{a.Name}
 		for _, p := range procCounts {
-			eff, err := o.Sess.Efficiency(a, machine.Config{Procs: p, Threads: 1, Model: machine.Ideal})
+			eff, err := o.Sess.EfficiencyContext(o.Context(), a, machine.Config{Procs: p, Threads: 1, Model: machine.Ideal})
 			if err != nil {
 				return err
 			}
@@ -112,15 +112,15 @@ func Figure2(o *Options) error {
 	if a, err := o.App("water"); err == nil {
 		tp := a.TableProcs
 		if tp > 1 {
-			base, err := o.Sess.Baseline(a)
+			base, err := o.Sess.BaselineContext(o.Context(), a)
 			if err != nil {
 				return err
 			}
-			div, err := o.Sess.Run(a, machine.Config{Procs: tp, Threads: 1, Model: machine.Ideal})
+			div, err := o.Sess.RunContext(o.Context(), a, machine.Config{Procs: tp, Threads: 1, Model: machine.Ideal})
 			if err != nil {
 				return err
 			}
-			off, err := o.Sess.Run(a, machine.Config{Procs: tp + 1, Threads: 1, Model: machine.Ideal})
+			off, err := o.Sess.RunContext(o.Context(), a, machine.Config{Procs: tp + 1, Threads: 1, Model: machine.Ideal})
 			if err != nil {
 				return err
 			}
@@ -176,7 +176,7 @@ func Figure3(o *Options) error {
 	ideal := &stats.Series{Name: "ideal"}
 	row := []string{"ideal"}
 	for _, p := range procCounts {
-		eff, err := o.Sess.Efficiency(a, machine.Config{Procs: p, Threads: 1, Model: machine.Ideal})
+		eff, err := o.Sess.EfficiencyContext(o.Context(), a, machine.Config{Procs: p, Threads: 1, Model: machine.Ideal})
 		if err != nil {
 			return err
 		}
@@ -190,7 +190,7 @@ func Figure3(o *Options) error {
 		s := &stats.Series{Name: fmt.Sprintf("mt=%d", mt)}
 		row := []string{fmt.Sprint(mt)}
 		for _, p := range procCounts {
-			eff, err := o.Sess.Efficiency(a, machine.Config{
+			eff, err := o.Sess.EfficiencyContext(o.Context(), a, machine.Config{
 				Procs: p, Threads: mt, Model: machine.SwitchOnLoad, Latency: o.Latency,
 			})
 			if err != nil {

@@ -21,7 +21,7 @@ func Table1(o *Options) error {
 	}
 	o.prefetch(baselineJobs(o))
 	for _, a := range o.Apps() {
-		base, err := o.Sess.Baseline(a)
+		base, err := o.Sess.BaselineContext(o.Context(), a)
 		if err != nil {
 			return err
 		}
@@ -60,7 +60,7 @@ func Table2(o *Options) error {
 	o.prefetch(runLengthJobs(o, machine.SwitchOnLoad))
 	for _, a := range o.Apps() {
 		cfg := runLengthCfg(o, a, machine.SwitchOnLoad)
-		r, err := o.Sess.Run(a, cfg)
+		r, err := o.Sess.RunContext(o.Context(), a, cfg)
 		if err != nil {
 			return err
 		}
@@ -96,7 +96,7 @@ func Table4(o *Options) error {
 	o.prefetch(runLengthJobs(o, machine.ExplicitSwitch))
 	for _, a := range o.Apps() {
 		cfg := runLengthCfg(o, a, machine.ExplicitSwitch)
-		r, err := o.Sess.Run(a, cfg)
+		r, err := o.Sess.RunContext(o.Context(), a, cfg)
 		if err != nil {
 			return err
 		}
@@ -120,7 +120,7 @@ func Table5(o *Options) error {
 	cells := make([]string, len(set))
 	err := o.forEach(len(set), func(i int) error {
 		a := appHandle{a: set[i]}
-		raw, err := o.Sess.Run(a.a, machine.Config{Procs: 1, Threads: 1, Model: machine.Ideal})
+		raw, err := o.Sess.RunContext(o.Context(), a.a, machine.Config{Procs: 1, Threads: 1, Model: machine.Ideal})
 		if err != nil {
 			return err
 		}
@@ -174,13 +174,13 @@ func Table6(o *Options) error {
 			return err
 		}
 		base := runLengthCfg(o, a, machine.ExplicitSwitch)
-		plain, err := o.Sess.Run(a, base)
+		plain, err := o.Sess.RunContext(o.Context(), a, base)
 		if err != nil {
 			return err
 		}
 		win := base
 		win.GroupWindow = true
-		wres, err := o.Sess.Run(a, win)
+		wres, err := o.Sess.RunContext(o.Context(), a, win)
 		if err != nil {
 			return err
 		}
@@ -188,7 +188,7 @@ func Table6(o *Options) error {
 			Procs: a.TableProcs, Model: machine.ExplicitSwitch,
 			Latency: o.Latency, GroupWindow: true,
 		}
-		levels, best, bestMT, err := o.Sess.MTSearch(a, search, core.EffTargets, o.MaxMT)
+		levels, best, bestMT, err := o.Sess.MTSearchContext(o.Context(), a, search, core.EffTargets, o.MaxMT)
 		if err != nil {
 			return err
 		}
@@ -228,14 +228,14 @@ func Table7(o *Options) error {
 	}
 	o.prefetch(warm)
 	for _, a := range o.Apps() {
-		un, err := o.Sess.Run(a, machine.Config{
+		un, err := o.Sess.RunContext(o.Context(), a, machine.Config{
 			Procs: a.TableProcs, Threads: mt,
 			Model: machine.ExplicitSwitch, Latency: o.Latency,
 		})
 		if err != nil {
 			return err
 		}
-		ca, err := o.Sess.Run(a, machine.Config{
+		ca, err := o.Sess.RunContext(o.Context(), a, machine.Config{
 			Procs: a.TableProcs, Threads: mt,
 			Model: machine.ConditionalSwitch, Latency: o.Latency,
 		})
@@ -343,7 +343,7 @@ func mtTable(o *Options, title string, model machine.Model, extra *extraCol) err
 	}
 	for _, a := range o.Apps() {
 		cfg := machine.Config{Procs: a.TableProcs, Model: model, Latency: o.Latency}
-		levels, best, bestMT, err := o.Sess.MTSearch(a, cfg, core.EffTargets, o.MaxMT)
+		levels, best, bestMT, err := o.Sess.MTSearchContext(o.Context(), a, cfg, core.EffTargets, o.MaxMT)
 		if err != nil {
 			return err
 		}

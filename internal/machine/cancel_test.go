@@ -1,0 +1,110 @@
+package machine_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"mtsim/internal/machine"
+	"mtsim/internal/prog"
+)
+
+// buildSpin returns a program that loops forever: the cancellation
+// tests' stand-in for an arbitrarily long simulation (the default
+// MaxCycles watchdog is billions of cycles away).
+func buildSpin() *prog.Program {
+	b := prog.NewBuilder("spin")
+	b.Shared("x", 1)
+	b.Label("loop")
+	b.J("loop")
+	return b.MustBuild()
+}
+
+// TestRunContextCompletedIdentical: a run that completes under a live
+// cancelable context must be indistinguishable from one under
+// context.Background() — the poll may only end runs early, never alter
+// the simulation.
+func TestRunContextCompletedIdentical(t *testing.T) {
+	p := buildCounter(50)
+	cfg := machine.Config{Procs: 4, Threads: 3, Model: machine.SwitchOnUse, CollectRunLengths: true}
+
+	plain, err := machine.Run(cfg, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ctxRes, err := machine.RunContext(ctx, cfg, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cycles != ctxRes.Cycles || plain.Instrs != ctxRes.Instrs || plain.Busy != ctxRes.Busy {
+		t.Errorf("ctx run diverged: cycles %d vs %d, instrs %d vs %d, busy %d vs %d",
+			plain.Cycles, ctxRes.Cycles, plain.Instrs, ctxRes.Instrs, plain.Busy, ctxRes.Busy)
+	}
+	if plain.Summary() != ctxRes.Summary() {
+		t.Errorf("summaries diverged:\n%s\nvs\n%s", plain.Summary(), ctxRes.Summary())
+	}
+}
+
+// TestRunContextPreCanceled: an already-dead context fails before the
+// machine is even built.
+func TestRunContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := machine.RunContext(ctx, machine.Config{Procs: 1, Threads: 1, Model: machine.Ideal}, buildCounter(1), nil)
+	if res != nil {
+		t.Error("canceled run returned a result")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "not started") {
+		t.Errorf("err %q does not say the run never started", err)
+	}
+}
+
+// TestRunContextMidRunCancel: canceling mid-simulation must return
+// promptly (the poll is amortized, not absent) with an error naming the
+// program, the cycle, and wrapping context.Canceled.
+func TestRunContextMidRunCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := machine.RunContext(ctx, machine.Config{Procs: 2, Threads: 2, Model: machine.SwitchOnLoad}, buildSpin(), nil)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		for _, want := range []string{"spin", "canceled at cycle"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("err %q does not mention %q", err, want)
+			}
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled run did not return within 10s")
+	}
+}
+
+// TestRunContextDeadline: a deadline aborts like an explicit cancel,
+// wrapping context.DeadlineExceeded.
+func TestRunContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := machine.RunContext(ctx, machine.Config{Procs: 2, Threads: 2, Model: machine.SwitchOnLoad}, buildSpin(), nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("deadline enforced after %v; the poll is not bounding cancellation lag", elapsed)
+	}
+}

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -24,6 +25,19 @@ var ErrMaxCycles = errors.New("machine: exceeded MaxCycles (livelock?)")
 var ErrFaultStall = fmt.Errorf("%w under fault injection (fault-induced stall)", ErrMaxCycles)
 
 const never = math.MaxInt64
+
+// CancelCheckInterval is the cooperative-cancellation amortization
+// constant: a context-carrying run polls ctx.Done() once per this many
+// event-loop steps (outer cohort scans and batched single-processor
+// dispatches both count one step). The poll is two atomic-free branch
+// instructions between checks, so the hot loop's throughput is
+// unaffected within the bench harness's tolerance, while the worst-case
+// cancellation lag stays bounded at one interval's worth of simulated
+// dispatches (well under a millisecond of host time). Runs without a
+// cancelable context (context.Background; the legacy Run entry points)
+// skip even the countdown: they pay a single nil check per step and
+// their output is byte-identical to a build without cancellation.
+const CancelCheckInterval = 1 << 16
 
 // thread is one hardware thread context: its own 32 integer and 32
 // floating-point registers (§3), a program counter, local memory, and the
@@ -121,12 +135,37 @@ type m struct {
 	// event scan touches a handful of cache lines instead of one line
 	// per ~200-byte proc.
 	wakes []int64
+	// ctxDone is the run's cancellation channel (nil when the context
+	// cannot be canceled, which disables polling entirely); cancelTick
+	// counts event-loop steps down to the next amortized poll
+	// (CancelCheckInterval).
+	ctx        context.Context
+	ctxDone    <-chan struct{}
+	cancelTick int64
 }
 
 // Run executes program p under cfg. init, if non-nil, fills shared memory
 // before the forked phase starts (the paper's excluded serial setup).
+//
+// Run is RunContext with context.Background(): it cannot be canceled or
+// bounded by a deadline. New callers should prefer RunContext.
 func Run(cfg Config, p *prog.Program, init func(*Shared)) (*Result, error) {
 	return RunChecked(cfg, p, init, nil)
+}
+
+// RunContext is Run under a context: the event loop polls ctx
+// cooperatively (amortized every CancelCheckInterval steps, so the hot
+// loop is unaffected) and a canceled or expired context aborts the run
+// with an error wrapping ctx.Err(). A completed run is byte-identical
+// to Run: cancellation can only end a simulation early, never change
+// what it computes.
+func RunContext(ctx context.Context, cfg Config, p *prog.Program, init func(*Shared)) (*Result, error) {
+	return runInternal(ctx, cfg, p, init, nil, nil)
+}
+
+// RunCheckedContext is RunChecked under a context (see RunContext).
+func RunCheckedContext(ctx context.Context, cfg Config, p *prog.Program, init func(*Shared), check func(*Shared) error) (*Result, error) {
+	return runInternal(ctx, cfg, p, init, check, nil)
 }
 
 // TraceEvent describes one dynamic shared-memory access, for the
@@ -147,17 +186,23 @@ type Tracer func(TraceEvent)
 // tracer is deliberately not part of Config (Config stays a comparable
 // value used as a memoization key).
 func RunTraced(cfg Config, p *prog.Program, init func(*Shared), check func(*Shared) error, tr Tracer) (*Result, error) {
-	return runInternal(cfg, p, init, check, tr)
+	return runInternal(context.Background(), cfg, p, init, check, tr)
 }
 
 // RunChecked is Run followed by a correctness check of the final shared
 // memory contents, used by tests and the experiment harness to guarantee
 // every measured execution computed the right answer.
+//
+// RunChecked is RunCheckedContext with context.Background(); new
+// callers should prefer the context form.
 func RunChecked(cfg Config, p *prog.Program, init func(*Shared), check func(*Shared) error) (*Result, error) {
-	return runInternal(cfg, p, init, check, nil)
+	return runInternal(context.Background(), cfg, p, init, check, nil)
 }
 
-func runInternal(cfg Config, p *prog.Program, init func(*Shared), check func(*Shared) error, tr Tracer) (*Result, error) {
+func runInternal(ctx context.Context, cfg Config, p *prog.Program, init func(*Shared), check func(*Shared) error, tr Tracer) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("machine: program %q not started: %w", p.Name, err)
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -178,6 +223,11 @@ func runInternal(cfg Config, p *prog.Program, init func(*Shared), check func(*Sh
 	}
 	if cfg.PreemptLimit > 0 {
 		sim.preempt = int64(cfg.PreemptLimit)
+	}
+	if done := ctx.Done(); done != nil {
+		sim.ctx = ctx
+		sim.ctxDone = done
+		sim.cancelTick = CancelCheckInterval
 	}
 	sim.jitter = int64(cfg.LatencyJitter)
 	sim.trace = tr
@@ -269,6 +319,13 @@ func (sim *m) run() error {
 		if now > sim.cfg.MaxCycles {
 			return sim.maxCyclesErr(now)
 		}
+		if sim.ctxDone != nil {
+			if sim.cancelTick--; sim.cancelTick <= 0 {
+				if err := sim.pollCancel(now); err != nil {
+					return err
+				}
+			}
+		}
 		sim.nowApprox = now
 		// Cohort pass: execute everything due now, track the two
 		// earliest post-execution events. A processor executed earlier
@@ -296,6 +353,13 @@ func (sim *m) run() error {
 			if now > sim.cfg.MaxCycles {
 				return sim.maxCyclesErr(now)
 			}
+			if sim.ctxDone != nil {
+				if sim.cancelTick--; sim.cancelTick <= 0 {
+					if err := sim.pollCancel(now); err != nil {
+						return err
+					}
+				}
+			}
 			sim.nowApprox = now
 			if err := sim.execOne(mp, now); err != nil {
 				return err
@@ -317,6 +381,21 @@ func (sim *m) run() error {
 	}
 	sim.finish(sim.nowApprox + 1)
 	return nil
+}
+
+// pollCancel performs the amortized cooperative-cancellation check: it
+// resets the countdown and reports a run-ending error iff the context
+// was canceled. Only reached once per CancelCheckInterval event-loop
+// steps, and only for runs whose context can actually be canceled.
+func (sim *m) pollCancel(now int64) error {
+	sim.cancelTick = CancelCheckInterval
+	select {
+	case <-sim.ctxDone:
+		return fmt.Errorf("machine: program %q canceled at cycle %d (model %s): %w",
+			sim.prg.Name, now, sim.cfg.Model, sim.ctx.Err())
+	default:
+		return nil
+	}
 }
 
 // maxCyclesErr builds the watchdog error for a run that exceeded

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrQueueFull is the admission-control rejection: the server already
+// holds its maximum of running plus queued requests. Handlers map it to
+// 429 with a Retry-After hint rather than letting work pile up.
+var ErrQueueFull = errors.New("serve: job queue full")
+
+// gate is the server's bounded admission queue: at most `workers`
+// simulations run concurrently and at most `depth` further requests
+// wait for a slot. Everything beyond that is rejected immediately with
+// ErrQueueFull — under overload the server sheds load instead of
+// queueing unboundedly, which keeps latency for admitted requests flat
+// and memory bounded.
+type gate struct {
+	cap      int64 // workers + depth
+	admitted atomic.Int64
+	inflight atomic.Int64
+	workers  chan struct{}
+}
+
+func newGate(workers, depth int) *gate {
+	return &gate{
+		cap:     int64(workers + depth),
+		workers: make(chan struct{}, workers),
+	}
+}
+
+// Acquire admits the caller and blocks until a worker slot frees (or
+// ctx ends). On success it returns a release func the caller must call
+// exactly once. ErrQueueFull means the caller was never admitted.
+func (g *gate) Acquire(ctx context.Context) (release func(), err error) {
+	if g.admitted.Add(1) > g.cap {
+		g.admitted.Add(-1)
+		return nil, ErrQueueFull
+	}
+	select {
+	case g.workers <- struct{}{}:
+	case <-ctx.Done():
+		g.admitted.Add(-1)
+		return nil, ctx.Err()
+	}
+	g.inflight.Add(1)
+	return func() {
+		g.inflight.Add(-1)
+		g.admitted.Add(-1)
+		<-g.workers
+	}, nil
+}
+
+// Inflight is the number of requests currently holding a worker slot.
+func (g *gate) Inflight() int64 { return g.inflight.Load() }
+
+// Queued is the number of admitted requests still waiting for a slot.
+func (g *gate) Queued() int64 {
+	q := g.admitted.Load() - g.inflight.Load()
+	if q < 0 {
+		return 0
+	}
+	return q
+}

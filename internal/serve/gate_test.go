@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestGateAdmissionBound: with one worker and a queue of one, the third
+// concurrent caller must be rejected immediately, and releasing the
+// running slot must let the queued caller through.
+func TestGateAdmissionBound(t *testing.T) {
+	g := newGate(1, 1)
+	release1, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Inflight(); got != 1 {
+		t.Errorf("Inflight = %d, want 1", got)
+	}
+
+	queued := make(chan func(), 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		release2, err := g.Acquire(context.Background())
+		if err != nil {
+			t.Errorf("queued Acquire failed: %v", err)
+			return
+		}
+		queued <- release2
+	}()
+	for g.Queued() != 1 { // wait until the second caller is parked
+		runtime.Gosched()
+	}
+
+	if _, err := g.Acquire(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third Acquire err = %v, want ErrQueueFull", err)
+	}
+
+	release1()
+	wg.Wait()
+	release2 := <-queued
+	if got := g.Inflight(); got != 1 {
+		t.Errorf("Inflight after handoff = %d, want 1", got)
+	}
+	release2()
+	if g.Inflight() != 0 || g.Queued() != 0 {
+		t.Errorf("gauges not zero after release: inflight %d queued %d", g.Inflight(), g.Queued())
+	}
+	// The rejected caller's slot was returned: the gate re-admits.
+	r, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire after rejection: %v", err)
+	}
+	r()
+}
+
+// TestGateCancelWhileQueued: a caller abandoning the queue (canceled
+// context) must give its admission slot back.
+func TestGateCancelWhileQueued(t *testing.T) {
+	g := newGate(1, 4)
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := g.Acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Acquire err = %v, want context.Canceled", err)
+	}
+	if got := g.Queued(); got != 0 {
+		t.Errorf("Queued = %d after abandoned wait, want 0", got)
+	}
+	release()
+}

@@ -1,0 +1,468 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"mtsim/internal/app"
+	"mtsim/internal/apps"
+	"mtsim/internal/core"
+	"mtsim/internal/exp"
+	"mtsim/internal/machine"
+	"mtsim/internal/metrics"
+	"mtsim/internal/net"
+)
+
+// ResponseSchemaVersion identifies the JSON layout of the /v1 response
+// bodies. The embedded metrics records carry the internal/metrics
+// schema version independently.
+const ResponseSchemaVersion = 1
+
+// ConfigRequest is the wire form of a simulation configuration: the
+// JSON-friendly subset of machine.Config with the model by name.
+// Decoding goes through machine.Config.Validate — the same check the
+// library path runs — so the server can never accept a configuration
+// the library would reject.
+type ConfigRequest struct {
+	Procs         int            `json:"procs"`
+	Threads       int            `json:"threads"`
+	Model         string         `json:"model"`
+	Latency       int            `json:"latency,omitempty"`
+	SwitchCost    int            `json:"switch_cost,omitempty"`
+	RunLimit      int            `json:"run_limit,omitempty"`
+	CritPriority  bool           `json:"crit_priority,omitempty"`
+	GroupWindow   bool           `json:"group_window,omitempty"`
+	WindowCells   int            `json:"window_cells,omitempty"`
+	LatencyJitter int            `json:"latency_jitter,omitempty"`
+	MaxCycles     int64          `json:"max_cycles,omitempty"`
+	Faults        *FaultsRequest `json:"faults,omitempty"`
+}
+
+// FaultsRequest is the wire form of the fault-injection knobs.
+type FaultsRequest struct {
+	Seed      uint64  `json:"seed"`
+	DropRate  float64 `json:"drop_rate,omitempty"`
+	DupRate   float64 `json:"dup_rate,omitempty"`
+	DelayRate float64 `json:"delay_rate,omitempty"`
+}
+
+// ToMachine resolves the wire config into a validated machine.Config.
+func (c *ConfigRequest) ToMachine() (machine.Config, error) {
+	model, err := machine.ParseModel(c.Model)
+	if err != nil {
+		return machine.Config{}, err
+	}
+	cfg := machine.Config{
+		Procs: c.Procs, Threads: c.Threads, Model: model,
+		Latency: c.Latency, SwitchCost: c.SwitchCost, RunLimit: c.RunLimit,
+		CritPriority: c.CritPriority,
+		GroupWindow:  c.GroupWindow, WindowCells: c.WindowCells,
+		LatencyJitter: c.LatencyJitter, MaxCycles: c.MaxCycles,
+	}
+	if f := c.Faults; f != nil {
+		cfg.Faults = net.FaultConfig{
+			Enabled: true, Seed: f.Seed,
+			DropRate: f.DropRate, DupRate: f.DupRate, DelayRate: f.DelayRate,
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return machine.Config{}, err
+	}
+	return cfg, nil
+}
+
+// RunRequest is the /v1/run body.
+type RunRequest struct {
+	App       string        `json:"app"`
+	Scale     string        `json:"scale,omitempty"` // default "quick"
+	Config    ConfigRequest `json:"config"`
+	Metrics   bool          `json:"metrics,omitempty"`
+	TimeoutMS int64         `json:"timeout_ms,omitempty"`
+}
+
+// RunResponse is the /v1/run reply.
+type RunResponse struct {
+	Schema         int                 `json:"schema"`
+	App            string              `json:"app"`
+	Scale          string              `json:"scale"`
+	Model          string              `json:"model"`
+	Cycles         int64               `json:"cycles"`
+	Instrs         int64               `json:"instrs"`
+	BaselineCycles int64               `json:"baseline_cycles"`
+	Speedup        float64             `json:"speedup"`
+	Efficiency     float64             `json:"efficiency"`
+	Utilization    float64             `json:"utilization"`
+	Metrics        *metrics.RunMetrics `json:"metrics,omitempty"`
+}
+
+// BatchRequest is the /v1/batch body: a job list over one scale.
+type BatchRequest struct {
+	Scale     string     `json:"scale,omitempty"`
+	Jobs      []BatchJob `json:"jobs"`
+	Metrics   bool       `json:"metrics,omitempty"`
+	TimeoutMS int64      `json:"timeout_ms,omitempty"`
+}
+
+// BatchJob is one (application, configuration) pair.
+type BatchJob struct {
+	App    string        `json:"app"`
+	Config ConfigRequest `json:"config"`
+}
+
+// BatchResponse is the /v1/batch reply. Results and Errors are
+// job-aligned with the request: a canceled or failed job reports its
+// error string and a null result, completed jobs report results even
+// when the batch as a whole failed (the library's partial-results
+// contract, surfaced over the wire).
+type BatchResponse struct {
+	Schema  int               `json:"schema"`
+	Scale   string            `json:"scale"`
+	Results []*BatchJobResult `json:"results"`
+	Errors  []string          `json:"errors"`
+	Failed  int               `json:"failed"`
+}
+
+// BatchJobResult is one job's measurements.
+type BatchJobResult struct {
+	App        string  `json:"app"`
+	Model      string  `json:"model"`
+	Cycles     int64   `json:"cycles"`
+	Instrs     int64   `json:"instrs"`
+	Efficiency float64 `json:"efficiency"`
+}
+
+// errorResponse is every endpoint's failure body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// writeJSON emits v with the indentation the golden files use.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// httpError maps an error to a status + JSON body. Cancellation maps to
+// 504 (deadline) / 499-style 503 (client gone); validation and unknown
+// names map to 400; everything else is a 500.
+func (s *Server) httpError(w http.ResponseWriter, err error, fallback int) {
+	status := fallback
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, machine.ErrMaxCycles):
+		status = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// rejectFull is the 429 + Retry-After admission rejection.
+func (s *Server) rejectFull(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter/time.Second)))
+	writeJSON(w, http.StatusTooManyRequests,
+		errorResponse{Error: fmt.Sprintf("job queue full (%d running, %d queued); retry later",
+			s.gate.Inflight(), s.gate.Queued())})
+}
+
+// requestContext derives the run's context: the HTTP request context
+// (so a disconnecting client cancels its simulation) bounded by the
+// requested or default deadline, capped at MaxTimeout.
+func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// session resolves the shared session for a scale/metrics pair. The
+// metrics flag forks the cache key rather than mutating a shared
+// session: Session.CollectMetrics must be set before the first Run and
+// requests run concurrently.
+func (s *Server) session(scale app.Scale, collectMetrics bool) *core.Session {
+	key := scale.String()
+	if collectMetrics {
+		key += "+metrics"
+	}
+	return s.sessions.Get(key)
+}
+
+// decodeScale parses an optional scale name (default quick).
+func decodeScale(name string) (app.Scale, error) {
+	if name == "" {
+		return app.Quick, nil
+	}
+	return app.ParseScale(name)
+}
+
+// handleRun runs one simulation: decode + validate, admit, simulate
+// under the request deadline, report the paper metrics (and the
+// cycle-accounting record when asked).
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	scale, err := decodeScale(req.Scale)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	cfg, err := req.Config.ToMachine()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	a, err := apps.New(req.App, scale)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	release, err := s.gate.Acquire(ctx)
+	if err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			s.rejectFull(w)
+			return
+		}
+		s.httpError(w, err, http.StatusServiceUnavailable)
+		return
+	}
+	defer release()
+
+	sess := s.session(scale, req.Metrics)
+	res, err := sess.RunContext(ctx, a, cfg)
+	if err != nil {
+		s.httpError(w, err, http.StatusInternalServerError)
+		return
+	}
+	base, err := sess.BaselineContext(ctx, a)
+	if err != nil {
+		s.httpError(w, err, http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, &RunResponse{
+		Schema:         ResponseSchemaVersion,
+		App:            a.Name,
+		Scale:          scale.String(),
+		Model:          res.Config.Model.String(),
+		Cycles:         res.Cycles,
+		Instrs:         res.Instrs,
+		BaselineCycles: base,
+		Speedup:        res.Speedup(base),
+		Efficiency:     res.Efficiency(base),
+		Utilization:    res.Utilization(),
+		Metrics:        res.Metrics,
+	})
+}
+
+// handleBatch runs a job list through the session's worker pool under
+// one admission slot and the request deadline, returning job-aligned
+// partial results.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "batch needs at least one job"})
+		return
+	}
+	if len(req.Jobs) > s.cfg.MaxBatchJobs {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("batch of %d jobs exceeds the %d-job limit", len(req.Jobs), s.cfg.MaxBatchJobs)})
+		return
+	}
+	scale, err := decodeScale(req.Scale)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	jobs := make([]core.Job, len(req.Jobs))
+	for i := range req.Jobs {
+		cfg, err := req.Jobs[i].Config.ToMachine()
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("job %d: %v", i, err)})
+			return
+		}
+		a, err := apps.New(req.Jobs[i].App, scale)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("job %d: %v", i, err)})
+			return
+		}
+		jobs[i] = core.Job{App: a, Cfg: cfg}
+	}
+
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	release, err := s.gate.Acquire(ctx)
+	if err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			s.rejectFull(w)
+			return
+		}
+		s.httpError(w, err, http.StatusServiceUnavailable)
+		return
+	}
+	defer release()
+
+	sess := s.session(scale, req.Metrics)
+	results, batchErr := sess.RunBatchContext(ctx, jobs)
+	resp := &BatchResponse{
+		Schema:  ResponseSchemaVersion,
+		Scale:   scale.String(),
+		Results: make([]*BatchJobResult, len(jobs)),
+		Errors:  make([]string, len(jobs)),
+	}
+	var be *core.BatchError
+	if batchErr != nil && !errors.As(batchErr, &be) {
+		s.httpError(w, batchErr, http.StatusInternalServerError)
+		return
+	}
+	for i, res := range results {
+		if be != nil && be.Errs[i] != nil {
+			resp.Errors[i] = be.Errs[i].Error()
+			resp.Failed++
+			continue
+		}
+		if res == nil {
+			continue
+		}
+		base, err := sess.BaselineContext(ctx, jobs[i].App)
+		if err != nil {
+			resp.Errors[i] = err.Error()
+			resp.Failed++
+			continue
+		}
+		resp.Results[i] = &BatchJobResult{
+			App:        jobs[i].App.Name,
+			Model:      res.Config.Model.String(),
+			Cycles:     res.Cycles,
+			Instrs:     res.Instrs,
+			Efficiency: res.Efficiency(base),
+		}
+	}
+	// A batch with failures still returns 200: the job-aligned errors
+	// carry the detail and the completed jobs' results are usable. An
+	// all-jobs-failed batch under a dead deadline maps like a run.
+	if resp.Failed == len(jobs) && batchErr != nil {
+		if errors.Is(batchErr, context.DeadlineExceeded) || errors.Is(batchErr, context.Canceled) {
+			s.httpError(w, batchErr, http.StatusInternalServerError)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleExperiment renders one paper table/figure as text/plain, reusing
+// the scale's shared session memo across requests.
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	e, err := exp.ByID(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		return
+	}
+	q := r.URL.Query()
+	scale, err := decodeScale(q.Get("scale"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	opts := []exp.Option{exp.WithScale(scale)}
+	if v := q.Get("latency"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "latency: " + err.Error()})
+			return
+		}
+		opts = append(opts, exp.WithLatency(n))
+	}
+	if v := q.Get("maxmt"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "maxmt: " + err.Error()})
+			return
+		}
+		opts = append(opts, exp.WithMaxMT(n))
+	}
+	var timeoutMS int64
+	if v := q.Get("timeout_ms"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "timeout_ms: " + err.Error()})
+			return
+		}
+		timeoutMS = n
+	}
+
+	ctx, cancel := s.requestContext(r, timeoutMS)
+	defer cancel()
+
+	var buf strings.Builder
+	// Share the scale's session memo across experiment requests, but
+	// keep each request's context its own: WithSession after WithScale,
+	// WithContext per request.
+	opts = append(opts, exp.WithSession(s.session(scale, false)), exp.WithContext(ctx))
+	o := exp.New(&buf, opts...)
+	if err := o.Validate(); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+
+	release, err := s.gate.Acquire(ctx)
+	if err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			s.rejectFull(w)
+			return
+		}
+		s.httpError(w, err, http.StatusServiceUnavailable)
+		return
+	}
+	defer release()
+
+	if err := e.Run(o); err != nil {
+		s.httpError(w, err, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "== %s: %s\npaper: %s\n\n%s", e.ID, e.Title, e.Paper, buf.String())
+}
+
+// healthzResponse is the /v1/healthz body: liveness plus the admission
+// gauges, so a load balancer (or the smoke test) can see queue pressure
+// without scraping expvar.
+type healthzResponse struct {
+	Status   string `json:"status"`
+	Inflight int64  `json:"inflight"`
+	Queued   int64  `json:"queued"`
+	Sessions int    `json:"sessions"`
+	UptimeMS int64  `json:"uptime_ms"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, &healthzResponse{
+		Status:   "ok",
+		Inflight: s.gate.Inflight(),
+		Queued:   s.gate.Queued(),
+		Sessions: s.sessions.Len(),
+		UptimeMS: time.Since(s.started).Milliseconds(),
+	})
+}

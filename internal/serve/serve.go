@@ -1,0 +1,193 @@
+// Package serve is the simulation-as-a-service layer: an HTTP/JSON
+// front end over the library's context-first API (machine.RunContext →
+// core.Session.RunContext → exp rendering) with the properties a shared
+// deployment needs and a blocking library call cannot give:
+//
+//   - bounded admission: at most Workers simulations run concurrently
+//     and at most QueueDepth requests wait; everything beyond that is
+//     rejected with 429 + Retry-After instead of queueing unboundedly;
+//   - per-request deadlines: every run is bounded by a context deadline
+//     (client-chosen up to MaxTimeout), and a canceled or disconnected
+//     request aborts its simulation cooperatively, freeing the worker;
+//   - memo reuse with flat memory: requests share core.Sessions through
+//     a sharded LRU cache, so repeated configurations are memo hits but
+//     the result store cannot grow without bound;
+//   - observability: queue-depth and inflight expvar gauges, per-request
+//     RunMetrics (the internal/metrics schema) on demand.
+//
+// Endpoints (all JSON unless noted):
+//
+//	POST /v1/run              one simulation run
+//	POST /v1/batch            a job list, partial results on failure
+//	GET  /v1/experiments/{id} a rendered paper table/figure (text/plain)
+//	GET  /v1/healthz          liveness + queue gauges
+//	GET  /debug/vars          expvar (includes the mtsimd gauges)
+//
+// Results are byte-identical to the library path: the server only ever
+// calls the same deterministic entry points the CLI tools use.
+package serve
+
+import (
+	"context"
+	"expvar"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"mtsim/internal/core"
+)
+
+// Config parameterizes a Server. The zero value is usable: every field
+// defaults sensibly (see withDefaults).
+type Config struct {
+	// Workers bounds concurrently running requests (default GOMAXPROCS).
+	// Each request may itself fan out over its session's worker pool;
+	// SessionWorkers bounds that inner width.
+	Workers int
+	// QueueDepth bounds requests waiting for a worker slot beyond the
+	// running ones (default 64). Excess requests get 429.
+	QueueDepth int
+	// SessionWorkers bounds each session's inner simulation pool
+	// (default 0 = GOMAXPROCS), the width RunBatch and MTSearch fan out
+	// to within one request.
+	SessionWorkers int
+	// DefaultTimeout bounds requests that do not ask for a deadline
+	// (default 60s); MaxTimeout caps what they may ask for (default 10m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxSessions bounds the LRU session cache (default 8 sessions over
+	// 4 shards); MaxSessionSims retires a session whose memo has grown
+	// past this many executed simulations (default 65536).
+	MaxSessions    int
+	MaxSessionSims int64
+	// RetryAfter is the hint returned with 429 responses (default 1s).
+	RetryAfter time.Duration
+	// MaxBatchJobs bounds the job list of one /v1/batch request
+	// (default 256).
+	MaxBatchJobs int
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 8
+	}
+	if c.MaxSessionSims <= 0 {
+		c.MaxSessionSims = 65536
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBatchJobs <= 0 {
+		c.MaxBatchJobs = 256
+	}
+	return c
+}
+
+// Server is one simulation service instance. Create with New; it is
+// ready to serve via Handler, ListenAndServe, or any http.Server.
+type Server struct {
+	cfg      Config
+	gate     *gate
+	sessions *sessionCache
+	mux      *http.ServeMux
+	started  time.Time
+
+	httpMu   sync.Mutex
+	httpSrv  *http.Server
+}
+
+// New builds a Server from cfg (zero value = defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		gate:    newGate(cfg.Workers, cfg.QueueDepth),
+		started: time.Now(),
+	}
+	s.sessions = newSessionCache(4, cfg.MaxSessions, cfg.MaxSessionSims, func(key string) *core.Session {
+		sess := core.NewSession()
+		sess.Workers = cfg.SessionWorkers
+		// Session flags are fixed at creation (requests share sessions
+		// concurrently): the key's +metrics suffix decides collection.
+		sess.CollectMetrics = strings.HasSuffix(key, "+metrics")
+		return sess
+	})
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	return s
+}
+
+// Handler returns the server's route table.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Inflight and Queued expose the admission gauges (also published as
+// expvar by PublishVars and reported by /v1/healthz).
+func (s *Server) Inflight() int64 { return s.gate.Inflight() }
+func (s *Server) Queued() int64   { return s.gate.Queued() }
+
+// Sessions reports the number of cached sessions.
+func (s *Server) Sessions() int { return s.sessions.Len() }
+
+// publishOnce guards the process-global expvar names: expvar.Publish
+// panics on duplicates, and tests build many Servers per process.
+var publishOnce sync.Once
+
+// PublishVars publishes the server's queue-depth/inflight/session
+// gauges as expvar (served on /debug/vars). First caller in the process
+// wins; cmd/mtsimd runs one server per process so this is exact there.
+func (s *Server) PublishVars() {
+	publishOnce.Do(func() {
+		expvar.Publish("mtsimd.inflight", expvar.Func(func() any { return s.Inflight() }))
+		expvar.Publish("mtsimd.queue_depth", expvar.Func(func() any { return s.Queued() }))
+		expvar.Publish("mtsimd.sessions", expvar.Func(func() any { return s.Sessions() }))
+	})
+}
+
+// ListenAndServe serves on addr until Shutdown (which returns
+// http.ErrServerClosed here, like net/http).
+func (s *Server) ListenAndServe(addr string) error {
+	s.httpMu.Lock()
+	s.httpSrv = &http.Server{Addr: addr, Handler: s.mux}
+	srv := s.httpSrv
+	s.httpMu.Unlock()
+	return srv.ListenAndServe()
+}
+
+// Shutdown gracefully drains a ListenAndServe server: listeners close
+// immediately (new requests are refused), in-flight requests run to
+// completion, and once ctx expires the remaining request contexts are
+// canceled so their simulations abort cooperatively.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.httpMu.Lock()
+	srv := s.httpSrv
+	s.httpMu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	err := srv.Shutdown(ctx)
+	if err != nil {
+		// Drain deadline hit: force-close the stragglers; their
+		// request contexts cancel and the event loops unwind.
+		_ = srv.Close()
+	}
+	return err
+}

@@ -31,6 +31,7 @@
 package mtsim
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -74,8 +75,17 @@ type (
 	// Session memoizes runs and baselines across measurements. It is
 	// safe for concurrent use: simultaneous Run calls on the same
 	// configuration are deduplicated singleflight-style and share one
-	// result, and Session.Workers sizes its worker pools.
+	// result, and Session.Workers sizes its worker pools. Every
+	// measurement has a context-first form — Session.RunContext,
+	// Session.RunBatchContext, Session.MTSearchContext,
+	// Session.BaselineContext, Session.EfficiencyContext — whose
+	// cancellation aborts in-flight simulations cooperatively with
+	// job-aligned partial results; the plain names run under
+	// context.Background().
 	Session = core.Session
+	// ExpOption configures experiment generation functionally; see
+	// NewExp and the With* options.
+	ExpOption = exp.Option
 	// RunJob names one (application, configuration) simulation for
 	// Session.RunBatch.
 	RunJob = core.Job
@@ -188,12 +198,31 @@ func MustNewApp(name string, s Scale) *App { return apps.MustNew(name, s) }
 // AllApps builds the full benchmark set.
 func AllApps(s Scale) []*App { return apps.All(s) }
 
+// RunContext simulates program p under cfg with optional shared-memory
+// init. A canceled or expired ctx aborts the run cooperatively (the
+// event loop polls its context, amortized over the simulation's hot
+// path) with an error wrapping ctx.Err(); a run that completes is
+// byte-identical to one under context.Background().
+func RunContext(ctx context.Context, cfg Config, p *Program, init func(*Shared)) (*Result, error) {
+	return machine.RunContext(ctx, cfg, p, init)
+}
+
+// RunCheckedContext is RunContext plus a result verification callback.
+func RunCheckedContext(ctx context.Context, cfg Config, p *Program, init func(*Shared), check func(*Shared) error) (*Result, error) {
+	return machine.RunCheckedContext(ctx, cfg, p, init, check)
+}
+
 // Run simulates program p under cfg with optional shared-memory init.
+//
+// Deprecated: Run is RunContext under context.Background(); new code
+// should pass a context so runs can be canceled or deadline-bounded.
 func Run(cfg Config, p *Program, init func(*Shared)) (*Result, error) {
 	return machine.Run(cfg, p, init)
 }
 
 // RunChecked is Run plus a result verification callback.
+//
+// Deprecated: use RunCheckedContext, for the same reason as Run.
 func RunChecked(cfg Config, p *Program, init func(*Shared), check func(*Shared) error) (*Result, error) {
 	return machine.RunChecked(cfg, p, init, check)
 }
@@ -226,10 +255,42 @@ func WriteExperimentReport(o *ExpOptions, w io.Writer) error { return exp.WriteR
 // ExperimentByID resolves e.g. "table5" or "figure2".
 func ExperimentByID(id string) (*Experiment, error) { return exp.ByID(id) }
 
-// NewExpOptions returns experiment options writing to out. The options
-// default to ExpOptions.Jobs = GOMAXPROCS worker goroutines; call
-// SetJobs to change the width (1 disables parallelism). Output is
-// byte-identical at any setting.
+// NewExp returns experiment options writing to out, configured by
+// functional options:
+//
+//	o := mtsim.NewExp(os.Stdout,
+//	    mtsim.WithScale(mtsim.Medium),
+//	    mtsim.WithJobs(4),
+//	    mtsim.WithContext(ctx))
+//
+// Defaults: Quick scale, the paper's 200-cycle latency, GOMAXPROCS
+// worker goroutines. Output is byte-identical at any worker width.
+func NewExp(out io.Writer, opts ...ExpOption) *ExpOptions { return exp.New(out, opts...) }
+
+// Functional options for NewExp.
+var (
+	// WithScale selects the problem scale (and its default search depth).
+	WithScale = exp.WithScale
+	// WithLatency overrides the simulated round-trip latency.
+	WithLatency = exp.WithLatency
+	// WithMaxMT overrides the multithreading-search depth.
+	WithMaxMT = exp.WithMaxMT
+	// WithJobs sets the rendering/simulation worker width (1 = serial).
+	WithJobs = exp.WithJobs
+	// WithMetrics toggles cycle-accounting collection on the session.
+	WithMetrics = exp.WithMetrics
+	// WithContext threads a context through every simulation the
+	// experiments run: cancellation aborts rendering cooperatively.
+	WithContext = exp.WithContext
+	// WithFaults enables fault injection at a drop/delay rate with
+	// deterministic seed and latency jitter.
+	WithFaults = exp.WithFaults
+)
+
+// NewExpOptions returns experiment options writing to out.
+//
+// Deprecated: use NewExp with functional options; this constructor
+// cannot express a context, metrics collection, or fault injection.
 func NewExpOptions(scale Scale, out io.Writer) *ExpOptions { return exp.NewOptions(scale, out) }
 
 // RenderExperiments runs the experiments — concurrently up to

@@ -7,9 +7,10 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race ./internal/core/... ./internal/machine/...
-# Race pass over the experiment/metrics aggregation path and the fault
-# model (-short skips the double experiment regeneration).
-go test -race -short ./internal/exp/... ./internal/net/...
+# Race pass over the experiment/metrics aggregation path, the fault
+# model, and the HTTP serving layer (-short skips the double experiment
+# regeneration).
+go test -race -short ./internal/exp/... ./internal/net/... ./internal/serve/...
 # The cycle-accounting layer carries an exactness guarantee; hold its
 # unit coverage at >= 70%.
 cover=$(go test -cover ./internal/metrics/ | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
