@@ -106,6 +106,21 @@ func suite() []benchmark {
 		})
 	}
 	bs = append(bs, benchmark{
+		name: "checkpointed-run",
+		run: oneRun(func(ctx context.Context) (*mtsim.Result, error) {
+			// The checkpoint/restore tax: same simulation as the app
+			// benchmarks but pausing and serializing the full machine
+			// state every 100k cycles into a discarded sink.
+			sess := mtsim.NewSession()
+			a := mtsim.MustNewApp("sieve", mtsim.Quick)
+			cfg := mtsim.Config{Procs: 8, Threads: 4, Model: mtsim.ExplicitSwitch, Latency: 200}
+			return sess.RunCheckpointedContext(ctx, a, cfg, mtsim.CheckpointConfig{
+				Interval:     100_000,
+				OnCheckpoint: func(int64, []byte) error { return nil },
+			})
+		}),
+	})
+	bs = append(bs, benchmark{
 		name: "session-batch",
 		run: func(ctx context.Context) (int64, int64, error) {
 			// A fresh session each iteration so nothing is memoized

@@ -6,11 +6,19 @@
 // Usage:
 //
 //	mtsimd [-addr :8080] [-workers N] [-queue N] [-timeout 60s] [-drain 30s]
+//	       [-journal PATH] [-checkpoint-every N]
+//
+// -journal enables crash-tolerant async batch jobs: /v1/batch requests
+// carrying an Idempotency-Key are journaled to PATH (write-ahead,
+// fsync'd), checkpointed every N cycles, and survive even a SIGKILL —
+// on restart the journal replays and unfinished jobs resume from their
+// latest checkpoint to byte-identical responses.
 //
 // SIGTERM/SIGINT starts a graceful drain: listeners close immediately,
 // in-flight simulations run to completion until -drain expires, then
-// their contexts are canceled and the event loops unwind cooperatively.
-// A clean drain (either way) exits 0.
+// their contexts are canceled and the event loops unwind cooperatively
+// (an async job aborted this way stays resumable). The journal is
+// flushed and closed before exit. A clean drain (either way) exits 0.
 package main
 
 import (
@@ -36,6 +44,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "default per-request deadline (0 = 60s)")
 	maxTimeout := flag.Duration("max-timeout", 0, "cap on client-requested deadlines (0 = 10m)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window")
+	journal := flag.String("journal", "", "write-ahead job journal path; enables crash-tolerant async batch jobs")
+	ckptEvery := flag.Int64("checkpoint-every", 0, "cycles between async-job checkpoints (0 = 100000)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "mtsimd: unexpected argument %q\n", flag.Arg(0))
@@ -44,13 +54,21 @@ func main() {
 	}
 
 	srv := serve.New(serve.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		SessionWorkers: *sessWorkers,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		SessionWorkers:  *sessWorkers,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+		CheckpointEvery: *ckptEvery,
 	})
 	srv.PublishVars()
+	if *journal != "" {
+		replayed, err := srv.EnableJournal(*journal)
+		if err != nil {
+			log.Fatalf("mtsimd: %v", err)
+		}
+		log.Printf("mtsimd: journal %s: %d jobs replayed", *journal, replayed)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()

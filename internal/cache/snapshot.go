@@ -1,0 +1,121 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file is the checkpoint layer's view of the package: every piece
+// of mutable run state — cache arrays, LRU clock, directory sharer
+// lists, window contents, statistics — exported as plain-value state
+// structs that restore bit-exactly. Configuration is deliberately NOT
+// part of the state: the restoring side rebuilds from its own Config
+// and the state must match it, which catches snapshot/config mismatches
+// instead of silently misindexing.
+
+// CacheState is the serializable mutable state of a Cache.
+type CacheState struct {
+	Tags    []int64
+	Valid   []bool
+	Dirty   []bool
+	Age     []int64
+	AgeTick int64
+
+	Hits, Misses int64
+	Evictions    int64
+	Invals       int64
+}
+
+// Snapshot captures the cache's mutable state. The returned slices are
+// copies; mutating them does not affect the cache.
+func (c *Cache) Snapshot() CacheState {
+	return CacheState{
+		Tags:    append([]int64(nil), c.tags...),
+		Valid:   append([]bool(nil), c.valid...),
+		Dirty:   append([]bool(nil), c.dirty...),
+		Age:     append([]int64(nil), c.age...),
+		AgeTick: c.ageTick,
+		Hits:    c.Hits, Misses: c.Misses,
+		Evictions: c.Evictions, Invals: c.Invals,
+	}
+}
+
+// Restore overwrites the cache's mutable state from a snapshot taken
+// from a cache of the same configuration.
+func (c *Cache) Restore(st CacheState) error {
+	if len(st.Tags) != len(c.tags) || len(st.Valid) != len(c.valid) ||
+		len(st.Dirty) != len(c.dirty) || len(st.Age) != len(c.age) {
+		return fmt.Errorf("cache: snapshot has %d lines, cache has %d (config mismatch)", len(st.Tags), len(c.tags))
+	}
+	copy(c.tags, st.Tags)
+	copy(c.valid, st.Valid)
+	copy(c.dirty, st.Dirty)
+	copy(c.age, st.Age)
+	c.ageTick = st.AgeTick
+	c.Hits, c.Misses = st.Hits, st.Misses
+	c.Evictions, c.Invals = st.Evictions, st.Invals
+	return nil
+}
+
+// DirectoryState is the serializable state of a Directory: parallel
+// slices sorted by line address, each sharer list in its original
+// insertion order (sharer order is observable through Sharers, so a
+// restored run must see the same order, while the line order of the
+// underlying map is not — sorting makes equal directories encode
+// equally).
+type DirectoryState struct {
+	Lines   []int64
+	Sharers [][]int32
+}
+
+// Snapshot captures the directory contents.
+func (d *Directory) Snapshot() DirectoryState {
+	st := DirectoryState{
+		Lines:   make([]int64, 0, len(d.sharers)),
+		Sharers: make([][]int32, 0, len(d.sharers)),
+	}
+	for line := range d.sharers {
+		st.Lines = append(st.Lines, line)
+	}
+	sort.Slice(st.Lines, func(i, j int) bool { return st.Lines[i] < st.Lines[j] })
+	for _, line := range st.Lines {
+		st.Sharers = append(st.Sharers, append([]int32(nil), d.sharers[line]...))
+	}
+	return st
+}
+
+// RestoreDirectory rebuilds a directory from a snapshot.
+func RestoreDirectory(st DirectoryState) (*Directory, error) {
+	if len(st.Lines) != len(st.Sharers) {
+		return nil, fmt.Errorf("cache: directory snapshot has %d lines but %d sharer lists", len(st.Lines), len(st.Sharers))
+	}
+	d := NewDirectory()
+	for i, line := range st.Lines {
+		if len(st.Sharers[i]) == 0 {
+			return nil, fmt.Errorf("cache: directory snapshot line %d has no sharers", line)
+		}
+		d.sharers[line] = append([]int32(nil), st.Sharers[i]...)
+	}
+	return d, nil
+}
+
+// WindowState is the serializable state of a grouping Window.
+type WindowState struct {
+	Line    int64
+	ReadyAt int64
+	Valid   bool
+
+	Hits, Misses int64
+}
+
+// Snapshot captures the window's state.
+func (w *Window) Snapshot() WindowState {
+	return WindowState{Line: w.line, ReadyAt: w.readyAt, Valid: w.valid, Hits: w.Hits, Misses: w.Misses}
+}
+
+// Restore overwrites the window's state (the line-size shift is
+// configuration and stays as built).
+func (w *Window) Restore(st WindowState) {
+	w.line, w.readyAt, w.valid = st.Line, st.ReadyAt, st.Valid
+	w.Hits, w.Misses = st.Hits, st.Misses
+}

@@ -1,0 +1,127 @@
+package cache
+
+import (
+	"reflect"
+	"testing"
+)
+
+// exercise drives a cache through a deterministic access pattern.
+func exercise(c *Cache, seed int64) {
+	for i := int64(0); i < 200; i++ {
+		addr := (seed*31 + i*7) % 512
+		if !c.Lookup(addr) {
+			c.Fill(addr)
+		}
+		if i%3 == 0 {
+			c.SetDirty(addr)
+		}
+		if i%11 == 0 {
+			c.Invalidate((addr + 64) % 512)
+		}
+	}
+}
+
+func TestCacheSnapshotRestore(t *testing.T) {
+	cfg := Config{Lines: 16, LineCells: 4, Assoc: 2}
+	a := MustNew(cfg)
+	exercise(a, 3)
+
+	st := a.Snapshot()
+	b := MustNew(cfg)
+	if err := b.Restore(st); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+
+	// The restored cache must behave identically from here on.
+	exercise(a, 5)
+	exercise(b, 5)
+	if !reflect.DeepEqual(a.Snapshot(), b.Snapshot()) {
+		t.Fatal("restored cache diverged from original")
+	}
+	if a.Hits != b.Hits || a.Misses != b.Misses || a.Evictions != b.Evictions || a.Invals != b.Invals {
+		t.Fatal("statistics diverged")
+	}
+}
+
+func TestCacheSnapshotIsACopy(t *testing.T) {
+	c := MustNew(Config{Lines: 8, LineCells: 2, Assoc: 1})
+	exercise(c, 1)
+	st := c.Snapshot()
+	st.Tags[0] = -999
+	st.Valid[0] = !st.Valid[0]
+	if c.Snapshot().Tags[0] == -999 {
+		t.Fatal("Snapshot aliases cache internals")
+	}
+}
+
+func TestCacheRestoreShapeMismatch(t *testing.T) {
+	small := MustNew(Config{Lines: 8, LineCells: 2, Assoc: 1})
+	big := MustNew(Config{Lines: 16, LineCells: 2, Assoc: 1})
+	if err := big.Restore(small.Snapshot()); err == nil {
+		t.Fatal("restore across configs must fail")
+	}
+}
+
+func TestDirectorySnapshotRestore(t *testing.T) {
+	d := NewDirectory()
+	d.AddSharer(10, 2)
+	d.AddSharer(10, 0)
+	d.AddSharer(10, 1)
+	d.AddSharer(3, 7)
+	d.RemoveSharer(10, 0) // swap-remove: order becomes [2 1]
+
+	st := d.Snapshot()
+	r, err := RestoreDirectory(st)
+	if err != nil {
+		t.Fatalf("RestoreDirectory: %v", err)
+	}
+
+	// Sharer order is observable; the restored directory must preserve
+	// it exactly.
+	want := d.Sharers(10, nil)
+	got := r.Sharers(10, nil)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("sharers of line 10: want %v, got %v", want, got)
+	}
+	if !reflect.DeepEqual(d.Snapshot(), r.Snapshot()) {
+		t.Fatal("round-trip changed directory contents")
+	}
+}
+
+func TestDirectorySnapshotDeterministic(t *testing.T) {
+	d := NewDirectory()
+	for line := int64(0); line < 50; line++ {
+		d.AddSharer(line*13%17, int32(line%4))
+	}
+	if !reflect.DeepEqual(d.Snapshot(), d.Snapshot()) {
+		t.Fatal("Snapshot of the same directory differs between calls")
+	}
+}
+
+func TestRestoreDirectoryRejectsMalformed(t *testing.T) {
+	if _, err := RestoreDirectory(DirectoryState{Lines: []int64{1}, Sharers: nil}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := RestoreDirectory(DirectoryState{Lines: []int64{1}, Sharers: [][]int32{{}}}); err == nil {
+		t.Error("empty sharer list accepted")
+	}
+}
+
+func TestWindowSnapshotRestore(t *testing.T) {
+	a := NewWindow(16)
+	a.Probe(100, 50)
+	a.Probe(101, 60)
+	a.Probe(400, 70)
+
+	b := NewWindow(16)
+	b.Restore(a.Snapshot())
+
+	ra, ha := a.Probe(401, 99)
+	rb, hb := b.Probe(401, 99)
+	if ra != rb || ha != hb {
+		t.Fatalf("restored window diverged: (%d,%v) vs (%d,%v)", ra, ha, rb, hb)
+	}
+	if a.Hits != b.Hits || a.Misses != b.Misses {
+		t.Fatal("window statistics diverged")
+	}
+}

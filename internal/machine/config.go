@@ -268,6 +268,12 @@ func (cfg Config) withDefaults() Config {
 	return cfg
 }
 
+// Effective returns the configuration as the machine actually runs it:
+// zero fields defaulted and model-implied fields normalized. Snapshots
+// carry the effective form, and resuming layers compare against it to
+// detect a snapshot taken under a different configuration.
+func (cfg Config) Effective() Config { return cfg.withDefaults() }
+
 // Validate reports configuration errors.
 func (cfg Config) Validate() error {
 	c := cfg.withDefaults()

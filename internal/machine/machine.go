@@ -142,6 +142,15 @@ type m struct {
 	ctx        context.Context
 	ctxDone    <-chan struct{}
 	cancelTick int64
+	// now is the event clock, persisted across run calls so a paused
+	// simulation (see until) resumes exactly where it stopped.
+	now int64
+	// until is the cycle budget of the current run call: the loop
+	// pauses before executing any event at a cycle >= until. Unbounded
+	// runs set it to never, which reduces the budget check to one
+	// always-false compare per step — the same cost class as the
+	// MaxCycles guard, keeping checkpointing-off zero-cost.
+	until int64
 }
 
 // Run executes program p under cfg. init, if non-nil, fills shared memory
@@ -203,6 +212,26 @@ func runInternal(ctx context.Context, cfg Config, p *prog.Program, init func(*Sh
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("machine: program %q not started: %w", p.Name, err)
 	}
+	sim, err := newSim(cfg, p, init, tr)
+	if err != nil {
+		return nil, err
+	}
+	sim.bindContext(ctx)
+	if _, err := sim.run(); err != nil {
+		return nil, err
+	}
+	if check != nil {
+		if err := check(sim.shared); err != nil {
+			return nil, fmt.Errorf("machine: program %q under %s produced wrong result: %w", p.Name, sim.cfg.Model, err)
+		}
+	}
+	return sim.res, nil
+}
+
+// newSim validates the inputs and builds a ready-to-run simulation at
+// cycle 0 (the constructor shared by the one-shot entry points and the
+// pausable Machine handle).
+func newSim(cfg Config, p *prog.Program, init func(*Shared), tr Tracer) (*m, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -220,14 +249,10 @@ func runInternal(ctx context.Context, cfg Config, p *prog.Program, init func(*Sh
 		instrs: p.Instrs,
 		lat:    int64(cfg.Latency),
 		res:    &Result{Config: cfg},
+		until:  never,
 	}
 	if cfg.PreemptLimit > 0 {
 		sim.preempt = int64(cfg.PreemptLimit)
-	}
-	if done := ctx.Done(); done != nil {
-		sim.ctx = ctx
-		sim.ctxDone = done
-		sim.cancelTick = CancelCheckInterval
 	}
 	sim.jitter = int64(cfg.LatencyJitter)
 	sim.trace = tr
@@ -279,16 +304,19 @@ func runInternal(ctx context.Context, cfg Config, p *prog.Program, init func(*Sh
 		}
 	}
 	sim.live = nthreads
+	return sim, nil
+}
 
-	if err := sim.run(); err != nil {
-		return nil, err
+// bindContext attaches ctx's cancellation to the event loop for the
+// next run call. A Machine resumed under a different context rebinds;
+// cancellation timing never affects what a completed run computes.
+func (sim *m) bindContext(ctx context.Context) {
+	sim.ctx, sim.ctxDone, sim.cancelTick = nil, nil, 0
+	if done := ctx.Done(); done != nil {
+		sim.ctx = ctx
+		sim.ctxDone = done
+		sim.cancelTick = CancelCheckInterval
 	}
-	if check != nil {
-		if err := check(sim.shared); err != nil {
-			return nil, fmt.Errorf("machine: program %q under %s produced wrong result: %w", p.Name, cfg.Model, err)
-		}
-	}
-	return sim.res, nil
 }
 
 // run drives the cycle loop. It is event-driven over cycles: each
@@ -312,17 +340,33 @@ func runInternal(ctx context.Context, cfg Config, p *prog.Program, init func(*Sh
 // amortized scan over a contiguous int64 slice. Ordering is unchanged
 // either way: every instruction executes at the same cycle as before,
 // and processors sharing a cycle still run in index order.
-func (sim *m) run() error {
-	sim.wakes = make([]int64, len(sim.procs)) // all due at cycle 0
-	now := int64(0)
+// run also honors sim.until, the pause bound used by the checkpointing
+// Machine handle: the loop stops *before executing any event* at a
+// cycle >= until and records the clock in sim.now, an instruction
+// boundary at which every piece of simulator state is consistent. A
+// later call re-enters the outer loop at the same clock and replays the
+// identical cohort scan (or single-processor dispatch — at a pause
+// inside the batch fast path exactly one processor is due, so the
+// cohort pass reproduces that one dispatch), making a paused-and-
+// resumed run byte-identical to an uninterrupted one. Unbounded runs
+// keep until at never, so the budget guard is one always-false compare.
+func (sim *m) run() (done bool, err error) {
+	if sim.wakes == nil {
+		sim.wakes = make([]int64, len(sim.procs)) // all due at cycle 0
+	}
+	now := sim.now
 	for {
 		if now > sim.cfg.MaxCycles {
-			return sim.maxCyclesErr(now)
+			return false, sim.maxCyclesErr(now)
+		}
+		if now >= sim.until {
+			sim.now = now
+			return false, nil
 		}
 		if sim.ctxDone != nil {
 			if sim.cancelTick--; sim.cancelTick <= 0 {
 				if err := sim.pollCancel(now); err != nil {
-					return err
+					return false, err
 				}
 			}
 		}
@@ -337,7 +381,7 @@ func (sim *m) run() error {
 		for pi := range sim.procs {
 			if sim.wakes[pi] == now {
 				if err := sim.execOne(&sim.procs[pi], now); err != nil {
-					return err
+					return false, err
 				}
 			}
 			if n := sim.wakes[pi]; n < min1 {
@@ -351,18 +395,22 @@ func (sim *m) run() error {
 		for min1 < min2 {
 			now = min1
 			if now > sim.cfg.MaxCycles {
-				return sim.maxCyclesErr(now)
+				return false, sim.maxCyclesErr(now)
+			}
+			if now >= sim.until {
+				sim.now = now
+				return false, nil
 			}
 			if sim.ctxDone != nil {
 				if sim.cancelTick--; sim.cancelTick <= 0 {
 					if err := sim.pollCancel(now); err != nil {
-						return err
+						return false, err
 					}
 				}
 			}
 			sim.nowApprox = now
 			if err := sim.execOne(mp, now); err != nil {
-				return err
+				return false, err
 			}
 			min1 = sim.wakes[mi]
 		}
@@ -375,12 +423,12 @@ func (sim *m) run() error {
 			min1 = min2
 		}
 		if min1 == never {
-			return fmt.Errorf("machine: internal: %d live threads but no runnable processor", sim.live)
+			return false, fmt.Errorf("machine: internal: %d live threads but no runnable processor", sim.live)
 		}
 		now = min1
 	}
 	sim.finish(sim.nowApprox + 1)
-	return nil
+	return true, nil
 }
 
 // pollCancel performs the amortized cooperative-cancellation check: it

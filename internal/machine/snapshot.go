@@ -1,0 +1,741 @@
+package machine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"mtsim/internal/cache"
+	"mtsim/internal/metrics"
+	"mtsim/internal/net"
+	"mtsim/internal/prog"
+	"mtsim/internal/snap"
+)
+
+// This file is the checkpoint/restore layer: a pausable Machine handle
+// over the simulator plus a versioned binary encoding of its complete
+// mutable state. The contract is byte-identity — a run paused at any
+// cycle, snapshotted, restored (even in another process) and resumed
+// produces a Result, including Result.Metrics, byte-identical to an
+// uninterrupted run — which is what makes crash-recovered service runs
+// indistinguishable from clean ones.
+//
+// What a snapshot captures: the event clock and wake vector, every
+// thread context (registers, scoreboard, scheduler state, local
+// memory, grouping window), per-processor caches and counters, the
+// coherence directory and dirty-owner map, shared memory, the partial
+// Result counters, and the mutable state of the congestion, fault
+// (rng root + sequence counter — Fork makes substreams a pure function
+// of those) and metrics runtimes. What it deliberately does not
+// capture: the program (re-supplied at restore and verified by hash),
+// the configuration's derived scratch (rebuilt), tracers (not
+// serializable; NewMachine does not accept one), and context binding
+// (a resume may run under a different context).
+
+// SnapshotVersion is the current snapshot format version. Readers
+// accept versions 1..SnapshotVersion and reject anything newer.
+const SnapshotVersion = 1
+
+// snapMagic brands machine snapshots.
+const snapMagic = "MTSN"
+
+// ErrSnapshotMismatch is returned when a snapshot is restored against a
+// program (or implied configuration) it was not taken from.
+var ErrSnapshotMismatch = errors.New("machine: snapshot does not match")
+
+// Machine is a pausable simulation: Run/RunUntil drive it, Snapshot
+// captures it between drives, RestoreMachine rebuilds it. Not safe for
+// concurrent use.
+type Machine struct {
+	sim    *m
+	done   bool
+	failed error
+}
+
+// NewMachine validates cfg and p and builds a machine paused at cycle
+// 0, with init applied to shared memory (the serial setup the paper
+// excludes from measurement). Tracers are deliberately unsupported:
+// they cannot be captured by a snapshot.
+func NewMachine(cfg Config, p *prog.Program, init func(*Shared)) (*Machine, error) {
+	sim, err := newSim(cfg, p, init, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{sim: sim}, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (mc *Machine) Config() Config { return mc.sim.cfg }
+
+// Cycle returns the event clock: the cycle the paused machine will
+// execute next, or the last clock value of a completed run.
+func (mc *Machine) Cycle() int64 { return mc.sim.now }
+
+// Done reports whether the program has run to completion.
+func (mc *Machine) Done() bool { return mc.done }
+
+// Err returns the error that killed the machine, if any. A failed
+// machine cannot be driven further or snapshotted.
+func (mc *Machine) Err() error { return mc.failed }
+
+// Result returns the completed run's result, or nil while the machine
+// is still runnable.
+func (mc *Machine) Result() *Result {
+	if !mc.done {
+		return nil
+	}
+	return mc.sim.res
+}
+
+// SharedMem exposes the simulated shared memory, for the application's
+// host-side Check after completion.
+func (mc *Machine) SharedMem() *Shared { return mc.sim.shared }
+
+// RunUntil drives the simulation until the program completes or the
+// event clock reaches stop, whichever comes first — the machine pauses
+// *before* executing any event at a cycle >= stop, so the state it
+// exposes is exactly the state an uninterrupted run passes through.
+// Driving with stop <= Cycle() makes no progress. The context is
+// rebound on every call; cancellation is noticed at the loop's
+// amortized poll (CancelCheckInterval) and kills the machine with a
+// sticky error, as it would a one-shot run — a canceled machine's
+// state is mid-flight and can be neither driven further nor
+// snapshotted.
+func (mc *Machine) RunUntil(ctx context.Context, stop int64) (done bool, err error) {
+	if mc.failed != nil {
+		return false, mc.failed
+	}
+	if mc.done {
+		return true, nil
+	}
+	mc.sim.bindContext(ctx)
+	mc.sim.until = stop
+	done, err = mc.sim.run()
+	mc.sim.until = never
+	mc.sim.bindContext(context.Background())
+	if err != nil {
+		mc.failed = err
+		return false, err
+	}
+	mc.done = done
+	return done, nil
+}
+
+// Run drives the simulation to completion and returns its result.
+func (mc *Machine) Run(ctx context.Context) (*Result, error) {
+	done, err := mc.RunUntil(ctx, never)
+	if err != nil {
+		return nil, err
+	}
+	if !done {
+		return nil, fmt.Errorf("machine: internal: unbounded run paused") // unreachable
+	}
+	return mc.sim.res, nil
+}
+
+// Snapshot encodes the machine's complete mutable state. Only a paused,
+// healthy machine can be snapshotted: a completed run's artifact is its
+// Result, and a failed machine has nothing consistent to save.
+func (mc *Machine) Snapshot() ([]byte, error) {
+	if mc.failed != nil {
+		return nil, fmt.Errorf("machine: cannot snapshot failed machine: %w", mc.failed)
+	}
+	if mc.done {
+		return nil, errors.New("machine: cannot snapshot a completed run (use Result)")
+	}
+	var e snap.Encoder
+	mc.sim.encodeState(&e)
+	return snap.Seal(snapMagic, SnapshotVersion, e.Bytes()), nil
+}
+
+// RestoreMachine rebuilds a paused machine from a snapshot. The program
+// must be the one the snapshot was taken from (verified by a content
+// hash); init is NOT re-run — shared memory comes from the snapshot.
+func RestoreMachine(data []byte, p *prog.Program) (*Machine, error) {
+	_, payload, err := snap.Open(snapMagic, SnapshotVersion, data)
+	if err != nil {
+		return nil, fmt.Errorf("machine: restore: %w", err)
+	}
+	d := snap.NewDecoder(payload)
+	sim, err := decodeState(d, p)
+	if err != nil {
+		return nil, fmt.Errorf("machine: restore: %w", err)
+	}
+	return &Machine{sim: sim}, nil
+}
+
+// programHash fingerprints the executable content a snapshot depends
+// on: the instruction stream and the memory layout sizes. FNV-1a over
+// every field that affects execution.
+func programHash(p *prog.Program) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	w64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	h.Write([]byte(p.Name))
+	w64(uint64(len(p.Instrs)))
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		w64(uint64(in.Op))
+		spin := uint64(0)
+		if in.Spin {
+			spin = 1
+		}
+		w64(uint64(in.Rd) | uint64(in.Rs)<<8 | uint64(in.Rt)<<16 | spin<<24)
+		w64(uint64(in.Imm))
+		w64(uint64(int64(in.Target)))
+	}
+	w64(uint64(p.Shared.Size()))
+	w64(uint64(p.Local.Size()))
+	return h.Sum64()
+}
+
+// encodeState writes the simulation's mutable state (payload only; the
+// caller frames it).
+func (sim *m) encodeState(e *snap.Encoder) {
+	e.String(sim.prg.Name)
+	e.U64(programHash(sim.prg))
+	encodeConfig(e, sim.cfg)
+
+	e.I64(sim.now)
+	e.I64(sim.nowApprox)
+	e.Int(sim.live)
+	// A fresh machine has not allocated its wake vector yet; encode the
+	// implied all-zeros vector so restore is uniform.
+	if sim.wakes == nil {
+		e.I64s(make([]int64, len(sim.procs)))
+	} else {
+		e.I64s(sim.wakes)
+	}
+	e.I64s(sim.sh)
+
+	for pi := range sim.procs {
+		pr := &sim.procs[pi]
+		e.Int(pr.cur)
+		e.Int(pr.live)
+		e.Int(pr.resume)
+		e.I64(int64(pr.critLive))
+		e.I64(pr.busy)
+		e.I64(pr.spinBusy)
+		e.I64(pr.switchOverhead)
+		e.Bool(pr.cache != nil)
+		if pr.cache != nil {
+			encodeCache(e, pr.cache.Snapshot())
+		}
+		for ti := range pr.threads {
+			encodeThread(e, &pr.threads[ti])
+		}
+	}
+
+	// Coherence directory + dirty owners (cache models only).
+	e.Bool(sim.dir != nil)
+	if sim.dir != nil {
+		ds := sim.dir.Snapshot()
+		e.U32(uint32(len(ds.Lines)))
+		for i, line := range ds.Lines {
+			e.I64(line)
+			e.U32(uint32(len(ds.Sharers[i])))
+			for _, p := range ds.Sharers[i] {
+				e.I64(int64(p))
+			}
+		}
+		// dirtyOwner, sorted by line for encoding determinism (map
+		// iteration order must not leak into the bytes).
+		lines := make([]int64, 0, len(sim.dirtyOwner))
+		for line := range sim.dirtyOwner {
+			lines = append(lines, line)
+		}
+		sortI64s(lines)
+		e.U32(uint32(len(lines)))
+		for _, line := range lines {
+			e.I64(line)
+			e.I64(int64(sim.dirtyOwner[line]))
+		}
+	}
+
+	encodeResult(e, sim.res)
+
+	e.Bool(sim.congestion != nil)
+	if sim.congestion != nil {
+		cs := sim.congestion.Snapshot()
+		e.I64(cs.LastUpdate)
+		e.F64(cs.WindowBits)
+		e.F64(cs.Msgs)
+		e.F64(cs.PeakUtilization)
+	}
+	e.Bool(sim.faults != nil)
+	if sim.faults != nil {
+		fs := sim.faults.Snapshot()
+		e.U64(fs.Root)
+		e.U64(fs.Seq)
+		e.I64(fs.LastOverhead)
+		st := fs.Stats
+		for _, v := range [...]int64{st.Drops, st.Dups, st.Delays, st.Timeouts, st.Retries, st.BackoffCycles, st.HotAccesses, st.Exhausted} {
+			e.I64(v)
+		}
+	}
+	e.Bool(sim.mx != nil)
+	if sim.mx != nil {
+		ms := sim.mx.Snapshot()
+		encodeAccts := func(as []metrics.AcctState) {
+			e.U32(uint32(len(as)))
+			for i := range as {
+				e.I64(as[i].LastEnd)
+				e.I64(as[i].FaultDebt)
+				for _, v := range as[i].States {
+					e.I64(v)
+				}
+			}
+		}
+		encodeAccts(ms.Procs)
+		encodeAccts(ms.Threads)
+		e.Bool(ms.Hit)
+	}
+}
+
+// decodeState rebuilds a paused simulation from a payload.
+func decodeState(d *snap.Decoder, p *prog.Program) (*m, error) {
+	name := d.String()
+	hash := d.U64()
+	cfg := decodeConfig(d)
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if name != p.Name {
+		return nil, fmt.Errorf("%w: snapshot of program %q, restoring with %q", ErrSnapshotMismatch, name, p.Name)
+	}
+	if got := programHash(p); got != hash {
+		return nil, fmt.Errorf("%w: program %q content hash %016x, snapshot expects %016x", ErrSnapshotMismatch, p.Name, got, hash)
+	}
+	// newSim re-validates cfg and rebuilds every derived structure at
+	// cycle 0; the rest of this function overwrites the mutable state.
+	sim, err := newSim(cfg, p, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	if sim.cfg != cfg {
+		// The snapshot carries the effective config; re-defaulting must
+		// be the identity or the snapshot was hand-built.
+		return nil, fmt.Errorf("%w: snapshot config is not in effective (defaulted) form", ErrSnapshotMismatch)
+	}
+
+	sim.now = d.I64()
+	sim.nowApprox = d.I64()
+	sim.live = d.Int()
+	wakes := d.I64s()
+	sh := d.I64s()
+	if d.Err() == nil {
+		if len(wakes) != len(sim.procs) {
+			return nil, fmt.Errorf("%w: wake vector for %d procs, machine has %d", ErrSnapshotMismatch, len(wakes), len(sim.procs))
+		}
+		if len(sh) != len(sim.sh) && !(len(sh) == 0 && len(sim.sh) == 0) {
+			return nil, fmt.Errorf("%w: shared memory of %d cells, program needs %d", ErrSnapshotMismatch, len(sh), len(sim.sh))
+		}
+		sim.wakes = make([]int64, len(sim.procs))
+		copy(sim.wakes, wakes)
+		copy(sim.sh, sh)
+	}
+
+	for pi := range sim.procs {
+		pr := &sim.procs[pi]
+		pr.cur = d.Int()
+		pr.live = d.Int()
+		pr.resume = d.Int()
+		pr.critLive = int32(d.I64())
+		pr.busy = d.I64()
+		pr.spinBusy = d.I64()
+		pr.switchOverhead = d.I64()
+		hasCache := d.Bool()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if hasCache != (pr.cache != nil) {
+			return nil, fmt.Errorf("%w: proc %d cache presence differs from model %s", ErrSnapshotMismatch, pi, cfg.Model)
+		}
+		if hasCache {
+			if err := pr.cache.Restore(decodeCache(d)); err != nil {
+				return nil, err
+			}
+		}
+		for ti := range pr.threads {
+			if err := decodeThread(d, &pr.threads[ti], sim); err != nil {
+				return nil, err
+			}
+		}
+		if pr.cur < 0 || pr.cur >= len(pr.threads) || pr.resume < -1 || pr.resume >= len(pr.threads) {
+			return nil, fmt.Errorf("%w: proc %d scheduler indices out of range", ErrSnapshotMismatch, pi)
+		}
+	}
+
+	hasDir := d.Bool()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if hasDir != (sim.dir != nil) {
+		return nil, fmt.Errorf("%w: directory presence differs from model %s", ErrSnapshotMismatch, cfg.Model)
+	}
+	if hasDir {
+		nlines := int(d.U32())
+		ds := cache.DirectoryState{Lines: make([]int64, 0, nlines), Sharers: make([][]int32, 0, nlines)}
+		for i := 0; i < nlines && d.Err() == nil; i++ {
+			ds.Lines = append(ds.Lines, d.I64())
+			ns := int(d.U32())
+			sharers := make([]int32, 0, ns)
+			for j := 0; j < ns && d.Err() == nil; j++ {
+				v := d.I64()
+				if v < 0 || v >= int64(len(sim.procs)) {
+					return nil, fmt.Errorf("%w: directory sharer %d out of range", ErrSnapshotMismatch, v)
+				}
+				sharers = append(sharers, int32(v))
+			}
+			ds.Sharers = append(ds.Sharers, sharers)
+		}
+		if d.Err() == nil {
+			dir, err := cache.RestoreDirectory(ds)
+			if err != nil {
+				return nil, err
+			}
+			sim.dir = dir
+		}
+		nown := int(d.U32())
+		for i := 0; i < nown && d.Err() == nil; i++ {
+			line := d.I64()
+			owner := d.I64()
+			if owner < 0 || owner >= int64(len(sim.procs)) {
+				return nil, fmt.Errorf("%w: dirty owner %d out of range", ErrSnapshotMismatch, owner)
+			}
+			sim.dirtyOwner[line] = int32(owner)
+		}
+	}
+
+	decodeResult(d, sim.res)
+
+	if d.Bool() {
+		if sim.congestion == nil {
+			return nil, fmt.Errorf("%w: snapshot has congestion state but config disables it", ErrSnapshotMismatch)
+		}
+		sim.congestion.Restore(net.CongestionState{
+			LastUpdate: d.I64(), WindowBits: d.F64(), Msgs: d.F64(), PeakUtilization: d.F64(),
+		})
+	} else if sim.congestion != nil {
+		return nil, fmt.Errorf("%w: config enables congestion but snapshot lacks its state", ErrSnapshotMismatch)
+	}
+	if d.Bool() {
+		if sim.faults == nil {
+			return nil, fmt.Errorf("%w: snapshot has fault-plan state but config disables it", ErrSnapshotMismatch)
+		}
+		fs := net.FaultPlanState{Root: d.U64(), Seq: d.U64(), LastOverhead: d.I64()}
+		st := &fs.Stats
+		for _, f := range [...]*int64{&st.Drops, &st.Dups, &st.Delays, &st.Timeouts, &st.Retries, &st.BackoffCycles, &st.HotAccesses, &st.Exhausted} {
+			*f = d.I64()
+		}
+		if d.Err() == nil {
+			if err := sim.faults.Restore(fs); err != nil {
+				return nil, err
+			}
+		}
+	} else if sim.faults != nil {
+		return nil, fmt.Errorf("%w: config enables fault injection but snapshot lacks its state", ErrSnapshotMismatch)
+	}
+	if d.Bool() {
+		if sim.mx == nil {
+			return nil, fmt.Errorf("%w: snapshot has metrics state but config disables collection", ErrSnapshotMismatch)
+		}
+		decodeAccts := func() []metrics.AcctState {
+			n := int(d.U32())
+			as := make([]metrics.AcctState, 0, n)
+			for i := 0; i < n && d.Err() == nil; i++ {
+				a := metrics.AcctState{LastEnd: d.I64(), FaultDebt: d.I64()}
+				for s := range a.States {
+					a.States[s] = d.I64()
+				}
+				as = append(as, a)
+			}
+			return as
+		}
+		ms := metrics.CollectorState{Procs: decodeAccts(), Threads: decodeAccts()}
+		ms.Hit = d.Bool()
+		if d.Err() == nil {
+			mx, err := metrics.RestoreCollector(cfg.Procs, cfg.Threads, ms)
+			if err != nil {
+				return nil, err
+			}
+			sim.mx = mx
+		}
+	} else if sim.mx != nil {
+		return nil, fmt.Errorf("%w: config enables metrics but snapshot lacks collector state", ErrSnapshotMismatch)
+	}
+
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	// Cross-field sanity: the live counters must be consistent.
+	liveSum := 0
+	for pi := range sim.procs {
+		liveSum += sim.procs[pi].live
+	}
+	if liveSum != sim.live || sim.live < 0 || sim.live > cfg.Procs*cfg.Threads {
+		return nil, fmt.Errorf("%w: live-thread counters inconsistent (%d vs %d)", ErrSnapshotMismatch, liveSum, sim.live)
+	}
+	if sim.now < 0 || sim.now > cfg.MaxCycles {
+		return nil, fmt.Errorf("%w: clock %d outside [0, MaxCycles]", ErrSnapshotMismatch, sim.now)
+	}
+	return sim, nil
+}
+
+func encodeThread(e *snap.Encoder, t *thread) {
+	e.I64(int64(t.pc))
+	e.Bool(t.halted)
+	for _, r := range t.regs {
+		e.I64(r)
+	}
+	for _, r := range t.fregs {
+		e.F64(r)
+	}
+	e.I64(t.wake)
+	for _, r := range t.regReady {
+		e.I64(r)
+	}
+	for _, r := range t.fregReady {
+		e.I64(r)
+	}
+	e.I64(t.maxReady)
+	e.I64(t.runLen)
+	e.I64(t.sinceSwitch)
+	e.I64(int64(t.crit))
+	e.I64s(t.local)
+	e.Bool(t.window != nil)
+	if t.window != nil {
+		ws := t.window.Snapshot()
+		e.I64(ws.Line)
+		e.I64(ws.ReadyAt)
+		e.Bool(ws.Valid)
+		e.I64(ws.Hits)
+		e.I64(ws.Misses)
+	}
+}
+
+func decodeThread(d *snap.Decoder, t *thread, sim *m) error {
+	pc := d.I64()
+	t.halted = d.Bool()
+	for i := range t.regs {
+		t.regs[i] = d.I64()
+	}
+	for i := range t.fregs {
+		t.fregs[i] = d.F64()
+	}
+	t.wake = d.I64()
+	for i := range t.regReady {
+		t.regReady[i] = d.I64()
+	}
+	for i := range t.fregReady {
+		t.fregReady[i] = d.I64()
+	}
+	t.maxReady = d.I64()
+	t.runLen = d.I64()
+	t.sinceSwitch = d.I64()
+	t.crit = int32(d.I64())
+	local := d.I64s()
+	hasWindow := d.Bool()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if pc < 0 || pc >= int64(len(sim.instrs)) {
+		return fmt.Errorf("%w: thread pc %d outside program of %d instructions", ErrSnapshotMismatch, pc, len(sim.instrs))
+	}
+	t.pc = int32(pc)
+	if len(local) != len(t.local) && !(len(local) == 0 && len(t.local) == 0) {
+		return fmt.Errorf("%w: thread local memory of %d words, program needs %d", ErrSnapshotMismatch, len(local), len(t.local))
+	}
+	copy(t.local, local)
+	if hasWindow != (t.window != nil) {
+		return fmt.Errorf("%w: grouping-window presence differs from config", ErrSnapshotMismatch)
+	}
+	if hasWindow {
+		ws := cache.WindowState{Line: d.I64(), ReadyAt: d.I64(), Valid: d.Bool(), Hits: d.I64(), Misses: d.I64()}
+		if d.Err() == nil {
+			t.window.Restore(ws)
+		}
+	}
+	return d.Err()
+}
+
+func encodeCache(e *snap.Encoder, st cache.CacheState) {
+	e.I64s(st.Tags)
+	e.Bools(st.Valid)
+	e.Bools(st.Dirty)
+	e.I64s(st.Age)
+	e.I64(st.AgeTick)
+	e.I64(st.Hits)
+	e.I64(st.Misses)
+	e.I64(st.Evictions)
+	e.I64(st.Invals)
+}
+
+func decodeCache(d *snap.Decoder) cache.CacheState {
+	return cache.CacheState{
+		Tags: d.I64s(), Valid: d.Bools(), Dirty: d.Bools(), Age: d.I64s(),
+		AgeTick: d.I64(), Hits: d.I64(), Misses: d.I64(),
+		Evictions: d.I64(), Invals: d.I64(),
+	}
+}
+
+// encodeResult writes the incrementally-updated Result counters. The
+// fields finish() derives (Cycles, Busy, Idle, cache/window/net
+// aggregates, ProcBusy, Metrics) are not part of the mid-run state.
+func encodeResult(e *snap.Encoder, r *Result) {
+	e.I64(r.Instrs)
+	e.I64(r.SharedLoads)
+	e.I64(r.SharedStores)
+	e.I64(r.TakenSwitches)
+	e.I64(r.SkippedSwitches)
+	e.I64(r.ForcedSwitches)
+	e.I64(r.PreemptSwitches)
+	e.I64(r.SpinProbes)
+	e.I64(r.CritPreempts)
+	e.I64(r.ImplicitWaits)
+	for _, b := range r.RunLengths.Buckets {
+		e.I64(b)
+	}
+	e.I64(r.RunLengths.N)
+	e.I64(r.RunLengths.Sum)
+	e.I64(r.RunLengths.Min)
+	e.I64(r.RunLengths.Max)
+	ts := r.Traffic.Snapshot()
+	for i := 0; i < net.NumMsgTypes; i++ {
+		e.I64(ts.Count[i])
+		e.I64(ts.Bits[i])
+	}
+	e.I64(ts.SpinCount)
+	e.I64(ts.SpinBits)
+}
+
+func decodeResult(d *snap.Decoder, r *Result) {
+	r.Instrs = d.I64()
+	r.SharedLoads = d.I64()
+	r.SharedStores = d.I64()
+	r.TakenSwitches = d.I64()
+	r.SkippedSwitches = d.I64()
+	r.ForcedSwitches = d.I64()
+	r.PreemptSwitches = d.I64()
+	r.SpinProbes = d.I64()
+	r.CritPreempts = d.I64()
+	r.ImplicitWaits = d.I64()
+	for i := range r.RunLengths.Buckets {
+		r.RunLengths.Buckets[i] = d.I64()
+	}
+	r.RunLengths.N = d.I64()
+	r.RunLengths.Sum = d.I64()
+	r.RunLengths.Min = d.I64()
+	r.RunLengths.Max = d.I64()
+	var ts net.TrafficState
+	for i := 0; i < net.NumMsgTypes; i++ {
+		ts.Count[i] = d.I64()
+		ts.Bits[i] = d.I64()
+	}
+	ts.SpinCount = d.I64()
+	ts.SpinBits = d.I64()
+	r.Traffic.Restore(ts)
+}
+
+// encodeConfig writes every Config field in declaration order. The
+// snapshot carries the *effective* (defaulted) configuration, so
+// restore-side defaulting is the identity.
+func encodeConfig(e *snap.Encoder, cfg Config) {
+	e.Int(cfg.Procs)
+	e.Int(cfg.Threads)
+	e.Int(int(cfg.Model))
+	e.Int(cfg.Latency)
+	e.Int(cfg.SwitchCost)
+	e.Int(cfg.Cache.Lines)
+	e.Int(cfg.Cache.LineCells)
+	e.Int(cfg.Cache.Assoc)
+	e.Int(cfg.RunLimit)
+	e.Int(cfg.PreemptLimit)
+	e.Bool(cfg.CritPriority)
+	e.Int(cfg.LatencyJitter)
+	e.Bool(cfg.Congestion.Enabled)
+	e.Int(cfg.Congestion.Stages)
+	e.Int(cfg.Congestion.HopCycles)
+	e.Int(cfg.Congestion.ChannelBits)
+	e.Int(cfg.Congestion.MemCycles)
+	e.Int(cfg.Congestion.Window)
+	e.Bool(cfg.Faults.Enabled)
+	e.U64(cfg.Faults.Seed)
+	e.Int(int(cfg.Faults.Dist))
+	e.Int(cfg.Faults.Spread)
+	e.F64(cfg.Faults.HotRate)
+	e.Int(cfg.Faults.HotFactor)
+	e.F64(cfg.Faults.DropRate)
+	e.F64(cfg.Faults.DupRate)
+	e.F64(cfg.Faults.DelayRate)
+	e.Int(cfg.Faults.DelayCycles)
+	e.Int(cfg.Faults.TimeoutCycles)
+	e.Int(cfg.Faults.MaxRetries)
+	e.Int(cfg.Faults.BackoffBase)
+	e.Int(cfg.Faults.BackoffMax)
+	e.Bool(cfg.GroupWindow)
+	e.Int(cfg.WindowCells)
+	e.I64(cfg.MaxCycles)
+	e.Bool(cfg.CollectRunLengths)
+	e.Bool(cfg.CollectMetrics)
+	e.Bool(cfg.CheckInvariants)
+}
+
+func decodeConfig(d *snap.Decoder) Config {
+	var cfg Config
+	cfg.Procs = d.Int()
+	cfg.Threads = d.Int()
+	cfg.Model = Model(d.Int())
+	cfg.Latency = d.Int()
+	cfg.SwitchCost = d.Int()
+	cfg.Cache.Lines = d.Int()
+	cfg.Cache.LineCells = d.Int()
+	cfg.Cache.Assoc = d.Int()
+	cfg.RunLimit = d.Int()
+	cfg.PreemptLimit = d.Int()
+	cfg.CritPriority = d.Bool()
+	cfg.LatencyJitter = d.Int()
+	cfg.Congestion.Enabled = d.Bool()
+	cfg.Congestion.Stages = d.Int()
+	cfg.Congestion.HopCycles = d.Int()
+	cfg.Congestion.ChannelBits = d.Int()
+	cfg.Congestion.MemCycles = d.Int()
+	cfg.Congestion.Window = d.Int()
+	cfg.Faults.Enabled = d.Bool()
+	cfg.Faults.Seed = d.U64()
+	cfg.Faults.Dist = net.DelayDist(d.Int())
+	cfg.Faults.Spread = d.Int()
+	cfg.Faults.HotRate = d.F64()
+	cfg.Faults.HotFactor = d.Int()
+	cfg.Faults.DropRate = d.F64()
+	cfg.Faults.DupRate = d.F64()
+	cfg.Faults.DelayRate = d.F64()
+	cfg.Faults.DelayCycles = d.Int()
+	cfg.Faults.TimeoutCycles = d.Int()
+	cfg.Faults.MaxRetries = d.Int()
+	cfg.Faults.BackoffBase = d.Int()
+	cfg.Faults.BackoffMax = d.Int()
+	cfg.GroupWindow = d.Bool()
+	cfg.WindowCells = d.Int()
+	cfg.MaxCycles = d.I64()
+	cfg.CollectRunLengths = d.Bool()
+	cfg.CollectMetrics = d.Bool()
+	cfg.CheckInvariants = d.Bool()
+	return cfg
+}
+
+// sortI64s is an insertion sort for the (small) dirty-owner key set,
+// keeping the encoder free of a sort dependency on the hot path types.
+func sortI64s(v []int64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

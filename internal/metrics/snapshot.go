@@ -1,0 +1,65 @@
+package metrics
+
+import "fmt"
+
+// This file exports the Collector's mid-run state for the checkpoint
+// layer. A paused-and-resumed run must produce a RunMetrics record
+// byte-identical to an uninterrupted one, so the state carries every
+// timeline exactly: the open end of each accounted span, the pending
+// fault-recovery debt, and the six state counters.
+
+// AcctState is the serializable state of one accounted timeline.
+type AcctState struct {
+	LastEnd   int64
+	FaultDebt int64
+	States    [NumStates]int64
+}
+
+// CollectorState is the serializable state of a Collector. Threads is
+// proc-major, matching the collector's internal layout. Hit is the
+// between-BeginExec-and-EndExec cache-hit mark; the machine only pauses
+// at instruction boundaries, where it is always false, but it is
+// carried so the state is complete by construction.
+type CollectorState struct {
+	Procs   []AcctState
+	Threads []AcctState
+	Hit     bool
+}
+
+// Snapshot captures the collector's state.
+func (c *Collector) Snapshot() CollectorState {
+	st := CollectorState{
+		Procs:   make([]AcctState, len(c.procs)),
+		Threads: make([]AcctState, len(c.threads)),
+		Hit:     c.hit,
+	}
+	for i := range c.procs {
+		a := &c.procs[i]
+		st.Procs[i] = AcctState{LastEnd: a.lastEnd, FaultDebt: a.faultDebt, States: a.states}
+	}
+	for i := range c.threads {
+		a := &c.threads[i]
+		st.Threads[i] = AcctState{LastEnd: a.lastEnd, FaultDebt: a.faultDebt, States: a.states}
+	}
+	return st
+}
+
+// RestoreCollector rebuilds a collector for procs processors of
+// nthreads thread contexts each from a snapshot of the same shape.
+func RestoreCollector(procs, nthreads int, st CollectorState) (*Collector, error) {
+	if len(st.Procs) != procs || len(st.Threads) != procs*nthreads {
+		return nil, fmt.Errorf("metrics: snapshot shape %dx%d does not match %d procs x %d threads",
+			len(st.Procs), len(st.Threads), procs, nthreads)
+	}
+	c := NewCollector(procs, nthreads)
+	for i := range c.procs {
+		s := &st.Procs[i]
+		c.procs[i] = acct{lastEnd: s.LastEnd, faultDebt: s.FaultDebt, states: s.States}
+	}
+	for i := range c.threads {
+		s := &st.Threads[i]
+		c.threads[i] = acct{lastEnd: s.LastEnd, faultDebt: s.FaultDebt, states: s.States}
+	}
+	c.hit = st.Hit
+	return c, nil
+}

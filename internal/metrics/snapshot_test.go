@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// drive runs a deterministic mixed workload against a collector.
+func drive(c *Collector, from, to int64) {
+	for now := from; now < to; now += 10 {
+		p := int(now/10) % 2
+		tt := int(now/20) % 2
+		c.BeginExec(p, tt, now, now-3)
+		if now%30 == 0 {
+			c.MarkHit()
+		}
+		if now%50 == 0 {
+			c.AddFaultDebt(p, tt, 4)
+		}
+		c.EndExec(p, tt, now, 1, 2)
+	}
+}
+
+func TestCollectorSnapshotRestoreByteIdentity(t *testing.T) {
+	// Uninterrupted run.
+	full := NewCollector(2, 2)
+	drive(full, 0, 1000)
+	want := full.Finish(1100)
+
+	// Same workload, paused at the midpoint via snapshot/restore.
+	first := NewCollector(2, 2)
+	drive(first, 0, 500)
+	resumed, err := RestoreCollector(2, 2, first.Snapshot())
+	if err != nil {
+		t.Fatalf("RestoreCollector: %v", err)
+	}
+	drive(resumed, 500, 1000)
+	got := resumed.Finish(1100)
+
+	wj, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gj, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(wj) != string(gj) {
+		t.Fatalf("resumed metrics differ from uninterrupted:\nwant %s\ngot  %s", wj, gj)
+	}
+}
+
+func TestCollectorSnapshotRoundTrip(t *testing.T) {
+	c := NewCollector(3, 4)
+	drive(c, 0, 700)
+	st := c.Snapshot()
+	r, err := RestoreCollector(3, 4, st)
+	if err != nil {
+		t.Fatalf("RestoreCollector: %v", err)
+	}
+	if !reflect.DeepEqual(st, r.Snapshot()) {
+		t.Fatal("snapshot -> restore -> snapshot is not the identity")
+	}
+}
+
+func TestRestoreCollectorShapeMismatch(t *testing.T) {
+	c := NewCollector(2, 2)
+	st := c.Snapshot()
+	if _, err := RestoreCollector(3, 2, st); err == nil {
+		t.Error("wrong proc count accepted")
+	}
+	if _, err := RestoreCollector(2, 3, st); err == nil {
+		t.Error("wrong thread count accepted")
+	}
+}

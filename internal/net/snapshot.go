@@ -1,0 +1,99 @@
+package net
+
+import (
+	"fmt"
+
+	"mtsim/internal/rng"
+)
+
+// This file exports the package's mutable run state for the checkpoint
+// layer. Each runtime (Traffic, Congestion, FaultPlan) gets a plain
+// state struct that captures exactly the fields its behavior depends
+// on; configuration is rebuilt by the restoring side and is not part of
+// the state. Floats are carried as float64 values and must be encoded
+// bit-exactly (snap.Encoder.F64) — the congestion model's decayed
+// window is extremely sensitive to rounding.
+
+// TrafficState is the serializable state of a Traffic accumulator
+// (Count is exported on Traffic itself, but bits is not — the state
+// struct carries both so a restore is a single assignment).
+type TrafficState struct {
+	Count [NumMsgTypes]int64
+	Bits  [NumMsgTypes]int64
+
+	SpinCount int64
+	SpinBits  int64
+}
+
+// Snapshot captures the accumulator.
+func (tr *Traffic) Snapshot() TrafficState {
+	return TrafficState{Count: tr.Count, Bits: tr.bits, SpinCount: tr.SpinCount, SpinBits: tr.SpinBits}
+}
+
+// Restore overwrites the accumulator.
+func (tr *Traffic) Restore(st TrafficState) {
+	tr.Count = st.Count
+	tr.bits = st.Bits
+	tr.SpinCount = st.SpinCount
+	tr.SpinBits = st.SpinBits
+}
+
+// CongestionState is the serializable state of a Congestion runtime.
+// WindowBits and Msgs are the exponentially-decayed averages; restoring
+// them bit-exactly (together with LastUpdate) reproduces every future
+// latency sample exactly.
+type CongestionState struct {
+	LastUpdate      int64
+	WindowBits      float64
+	Msgs            float64
+	PeakUtilization float64
+}
+
+// Snapshot captures the runtime state.
+func (g *Congestion) Snapshot() CongestionState {
+	return CongestionState{
+		LastUpdate:      g.lastUpdate,
+		WindowBits:      g.windowBits,
+		Msgs:            g.msgs,
+		PeakUtilization: g.PeakUtilization,
+	}
+}
+
+// Restore overwrites the runtime state.
+func (g *Congestion) Restore(st CongestionState) {
+	g.lastUpdate = st.LastUpdate
+	g.windowBits = st.WindowBits
+	g.msgs = st.Msgs
+	g.PeakUtilization = st.PeakUtilization
+}
+
+// FaultPlanState is the serializable state of a FaultPlan. Because Fork
+// derives each access's substream from the root's state *without
+// advancing it* (see rng.Fork), the root state plus the sequence
+// counter pin every future delivery decision; no per-substream position
+// needs saving.
+type FaultPlanState struct {
+	Root         uint64
+	Seq          uint64
+	LastOverhead int64
+	Stats        FaultStats
+}
+
+// Snapshot captures the plan's run state.
+func (f *FaultPlan) Snapshot() FaultPlanState {
+	return FaultPlanState{Root: f.root.State(), Seq: f.seq, LastOverhead: f.lastOverhead, Stats: f.Stats}
+}
+
+// Restore overwrites the plan's run state. The root state of a live
+// generator is never zero; a zero means a corrupt or hand-built
+// snapshot.
+func (f *FaultPlan) Restore(st FaultPlanState) error {
+	if st.Root == 0 {
+		return fmt.Errorf("net: fault-plan snapshot has zero rng state")
+	}
+	f.root = rng.FromState(st.Root)
+	f.seq = st.Seq
+	f.lastOverhead = st.LastOverhead
+	f.Stats = st.Stats
+	return nil
+}

@@ -1,0 +1,87 @@
+package net
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTrafficSnapshotRestore(t *testing.T) {
+	var a Traffic
+	a.Add(ReadReq, 0)
+	a.Add(ReadReply, WordBits)
+	a.Add(WriteBack, DoubleBits)
+	a.AddSpin(FaaReq, WordBits)
+
+	var b Traffic
+	b.Restore(a.Snapshot())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("restored traffic differs: %+v vs %+v", a, b)
+	}
+	// Totals (which read the unexported bits array) must agree too.
+	if a.Bits() != b.Bits() || a.Messages() != b.Messages() {
+		t.Fatal("derived totals differ after restore")
+	}
+}
+
+func TestCongestionSnapshotRestore(t *testing.T) {
+	cfg := CongestionConfig{Enabled: true, Window: 128}
+	a := NewCongestion(cfg, 16)
+	for i := int64(0); i < 500; i += 7 {
+		a.Add(i, 64+i%5)
+		a.Latency(i + 3)
+	}
+
+	b := NewCongestion(cfg, 16)
+	b.Restore(a.Snapshot())
+
+	// Identical state must yield bit-identical future samples: the
+	// decayed floats are restored via their exact values.
+	for i := int64(500); i < 900; i += 11 {
+		a.Add(i, 96)
+		b.Add(i, 96)
+		if la, lb := a.Latency(i+5), b.Latency(i+5); la != lb {
+			t.Fatalf("latency diverged at %d: %d vs %d", i, la, lb)
+		}
+	}
+	if a.PeakUtilization != b.PeakUtilization {
+		t.Fatal("peak utilization diverged")
+	}
+}
+
+func TestFaultPlanSnapshotRestore(t *testing.T) {
+	cfg := FaultConfig{
+		Enabled: true, Seed: 42, Dist: DistUniform, Spread: 30,
+		DropRate: 0.2, DupRate: 0.1, DelayRate: 0.15,
+	}
+	a := NewFaultPlan(cfg, 200)
+	for i := int64(0); i < 300; i++ {
+		a.Deliver(i*10, 200)
+	}
+
+	st := a.Snapshot()
+	b := NewFaultPlan(cfg, 200)
+	if err := b.Restore(st); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+
+	// Every future delivery — outcome, overhead, stats — must match.
+	for i := int64(300); i < 600; i++ {
+		ra, rb := a.Deliver(i*10, 200), b.Deliver(i*10, 200)
+		if ra != rb {
+			t.Fatalf("delivery %d diverged: %d vs %d", i, ra, rb)
+		}
+		if a.LastOverhead() != b.LastOverhead() {
+			t.Fatalf("overhead diverged at %d", i)
+		}
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats, b.Stats)
+	}
+}
+
+func TestFaultPlanRestoreRejectsZeroState(t *testing.T) {
+	p := NewFaultPlan(FaultConfig{Enabled: true, Seed: 1}, 100)
+	if err := p.Restore(FaultPlanState{Root: 0}); err == nil {
+		t.Fatal("zero rng state accepted")
+	}
+}

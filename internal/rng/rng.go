@@ -44,6 +44,17 @@ func (r *R) Fork(tag uint64) *R {
 	return New(h)
 }
 
+// State returns the generator's raw internal state, for checkpointing.
+// FromState(r.State()) resumes the stream at exactly this position —
+// unlike New, which treats its argument as a seed to be remapped.
+func (r *R) State() uint64 { return r.s }
+
+// FromState rebuilds a generator at the exact stream position captured
+// by State. A zero state (never produced by a live generator, whose
+// xorshift orbit excludes zero) is remapped the same way New remaps a
+// zero seed, so FromState is total.
+func FromState(s uint64) *R { return New(s) }
+
 // Intn returns a value in [0, n). n must be positive.
 func (r *R) Intn(n int64) int64 {
 	if n <= 0 {

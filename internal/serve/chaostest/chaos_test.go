@@ -1,0 +1,229 @@
+package chaostest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// chaosBatchBody keeps the daemon busy long enough to be killed
+// mid-run: sieve at quick scale is >1.3M cycles, so with small
+// -checkpoint-every the job crosses many checkpoints.
+const chaosBatchBody = `{
+  "scale": "quick",
+  "jobs": [
+    {"app": "sieve", "config": {"procs": 4, "threads": 2, "model": "switch-on-use"}},
+    {"app": "sor", "config": {"procs": 4, "threads": 2, "model": "switch-on-use"}}
+  ]
+}`
+
+const idempotencyKey = "chaos-kill9"
+
+// buildDaemon compiles cmd/mtsimd into dir and returns the binary path.
+func buildDaemon(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "mtsimd")
+	cmd := exec.Command("go", "build", "-o", bin, "mtsim/cmd/mtsimd")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build mtsimd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// freeAddr reserves a loopback port and releases it for the daemon.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// startDaemon launches mtsimd with journaling and waits until /v1/healthz
+// answers.
+func startDaemon(t *testing.T, bin, addr, journal string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-addr", addr,
+		"-journal", journal,
+		"-checkpoint-every", "20000",
+		"-drain", "5s")
+	cmd.Stdout, cmd.Stderr = io.Discard, io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start mtsimd: %v", err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	_ = cmd.Process.Kill()
+	t.Fatalf("mtsimd on %s never became healthy", addr)
+	return nil
+}
+
+// submit posts the chaos batch with the idempotency key; resubmitting
+// after every restart is the point of the key, so connection-level
+// failures (daemon mid-death) are retried by the caller.
+func submit(addr string) (string, error) {
+	req, err := http.NewRequest("POST", "http://"+addr+"/v1/batch", strings.NewReader(chaosBatchBody))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", idempotencyKey)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return "", fmt.Errorf("submit: status %d: %s", resp.StatusCode, body)
+	}
+	var ack struct {
+		JobID string `json:"job_id"`
+	}
+	if err := json.Unmarshal(body, &ack); err != nil {
+		return "", err
+	}
+	return ack.JobID, nil
+}
+
+// pollOnce fetches the job once: (bytes, true) when done.
+func pollOnce(addr, id string) ([]byte, bool, error) {
+	resp, err := http.Get("http://" + addr + "/v1/batch/jobs/" + id)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return body, true, nil
+	case http.StatusAccepted:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("poll: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// pollDone polls until the job finishes.
+func pollDone(t *testing.T, addr, id string) []byte {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		body, done, err := pollOnce(addr, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			return body
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return nil
+}
+
+// TestSIGKILLRecoveryByteIdentity is the headline chaos test: SIGKILL
+// the daemon at seeded-random points while it works a journaled batch,
+// restart it over the same journal each time, and require the final
+// response to be byte-identical to a never-killed daemon's.
+func TestSIGKILLRecoveryByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and repeatedly kills the real daemon; skipped in -short")
+	}
+	dir := t.TempDir()
+	bin := buildDaemon(t, dir)
+
+	// Crash-free reference run.
+	refAddr := freeAddr(t)
+	ref := startDaemon(t, bin, refAddr, filepath.Join(dir, "ref.wal"))
+	id, err := submit(refAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pollDone(t, refAddr, id)
+	_ = ref.Process.Signal(syscall.SIGTERM)
+	_ = ref.Wait()
+
+	// Chaos run: up to maxKills SIGKILLs at randomized delays. The seed
+	// is fixed so a failure replays the same kill schedule.
+	const maxKills = 4
+	rng := rand.New(rand.NewSource(0xC4A05))
+	journal := filepath.Join(dir, "chaos.wal")
+	var got []byte
+	kills := 0
+	for {
+		addr := freeAddr(t)
+		daemon := startDaemon(t, bin, addr, journal)
+		if _, err := submit(addr); err != nil {
+			// The submit itself is idempotent; a replayed journal may
+			// even answer while the resubmit races the dispatcher.
+			t.Fatal(err)
+		}
+		if kills >= maxKills {
+			got = pollDone(t, addr, id)
+			_ = daemon.Process.Signal(syscall.SIGTERM)
+			_ = daemon.Wait()
+			break
+		}
+		// Let the run get somewhere, then pull the plug with no drain.
+		time.Sleep(time.Duration(10+rng.Intn(80)) * time.Millisecond)
+		if body, done, err := pollOnce(addr, id); err == nil && done {
+			// Finished before this round's kill: recovery already
+			// proved itself on earlier rounds (or there was nothing to
+			// crash); take the answer.
+			got = body
+			_ = daemon.Process.Kill()
+			_ = daemon.Wait()
+			break
+		}
+		if err := daemon.Process.Kill(); err != nil {
+			t.Fatal(err)
+		}
+		_ = daemon.Wait()
+		kills++
+	}
+	t.Logf("survived %d SIGKILLs (journal %d bytes)", kills, fileSize(t, journal))
+
+	if string(got) != string(want) {
+		t.Errorf("response after %d kills differs from crash-free run:\n--- crash-free ---\n%s\n--- recovered ---\n%s",
+			kills, want, got)
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}

@@ -1,0 +1,9 @@
+// Package chaostest is the crash-tolerance proving ground for mtsimd's
+// job journal: it builds the real daemon binary, submits journaled
+// batch jobs, kills the process with SIGKILL at randomized points
+// mid-run, restarts it over the same journal, and asserts the final
+// response is byte-identical to a run that was never interrupted.
+// Everything the journal promises — fsync-before-ack, torn-tail
+// truncation, checkpoint resume — is exercised here against the actual
+// binary rather than in-process fakes.
+package chaostest

@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -102,11 +104,16 @@ type RunResponse struct {
 }
 
 // BatchRequest is the /v1/batch body: a job list over one scale.
+// IdempotencyKey (or the Idempotency-Key header, which wins) switches a
+// journaling server to the async path: the request is journaled, acked
+// with 202 {job_id}, and survives crashes; resubmitting the same key is
+// a no-op that returns the same job.
 type BatchRequest struct {
-	Scale     string     `json:"scale,omitempty"`
-	Jobs      []BatchJob `json:"jobs"`
-	Metrics   bool       `json:"metrics,omitempty"`
-	TimeoutMS int64      `json:"timeout_ms,omitempty"`
+	Scale          string     `json:"scale,omitempty"`
+	Jobs           []BatchJob `json:"jobs"`
+	Metrics        bool       `json:"metrics,omitempty"`
+	TimeoutMS      int64      `json:"timeout_ms,omitempty"`
+	IdempotencyKey string     `json:"idempotency_key,omitempty"`
 }
 
 // BatchJob is one (application, configuration) pair.
@@ -142,13 +149,22 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// encodeJSON renders v exactly as writeJSON sends it. The journal's
+// done records store these bytes, so a replayed job's response is
+// byte-identical to a live one.
+func encodeJSON(v any) []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+	return buf.Bytes()
+}
+
 // writeJSON emits v with the indentation the golden files use.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_, _ = w.Write(encodeJSON(v))
 }
 
 // httpError maps an error to a status + JSON body. Cancellation maps to
@@ -167,9 +183,11 @@ func (s *Server) httpError(w http.ResponseWriter, err error, fallback int) {
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
-// rejectFull is the 429 + Retry-After admission rejection.
+// rejectFull is the 429 + Retry-After admission rejection. The hint is
+// jittered around cfg.RetryAfter so a herd of rejected clients does not
+// come back in lockstep (see RetryDelay for the client-side half).
 func (s *Server) rejectFull(w http.ResponseWriter) {
-	w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter/time.Second)))
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
 	writeJSON(w, http.StatusTooManyRequests,
 		errorResponse{Error: fmt.Sprintf("job queue full (%d running, %d queued); retry later",
 			s.gate.Inflight(), s.gate.Queued())})
@@ -273,69 +291,50 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleBatch runs a job list through the session's worker pool under
-// one admission slot and the request deadline, returning job-aligned
-// partial results.
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	var req BatchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
-		return
-	}
+// parseBatch validates a batch body and resolves its jobs, with the
+// job index in every error. The sync handler and the async dispatcher
+// share it so the two paths accept exactly the same requests.
+func (s *Server) parseBatch(req *BatchRequest) (app.Scale, []core.Job, error) {
 	if len(req.Jobs) == 0 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "batch needs at least one job"})
-		return
+		return 0, nil, errors.New("batch needs at least one job")
 	}
 	if len(req.Jobs) > s.cfg.MaxBatchJobs {
-		writeJSON(w, http.StatusBadRequest, errorResponse{
-			Error: fmt.Sprintf("batch of %d jobs exceeds the %d-job limit", len(req.Jobs), s.cfg.MaxBatchJobs)})
-		return
+		return 0, nil, fmt.Errorf("batch of %d jobs exceeds the %d-job limit", len(req.Jobs), s.cfg.MaxBatchJobs)
 	}
 	scale, err := decodeScale(req.Scale)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-		return
+		return 0, nil, err
 	}
 	jobs := make([]core.Job, len(req.Jobs))
 	for i := range req.Jobs {
 		cfg, err := req.Jobs[i].Config.ToMachine()
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("job %d: %v", i, err)})
-			return
+			return 0, nil, fmt.Errorf("job %d: %v", i, err)
 		}
 		a, err := apps.New(req.Jobs[i].App, scale)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("job %d: %v", i, err)})
-			return
+			return 0, nil, fmt.Errorf("job %d: %v", i, err)
 		}
 		jobs[i] = core.Job{App: a, Cfg: cfg}
 	}
+	return scale, jobs, nil
+}
 
-	ctx, cancel := s.requestContext(r, req.TimeoutMS)
-	defer cancel()
-	release, err := s.gate.Acquire(ctx)
-	if err != nil {
-		if errors.Is(err, ErrQueueFull) {
-			s.rejectFull(w)
-			return
-		}
-		s.httpError(w, err, http.StatusServiceUnavailable)
-		return
+// buildBatchResponse folds job-aligned results and errors into the wire
+// response. It is the single rendering path for sync and async batches,
+// which is what makes a journal-replayed job's response byte-identical
+// to a live one. A non-BatchError batchErr is request-level and comes
+// back as the error.
+func buildBatchResponse(ctx context.Context, sess *core.Session, scale app.Scale, jobs []core.Job, results []*machine.Result, batchErr error) (*BatchResponse, error) {
+	var be *core.BatchError
+	if batchErr != nil && !errors.As(batchErr, &be) {
+		return nil, batchErr
 	}
-	defer release()
-
-	sess := s.session(scale, req.Metrics)
-	results, batchErr := sess.RunBatchContext(ctx, jobs)
 	resp := &BatchResponse{
 		Schema:  ResponseSchemaVersion,
 		Scale:   scale.String(),
 		Results: make([]*BatchJobResult, len(jobs)),
 		Errors:  make([]string, len(jobs)),
-	}
-	var be *core.BatchError
-	if batchErr != nil && !errors.As(batchErr, &be) {
-		s.httpError(w, batchErr, http.StatusInternalServerError)
-		return
 	}
 	for i, res := range results {
 		if be != nil && be.Errs[i] != nil {
@@ -360,6 +359,66 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			Efficiency: res.Efficiency(base),
 		}
 	}
+	return resp, nil
+}
+
+// handleBatch runs a job list through the session's worker pool under
+// one admission slot and the request deadline, returning job-aligned
+// partial results. With an idempotency key on a journaling server the
+// request instead becomes a durable async job: journaled, acked with
+// 202, polled on /v1/batch/jobs/{id}.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	var req BatchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	scale, jobs, err := s.parseBatch(&req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+
+	key := r.Header.Get("Idempotency-Key")
+	if key == "" {
+		key = req.IdempotencyKey
+	}
+	if key != "" && s.jm != nil {
+		job, err := s.jm.submit(key, body)
+		if err != nil {
+			s.httpError(w, err, http.StatusServiceUnavailable)
+			return
+		}
+		status, _ := job.state()
+		writeJSON(w, http.StatusAccepted, &JobStatus{Schema: ResponseSchemaVersion, JobID: job.id, Status: status})
+		return
+	}
+
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	release, err := s.gate.Acquire(ctx)
+	if err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			s.rejectFull(w)
+			return
+		}
+		s.httpError(w, err, http.StatusServiceUnavailable)
+		return
+	}
+	defer release()
+
+	sess := s.session(scale, req.Metrics)
+	results, batchErr := sess.RunBatchContext(ctx, jobs)
+	resp, err := buildBatchResponse(ctx, sess, scale, jobs, results, batchErr)
+	if err != nil {
+		s.httpError(w, err, http.StatusInternalServerError)
+		return
+	}
 	// A batch with failures still returns 200: the job-aligned errors
 	// carry the detail and the completed jobs' results are usable. An
 	// all-jobs-failed batch under a dead deadline maps like a run.
@@ -370,6 +429,29 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleJob reports an async job: 404 for unknown ids (or when
+// journaling is off), 202 + status while queued or running, and the
+// recorded response bytes verbatim once done.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if s.jm == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "async jobs disabled: server runs without a journal"})
+		return
+	}
+	job := s.jm.get(r.PathValue("id"))
+	if job == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job id"})
+		return
+	}
+	status, resp := job.state()
+	if status != JobDone {
+		writeJSON(w, http.StatusAccepted, &JobStatus{Schema: ResponseSchemaVersion, JobID: job.id, Status: status})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(resp)
 }
 
 // handleExperiment renders one paper table/figure as text/plain, reusing
@@ -450,19 +532,23 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 // gauges, so a load balancer (or the smoke test) can see queue pressure
 // without scraping expvar.
 type healthzResponse struct {
-	Status   string `json:"status"`
-	Inflight int64  `json:"inflight"`
-	Queued   int64  `json:"queued"`
-	Sessions int    `json:"sessions"`
-	UptimeMS int64  `json:"uptime_ms"`
+	Status             string `json:"status"`
+	Inflight           int64  `json:"inflight"`
+	Queued             int64  `json:"queued"`
+	Sessions           int    `json:"sessions"`
+	UptimeMS           int64  `json:"uptime_ms"`
+	JournalReplayed    int64  `json:"journal_replayed"`
+	CheckpointsWritten int64  `json:"checkpoints_written"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, &healthzResponse{
-		Status:   "ok",
-		Inflight: s.gate.Inflight(),
-		Queued:   s.gate.Queued(),
-		Sessions: s.sessions.Len(),
-		UptimeMS: time.Since(s.started).Milliseconds(),
+		Status:             "ok",
+		Inflight:           s.gate.Inflight(),
+		Queued:             s.gate.Queued(),
+		Sessions:           s.sessions.Len(),
+		UptimeMS:           time.Since(s.started).Milliseconds(),
+		JournalReplayed:    s.JournalReplayed(),
+		CheckpointsWritten: s.CheckpointsWritten(),
 	})
 }

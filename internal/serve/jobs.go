@@ -1,0 +1,335 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mtsim/internal/core"
+	"mtsim/internal/machine"
+)
+
+// Async batch jobs. A /v1/batch request carrying an idempotency key on
+// a journaling server is journaled and acknowledged with 202 before it
+// runs; the client polls GET /v1/batch/jobs/{id} for the result. The
+// job's checkpoints and final response all go through the journal, so a
+// SIGKILL at any point leaves the job either resumable (from its latest
+// checkpoint) or already answered (the done record's bytes are served
+// verbatim) — in both cases the response the client eventually reads is
+// byte-identical to the one an uncrashed server would have produced.
+
+// Job lifecycle states, as reported by JobStatus.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+)
+
+// JobStatus is the body of a 202 reply: the async submission ack and
+// the poll response of a job that has not finished yet.
+type JobStatus struct {
+	Schema int    `json:"schema"`
+	JobID  string `json:"job_id"`
+	Status string `json:"status"`
+}
+
+// JobID derives the stable job id for an idempotency key. The id, not
+// the key, names the job on the wire, so clients may use long or
+// sensitive keys without them appearing in URLs.
+func JobID(key string) string {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return fmt.Sprintf("b-%016x", h.Sum64())
+}
+
+// asyncJob is one journaled batch job.
+type asyncJob struct {
+	id    string
+	key   string
+	body  json.RawMessage
+	ckpts map[int]JobCheckpoint // resume points from replay
+
+	mu     sync.Mutex
+	status string
+	resp   []byte // final response bytes once status == JobDone
+}
+
+func (j *asyncJob) setStatus(s string) {
+	j.mu.Lock()
+	j.status = s
+	j.mu.Unlock()
+}
+
+// state returns the status and, when done, the response bytes.
+func (j *asyncJob) state() (string, []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status, j.resp
+}
+
+// jobManager owns the journal and runs async jobs one at a time in
+// submit order. A single dispatcher keeps each job's checkpoint stream
+// self-consistent and makes crash recovery deterministic: after a
+// restart the replayed queue re-runs in the original order.
+type jobManager struct {
+	srv     *Server
+	journal *Journal
+
+	// baseCtx parents every job run; stop cancels it so an in-flight
+	// job aborts at the drain deadline (its journaled checkpoints keep
+	// it resumable).
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*asyncJob
+	jobs   map[string]*asyncJob
+	closed bool
+	wg     sync.WaitGroup
+
+	replayed     int64
+	ckptsWritten atomic.Int64
+}
+
+// EnableJournal turns on crash-tolerant async batch jobs: it opens (or
+// creates) the journal at path, replays it, re-queues every unfinished
+// job, and starts the dispatcher. Finished jobs come back with their
+// recorded responses and are served on GET without re-running. Must be
+// called before the server starts handling requests; returns the number
+// of jobs reconstructed from the journal.
+func (s *Server) EnableJournal(path string) (replayed int, err error) {
+	if s.jm != nil {
+		return 0, errors.New("serve: journal already enabled")
+	}
+	j, jobs, err := OpenJournal(path)
+	if err != nil {
+		return 0, err
+	}
+	jm := &jobManager{
+		srv:     s,
+		journal: j,
+		jobs:    make(map[string]*asyncJob, len(jobs)),
+	}
+	jm.cond = sync.NewCond(&jm.mu)
+	jm.baseCtx, jm.cancel = context.WithCancel(context.Background())
+	for _, rj := range jobs {
+		aj := &asyncJob{id: rj.ID, key: rj.Key, body: rj.Body, ckpts: rj.Ckpts}
+		if rj.Resp != nil {
+			aj.status, aj.resp = JobDone, rj.Resp
+		} else {
+			aj.status = JobQueued
+			jm.queue = append(jm.queue, aj)
+		}
+		jm.jobs[aj.id] = aj
+	}
+	jm.replayed = int64(len(jobs))
+	s.jm = jm
+	jm.wg.Add(1)
+	go jm.run()
+	return len(jobs), nil
+}
+
+// JournalReplayed reports how many jobs the journal reconstructed at
+// startup (0 when journaling is off).
+func (s *Server) JournalReplayed() int64 {
+	if s.jm == nil {
+		return 0
+	}
+	return s.jm.replayed
+}
+
+// CheckpointsWritten reports how many checkpoints have been journaled
+// since startup (0 when journaling is off).
+func (s *Server) CheckpointsWritten() int64 {
+	if s.jm == nil {
+		return 0
+	}
+	return s.jm.ckptsWritten.Load()
+}
+
+// submit journals and enqueues a new job, or returns the existing one
+// for a repeated idempotency key (first submission wins; the body of a
+// resubmit is ignored).
+func (jm *jobManager) submit(key string, body []byte) (*asyncJob, error) {
+	id := JobID(key)
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	if job, ok := jm.jobs[id]; ok {
+		return job, nil
+	}
+	if jm.closed {
+		return nil, errors.New("serve: server is draining; not accepting jobs")
+	}
+	// Journal before acknowledging: once the 202 goes out, the job must
+	// survive any crash.
+	if err := jm.journal.AppendSubmit(id, key, body); err != nil {
+		return nil, err
+	}
+	job := &asyncJob{id: id, key: key, body: body, status: JobQueued}
+	jm.jobs[id] = job
+	jm.queue = append(jm.queue, job)
+	jm.cond.Signal()
+	return job, nil
+}
+
+// get looks a job up by id.
+func (jm *jobManager) get(id string) *asyncJob {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	return jm.jobs[id]
+}
+
+// run is the dispatcher loop.
+func (jm *jobManager) run() {
+	defer jm.wg.Done()
+	for {
+		jm.mu.Lock()
+		for len(jm.queue) == 0 && !jm.closed {
+			jm.cond.Wait()
+		}
+		if jm.closed {
+			// Leave queued jobs in the journal; the next startup
+			// replays and re-queues them.
+			jm.mu.Unlock()
+			return
+		}
+		job := jm.queue[0]
+		jm.queue = jm.queue[1:]
+		jm.mu.Unlock()
+		job.setStatus(JobRunning)
+		jm.runJob(job)
+	}
+}
+
+// runJob executes one job end to end: parse, admit through the shared
+// gate, run each batch entry as a checkpointed simulation (resuming
+// from replayed checkpoints when present), and journal the final
+// response bytes.
+func (jm *jobManager) runJob(job *asyncJob) {
+	s := jm.srv
+	var req BatchRequest
+	if err := json.Unmarshal(job.body, &req); err != nil {
+		jm.finish(job, encodeJSON(errorResponse{Error: "bad request body: " + err.Error()}))
+		return
+	}
+	scale, jobs, err := s.parseBatch(&req)
+	if err != nil {
+		jm.finish(job, encodeJSON(errorResponse{Error: err.Error()}))
+		return
+	}
+
+	d := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		d = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(jm.baseCtx, d)
+	defer cancel()
+
+	release, err := s.gate.Acquire(ctx)
+	if err != nil {
+		jm.abortOrFail(job, err)
+		return
+	}
+	defer release()
+
+	sess := s.session(scale, req.Metrics)
+	results := make([]*machine.Result, len(jobs))
+	errs := make([]error, len(jobs))
+	failed := 0
+	for i := range jobs {
+		ck := core.CheckpointConfig{
+			Interval: s.cfg.CheckpointEvery,
+			OnCheckpoint: func(cycle int64, snap []byte) error {
+				if err := jm.journal.AppendCkpt(job.id, i, cycle, snap); err != nil {
+					return err
+				}
+				jm.ckptsWritten.Add(1)
+				return nil
+			},
+		}
+		if c, ok := job.ckpts[i]; ok {
+			ck.Resume = c.Snap
+		}
+		results[i], errs[i] = sess.RunCheckpointedContext(ctx, jobs[i].App, jobs[i].Cfg, ck)
+		if errs[i] != nil {
+			failed++
+		}
+	}
+	var batchErr error
+	if failed > 0 {
+		batchErr = &core.BatchError{Errs: errs, Failed: failed}
+	}
+	resp, err := buildBatchResponse(ctx, sess, scale, jobs, results, batchErr)
+	if err != nil {
+		jm.abortOrFail(job, err)
+		return
+	}
+	// Mirror the sync path: an all-jobs-failed batch under a dead
+	// context is a request-level failure, not a result.
+	if resp.Failed == len(jobs) && batchErr != nil &&
+		(errors.Is(batchErr, context.DeadlineExceeded) || errors.Is(batchErr, context.Canceled)) {
+		jm.abortOrFail(job, batchErr)
+		return
+	}
+	jm.finish(job, encodeJSON(resp))
+}
+
+// abortOrFail handles a job-level error. During shutdown the job is put
+// back to queued and no done record is written — the journal has its
+// submit (and any checkpoints), so the next startup resumes it. Any
+// other failure is final: the error body becomes the job's response.
+func (jm *jobManager) abortOrFail(job *asyncJob, err error) {
+	if jm.baseCtx.Err() != nil {
+		job.setStatus(JobQueued)
+		return
+	}
+	jm.finish(job, encodeJSON(errorResponse{Error: err.Error()}))
+}
+
+// finish records the job's final response. The journal write comes
+// first; if it fails the in-memory result still serves this process's
+// lifetime and the next startup re-runs the job (deterministically, to
+// the same bytes).
+func (jm *jobManager) finish(job *asyncJob, resp []byte) {
+	_ = jm.journal.AppendDone(job.id, resp)
+	job.mu.Lock()
+	job.status, job.resp = JobDone, resp
+	job.mu.Unlock()
+}
+
+// stop drains the dispatcher: no new jobs start, the in-flight job gets
+// until ctx expires to finish (then its context is canceled and it
+// stays resumable), and the journal is flushed and closed.
+func (jm *jobManager) stop(ctx context.Context) error {
+	jm.mu.Lock()
+	if jm.closed {
+		jm.mu.Unlock()
+		return nil
+	}
+	jm.closed = true
+	jm.cond.Broadcast()
+	jm.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		jm.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		jm.cancel()
+		<-done
+	}
+	jm.cancel()
+	return jm.journal.Close()
+}

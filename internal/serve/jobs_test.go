@@ -1,0 +1,313 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mtsim/internal/app"
+	"mtsim/internal/apps"
+	"mtsim/internal/core"
+)
+
+// asyncBatchBody is the shared request of the async tests: small enough
+// to finish quickly, big enough (sieve at quick is >1M cycles) to cross
+// several checkpoint intervals.
+const asyncBatchBody = `{
+  "scale": "quick",
+  "jobs": [
+    {"app": "sieve", "config": {"procs": 4, "threads": 2, "model": "switch-on-use"}},
+    {"app": "sor", "config": {"procs": 2, "threads": 2, "model": "explicit-switch"}}
+  ]
+}`
+
+// newJournalServer builds a Server with journaling on and serves it
+// over httptest. Shutdown (which closes the journal) runs at cleanup.
+func newJournalServer(t *testing.T, cfg Config, path string) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	if _, err := s.EnableJournal(path); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+// postJSONKey posts body with an Idempotency-Key header.
+func postJSONKey(t *testing.T, url, key, body string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest("POST", url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", key)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// pollJob polls GET /v1/batch/jobs/{id} until the job is done and
+// returns the final response bytes.
+func pollJob(t *testing.T, ts *httptest.Server, id string) []byte {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/v1/batch/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return data
+		case http.StatusAccepted:
+			time.Sleep(5 * time.Millisecond)
+		default:
+			t.Fatalf("poll %s: status %d: %s", id, resp.StatusCode, data)
+		}
+	}
+	t.Fatalf("job %s did not finish in time", id)
+	return nil
+}
+
+// TestAsyncBatchLifecycle drives the async path end to end: 202 ack
+// with the derived job id, poll to completion, response bytes identical
+// to the sync path, idempotent resubmission, and 503 once draining.
+func TestAsyncBatchLifecycle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	s, ts := newJournalServer(t, Config{CheckpointEvery: 200_000}, path)
+
+	// Sync reference from a separate journal-less server (sharing the
+	// journal server's session would memo the results and leave the
+	// async run nothing to simulate — or checkpoint).
+	_, plain := newTestServer(t, Config{})
+	syncStatus, syncBytes := postJSON(t, plain.URL+"/v1/batch", asyncBatchBody)
+	if syncStatus != http.StatusOK {
+		t.Fatalf("sync batch: status %d: %s", syncStatus, syncBytes)
+	}
+
+	status, body := postJSONKey(t, ts.URL+"/v1/batch", "lifecycle-key", asyncBatchBody)
+	if status != http.StatusAccepted {
+		t.Fatalf("async submit: status %d: %s", status, body)
+	}
+	var ack JobStatus
+	if err := json.Unmarshal(body, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.JobID != JobID("lifecycle-key") {
+		t.Errorf("job id %s, want %s", ack.JobID, JobID("lifecycle-key"))
+	}
+
+	got := pollJob(t, ts, ack.JobID)
+	if string(got) != string(syncBytes) {
+		t.Errorf("async response differs from sync:\n--- sync ---\n%s\n--- async ---\n%s", syncBytes, got)
+	}
+	if s.CheckpointsWritten() == 0 {
+		t.Error("no checkpoints journaled during the async run")
+	}
+
+	// Resubmitting the key is a no-op returning the same job.
+	status, body = postJSONKey(t, ts.URL+"/v1/batch", "lifecycle-key", asyncBatchBody)
+	if status != http.StatusAccepted {
+		t.Fatalf("resubmit: status %d: %s", status, body)
+	}
+	var again JobStatus
+	if err := json.Unmarshal(body, &again); err != nil {
+		t.Fatal(err)
+	}
+	if again.JobID != ack.JobID || again.Status != JobDone {
+		t.Errorf("resubmit ack = %+v, want same id with status done", again)
+	}
+
+	// Unknown ids 404.
+	resp, err := http.Get(ts.URL + "/v1/batch/jobs/b-0000000000000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+
+	// After a drain the server stops taking jobs (the journal is
+	// closed) but keeps serving what it has.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	status, _ = postJSONKey(t, ts.URL+"/v1/batch", "late-key", asyncBatchBody)
+	if status != http.StatusServiceUnavailable {
+		t.Errorf("submit while draining: status %d, want 503", status)
+	}
+	if got := pollJob(t, ts, ack.JobID); string(got) != string(syncBytes) {
+		t.Error("finished job unreadable after drain")
+	}
+}
+
+// TestJobEndpointWithoutJournal: the poll endpoint exists but answers
+// 404 when the server runs journal-less.
+func TestJobEndpointWithoutJournal(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/batch/jobs/" + JobID("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestRecoveryResumesFromCheckpoint is the deterministic half of the
+// crash story: a journal holding a submit plus a real mid-run
+// checkpoint (as a crashed server would leave behind) must replay into
+// exactly the bytes a never-crashed server produces, and the resumed
+// run must write further checkpoints rather than restart from cycle 0.
+func TestRecoveryResumesFromCheckpoint(t *testing.T) {
+	body := `{"scale":"quick","jobs":[{"app":"sieve","config":{"procs":4,"threads":2,"model":"switch-on-use"}}]}`
+
+	// Crash-free reference over the sync path.
+	_, plain := newTestServer(t, Config{})
+	refStatus, ref := postJSON(t, plain.URL+"/v1/batch", body)
+	if refStatus != http.StatusOK {
+		t.Fatalf("reference batch: status %d: %s", refStatus, ref)
+	}
+
+	// Capture a genuine early checkpoint of the job's only entry.
+	cfgReq := ConfigRequest{Procs: 4, Threads: 2, Model: "switch-on-use"}
+	cfg, err := cfgReq.ToMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := apps.MustNew("sieve", app.Quick)
+	var ckpt JobCheckpoint
+	sink := errors.New("first checkpoint captured")
+	_, err = core.NewSession().RunCheckpointedContext(context.Background(), a, cfg, core.CheckpointConfig{
+		Interval: 200_000,
+		OnCheckpoint: func(cycle int64, snap []byte) error {
+			ckpt = JobCheckpoint{Cycle: cycle, Snap: snap}
+			return sink
+		},
+	})
+	if !errors.Is(err, sink) {
+		t.Fatalf("checkpoint capture: %v", err)
+	}
+
+	// Fabricate the post-crash journal: acknowledged job, one
+	// checkpoint, no done record.
+	path := filepath.Join(t.TempDir(), "wal")
+	key := "crash-recovery"
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendSubmit(JobID(key), key, json.RawMessage(body)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendCkpt(JobID(key), 0, ckpt.Cycle, ckpt.Snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": the replayed job must finish to the reference bytes.
+	s, ts := newJournalServer(t, Config{CheckpointEvery: 200_000}, path)
+	if s.JournalReplayed() != 1 {
+		t.Fatalf("JournalReplayed = %d, want 1", s.JournalReplayed())
+	}
+	got := pollJob(t, ts, JobID(key))
+	if string(got) != string(ref) {
+		t.Errorf("recovered response differs from crash-free run:\n--- reference ---\n%s\n--- recovered ---\n%s", ref, got)
+	}
+	if s.CheckpointsWritten() == 0 {
+		t.Error("resumed run journaled no further checkpoints")
+	}
+}
+
+// TestDrainMidJobLeavesItResumable kills the dispatcher at an arbitrary
+// point of a running job (drain with an already-dead context) and
+// restarts over the same journal. Whatever the interleaving — job not
+// started, mid-run with checkpoints, or already done — the client must
+// end up reading the crash-free bytes.
+func TestDrainMidJobLeavesItResumable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	s1 := New(Config{CheckpointEvery: 100_000})
+	if _, err := s1.EnableJournal(path); err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	key := "drain-mid-job"
+	status, body := postJSONKey(t, ts1.URL+"/v1/batch", key, asyncBatchBody)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", status, body)
+	}
+	time.Sleep(10 * time.Millisecond) // let the job get partway in
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = s1.Shutdown(dead) // expired drain: the in-flight job is aborted
+	ts1.Close()
+
+	s2, ts2 := newJournalServer(t, Config{CheckpointEvery: 100_000}, path)
+	if s2.JournalReplayed() != 1 {
+		t.Fatalf("JournalReplayed = %d, want 1", s2.JournalReplayed())
+	}
+	got := pollJob(t, ts2, JobID(key))
+
+	refStatus, ref := postJSON(t, ts2.URL+"/v1/batch", asyncBatchBody)
+	if refStatus != http.StatusOK {
+		t.Fatalf("reference batch: status %d: %s", refStatus, ref)
+	}
+	if string(got) != string(ref) {
+		t.Errorf("recovered job differs from crash-free run:\n--- reference ---\n%s\n--- recovered ---\n%s", ref, got)
+	}
+}
+
+// TestReplayedJobWithBadBodyFails: a journaled body that no longer
+// validates resolves to a recorded error response instead of wedging
+// the queue.
+func TestReplayedJobWithBadBodyFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendSubmit(JobID("bad"), "bad", json.RawMessage(`{"jobs":[{"app":"no-such-app","config":{"procs":1,"threads":1,"model":"switch-on-use"}}]}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newJournalServer(t, Config{}, path)
+	got := pollJob(t, ts, JobID("bad"))
+	var e errorResponse
+	if err := json.Unmarshal(got, &e); err != nil || e.Error == "" {
+		t.Fatalf("want a recorded error response, got: %s", got)
+	}
+}

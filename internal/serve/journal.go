@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"strconv"
+	"sync"
+)
+
+// The job journal is mtsimd's crash-tolerance layer: an append-only
+// write-ahead log of every async /v1/batch job's lifecycle, fsync'd per
+// record, replayed on startup. A SIGKILL at any point loses at most the
+// record being written — the CRC framing detects the torn tail and
+// replay resumes every unfinished job from its latest checkpoint, which
+// (because machine snapshots restore byte-identically) yields the exact
+// response an uninterrupted run would have produced.
+//
+// Format: one record per line, `crc32_hex space json \n`, where the CRC
+// (IEEE, hex, fixed 8 digits) covers the JSON bytes. JSON-lines keeps
+// the log greppable in production; the CRC is what makes truncation and
+// torn writes detectable, since a partial JSON document can still
+// parse. Replay stops at the first record whose CRC, framing or JSON
+// does not verify and truncates the file there, so later appends never
+// interleave with garbage.
+
+// Journal record kinds.
+const (
+	recSubmit = "submit" // a job was accepted: body is the BatchRequest
+	recCkpt   = "ckpt"   // one batch entry paused: snap is its machine snapshot
+	recDone   = "done"   // the job finished: resp is the final response body
+)
+
+// journalRecord is one WAL line's JSON payload.
+type journalRecord struct {
+	Seq  uint64 `json:"seq"`
+	Kind string `json:"kind"`
+	// ID is the job id ("b-" + hash of the idempotency key).
+	ID string `json:"id"`
+	// Key is the client's idempotency key (submit records).
+	Key string `json:"key,omitempty"`
+	// Body is the submitted BatchRequest (submit records).
+	Body json.RawMessage `json:"body,omitempty"`
+	// Job is the batch entry index a checkpoint belongs to.
+	Job int `json:"job,omitempty"`
+	// Cycle is the simulation cycle the snapshot was taken at.
+	Cycle int64 `json:"cycle,omitempty"`
+	// Snap is the machine snapshot (base64 under encoding/json).
+	Snap []byte `json:"snap,omitempty"`
+	// Resp is the final response body, stored verbatim so a replayed
+	// job serves bytes identical to the original (done records).
+	Resp json.RawMessage `json:"resp,omitempty"`
+}
+
+// JobCheckpoint is the latest persisted pause point of one batch entry.
+type JobCheckpoint struct {
+	Cycle int64
+	Snap  []byte
+}
+
+// ReplayedJob is one job reconstructed from the journal.
+type ReplayedJob struct {
+	ID   string
+	Key  string
+	Body json.RawMessage
+	// Resp is non-nil iff the job completed before the restart.
+	Resp json.RawMessage
+	// Ckpts holds, per batch entry index, the latest checkpoint of an
+	// unfinished job; resuming from it skips the already-simulated
+	// cycles without changing a byte of the outcome.
+	Ckpts map[int]JobCheckpoint
+}
+
+// Journal is the append side of the WAL. Safe for concurrent use.
+type Journal struct {
+	mu     sync.Mutex
+	f      *os.File
+	seq    uint64
+	closed bool
+}
+
+// OpenJournal opens (creating if needed) the journal at path, replays
+// every valid record, truncates a torn tail, and returns the journal
+// positioned for appending plus the replayed jobs in submit order.
+func OpenJournal(path string) (*Journal, []*ReplayedJob, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: open journal: %w", err)
+	}
+	j := &Journal{f: f}
+	jobs, valid, err := replay(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	for _, job := range jobs {
+		if job.lastSeq > j.seq {
+			j.seq = job.lastSeq
+		}
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("serve: truncate journal tail: %w", err)
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("serve: seek journal: %w", err)
+	}
+	out := make([]*ReplayedJob, len(jobs))
+	for i, job := range jobs {
+		out[i] = &job.ReplayedJob
+	}
+	return j, out, nil
+}
+
+// replayedJob carries replay bookkeeping alongside the public view.
+type replayedJob struct {
+	ReplayedJob
+	lastSeq uint64
+}
+
+// replay scans the journal from the start and folds records into
+// per-job state. It returns the jobs in submit order and the byte
+// offset of the end of the last valid record.
+func replay(f *os.File) ([]*replayedJob, int64, error) {
+	if _, err := f.Seek(0, 0); err != nil {
+		return nil, 0, fmt.Errorf("serve: seek journal: %w", err)
+	}
+	var (
+		jobs  []*replayedJob
+		byID  = make(map[string]*replayedJob)
+		valid int64
+	)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 64<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		rec, ok := parseRecord(line)
+		if !ok {
+			break // torn or corrupt tail: everything after is suspect
+		}
+		valid += int64(len(line)) + 1
+		switch rec.Kind {
+		case recSubmit:
+			if _, dup := byID[rec.ID]; dup {
+				continue // resubmit of a known key; first submit wins
+			}
+			job := &replayedJob{
+				ReplayedJob: ReplayedJob{ID: rec.ID, Key: rec.Key, Body: rec.Body, Ckpts: make(map[int]JobCheckpoint)},
+				lastSeq:     rec.Seq,
+			}
+			byID[rec.ID] = job
+			jobs = append(jobs, job)
+		case recCkpt:
+			if job := byID[rec.ID]; job != nil {
+				job.Ckpts[rec.Job] = JobCheckpoint{Cycle: rec.Cycle, Snap: rec.Snap}
+				job.lastSeq = rec.Seq
+			}
+		case recDone:
+			if job := byID[rec.ID]; job != nil {
+				job.Resp = rec.Resp
+				job.Ckpts = nil // no resume needed
+				job.lastSeq = rec.Seq
+			}
+		}
+	}
+	if err := sc.Err(); err != nil && err != bufio.ErrTooLong {
+		return nil, 0, fmt.Errorf("serve: read journal: %w", err)
+	}
+	return jobs, valid, nil
+}
+
+// parseRecord verifies one line's framing, CRC and JSON.
+func parseRecord(line []byte) (journalRecord, bool) {
+	var rec journalRecord
+	if len(line) < 10 || line[8] != ' ' {
+		return rec, false
+	}
+	want, err := strconv.ParseUint(string(line[:8]), 16, 32)
+	if err != nil {
+		return rec, false
+	}
+	payload := line[9:]
+	if crc32.ChecksumIEEE(payload) != uint32(want) {
+		return rec, false
+	}
+	if json.Unmarshal(payload, &rec) != nil {
+		return rec, false
+	}
+	return rec, true
+}
+
+// append writes one record: marshal, frame, write, fsync. The fsync per
+// record is the durability contract — a submit that was 202'd to the
+// client survives any later crash.
+func (j *Journal) append(rec journalRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("serve: journal closed")
+	}
+	j.seq++
+	rec.Seq = j.seq
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("serve: marshal journal record: %w", err)
+	}
+	line := make([]byte, 0, len(payload)+10)
+	line = append(line, fmt.Sprintf("%08x ", crc32.ChecksumIEEE(payload))...)
+	line = append(line, payload...)
+	line = append(line, '\n')
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("serve: append journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("serve: sync journal: %w", err)
+	}
+	return nil
+}
+
+// AppendSubmit journals an accepted job before it is acknowledged.
+func (j *Journal) AppendSubmit(id, key string, body json.RawMessage) error {
+	return j.append(journalRecord{Kind: recSubmit, ID: id, Key: key, Body: body})
+}
+
+// AppendCkpt journals one batch entry's checkpoint.
+func (j *Journal) AppendCkpt(id string, jobIdx int, cycle int64, snap []byte) error {
+	return j.append(journalRecord{Kind: recCkpt, ID: id, Job: jobIdx, Cycle: cycle, Snap: snap})
+}
+
+// AppendDone journals a job's final response body.
+func (j *Journal) AppendDone(id string, resp json.RawMessage) error {
+	return j.append(journalRecord{Kind: recDone, ID: id, Resp: resp})
+}
+
+// Close fsyncs and closes the journal. Further appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}

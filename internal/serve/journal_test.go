@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openJournalT(t *testing.T, path string) (*Journal, []*ReplayedJob) {
+	t.Helper()
+	j, jobs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal(%s): %v", path, err)
+	}
+	return j, jobs
+}
+
+func TestJournalReplayRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j, jobs := openJournalT(t, path)
+	if len(jobs) != 0 {
+		t.Fatalf("fresh journal replayed %d jobs", len(jobs))
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(j.AppendSubmit("b-1", "k1", json.RawMessage(`{"jobs":[]}`)))
+	must(j.AppendCkpt("b-1", 0, 100, []byte{1, 2, 3}))
+	must(j.AppendCkpt("b-1", 0, 200, []byte{4, 5, 6})) // supersedes the first
+	must(j.AppendCkpt("b-1", 1, 150, []byte{7}))
+	must(j.AppendSubmit("b-2", "k2", json.RawMessage(`{"jobs":[1]}`)))
+	must(j.AppendDone("b-2", json.RawMessage(`{"ok":true}`)))
+	must(j.Close())
+
+	j2, jobs := openJournalT(t, path)
+	defer j2.Close()
+	if len(jobs) != 2 {
+		t.Fatalf("replayed %d jobs, want 2", len(jobs))
+	}
+	unfinished, done := jobs[0], jobs[1]
+	if unfinished.ID != "b-1" || done.ID != "b-2" {
+		t.Fatalf("jobs out of submit order: %s, %s", jobs[0].ID, jobs[1].ID)
+	}
+	if unfinished.Key != "k1" || string(unfinished.Body) != `{"jobs":[]}` {
+		t.Errorf("b-1 replayed wrong: key=%q body=%s", unfinished.Key, unfinished.Body)
+	}
+	if unfinished.Resp != nil {
+		t.Error("unfinished job came back with a response")
+	}
+	if c := unfinished.Ckpts[0]; c.Cycle != 200 || !bytes.Equal(c.Snap, []byte{4, 5, 6}) {
+		t.Errorf("entry 0 checkpoint = %+v, want the latest (cycle 200)", c)
+	}
+	if c := unfinished.Ckpts[1]; c.Cycle != 150 || !bytes.Equal(c.Snap, []byte{7}) {
+		t.Errorf("entry 1 checkpoint = %+v", c)
+	}
+	if string(done.Resp) != `{"ok":true}` {
+		t.Errorf("done response = %s", done.Resp)
+	}
+	if done.Ckpts != nil {
+		t.Error("done job kept resume checkpoints")
+	}
+}
+
+func TestJournalTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j, _ := openJournalT(t, path)
+	if err := j.AppendSubmit("b-1", "k1", json.RawMessage(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendCkpt("b-1", 0, 50, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A crash mid-append leaves a torn line; replay must drop it and
+	// truncate back to the last whole record.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`00000000 {"seq":3,"kind":"done","id":"b-`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, jobs := openJournalT(t, path)
+	if len(jobs) != 1 || jobs[0].Resp != nil || jobs[0].Ckpts[0].Cycle != 50 {
+		t.Fatalf("torn tail corrupted replay: %+v", jobs)
+	}
+	// The file is healed: the tail is gone and new appends parse.
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, clean) {
+		t.Errorf("journal not truncated to the last valid record: %d bytes, want %d", len(after), len(clean))
+	}
+	if err := j2.AppendDone("b-1", json.RawMessage(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	_, jobs = openJournalT(t, path)
+	if len(jobs) != 1 || jobs[0].Resp == nil {
+		t.Fatalf("append after heal did not replay: %+v", jobs)
+	}
+}
+
+func TestJournalStopsAtCorruptRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j, _ := openJournalT(t, path)
+	for _, id := range []string{"b-1", "b-2", "b-3"} {
+		if err := j.AppendSubmit(id, id, json.RawMessage(`{}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	// Flip one payload byte of the middle record: it and everything
+	// after it are dropped, because a log with a hole in the middle
+	// cannot be trusted past the hole.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	lines[1][len(lines[1])-2] ^= 0xff
+	if err := os.WriteFile(path, bytes.Join(lines, []byte("\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, jobs := openJournalT(t, path)
+	defer j2.Close()
+	if len(jobs) != 1 || jobs[0].ID != "b-1" {
+		t.Fatalf("replay past a corrupt record: got %d jobs", len(jobs))
+	}
+}
+
+func TestJobIDStable(t *testing.T) {
+	a, b := JobID("paper-table-3"), JobID("paper-table-3")
+	if a != b {
+		t.Errorf("JobID not stable: %s vs %s", a, b)
+	}
+	if a == JobID("paper-table-4") {
+		t.Error("distinct keys collided")
+	}
+	if len(a) != 18 || a[:2] != "b-" {
+		t.Errorf("unexpected id shape: %s", a)
+	}
+}

@@ -67,6 +67,11 @@ type Config struct {
 	// MaxBatchJobs bounds the job list of one /v1/batch request
 	// (default 256).
 	MaxBatchJobs int
+	// CheckpointEvery is the cycle budget between journal checkpoints
+	// of async batch jobs (default 100000). Smaller values bound the
+	// re-simulation after a crash more tightly at the cost of more
+	// fsync'd snapshot writes. Only used once EnableJournal is called.
+	CheckpointEvery int64
 }
 
 // withDefaults fills zero fields.
@@ -95,6 +100,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchJobs <= 0 {
 		c.MaxBatchJobs = 256
 	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 100_000
+	}
 	return c
 }
 
@@ -106,6 +114,10 @@ type Server struct {
 	sessions *sessionCache
 	mux      *http.ServeMux
 	started  time.Time
+
+	// jm is non-nil once EnableJournal has armed crash-tolerant async
+	// batch jobs. Set before serving starts, read-only afterwards.
+	jm *jobManager
 
 	httpMu   sync.Mutex
 	httpSrv  *http.Server
@@ -130,6 +142,7 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/batch/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
@@ -159,6 +172,8 @@ func (s *Server) PublishVars() {
 		expvar.Publish("mtsimd.inflight", expvar.Func(func() any { return s.Inflight() }))
 		expvar.Publish("mtsimd.queue_depth", expvar.Func(func() any { return s.Queued() }))
 		expvar.Publish("mtsimd.sessions", expvar.Func(func() any { return s.Sessions() }))
+		expvar.Publish("mtsimd.journal_replayed", expvar.Func(func() any { return s.JournalReplayed() }))
+		expvar.Publish("mtsimd.checkpoints_written", expvar.Func(func() any { return s.CheckpointsWritten() }))
 	})
 }
 
@@ -175,19 +190,27 @@ func (s *Server) ListenAndServe(addr string) error {
 // Shutdown gracefully drains a ListenAndServe server: listeners close
 // immediately (new requests are refused), in-flight requests run to
 // completion, and once ctx expires the remaining request contexts are
-// canceled so their simulations abort cooperatively.
+// canceled so their simulations abort cooperatively. When journaling is
+// enabled, the async dispatcher is drained the same way — the in-flight
+// job gets until ctx expires, then is aborted (still resumable from its
+// journaled checkpoints) — and the journal is flushed and closed.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.httpMu.Lock()
 	srv := s.httpSrv
 	s.httpMu.Unlock()
-	if srv == nil {
-		return nil
+	var err error
+	if srv != nil {
+		err = srv.Shutdown(ctx)
+		if err != nil {
+			// Drain deadline hit: force-close the stragglers; their
+			// request contexts cancel and the event loops unwind.
+			_ = srv.Close()
+		}
 	}
-	err := srv.Shutdown(ctx)
-	if err != nil {
-		// Drain deadline hit: force-close the stragglers; their
-		// request contexts cancel and the event loops unwind.
-		_ = srv.Close()
+	if s.jm != nil {
+		if jerr := s.jm.stop(ctx); err == nil {
+			err = jerr
+		}
 	}
 	return err
 }

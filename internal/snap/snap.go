@@ -1,0 +1,297 @@
+// Package snap is the deterministic binary codec the checkpoint layer is
+// built on. The simulator's snapshot format must be byte-stable — equal
+// machine states encode to equal bytes, on any host — so the codec is
+// deliberately primitive: fixed-width little-endian integers, IEEE bit
+// patterns for floats, length-prefixed byte strings, no reflection, no
+// varints, no alignment. Framing (magic, version, checksum) is provided
+// once here so every consumer versions and validates its payloads the
+// same way.
+package snap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Encoder appends primitives to a growing buffer. The zero value is
+// ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// Bytes returns the encoded payload.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of bytes encoded so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// U8 appends one byte.
+func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// U32 appends a fixed-width little-endian uint32.
+func (e *Encoder) U32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+
+// U64 appends a fixed-width little-endian uint64.
+func (e *Encoder) U64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+// I64 appends an int64 as its two's-complement bit pattern.
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
+
+// Int appends an int as an int64.
+func (e *Encoder) Int(v int) { e.I64(int64(v)) }
+
+// Bool appends a bool as one byte (0 or 1).
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// F64 appends a float64 as its IEEE-754 bit pattern, so the value —
+// including negative zero and NaN payloads — round-trips exactly.
+func (e *Encoder) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Raw appends a length-prefixed byte string.
+func (e *Encoder) Raw(b []byte) {
+	e.U32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.U32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// I64s appends a length-prefixed []int64.
+func (e *Encoder) I64s(v []int64) {
+	e.U32(uint32(len(v)))
+	for _, x := range v {
+		e.I64(x)
+	}
+}
+
+// Bools appends a length-prefixed []bool.
+func (e *Encoder) Bools(v []bool) {
+	e.U32(uint32(len(v)))
+	for _, x := range v {
+		e.Bool(x)
+	}
+}
+
+// Decoder reads primitives back. Errors are sticky: after the first
+// failure every further read returns the zero value and Err() reports
+// what went wrong, so decode sequences need only one check at the end.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps a payload for reading.
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Err returns the first decode error, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Finish reports an error if decoding failed or trailing bytes remain.
+func (d *Decoder) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if r := d.Remaining(); r != 0 {
+		return fmt.Errorf("snap: %d trailing bytes after decode", r)
+	}
+	return nil
+}
+
+func (d *Decoder) fail(want string, n int) {
+	if d.err == nil {
+		d.err = fmt.Errorf("snap: truncated payload: need %d bytes for %s at offset %d, have %d",
+			n, want, d.off, len(d.buf)-d.off)
+	}
+}
+
+func (d *Decoder) take(want string, n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.fail(want, n)
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (d *Decoder) U8() uint8 {
+	b := d.take("u8", 1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U32 reads a little-endian uint32.
+func (d *Decoder) U32() uint32 {
+	b := d.take("u32", 4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian uint64.
+func (d *Decoder) U64() uint64 {
+	b := d.take("u64", 8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads an int64.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// Int reads an int encoded as int64, failing if it does not fit.
+func (d *Decoder) Int() int {
+	v := d.I64()
+	n := int(v)
+	if int64(n) != v && d.err == nil {
+		d.err = fmt.Errorf("snap: int64 %d does not fit in int", v)
+	}
+	return n
+}
+
+// Bool reads a bool, failing on bytes other than 0 or 1.
+func (d *Decoder) Bool() bool {
+	switch d.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		if d.err == nil {
+			d.err = fmt.Errorf("snap: invalid bool byte at offset %d", d.off-1)
+		}
+		return false
+	}
+}
+
+// F64 reads a float64 bit pattern.
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// len reads a length prefix, bounding it by the bytes that remain so a
+// corrupt length cannot force a huge allocation.
+func (d *Decoder) lenPrefix(want string, elemSize int) int {
+	n := int(d.U32())
+	if d.err != nil {
+		return 0
+	}
+	if elemSize > 0 && n > d.Remaining()/elemSize {
+		d.fail(want, n*elemSize)
+		return 0
+	}
+	return n
+}
+
+// Raw reads a length-prefixed byte string (a copy).
+func (d *Decoder) Raw() []byte {
+	n := d.lenPrefix("bytes", 1)
+	b := d.take("bytes", n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := d.lenPrefix("string", 1)
+	b := d.take("string", n)
+	return string(b)
+}
+
+// I64s reads a length-prefixed []int64. An empty sequence decodes nil.
+func (d *Decoder) I64s() []int64 {
+	n := d.lenPrefix("[]int64", 8)
+	if n == 0 || d.err != nil {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = d.I64()
+	}
+	return out
+}
+
+// Bools reads a length-prefixed []bool. An empty sequence decodes nil.
+func (d *Decoder) Bools() []bool {
+	n := d.lenPrefix("[]bool", 1)
+	if n == 0 || d.err != nil {
+		return nil
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = d.Bool()
+	}
+	return out
+}
+
+// Framing: every checkpoint artifact is
+//
+//	magic(4) version(u32) payload... crc32(u32)
+//
+// where the checksum covers magic, version and payload. The magic keeps
+// unrelated files from being misread as snapshots; the version gates
+// format evolution (a reader rejects versions it does not understand
+// instead of misdecoding); the checksum turns torn or bit-rotted
+// payloads into clean errors.
+
+// Seal frames payload with magic (exactly 4 bytes) and version and
+// appends the checksum.
+func Seal(magic string, version uint32, payload []byte) []byte {
+	if len(magic) != 4 {
+		panic(fmt.Sprintf("snap: magic %q must be 4 bytes", magic))
+	}
+	out := make([]byte, 0, len(magic)+8+len(payload)+4)
+	out = append(out, magic...)
+	out = binary.LittleEndian.AppendUint32(out, version)
+	out = append(out, payload...)
+	return binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+}
+
+// Open validates the frame around an artifact produced by Seal and
+// returns its version and payload. wantVersion bounds acceptance: a
+// version greater than it is rejected (written by a newer format).
+func Open(magic string, wantVersion uint32, b []byte) (version uint32, payload []byte, err error) {
+	if len(magic) != 4 {
+		panic(fmt.Sprintf("snap: magic %q must be 4 bytes", magic))
+	}
+	if len(b) < len(magic)+8+4 {
+		return 0, nil, fmt.Errorf("snap: artifact too short (%d bytes)", len(b))
+	}
+	body, sum := b[:len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
+	if got := crc32.ChecksumIEEE(body); got != sum {
+		return 0, nil, fmt.Errorf("snap: checksum mismatch (stored %08x, computed %08x): corrupt artifact", sum, got)
+	}
+	if string(body[:4]) != magic {
+		return 0, nil, fmt.Errorf("snap: bad magic %q (want %q)", string(body[:4]), magic)
+	}
+	version = binary.LittleEndian.Uint32(body[4:8])
+	if version == 0 || version > wantVersion {
+		return 0, nil, fmt.Errorf("snap: version %d unsupported (this build reads 1..%d)", version, wantVersion)
+	}
+	return version, body[8:], nil
+}

@@ -116,11 +116,39 @@ type (
 	BatchMetrics = metrics.BatchMetrics
 	// StateCycles is the six-state cycle breakdown of one timeline.
 	StateCycles = metrics.StateCycles
+	// Machine is a pausable simulation handle: run it in cycle-budget
+	// slices with RunUntil, Snapshot the paused state to versioned
+	// bytes, and RestoreMachine it later (even in another process) —
+	// a paused-and-resumed run is byte-identical to an uninterrupted
+	// one, Result.Metrics included.
+	Machine = machine.Machine
+	// CheckpointConfig controls Session.RunCheckpointedContext:
+	// checkpoint interval, an optional snapshot to resume from, and the
+	// sink receiving each snapshot as it is taken.
+	CheckpointConfig = core.CheckpointConfig
 )
 
 // MetricsSchemaVersion identifies the stable JSON layout of RunMetrics
 // and BatchMetrics, as emitted by the -metrics flags.
 const MetricsSchemaVersion = metrics.SchemaVersion
+
+// SnapshotVersion identifies the machine snapshot encoding produced by
+// Machine.Snapshot and accepted by RestoreMachine.
+const SnapshotVersion = machine.SnapshotVersion
+
+// NewMachine builds a pausable machine for program p under cfg with
+// optional shared-memory init, positioned at cycle 0.
+func NewMachine(cfg Config, p *Program, init func(*Shared)) (*Machine, error) {
+	return machine.NewMachine(cfg, p, init)
+}
+
+// RestoreMachine reconstructs a machine from Machine.Snapshot bytes.
+// The caller supplies the same program the snapshot was taken from
+// (snapshots carry a program fingerprint, not the code); a mismatch is
+// an error, as is any corruption or version skew.
+func RestoreMachine(data []byte, p *Program) (*Machine, error) {
+	return machine.RestoreMachine(data, p)
+}
 
 // WriteMetricsJSON marshals a *RunMetrics or *BatchMetrics in the
 // stable indented-JSON form of the -metrics flags and golden files.
