@@ -15,9 +15,11 @@
 //
 // Usage:
 //
-//	bench -out BENCH_PR3.json -label pr3          # record
-//	bench -baseline BENCH_PR3.json -check         # enforce (exit 1 on regression)
-//	bench -baseline BENCH_PR3.json -check -timing=false   # CI: determinism only
+//	bench -out BENCH_PR6.json -label pr6          # record
+//	bench -baseline BENCH_PR6.json -check         # enforce (exit 1 on regression)
+//	bench -baseline BENCH_PR6.json -check -timing=false   # CI: determinism only
+//	bench -bench machine-hot-loop -cpuprofile cpu.pprof   # profile one benchmark
+//	bench compare BENCH_PR3.json BENCH_PR6.json   # diff two records
 package main
 
 import (
@@ -27,7 +29,9 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"regexp"
 	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -90,7 +94,22 @@ func suite() []benchmark {
 		name: "machine-hot-loop",
 		run: oneRun(func(ctx context.Context) (*mtsim.Result, error) {
 			a := mtsim.MustNewApp("sieve", mtsim.Quick)
-			cfg := mtsim.Config{Procs: 64, Threads: 4, Model: mtsim.SwitchOnLoad, Latency: 200}
+			// DispatchCompiled rather than Auto so the benchmark fails
+			// loudly if the compiled engine ever becomes ineligible here
+			// instead of silently timing the interpreter.
+			cfg := mtsim.Config{Procs: 64, Threads: 4, Model: mtsim.SwitchOnLoad, Latency: 200,
+				DispatchMode: mtsim.DispatchCompiled}
+			return mtsim.RunContext(ctx, cfg, a.Raw, a.Init)
+		}),
+	}, {
+		// The same simulation under the forced interpreter: the pair
+		// records the compiled engine's speedup and pins, in the record
+		// itself, that both engines do identical simulated work.
+		name: "machine-hot-loop-interp",
+		run: oneRun(func(ctx context.Context) (*mtsim.Result, error) {
+			a := mtsim.MustNewApp("sieve", mtsim.Quick)
+			cfg := mtsim.Config{Procs: 64, Threads: 4, Model: mtsim.SwitchOnLoad, Latency: 200,
+				DispatchMode: mtsim.DispatchInterpreted}
 			return mtsim.RunContext(ctx, cfg, a.Raw, a.Init)
 		}),
 	}}
@@ -151,6 +170,9 @@ func suite() []benchmark {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		os.Exit(compareMain(os.Args[2:]))
+	}
 	out := flag.String("out", "", "write the benchmark record as JSON to this file")
 	baseline := flag.String("baseline", "", "baseline BENCH_*.json to compare against")
 	check := flag.Bool("check", false, "with -baseline: exit 1 on determinism mismatch or timing regression")
@@ -158,6 +180,9 @@ func main() {
 	timing := flag.Bool("timing", true, "measure wall time (disable for cross-machine CI checks)")
 	benchtime := flag.Duration("benchtime", 500*time.Millisecond, "minimum measuring time per benchmark")
 	label := flag.String("label", "", "free-form label stored in the record")
+	benchFilter := flag.String("bench", "", "run only benchmarks whose name matches this regexp")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark runs to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the runs to this file")
 	flag.Parse()
 
 	if *check && *baseline == "" {
@@ -165,6 +190,23 @@ func main() {
 	}
 	if *tolerance <= 0 {
 		fatalf("-tolerance %v: must be positive", *tolerance)
+	}
+	var filter *regexp.Regexp
+	if *benchFilter != "" {
+		var err error
+		if filter, err = regexp.Compile(*benchFilter); err != nil {
+			fatalf("-bench %q: %v", *benchFilter, err)
+		}
+	}
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fatalf("-cpuprofile: %v", err)
+		}
+		defer pf.Close()
 	}
 
 	// An interrupted bench exits promptly with the in-flight simulation
@@ -183,18 +225,35 @@ func main() {
 		Timing: *timing,
 	}
 	for _, b := range suite() {
+		if filter != nil && !filter.MatchString(b.name) {
+			continue
+		}
 		res, err := measure(ctx, b, *timing, *benchtime)
 		if err != nil {
 			fatalf("%s: %v", b.name, err)
 		}
 		rec.Benchmarks = append(rec.Benchmarks, res)
 		if *timing {
-			fmt.Printf("%-18s %4d iters  %12d ns/op  %10d sim-instrs  %10d sim-cycles\n",
+			fmt.Printf("%-24s %4d iters  %12d ns/op  %10d sim-instrs  %10d sim-cycles\n",
 				res.Name, res.Iters, res.NsPerOp, res.SimInstr, res.SimCycle)
 		} else {
-			fmt.Printf("%-18s %10d sim-instrs  %10d sim-cycles\n",
+			fmt.Printf("%-24s %10d sim-instrs  %10d sim-cycles\n",
 				res.Name, res.SimInstr, res.SimCycle)
 		}
+	}
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		mf, err := os.Create(*memprofile)
+		if err != nil {
+			fatalf("-memprofile: %v", err)
+		}
+		runtime.GC()
+		if err := pprof.Lookup("heap").WriteTo(mf, 0); err != nil {
+			fatalf("-memprofile: %v", err)
+		}
+		mf.Close()
 	}
 
 	if *out != "" {
@@ -220,6 +279,69 @@ func main() {
 			fmt.Printf("baseline %s: ok (%d benchmarks compared)\n", *baseline, len(base.Benchmarks))
 		}
 	}
+}
+
+// compareMain implements the `bench compare A.json B.json` subcommand:
+// a side-by-side diff of two records. Simulated work is compared
+// exactly (a mismatch is a simulator behavior change); wall time is
+// reported as a speedup factor and only *enforced* — against the
+// tolerance, exit 1 — when both records measured timing, since ns/op
+// from different machines are not comparable.
+func compareMain(args []string) int {
+	fs := flag.NewFlagSet("bench compare", flag.ExitOnError)
+	tolerance := fs.Float64("tolerance", 0.10, "maximum allowed ns/op regression (0.10 = 10%)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: bench compare [-tolerance F] BASE.json CURRENT.json")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	if *tolerance <= 0 {
+		fatalf("-tolerance %v: must be positive", *tolerance)
+	}
+	base, err := readRecord(fs.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cur, err := readRecord(fs.Arg(1))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	byName := make(map[string]BenchResult, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		byName[b.Name] = b
+	}
+	timing := base.Timing && cur.Timing
+	fmt.Printf("%-24s %-14s %14s %14s %9s\n", "benchmark", "sim-work", "base ns/op", "cur ns/op", "speedup")
+	for _, c := range cur.Benchmarks {
+		b, ok := byName[c.Name]
+		if !ok {
+			fmt.Printf("%-24s (not in %s)\n", c.Name, fs.Arg(0))
+			continue
+		}
+		work := "identical"
+		if c.SimInstr != b.SimInstr || c.SimCycle != b.SimCycle {
+			work = "CHANGED"
+		}
+		if timing && b.NsPerOp > 0 && c.NsPerOp > 0 {
+			fmt.Printf("%-24s %-14s %14d %14d %8.2fx\n",
+				c.Name, work, b.NsPerOp, c.NsPerOp, float64(b.NsPerOp)/float64(c.NsPerOp))
+		} else {
+			fmt.Printf("%-24s %-14s %14s %14s %9s\n", c.Name, work, "-", "-", "-")
+		}
+	}
+	failures := compare(base, cur, *tolerance)
+	for _, f := range failures {
+		fmt.Fprintln(os.Stderr, "bench: FAIL:", f)
+	}
+	if len(failures) > 0 {
+		return 1
+	}
+	fmt.Printf("ok: %d benchmarks compared\n", len(cur.Benchmarks))
+	return 0
 }
 
 // measure runs one benchmark: a first iteration captures the simulated

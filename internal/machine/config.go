@@ -115,6 +115,55 @@ func (m Model) UsesCache() bool {
 // Switch) code; the others run the raw program.
 func (m Model) UsesGrouping() bool { return m == ExplicitSwitch || m == ConditionalSwitch }
 
+// DispatchMode selects the machine's execution engine. The compiled
+// engine (internal/machine/jit) fuses straight-line runs of
+// thread-private instructions into closures and is byte-identical to
+// the interpreter in every observable — results, metrics, pause points,
+// snapshots, errors — so the choice is a pure speed/debuggability
+// trade, exposed mainly for differential testing.
+type DispatchMode int
+
+const (
+	// DispatchAuto (the default) uses the compiled engine whenever the
+	// configuration is eligible: every model except switch-every-cycle
+	// (which rotates threads after each instruction, leaving no
+	// straight-line runs) and any run without CollectMetrics (the
+	// cycle-accounting hooks observe each instruction individually).
+	DispatchAuto DispatchMode = iota
+	// DispatchCompiled insists on the compiled engine: Validate rejects
+	// configurations Auto would silently interpret. Benchmarks and
+	// tests use it to fail loudly instead of measuring the wrong thing.
+	DispatchCompiled
+	// DispatchInterpreted forces the interpreter.
+	DispatchInterpreted
+
+	numDispatchModes
+)
+
+var dispatchNames = [numDispatchModes]string{
+	DispatchAuto:        "auto",
+	DispatchCompiled:    "compiled",
+	DispatchInterpreted: "interpreted",
+}
+
+// String returns the mode's name.
+func (d DispatchMode) String() string {
+	if int(d) < len(dispatchNames) {
+		return dispatchNames[d]
+	}
+	return fmt.Sprintf("dispatch(%d)", int(d))
+}
+
+// ParseDispatchMode resolves a dispatch-mode name.
+func ParseDispatchMode(s string) (DispatchMode, error) {
+	for i, n := range dispatchNames {
+		if n == s {
+			return DispatchMode(i), nil
+		}
+	}
+	return 0, fmt.Errorf("machine: unknown dispatch mode %q", s)
+}
+
 // Config parameterizes a simulation run.
 type Config struct {
 	// Procs is the number of processors.
@@ -202,6 +251,11 @@ type Config struct {
 	// matches cache contents) after every coherence action. Meant for
 	// tests: the checks cost time proportional to sharer counts.
 	CheckInvariants bool
+	// DispatchMode selects the execution engine (compiled vs
+	// interpreter). The zero value, DispatchAuto, uses the compiled
+	// engine whenever the configuration is eligible; results are
+	// byte-identical either way.
+	DispatchMode DispatchMode
 }
 
 // DefaultLatency is the paper's 200-cycle round trip.
@@ -292,6 +346,12 @@ func (cfg Config) Validate() error {
 		return fmt.Errorf("machine: RunLimit %d < 0", cfg.RunLimit)
 	case c.LatencyJitter < 0 || (c.LatencyJitter > 0 && c.LatencyJitter >= c.Latency):
 		return fmt.Errorf("machine: LatencyJitter %d must be in [0, Latency)", cfg.LatencyJitter)
+	case c.DispatchMode < 0 || c.DispatchMode >= numDispatchModes:
+		return fmt.Errorf("machine: invalid dispatch mode %d", int(cfg.DispatchMode))
+	case c.DispatchMode == DispatchCompiled && c.Model == SwitchEveryCycle:
+		return fmt.Errorf("machine: DispatchCompiled does not apply to %s (no straight-line runs to fuse); use DispatchAuto", c.Model)
+	case c.DispatchMode == DispatchCompiled && c.CollectMetrics:
+		return fmt.Errorf("machine: DispatchCompiled is incompatible with CollectMetrics (the accounting hooks observe every instruction); use DispatchAuto")
 	}
 	if c.Model.UsesCache() {
 		if err := c.Cache.Validate(); err != nil {

@@ -1,0 +1,347 @@
+package jit_test
+
+import (
+	"testing"
+
+	"mtsim/internal/isa"
+	"mtsim/internal/machine/jit"
+	"mtsim/internal/opt"
+	"mtsim/internal/prog"
+)
+
+const big = int64(1) << 60
+
+func state(localWords int) (*[isa.NumIntRegs]int64, *[isa.NumFPRegs]float64, []int64) {
+	var r [isa.NumIntRegs]int64
+	var f [isa.NumFPRegs]float64
+	return &r, &f, make([]int64, localWords)
+}
+
+// pathCost sums the architectural cost of the instructions at pcs.
+func pathCost(p *prog.Program, pcs ...int) int64 {
+	var c int64
+	for _, pc := range pcs {
+		c += int64(p.Instrs[pc].Op.Cost())
+	}
+	return c
+}
+
+// TestCompileCoverage: every fusible run start gets a unit, and the
+// Fused/Total summary matches the run partition exactly.
+func TestCompileCoverage(t *testing.T) {
+	b := prog.NewBuilder("cover")
+	x := b.Shared("x", 2)
+	b.Li(4, x.Base)
+	b.Li(5, 3)
+	b.LwS(6, 4, 0) // non-fusible: splits the surrounding runs
+	b.Add(6, 6, 5)
+	b.SwS(6, 4, 0)
+	b.Halt()
+	p := b.MustBuild()
+
+	cp := jit.Compile(p)
+	if cp.Total != len(p.Instrs) {
+		t.Errorf("Total = %d, want %d", cp.Total, len(p.Instrs))
+	}
+	fused := 0
+	for _, run := range opt.FuseRuns(p) {
+		fused += run.Len()
+		if cp.Units[run.Start] == nil {
+			t.Errorf("no unit at run start pc %d", run.Start)
+		}
+	}
+	if cp.Fused != fused {
+		t.Errorf("Fused = %d, want %d", cp.Fused, fused)
+	}
+	for pc, u := range cp.Units {
+		if u != nil && !opt.Fusible(p.Instrs[pc]) {
+			t.Errorf("unit rooted at non-fusible pc %d", pc)
+		}
+	}
+}
+
+// TestUnitStraightLine pins Unit.Run's full-path contract on a simple
+// ALU run: all instructions execute, next is the fall-through, and the
+// cost prefix is exact and monotone.
+func TestUnitStraightLine(t *testing.T) {
+	b := prog.NewBuilder("line")
+	p0 := b.Pos()
+	b.Li(4, 7)
+	b.Addi(5, 4, 3)
+	b.Mul(6, 4, 5)
+	halt := b.Pos()
+	b.Halt()
+	p := b.MustBuild()
+
+	u := jit.Compile(p).Units[p0]
+	if u == nil {
+		t.Fatal("no unit at program start")
+	}
+	if u.N != 3 {
+		t.Fatalf("N = %d, want 3", u.N)
+	}
+	r, f, local := state(0)
+	next, n, trapped := u.Run(r, f, local)
+	if trapped || n != 3 || next != int32(halt) {
+		t.Fatalf("Run = (%d, %d, %v), want (%d, 3, false)", next, n, trapped, halt)
+	}
+	if r[4] != 7 || r[5] != 10 || r[6] != 70 {
+		t.Errorf("registers = %d,%d,%d, want 7,10,70", r[4], r[5], r[6])
+	}
+	if got, want := u.Cost, pathCost(p, p0, p0+1, p0+2); got != want {
+		t.Errorf("Cost = %d, want %d", got, want)
+	}
+	if u.CostBefore(0) != 0 || u.CostBefore(int(u.N)) != u.Cost {
+		t.Errorf("prefix endpoints: CostBefore(0)=%d, CostBefore(N)=%d, Cost=%d",
+			u.CostBefore(0), u.CostBefore(int(u.N)), u.Cost)
+	}
+	for i := 1; i <= int(u.N); i++ {
+		if u.CostBefore(i) < u.CostBefore(i-1) {
+			t.Errorf("prefix not monotone at %d", i)
+		}
+	}
+	if u.PreCost != u.CostBefore(int(u.N)-1) {
+		t.Errorf("PreCost = %d, want %d", u.PreCost, u.CostBefore(int(u.N)-1))
+	}
+}
+
+// TestUnitSideExit: a conditional branch inside a trace either falls
+// through (full path) or side-exits to its target with the branch
+// itself counted as executed.
+func TestUnitSideExit(t *testing.T) {
+	b := prog.NewBuilder("exit")
+	p0 := b.Pos()
+	b.Beqz(4, "skip")
+	b.Addi(5, 4, 41)
+	b.Label("skip")
+	halt := b.Pos()
+	b.Halt()
+	p := b.MustBuild()
+	u := jit.Compile(p).Units[p0]
+	if u == nil {
+		t.Fatal("no unit at program start")
+	}
+
+	r, f, local := state(0)
+	r[4] = 0 // branch taken: side exit after 1 instruction
+	next, n, trapped := u.Run(r, f, local)
+	if trapped || n != 1 || next != int32(halt) {
+		t.Fatalf("taken: Run = (%d, %d, %v), want (%d, 1, false)", next, n, trapped, halt)
+	}
+	if r[5] != 0 {
+		t.Errorf("taken side exit executed the successor: r5 = %d", r[5])
+	}
+
+	r, f, local = state(0)
+	r[4] = 1 // not taken: full path
+	next, n, trapped = u.Run(r, f, local)
+	if trapped || n != 2 || next != int32(halt) {
+		t.Fatalf("not taken: Run = (%d, %d, %v), want (%d, 2, false)", next, n, trapped, halt)
+	}
+	if r[5] != 42 {
+		t.Errorf("r5 = %d, want 42", r[5])
+	}
+}
+
+// TestUnitTraps: every trapping micro-op (div/rem zero, local bounds,
+// jr range) must report the faulting pc with zero state change from the
+// faulting instruction, and the executed-prefix count must be exact.
+func TestUnitTraps(t *testing.T) {
+	t.Run("div-zero", func(t *testing.T) {
+		b := prog.NewBuilder("div0")
+		p0 := b.Pos()
+		b.Li(4, 5)
+		b.Li(5, 0)
+		div := b.Pos()
+		b.Div(6, 4, 5)
+		b.Halt()
+		p := b.MustBuild()
+		u := jit.Compile(p).Units[p0]
+		r, f, local := state(0)
+		r[6] = -1
+		next, n, trapped := u.Run(r, f, local)
+		if !trapped || n != 2 || next != int32(div) {
+			t.Fatalf("Run = (%d, %d, %v), want (%d, 2, true)", next, n, trapped, div)
+		}
+		if r[6] != -1 {
+			t.Errorf("trapping div wrote rd: r6 = %d", r[6])
+		}
+		if got, want := u.CostBefore(int(n)), pathCost(p, p0, p0+1); got != want {
+			t.Errorf("prefix cost = %d, want %d", got, want)
+		}
+	})
+	t.Run("local-bounds", func(t *testing.T) {
+		b := prog.NewBuilder("oob")
+		b.Local("buf", 2)
+		p0 := b.Pos()
+		b.Li(4, 10)
+		st := b.Pos()
+		b.Sw(4, 4, 0) // address 10, local size 2
+		b.Halt()
+		p := b.MustBuild()
+		u := jit.Compile(p).Units[p0]
+		r, f, local := state(2)
+		next, n, trapped := u.Run(r, f, local)
+		if !trapped || n != 1 || next != int32(st) {
+			t.Fatalf("Run = (%d, %d, %v), want (%d, 1, true)", next, n, trapped, st)
+		}
+	})
+	t.Run("jr-range", func(t *testing.T) {
+		b := prog.NewBuilder("jr")
+		p0 := b.Pos()
+		b.Li(4, 1000)
+		jr := b.Pos()
+		b.Jr(4)
+		b.Halt()
+		p := b.MustBuild()
+		u := jit.Compile(p).Units[p0]
+		r, f, local := state(0)
+		next, n, trapped := u.Run(r, f, local)
+		if !trapped || int64(n) != u.N-1 || next != int32(jr) {
+			t.Fatalf("Run = (%d, %d, %v), want (%d, %d, true)", next, n, trapped, jr, u.N-1)
+		}
+	})
+	t.Run("jr-valid", func(t *testing.T) {
+		b := prog.NewBuilder("jrok")
+		p0 := b.Pos()
+		b.Li(4, 3)
+		b.Jr(4)
+		b.Nop()
+		b.Halt() // pc 3
+		p := b.MustBuild()
+		u := jit.Compile(p).Units[p0]
+		r, f, local := state(0)
+		next, n, trapped := u.Run(r, f, local)
+		if trapped || int64(n) != u.N || next != 3 {
+			t.Fatalf("Run = (%d, %d, %v), want (3, %d, false)", next, n, trapped, u.N)
+		}
+	})
+}
+
+// buildLoop is the canonical counted self-loop: r4 counts 0..trip.
+func buildLoop(trip int64) (*prog.Program, int, int) {
+	b := prog.NewBuilder("loop")
+	p0 := b.Pos()
+	b.Li(4, 0)
+	b.Li(5, trip)
+	b.Label("loop")
+	b.Addi(4, 4, 1)
+	b.Blt(4, 5, "loop")
+	halt := b.Pos()
+	b.Halt()
+	return b.MustBuild(), p0, halt
+}
+
+// TestSelfLoopUnroll: a branch whose target is the trace's own head is
+// compiled inverted with the body unrolled, so the loop-head unit fuses
+// more instructions than the static body.
+func TestSelfLoopUnroll(t *testing.T) {
+	p, p0, _ := buildLoop(50)
+	cp := jit.Compile(p)
+	head := cp.Units[p0+2]
+	if head == nil {
+		t.Fatal("no unit at loop head")
+	}
+	if head.N <= 2 {
+		t.Errorf("loop head N = %d, want > 2 (unrolled copies of the 2-instruction body)", head.N)
+	}
+}
+
+// TestRunChainLoop drives the whole loop through RunChain with open
+// bounds and checks exact instruction and cost accounting.
+func TestRunChainLoop(t *testing.T) {
+	p, p0, halt := buildLoop(50)
+	cp := jit.Compile(p)
+	r, f, local := state(0)
+	cp.SetBounds(big, big, big)
+	next, cost, instrs, more := cp.RunChain(r, f, local, int32(p0), 0)
+	if more || next != int32(halt) {
+		t.Fatalf("RunChain = (next %d, more %v), want (%d, false)", next, more, halt)
+	}
+	if wantInstrs := int64(2 + 2*50); instrs != wantInstrs {
+		t.Errorf("instrs = %d, want %d", instrs, wantInstrs)
+	}
+	wantCost := pathCost(p, p0, p0+1) + 50*pathCost(p, p0+2, p0+3)
+	if cost != wantCost {
+		t.Errorf("cost = %d, want %d", cost, wantCost)
+	}
+	if r[4] != 50 {
+		t.Errorf("r4 = %d, want 50", r[4])
+	}
+}
+
+// TestRunChainBounds: the admission check refuses a unit whose full
+// path would cross lim or exhaust budget, and refuses it before any
+// state changes.
+func TestRunChainBounds(t *testing.T) {
+	p, p0, _ := buildLoop(50)
+	cp := jit.Compile(p)
+
+	r, f, local := state(0)
+	cp.SetBounds(0, big, big) // first unit's PreCost pushes past cycle 0
+	next, cost, instrs, more := cp.RunChain(r, f, local, int32(p0), 0)
+	if next != int32(p0) || cost != 0 || instrs != 0 || more {
+		t.Errorf("lim: RunChain = (%d, %d, %d, %v), want (%d, 0, 0, false)", next, cost, instrs, more, p0)
+	}
+	if r[4] != 0 || r[5] != 0 {
+		t.Errorf("refused chain mutated registers: r4=%d r5=%d", r[4], r[5])
+	}
+
+	cp.SetBounds(big, 1, big) // any unit's cost >= budget 1
+	next, cost, instrs, more = cp.RunChain(r, f, local, int32(p0), 0)
+	if next != int32(p0) || cost != 0 || instrs != 0 || more {
+		t.Errorf("budget: RunChain = (%d, %d, %d, %v), want (%d, 0, 0, false)", next, cost, instrs, more, p0)
+	}
+}
+
+// TestRunChainTick: the tick bound yields with more=true so the caller
+// can poll for cancellation, and the chain resumes to the same final
+// state as an unbounded run.
+func TestRunChainTick(t *testing.T) {
+	p, p0, halt := buildLoop(50)
+	cp := jit.Compile(p)
+	r, f, local := state(0)
+	pc, now := int32(p0), int64(0)
+	var instrs, rounds int64
+	for {
+		cp.SetBounds(big, big, 5)
+		next, c, n, more := cp.RunChain(r, f, local, pc, now)
+		pc, now, instrs = next, now+c, instrs+n
+		rounds++
+		if !more {
+			break
+		}
+		if rounds > 1000 {
+			t.Fatal("chain did not terminate")
+		}
+	}
+	if rounds < 2 {
+		t.Errorf("tick bound never fired: %d rounds for 102 instructions", rounds)
+	}
+	if pc != int32(halt) || instrs != 102 || r[4] != 50 {
+		t.Errorf("resumed chain ended at (pc %d, instrs %d, r4 %d), want (%d, 102, 50)", pc, instrs, r[4], halt)
+	}
+}
+
+// TestRunChainTrap: a mid-chain trap stops the chain at the faulting pc
+// with the prefix exactly accounted.
+func TestRunChainTrap(t *testing.T) {
+	b := prog.NewBuilder("chaintrap")
+	p0 := b.Pos()
+	b.Li(4, 8)
+	b.Li(5, 0)
+	div := b.Pos()
+	b.Div(6, 4, 5)
+	b.Halt()
+	p := b.MustBuild()
+	cp := jit.Compile(p)
+	r, f, local := state(0)
+	cp.SetBounds(big, big, big)
+	next, cost, instrs, more := cp.RunChain(r, f, local, int32(p0), 0)
+	if more || next != int32(div) || instrs != 2 {
+		t.Fatalf("RunChain = (next %d, instrs %d, more %v), want (%d, 2, false)", next, instrs, more, div)
+	}
+	if want := pathCost(p, p0, p0+1); cost != want {
+		t.Errorf("cost = %d, want %d", cost, want)
+	}
+}

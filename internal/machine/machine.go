@@ -8,6 +8,7 @@ import (
 
 	"mtsim/internal/cache"
 	"mtsim/internal/isa"
+	"mtsim/internal/machine/jit"
 	"mtsim/internal/metrics"
 	"mtsim/internal/net"
 	"mtsim/internal/prog"
@@ -121,6 +122,9 @@ type m struct {
 	// nil when disabled: every hook below sits behind one nil check so
 	// the hot loop pays nothing for the observability layer.
 	mx *metrics.Collector
+	// eng is the compiled dispatch engine (see dispatch.go); nil when
+	// the configuration is ineligible or forces the interpreter.
+	eng *jit.Program
 	// nowApprox mirrors the run loop's current cycle for accounting
 	// hooks that are not passed the time explicitly.
 	nowApprox int64
@@ -135,6 +139,10 @@ type m struct {
 	// event scan touches a handful of cache lines instead of one line
 	// per ~200-byte proc.
 	wakes []int64
+	// wheel indexes wakes for the run loop (see wheel.go). Derived
+	// state: never snapshotted, rebuilt lazily from wakes after a
+	// restore, and kept consistent across pauses.
+	wheel *eventWheel
 	// ctxDone is the run's cancellation channel (nil when the context
 	// cannot be canceled, which disables polling entirely); cancelTick
 	// counts event-loop steps down to the next amortized poll
@@ -304,6 +312,7 @@ func newSim(cfg Config, p *prog.Program, init func(*Shared), tr Tracer) (*m, err
 		}
 	}
 	sim.live = nthreads
+	sim.compileEngine()
 	return sim, nil
 }
 
@@ -326,34 +335,77 @@ func (sim *m) bindContext(ctx context.Context) {
 // immediate, so a stalled processor can neither affect nor be affected by
 // anything until one of its threads wakes.
 //
-// The event queue is a flat wake-time vector, walked once per event
-// cycle by a pass that both executes every processor due at `now` (in
-// index order) and computes the two earliest upcoming events as it goes
-// — one scan per cohort instead of the naive two. When the earliest
-// event belongs to exactly one processor, that processor keeps executing
-// — advancing its own clock — until another processor's event is due, so
-// consecutive ready instructions pay no dispatch at all (a 1-processor
-// run is a straight interpreter loop). An indexed min-heap was tried
-// here first and profiled slower: with hundreds of threads waking in
-// latency-aligned waves, most event cycles are dense cohorts, and a
-// full-depth sift-down per executed instruction costs more than one
-// amortized scan over a contiguous int64 slice. Ordering is unchanged
-// either way: every instruction executes at the same cycle as before,
-// and processors sharing a cycle still run in index order.
+// The event queue is the calendar wheel in wheel.go: per-cycle bitmap
+// buckets popped in processor-id order, so every instruction executes
+// at the same cycle, and processors sharing a cycle still run in the
+// same order, as a naive min-scan would produce. A flat wake-vector
+// scan (and, before it, an indexed min-heap) was profiled here first:
+// the scan beat the heap when every dispatch was one instruction, but
+// under the compiled engine a dispatch is a whole chain, cohorts thin
+// out, and one O(procs) pass per event cycle dominated the profile.
+// The wheel pays O(1) per dispatch and per cycle instead. A single-
+// processor machine bypasses queueing entirely: with nothing to order
+// against, run degenerates to a straight dispatch loop.
+//
 // run also honors sim.until, the pause bound used by the checkpointing
 // Machine handle: the loop stops *before executing any event* at a
 // cycle >= until and records the clock in sim.now, an instruction
 // boundary at which every piece of simulator state is consistent. A
-// later call re-enters the outer loop at the same clock and replays the
-// identical cohort scan (or single-processor dispatch — at a pause
-// inside the batch fast path exactly one processor is due, so the
-// cohort pass reproduces that one dispatch), making a paused-and-
-// resumed run byte-identical to an uninterrupted one. Unbounded runs
-// keep until at never, so the budget guard is one always-false compare.
+// later call re-enters at the same clock and pops the identical cohort
+// (the paused cycle's bucket is untouched), making a paused-and-resumed
+// run byte-identical to an uninterrupted one. sim.wakes remains the
+// canonical event state: snapshots encode it and never the wheel, which
+// a restored machine rebuilds lazily here.
 func (sim *m) run() (done bool, err error) {
 	if sim.wakes == nil {
 		sim.wakes = make([]int64, len(sim.procs)) // all due at cycle 0
 	}
+	if len(sim.procs) == 1 {
+		return sim.runSingle()
+	}
+	now := sim.now
+	if sim.wheel == nil {
+		sim.buildWheel(now)
+	}
+	for {
+		if now > sim.cfg.MaxCycles {
+			return false, sim.maxCyclesErr(now)
+		}
+		if now >= sim.until {
+			sim.now = now
+			return false, nil
+		}
+		if sim.ctxDone != nil {
+			if sim.cancelTick--; sim.cancelTick <= 0 {
+				if err := sim.pollCancel(now); err != nil {
+					return false, err
+				}
+			}
+		}
+		sim.nowApprox = now
+		// A processor executed earlier in the cohort can change a later
+		// one's cache state but never its wake time, so the bucket
+		// popped here is exactly the cohort a full scan would find.
+		if err := sim.popAndRun(now); err != nil {
+			return false, err
+		}
+		if sim.live == 0 {
+			break
+		}
+		next, ok := sim.nextEvent(now + 1)
+		if !ok {
+			return false, fmt.Errorf("machine: internal: %d live threads but no runnable processor", sim.live)
+		}
+		now = next
+	}
+	sim.finish(sim.nowApprox + 1)
+	return true, nil
+}
+
+// runSingle is run for a one-processor machine: no ordering against
+// other processors exists, so the loop dispatches straight off the
+// single wake time.
+func (sim *m) runSingle() (done bool, err error) {
 	now := sim.now
 	for {
 		if now > sim.cfg.MaxCycles {
@@ -371,61 +423,17 @@ func (sim *m) run() (done bool, err error) {
 			}
 		}
 		sim.nowApprox = now
-		// Cohort pass: execute everything due now, track the two
-		// earliest post-execution events. A processor executed earlier
-		// in the pass can change a later one's cache state but never
-		// its wake time, so the running minima stay valid.
-		min1, min2 := int64(never), int64(never)
-		var mp *proc
-		var mi int
-		for pi := range sim.procs {
-			if sim.wakes[pi] == now {
-				if err := sim.execOne(&sim.procs[pi], now); err != nil {
-					return false, err
-				}
-			}
-			if n := sim.wakes[pi]; n < min1 {
-				min2, min1, mp, mi = min1, n, &sim.procs[pi], pi
-			} else if n < min2 {
-				min2 = n
-			}
-		}
-		// Batch fast path: while one processor is strictly ahead of
-		// every other event, run it without rescanning.
-		for min1 < min2 {
-			now = min1
-			if now > sim.cfg.MaxCycles {
-				return false, sim.maxCyclesErr(now)
-			}
-			if now >= sim.until {
-				sim.now = now
-				return false, nil
-			}
-			if sim.ctxDone != nil {
-				if sim.cancelTick--; sim.cancelTick <= 0 {
-					if err := sim.pollCancel(now); err != nil {
-						return false, err
-					}
-				}
-			}
-			sim.nowApprox = now
-			if err := sim.execOne(mp, now); err != nil {
-				return false, err
-			}
-			min1 = sim.wakes[mi]
+		if err := sim.execOne(&sim.procs[0], now); err != nil {
+			return false, err
 		}
 		if sim.live == 0 {
 			break
 		}
-		// Only mp's wake moved during the batch, so the next event is
-		// the earlier of its new wake and the runner-up.
-		if min1 > min2 {
-			min1 = min2
-		}
-		if min1 == never {
+		w := sim.wakes[0]
+		if w == never {
 			return false, fmt.Errorf("machine: internal: %d live threads but no runnable processor", sim.live)
 		}
-		now = min1
+		now = w
 	}
 	sim.finish(sim.nowApprox + 1)
 	return true, nil
@@ -580,6 +588,28 @@ func (sim *m) execOne(pr *proc, now int64) error {
 			t = &pr.threads[found]
 		}
 
+		// Compiled fast path: with a clean scoreboard and no pending
+		// critical-priority rescheduling, the selected thread stays
+		// selected for as long as it executes thread-private
+		// instructions, so fused units run here in chains. Any bail-out
+		// (no unit at pc, a boundary inside every reachable unit, a
+		// trap) falls through to the interpreter below.
+		if sim.eng != nil && t.maxReady <= now &&
+			!(sim.cfg.CritPriority && t.crit == 0 && pr.critLive > 0) {
+			nn, ran, err := sim.runCompiled(pr, t, now)
+			if err != nil {
+				return err
+			}
+			if ran {
+				// A chain leaves the current thread live and runnable
+				// (t.wake <= now < nn, and fused units never halt), so
+				// updateNext would resolve to exactly nn; store it
+				// directly and skip the thread scan.
+				sim.wakes[pr.id] = nn
+				return nil
+			}
+		}
+
 		if t.pc < 0 || int(t.pc) >= len(sim.instrs) {
 			return sim.runtimeErr(pr, t, 0, "pc %d out of range", t.pc)
 		}
@@ -605,7 +635,32 @@ func (sim *m) execOne(pr *proc, now int64) error {
 				return nil
 			}
 		}
-		return sim.execInstr(pr, t, in, now)
+		err := sim.execInstr(pr, t, in, now)
+		if err != nil || sim.eng == nil {
+			return err
+		}
+		// Post-instruction chain. When the instruction left this thread
+		// current, live, runnable at the processor's next dispatch
+		// cycle, and with a clean scoreboard, that dispatch would
+		// select it again (selection stays on a runnable current
+		// thread) and enter the compiled engine — so run the chain now
+		// and save the dispatch round trip. The admission inside
+		// runCompiled still bounds the chain by the pause, MaxCycles
+		// and preemption boundaries at the future base cycle, so a
+		// base beyond a boundary simply admits nothing.
+		base := sim.wakes[pr.id]
+		if base != never && &pr.threads[pr.cur] == t && !t.halted &&
+			t.wake <= base && t.maxReady <= base &&
+			!(sim.cfg.CritPriority && t.crit == 0 && pr.critLive > 0) {
+			nn, ran, err := sim.runCompiled(pr, t, base)
+			if err != nil {
+				return err
+			}
+			if ran {
+				sim.wakes[pr.id] = nn
+			}
+		}
+		return nil
 	}
 }
 

@@ -35,7 +35,10 @@ import (
 
 // SnapshotVersion is the current snapshot format version. Readers
 // accept versions 1..SnapshotVersion and reject anything newer.
-const SnapshotVersion = 1
+// Version 2 appended Config.DispatchMode to the encoded configuration;
+// version-1 snapshots decode with DispatchAuto, which preserves their
+// results exactly (dispatch mode never affects observable behavior).
+const SnapshotVersion = 2
 
 // snapMagic brands machine snapshots.
 const snapMagic = "MTSN"
@@ -153,12 +156,12 @@ func (mc *Machine) Snapshot() ([]byte, error) {
 // must be the one the snapshot was taken from (verified by a content
 // hash); init is NOT re-run — shared memory comes from the snapshot.
 func RestoreMachine(data []byte, p *prog.Program) (*Machine, error) {
-	_, payload, err := snap.Open(snapMagic, SnapshotVersion, data)
+	version, payload, err := snap.Open(snapMagic, SnapshotVersion, data)
 	if err != nil {
 		return nil, fmt.Errorf("machine: restore: %w", err)
 	}
 	d := snap.NewDecoder(payload)
-	sim, err := decodeState(d, p)
+	sim, err := decodeState(d, p, version)
 	if err != nil {
 		return nil, fmt.Errorf("machine: restore: %w", err)
 	}
@@ -299,10 +302,10 @@ func (sim *m) encodeState(e *snap.Encoder) {
 }
 
 // decodeState rebuilds a paused simulation from a payload.
-func decodeState(d *snap.Decoder, p *prog.Program) (*m, error) {
+func decodeState(d *snap.Decoder, p *prog.Program, version uint32) (*m, error) {
 	name := d.String()
 	hash := d.U64()
-	cfg := decodeConfig(d)
+	cfg := decodeConfig(d, version)
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
@@ -685,9 +688,10 @@ func encodeConfig(e *snap.Encoder, cfg Config) {
 	e.Bool(cfg.CollectRunLengths)
 	e.Bool(cfg.CollectMetrics)
 	e.Bool(cfg.CheckInvariants)
+	e.Int(int(cfg.DispatchMode)) // appended by format version 2
 }
 
-func decodeConfig(d *snap.Decoder) Config {
+func decodeConfig(d *snap.Decoder, version uint32) Config {
 	var cfg Config
 	cfg.Procs = d.Int()
 	cfg.Threads = d.Int()
@@ -727,6 +731,9 @@ func decodeConfig(d *snap.Decoder) Config {
 	cfg.CollectRunLengths = d.Bool()
 	cfg.CollectMetrics = d.Bool()
 	cfg.CheckInvariants = d.Bool()
+	if version >= 2 {
+		cfg.DispatchMode = DispatchMode(d.Int())
+	}
 	return cfg
 }
 

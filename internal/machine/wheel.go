@@ -1,0 +1,144 @@
+package machine
+
+import "math/bits"
+
+// The event wheel is the run loop's calendar queue: a power-of-two ring
+// of per-cycle buckets, each a bitmap over processor ids. A processor
+// appears in exactly one bucket — the one for its wake cycle — because
+// wake times only move forward and only when the processor dispatches,
+// so popping a bucket and reinserting at the new wake keeps the bit and
+// sim.wakes in lockstep. sim.wakes stays the canonical event state (it
+// is what snapshots encode and what pauses preserve); the wheel is a
+// derived index over it, rebuilt lazily after a restore.
+//
+// Bitmap buckets keep the one ordering rule the interpreter guarantees:
+// processors sharing a cycle execute in ascending id order, which is
+// exactly bit order. Wakes beyond the ring's horizon sit in an overflow
+// list (far) that migrates into the ring as the clock approaches; the
+// validation compare on pop makes the structure robust to any residual
+// aliasing rather than relying on the horizon argument alone.
+
+const (
+	wheelBits = 11 // 2048-cycle ring: beyond typical latency+congestion wakes
+	wheelSize = int64(1) << wheelBits
+	wheelMask = wheelSize - 1
+)
+
+type eventWheel struct {
+	buckets []uint64 // wheelSize buckets of `words` adjacent uint64s
+	words   int64    // bitmap words per bucket: ceil(procs/64)
+	inRing  int      // bits currently set across all buckets
+	far     []int32  // procs whose wake lies beyond the ring horizon
+	farMin  int64    // earliest far wake (never when far is empty)
+}
+
+// buildWheel indexes every live processor's wake time, anchored at now.
+func (sim *m) buildWheel(now int64) {
+	words := int64(len(sim.procs)+63) / 64
+	sim.wheel = &eventWheel{
+		buckets: make([]uint64, wheelSize*words),
+		words:   words,
+		farMin:  never,
+	}
+	for pi, w := range sim.wakes {
+		if w != never {
+			sim.wheelInsert(pi, w, now)
+		}
+	}
+}
+
+// wheelInsert schedules processor pi's next event at cycle w (>= now).
+func (sim *m) wheelInsert(pi int, w, now int64) {
+	wh := sim.wheel
+	if w-now < wheelSize {
+		wh.buckets[(w&wheelMask)*wh.words+int64(pi>>6)] |= 1 << (uint(pi) & 63)
+		wh.inRing++
+		return
+	}
+	wh.far = append(wh.far, int32(pi))
+	if w < wh.farMin {
+		wh.farMin = w
+	}
+}
+
+// migrateFar moves overflow entries whose wake now fits the ring window
+// [c, c+wheelSize) into their buckets.
+func (sim *m) migrateFar(c int64) {
+	wh := sim.wheel
+	kept := wh.far[:0]
+	min := int64(never)
+	for _, pi := range wh.far {
+		w := sim.wakes[pi]
+		if w-c < wheelSize {
+			wh.buckets[(w&wheelMask)*wh.words+int64(pi>>6)] |= 1 << (uint(pi) & 63)
+			wh.inRing++
+			continue
+		}
+		kept = append(kept, pi)
+		if w < min {
+			min = w
+		}
+	}
+	wh.far = kept
+	wh.farMin = min
+}
+
+// nextEvent finds the earliest cycle >= from with a scheduled event. It
+// reports ok=false when no processor has one (live threads deadlocked).
+func (sim *m) nextEvent(from int64) (int64, bool) {
+	wh := sim.wheel
+	words := wh.words
+	c := from
+	for {
+		if wh.inRing == 0 {
+			if len(wh.far) == 0 {
+				return 0, false
+			}
+			if c < wh.farMin {
+				c = wh.farMin // skip the empty stretch entirely
+			}
+		}
+		if wh.farMin <= c {
+			sim.migrateFar(c)
+		}
+		off := (c & wheelMask) * words
+		for wi := int64(0); wi < words; wi++ {
+			if wh.buckets[off+wi] != 0 {
+				return c, true
+			}
+		}
+		c++
+	}
+}
+
+// popAndRun executes every processor due at cycle now, in ascending id
+// order, reinserting each at its new wake. The validation compare skips
+// (and reschedules) any bit whose processor is not actually due.
+func (sim *m) popAndRun(now int64) error {
+	wh := sim.wheel
+	off := (now & wheelMask) * wh.words
+	for wi := int64(0); wi < wh.words; wi++ {
+		word := wh.buckets[off+wi]
+		if word == 0 {
+			continue
+		}
+		wh.buckets[off+wi] = 0
+		wh.inRing -= bits.OnesCount64(word)
+		base := int(wi) << 6
+		for word != 0 {
+			pi := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			if sim.wakes[pi] != now {
+				sim.wheelInsert(pi, sim.wakes[pi], now)
+				continue
+			}
+			if err := sim.execOne(&sim.procs[pi], now); err != nil {
+				return err
+			}
+			if w := sim.wakes[pi]; w != never {
+				sim.wheelInsert(pi, w, now)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package opt
+
+import (
+	"mtsim/internal/isa"
+	"mtsim/internal/prog"
+)
+
+// This file is the block metadata used by the machine's compiled
+// dispatch engine (internal/machine/jit): it classifies instructions by
+// whether a fused straight-line closure may execute them, and cuts each
+// basic block into maximal fusible runs.
+//
+// "Fusible" means the instruction touches thread-private state only —
+// integer and FP ALU, register moves, local memory, and control flow.
+// Such an instruction can neither observe nor affect any other thread
+// (shared memory, caches, the network and the fault plan are reached
+// exclusively through the shared-access opcodes), so a fused run may
+// execute several simulated cycles ahead of other processors without
+// changing what any interleaving at cycle granularity could observe.
+// Everything else — shared accesses, Switch/Use, CritEnter/CritExit,
+// Halt, and any Spin-marked probe (which carries its own accounting) —
+// must take the interpreter's slow path, where the full switch-policy,
+// scoreboard and traffic machinery applies.
+
+// Fusible reports whether the compiled dispatch engine may execute in
+// inside a fused run. The opcode ranges mirror the isa declaration
+// groups: Nop..Jr covers the ALU, FP, and control ops (Halt excluded),
+// Lw..Fsw the thread-local memory ops.
+func Fusible(in isa.Instr) bool {
+	if in.Spin {
+		return false
+	}
+	op := in.Op
+	return op < isa.Halt || (op >= isa.Lw && op <= isa.Fsw)
+}
+
+// Run is a maximal fusible streak inside one basic block: instructions
+// [Start, End), all Fusible, of which at most the last is a control
+// transfer. Start is an entry point the executing machine can actually
+// reach with a clean scoreboard: either a block leader or the successor
+// of a non-fusible instruction.
+type Run struct {
+	Start int
+	End   int
+}
+
+// Len returns the number of instructions in the run.
+func (r Run) Len() int { return r.End - r.Start }
+
+// FuseRuns cuts every basic block of p into maximal fusible runs, in
+// program order. Control transfers end blocks (FindBlocks), so a run
+// contains a branch or jump only as its final instruction; a run ending
+// mid-block stops at a non-fusible instruction that the interpreter
+// must execute.
+func FuseRuns(p *prog.Program) []Run {
+	var runs []Run
+	for _, b := range FindBlocks(p) {
+		i := b.Start
+		for i < b.End {
+			if !Fusible(p.Instrs[i]) {
+				i++
+				continue
+			}
+			j := i + 1
+			for j < b.End && Fusible(p.Instrs[j]) {
+				j++
+			}
+			runs = append(runs, Run{Start: i, End: j})
+			i = j
+		}
+	}
+	return runs
+}

@@ -1,0 +1,112 @@
+package opt
+
+import (
+	"testing"
+
+	"mtsim/internal/isa"
+	"mtsim/internal/prog"
+)
+
+func TestFusibleClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		in   isa.Instr
+		want bool
+	}{
+		{"alu", isa.Instr{Op: isa.Add}, true},
+		{"imm", isa.Instr{Op: isa.Addi}, true},
+		{"fp", isa.Instr{Op: isa.Fadd}, true},
+		{"branch", isa.Instr{Op: isa.Beq}, true},
+		{"jump", isa.Instr{Op: isa.J}, true},
+		{"jr", isa.Instr{Op: isa.Jr}, true},
+		{"local-load", isa.Instr{Op: isa.Lw}, true},
+		{"local-store", isa.Instr{Op: isa.Fsw}, true},
+		{"halt", isa.Instr{Op: isa.Halt}, false},
+		{"switch", isa.Instr{Op: isa.Switch}, false},
+		{"use", isa.Instr{Op: isa.Use}, false},
+		{"crit", isa.Instr{Op: isa.CritEnter}, false},
+		{"shared-load", isa.Instr{Op: isa.LwS}, false},
+		{"shared-store", isa.Instr{Op: isa.SwS}, false},
+		{"faa", isa.Instr{Op: isa.Faa}, false},
+		{"spin-marked-alu", isa.Instr{Op: isa.Add, Spin: true}, false},
+		{"spin-marked-branch", isa.Instr{Op: isa.Bnez, Spin: true}, false},
+	}
+	for _, c := range cases {
+		if got := Fusible(c.in); got != c.want {
+			t.Errorf("%s: Fusible(%v) = %v, want %v", c.name, c.in.Op, got, c.want)
+		}
+	}
+}
+
+// TestFuseRuns checks the partition invariants on a program mixing
+// fusible streaks with shared accesses: runs are disjoint, in order,
+// wholly fusible, maximal, and contain a control transfer only as the
+// final instruction.
+func TestFuseRuns(t *testing.T) {
+	b := prog.NewBuilder("runs")
+	x := b.Shared("x", 2)
+	b.Li(4, x.Base)
+	b.Li(5, 0)
+	b.Label("loop")
+	b.Addi(5, 5, 1)
+	b.LwS(6, 4, 0) // splits the block interior
+	b.Add(6, 6, 5)
+	b.SwS(6, 4, 0) // splits again
+	b.Slti(7, 5, 3)
+	b.Bnez(7, "loop")
+	b.Halt()
+	p := b.MustBuild()
+
+	runs := FuseRuns(p)
+	if len(runs) == 0 {
+		t.Fatal("no runs found")
+	}
+	prevEnd := -1
+	for _, r := range runs {
+		if r.Len() <= 0 {
+			t.Fatalf("empty run %+v", r)
+		}
+		if r.Start <= prevEnd-1 {
+			t.Fatalf("runs overlap or out of order: %+v after end %d", r, prevEnd)
+		}
+		prevEnd = r.End
+		for pc := r.Start; pc < r.End; pc++ {
+			if !Fusible(p.Instrs[pc]) {
+				t.Errorf("run %+v contains non-fusible pc %d (%v)", r, pc, p.Instrs[pc].Op)
+			}
+			if op := p.Instrs[pc].Op; pc != r.End-1 && (op.IsBranch() || op == isa.J || op == isa.Jal || op == isa.Jr) {
+				t.Errorf("run %+v has control transfer mid-run at pc %d", r, pc)
+			}
+		}
+		// Maximality: the instruction after the run is non-fusible, a
+		// block boundary, or the run ends in a control transfer.
+		if r.End < len(p.Instrs) && Fusible(p.Instrs[r.End]) {
+			last := p.Instrs[r.End-1].Op
+			endsBlock := last.IsBranch() || last == isa.J || last == isa.Jal || last == isa.Jr
+			leader := false
+			for _, blk := range FindBlocks(p) {
+				if blk.Start == r.End {
+					leader = true
+					break
+				}
+			}
+			if !endsBlock && !leader {
+				t.Errorf("run %+v not maximal: pc %d is fusible and not a leader", r, r.End)
+			}
+		}
+	}
+
+	// Every fusible instruction outside all runs must be unreachable by
+	// fused dispatch — here the program is simple, so coverage is total:
+	covered := make([]bool, len(p.Instrs))
+	for _, r := range runs {
+		for pc := r.Start; pc < r.End; pc++ {
+			covered[pc] = true
+		}
+	}
+	for pc, in := range p.Instrs {
+		if Fusible(in) && !covered[pc] {
+			t.Errorf("fusible pc %d (%v) not in any run", pc, in.Op)
+		}
+	}
+}

@@ -56,6 +56,9 @@ type (
 	Result = machine.Result
 	// Model is a context-switch policy.
 	Model = machine.Model
+	// DispatchMode selects the execution engine (compiled closures vs
+	// the interpreter); the two are byte-identical in every observable.
+	DispatchMode = machine.DispatchMode
 	// Shared is the host view of simulated shared memory.
 	Shared = machine.Shared
 	// App is one benchmark application instance.
@@ -197,6 +200,16 @@ const (
 	Medium = app.Medium
 	Full   = app.Full
 )
+
+// Dispatch modes (Config.DispatchMode).
+const (
+	DispatchAuto        = machine.DispatchAuto
+	DispatchCompiled    = machine.DispatchCompiled
+	DispatchInterpreted = machine.DispatchInterpreted
+)
+
+// ParseDispatchMode resolves a dispatch-mode name like "interpreted".
+func ParseDispatchMode(s string) (DispatchMode, error) { return machine.ParseDispatchMode(s) }
 
 // DefaultLatency is the paper's 200-cycle round trip.
 const DefaultLatency = machine.DefaultLatency
