@@ -7,12 +7,23 @@
 //
 //	mtsimd [-addr :8080] [-workers N] [-queue N] [-timeout 60s] [-drain 30s]
 //	       [-journal PATH] [-checkpoint-every N]
+//	       [-node-id ID -peers id1=url1,id2=url2,...] [-heartbeat 500ms]
+//	       [-lease-ttl 3s] [-replicas 2]
 //
 // -journal enables crash-tolerant async batch jobs: /v1/batch requests
 // carrying an Idempotency-Key are journaled to PATH (write-ahead,
 // fsync'd), checkpointed every N cycles, and survive even a SIGKILL —
 // on restart the journal replays and unfinished jobs resume from their
 // latest checkpoint to byte-identical responses.
+//
+// -node-id and -peers (which require -journal) join the daemon to a
+// multi-node fleet: peers probe each other's health, a consistent-hash
+// ring routes every request to its owner node (any node can front the
+// cluster and forwards the rest), async job state replicates to ring
+// successors, and when a node dies its expired job leases are claimed
+// and resumed by the survivors — still to byte-identical responses. A
+// graceful drain hands owned jobs to live successors before exit. See
+// GET /v1/cluster for topology, health, and the lease table.
 //
 // SIGTERM/SIGINT starts a graceful drain: listeners close immediately,
 // in-flight simulations run to completion until -drain expires, then
@@ -30,11 +41,33 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"mtsim/internal/cluster"
 	"mtsim/internal/serve"
 )
+
+// parsePeers decodes the -peers flag: "id1=url1,id2=url2,...".
+func parsePeers(s string) ([]cluster.Peer, error) {
+	var peers []cluster.Peer
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("bad -peers entry %q, want id=url", part)
+		}
+		peers = append(peers, cluster.Peer{ID: id, URL: strings.TrimSuffix(url, "/")})
+	}
+	if len(peers) == 0 {
+		return nil, errors.New("-peers is empty")
+	}
+	return peers, nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -46,6 +79,11 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window")
 	journal := flag.String("journal", "", "write-ahead job journal path; enables crash-tolerant async batch jobs")
 	ckptEvery := flag.Int64("checkpoint-every", 0, "cycles between async-job checkpoints (0 = 100000)")
+	nodeID := flag.String("node-id", "", "this node's cluster id; enables cluster mode with -peers (requires -journal)")
+	peers := flag.String("peers", "", "comma-separated id=url cluster membership, self included")
+	heartbeat := flag.Duration("heartbeat", 0, "cluster health-probe period (0 = 500ms)")
+	leaseTTL := flag.Duration("lease-ttl", 0, "job lease validity without renewal (0 = 3s)")
+	replicas := flag.Int("replicas", 0, "nodes holding each async job's state, owner included (0 = 2)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "mtsimd: unexpected argument %q\n", flag.Arg(0))
@@ -68,6 +106,27 @@ func main() {
 			log.Fatalf("mtsimd: %v", err)
 		}
 		log.Printf("mtsimd: journal %s: %d jobs replayed", *journal, replayed)
+	}
+	if (*nodeID == "") != (*peers == "") {
+		log.Fatalf("mtsimd: -node-id and -peers must be set together")
+	}
+	if *nodeID != "" {
+		peerList, err := parsePeers(*peers)
+		if err != nil {
+			log.Fatalf("mtsimd: %v", err)
+		}
+		node, err := srv.EnableCluster(cluster.Config{
+			Self:           *nodeID,
+			Peers:          peerList,
+			HeartbeatEvery: *heartbeat,
+			LeaseTTL:       *leaseTTL,
+			Replicas:       *replicas,
+		})
+		if err != nil {
+			log.Fatalf("mtsimd: %v", err)
+		}
+		log.Printf("mtsimd: cluster node %s joined a %d-node fleet (%d replicas per job)",
+			node.Self(), len(peerList), node.Replicas())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)

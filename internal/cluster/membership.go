@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// PingPath is the membership probe endpoint every node must serve (the
+// serve layer answers it with a PingResponse built from its lease table).
+const PingPath = "/v1/cluster/ping"
+
+// Start launches the heartbeat prober. Call once; Stop ends it.
+func (n *Node) Start() {
+	n.mu.Lock()
+	if n.started {
+		n.mu.Unlock()
+		return
+	}
+	n.started = true
+	// The silence clock starts now: a peer that never answers still
+	// walks alive → suspect → dead on schedule from this instant.
+	start := n.now()
+	for _, m := range n.members {
+		m.anchor = start
+	}
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go n.probeLoop()
+}
+
+// Stop ends the prober and waits for in-flight probes and claim hooks.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if !n.started {
+		n.mu.Unlock()
+		return
+	}
+	n.started = false
+	close(n.stop)
+	n.mu.Unlock()
+	n.wg.Wait()
+}
+
+func (n *Node) probeLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.HeartbeatEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-ticker.C:
+			n.probeRound()
+		}
+	}
+}
+
+// probeRound probes every peer concurrently, folds the results into the
+// member and lease tables, then checks for claimable expired leases.
+func (n *Node) probeRound() {
+	var wg sync.WaitGroup
+	for _, p := range n.cfg.Peers {
+		if p.ID == n.cfg.Self {
+			continue
+		}
+		wg.Add(1)
+		go func(p Peer) {
+			defer wg.Done()
+			n.probe(p)
+		}(p)
+	}
+	wg.Wait()
+	n.checkExpiredLeases()
+}
+
+// probe performs one health check of peer p and updates its state.
+func (n *Node) probe(p Peer) {
+	ping, err := n.fetchPing(p)
+	now := n.now()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	m := n.members[p.ID]
+	if err != nil {
+		m.lastErr = err.Error()
+		// Silence is measured from the later of Start and last contact.
+		silent := now.Sub(m.anchor)
+		if !m.lastSeen.IsZero() {
+			silent = now.Sub(m.lastSeen)
+		}
+		switch {
+		case silent >= n.cfg.DeadAfter:
+			m.state = StateDead
+		case silent >= n.cfg.SuspectAfter:
+			m.state = StateSuspect
+		}
+		return
+	}
+	m.state, m.lastSeen, m.anchor, m.lastErr = StateAlive, now, now, ""
+	n.mergeLeases(p.ID, ping.Leases, now)
+}
+
+// fetchPing GETs one peer's ping endpoint and validates its identity.
+func (n *Node) fetchPing(p Peer) (*PingResponse, error) {
+	resp, err := n.client.Get(p.URL + PingPath)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("ping %s: status %d", p.ID, resp.StatusCode)
+	}
+	var ping PingResponse
+	if err := json.Unmarshal(body, &ping); err != nil {
+		return nil, fmt.Errorf("ping %s: %v", p.ID, err)
+	}
+	if ping.NodeID != p.ID {
+		// A different node answering on this address (port reuse, bad
+		// config) must read as a failure, not as the peer being fine.
+		return nil, fmt.Errorf("ping %s: answered by %q", p.ID, ping.NodeID)
+	}
+	return &ping, nil
+}
+
+// mergeLeases folds one peer's gossiped lease list into the local
+// table. Called with n.mu held.
+func (n *Node) mergeLeases(peerID string, leases []Lease, now time.Time) {
+	seen := make(map[string]bool, len(leases))
+	for _, l := range leases {
+		l.Holder = peerID // the peer speaks only for itself
+		seen[l.JobID] = true
+		cur := n.remote[l.JobID]
+		// A fresh claim by an alive peer overrides a stale entry from a
+		// previous holder; an entry from the same holder just renews.
+		if cur == nil || cur.Holder == peerID || now.After(cur.expires) || !n.aliveLocked(cur.Holder) {
+			ttl := time.Duration(l.TTLMS) * time.Millisecond
+			if ttl <= 0 || ttl > n.cfg.LeaseTTL {
+				ttl = n.cfg.LeaseTTL
+			}
+			n.remote[l.JobID] = &remoteLease{Lease: l, expires: now.Add(ttl)}
+		}
+	}
+	// Leases this peer held but no longer reports are finished or
+	// handed off on its side: forget our copy.
+	for id, rl := range n.remote {
+		if rl.Holder == peerID && !seen[id] {
+			delete(n.remote, id)
+		}
+	}
+}
+
+// aliveLocked is Alive without re-locking. Called with n.mu held.
+func (n *Node) aliveLocked(id string) bool {
+	if id == n.cfg.Self {
+		return true
+	}
+	m := n.members[id]
+	return m != nil && m.state == StateAlive
+}
+
+// checkExpiredLeases scans for leases whose holder is dead and whose
+// TTL has run out; when this node is the job's route owner, the claim
+// hook fires. One claim per job is in flight at a time — the hook ends
+// the claim by calling DropLease (success or give-up); a hook that
+// returns without dropping leaves the lease to be retried next round.
+func (n *Node) checkExpiredLeases() {
+	if n.OnExpiredLease == nil {
+		return
+	}
+	now := n.now()
+	var claims []Lease
+	n.mu.Lock()
+	for id, rl := range n.remote {
+		if n.claiming[id] || now.Before(rl.expires) || n.aliveLocked(rl.Holder) {
+			continue
+		}
+		if m := n.members[rl.Holder]; m == nil || m.state != StateDead {
+			continue // suspect is not enough to steal work
+		}
+		if n.routeOwnerLocked(JobRouteKey(id)) != n.cfg.Self {
+			continue
+		}
+		n.claiming[id] = true
+		claims = append(claims, rl.Lease)
+	}
+	n.mu.Unlock()
+	for _, l := range claims {
+		n.wg.Add(1)
+		go func(l Lease) {
+			defer n.wg.Done()
+			n.OnExpiredLease(l)
+			n.mu.Lock()
+			delete(n.claiming, l.JobID)
+			n.mu.Unlock()
+		}(l)
+	}
+}
+
+// routeOwnerLocked is RouteOwner with n.mu held.
+func (n *Node) routeOwnerLocked(key string) string {
+	succ := n.ring.successors(key)
+	for _, id := range succ {
+		if n.aliveLocked(id) {
+			return id
+		}
+	}
+	if len(succ) == 0 {
+		return n.cfg.Self
+	}
+	return succ[0]
+}
+
+// JobRouteKey is the ring key for an async job id. Session keys and job
+// ids share one ring but live in disjoint key spaces.
+func JobRouteKey(jobID string) string { return "job/" + jobID }
+
+// SessionRouteKey is the ring key for a session (scale + metrics flag):
+// routing whole sessions to one node turns the per-node memo cache into
+// a cluster-wide cache tier.
+func SessionRouteKey(sessionKey string) string { return "session/" + sessionKey }

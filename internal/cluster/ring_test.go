@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testPeers(n int) []Peer {
+	peers := make([]Peer, n)
+	for i := range peers {
+		peers[i] = Peer{ID: fmt.Sprintf("node%d", i+1), URL: fmt.Sprintf("http://127.0.0.1:%d", 9000+i)}
+	}
+	return peers
+}
+
+// TestRingDeterminism: every node must compute the same owner for every
+// key — the failover protocol has no coordinator, so agreement is the
+// ring's entire job.
+func TestRingDeterminism(t *testing.T) {
+	peers := testPeers(5)
+	a := newRing(peers, 64)
+	// Same peers in a different order must yield the same circle.
+	shuffled := []Peer{peers[3], peers[0], peers[4], peers[2], peers[1]}
+	b := newRing(shuffled, 64)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("job/b-%016x", i*2654435761)
+		sa, sb := a.successors(key), b.successors(key)
+		if len(sa) != len(sb) {
+			t.Fatalf("key %q: successor counts differ (%d vs %d)", key, len(sa), len(sb))
+		}
+		for j := range sa {
+			if sa[j] != sb[j] {
+				t.Fatalf("key %q: successor order differs at %d: %v vs %v", key, j, sa, sb)
+			}
+		}
+	}
+}
+
+// TestRingSuccessorsDistinct: the successor list is each node exactly
+// once — it is the replica placement and the failover order.
+func TestRingSuccessorsDistinct(t *testing.T) {
+	r := newRing(testPeers(4), 32)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("session/key-%d", i)
+		succ := r.successors(key)
+		if len(succ) != 4 {
+			t.Fatalf("key %q: %d successors, want 4", key, len(succ))
+		}
+		seen := map[string]bool{}
+		for _, id := range succ {
+			if seen[id] {
+				t.Fatalf("key %q: duplicate successor %s in %v", key, id, succ)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+// TestRingBalance: with vnodes the primary-ownership split must be
+// roughly even — no node may own more than ~2x its fair share.
+func TestRingBalance(t *testing.T) {
+	const nodes, keys = 4, 4000
+	r := newRing(testPeers(nodes), 64)
+	counts := map[string]int{}
+	for i := 0; i < keys; i++ {
+		counts[r.owner(fmt.Sprintf("job/b-%020d", i))]++
+	}
+	fair := keys / nodes
+	for id, c := range counts {
+		if c > 2*fair || c < fair/3 {
+			t.Errorf("node %s owns %d of %d keys (fair share %d): ring too skewed", id, c, keys, fair)
+		}
+	}
+}
+
+// TestRingStability: removing one node must only move the keys it
+// owned; every other key keeps its owner (the "consistent" in
+// consistent hashing, and what bounds failover churn).
+func TestRingStability(t *testing.T) {
+	peers := testPeers(5)
+	full := newRing(peers, 64)
+	without := newRing(peers[:4], 64) // node5 removed
+	moved := 0
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("job/b-%d", i)
+		was, is := full.owner(key), without.owner(key)
+		if was == "node5" {
+			// Its keys must land on the next successor in the old ring.
+			succ := full.successors(key)
+			if is != succ[1] {
+				t.Fatalf("key %q: moved to %s, want next-successor %s", key, is, succ[1])
+			}
+			moved++
+			continue
+		}
+		if was != is {
+			t.Fatalf("key %q: owner changed %s -> %s though %s survived", key, was, is, was)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("node5 owned no keys; balance test should have caught this")
+	}
+}
+
+func TestRouteOwnerSkipsDead(t *testing.T) {
+	cfg := Config{Self: "node1", Peers: testPeers(3)}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a key owned by node2, then kill node2: the route owner must
+	// become the next alive successor, deterministically.
+	var key string
+	for i := 0; ; i++ {
+		key = fmt.Sprintf("job/b-%d", i)
+		if n.ring.owner(key) == "node2" {
+			break
+		}
+	}
+	if got := n.RouteOwner(key); got != "node2" {
+		t.Fatalf("RouteOwner(%q) = %s, want node2 while alive", key, got)
+	}
+	n.mu.Lock()
+	n.members["node2"].state = StateDead
+	n.mu.Unlock()
+	succ := n.ring.successors(key)
+	if got := n.RouteOwner(key); got != succ[1] {
+		t.Fatalf("RouteOwner(%q) with node2 dead = %s, want %s", key, got, succ[1])
+	}
+	// All dead: fall back to the primary owner rather than nobody.
+	n.mu.Lock()
+	for _, m := range n.members {
+		m.state = StateDead
+	}
+	n.mu.Unlock()
+	if got := n.RouteOwner(key); got != "node2" && got != "node1" {
+		t.Fatalf("RouteOwner(%q) with all dead = %s, want a deterministic fallback", key, got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	peers := testPeers(3)
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"valid", Config{Self: "node1", Peers: peers}, true},
+		{"no self", Config{Peers: peers}, false},
+		{"self not listed", Config{Self: "ghost", Peers: peers}, false},
+		{"single peer", Config{Self: "node1", Peers: peers[:1]}, false},
+		{"dup id", Config{Self: "node1", Peers: []Peer{peers[0], peers[0]}}, false},
+		{"empty url", Config{Self: "node1", Peers: []Peer{peers[0], {ID: "node2"}}}, false},
+	}
+	for _, c := range cases {
+		if err := c.cfg.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}

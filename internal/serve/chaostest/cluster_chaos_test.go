@@ -1,0 +1,280 @@
+package chaostest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// Cluster chaos: run a real 3-node mtsimd fleet, SIGKILL the node that
+// owns an in-flight journaled job, and require the survivors to claim
+// the lease, resume from the replicated checkpoints, and serve a final
+// response byte-identical to a crash-free single-node run. This is the
+// process-level proof of the failover path; the in-process mechanism
+// tests live in internal/serve.
+
+const clusterKey = "chaos-cluster-kill"
+
+// clusterNodeProc is one fleet member's process handle.
+type clusterNodeProc struct {
+	id   string
+	addr string
+	cmd  *exec.Cmd
+}
+
+// startFleet launches a 3-node mtsimd cluster and waits for health.
+func startFleet(t *testing.T, bin, dir string) []*clusterNodeProc {
+	t.Helper()
+	ids := []string{"n1", "n2", "n3"}
+	nodes := make([]*clusterNodeProc, len(ids))
+	var peerSpec []string
+	for i, id := range ids {
+		nodes[i] = &clusterNodeProc{id: id, addr: freeAddr(t)}
+		peerSpec = append(peerSpec, fmt.Sprintf("%s=http://%s", id, nodes[i].addr))
+	}
+	peers := strings.Join(peerSpec, ",")
+	for _, n := range nodes {
+		cmd := exec.Command(bin,
+			"-addr", n.addr,
+			"-journal", filepath.Join(dir, n.id+".wal"),
+			"-checkpoint-every", "20000",
+			"-drain", "5s",
+			"-node-id", n.id,
+			"-peers", peers,
+			"-heartbeat", "100ms",
+			"-lease-ttl", "700ms")
+		cmd.Stdout, cmd.Stderr = io.Discard, io.Discard
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start %s: %v", n.id, err)
+		}
+		n.cmd = cmd
+		proc := cmd
+		t.Cleanup(func() {
+			_ = proc.Process.Kill()
+			_, _ = proc.Process.Wait()
+		})
+	}
+	for _, n := range nodes {
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			resp, err := http.Get("http://" + n.addr + "/v1/healthz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("cluster node %s never became healthy", n.id)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	return nodes
+}
+
+// clusterView is the part of GET /v1/cluster these assertions need.
+type clusterView struct {
+	Self  string `json:"self"`
+	Nodes []struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	} `json:"nodes"`
+	Leases []struct {
+		JobID  string `json:"job_id"`
+		Holder string `json:"holder"`
+	} `json:"leases"`
+	Claims int64 `json:"claims"`
+}
+
+func fetchClusterView(addr string) (*clusterView, error) {
+	resp, err := http.Get("http://" + addr + "/v1/cluster")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /v1/cluster: status %d: %s", resp.StatusCode, body)
+	}
+	var cv clusterView
+	if err := json.Unmarshal(body, &cv); err != nil {
+		return nil, err
+	}
+	return &cv, nil
+}
+
+// leaseHolder polls the fleet until some node's lease table names the
+// job's holder.
+func leaseHolder(t *testing.T, nodes []*clusterNodeProc, jobID string) string {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, n := range nodes {
+			cv, err := fetchClusterView(n.addr)
+			if err != nil {
+				continue
+			}
+			for _, l := range cv.Leases {
+				if l.JobID == jobID && l.Holder != "" {
+					return l.Holder
+				}
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("no node ever reported a lease for the job")
+	return ""
+}
+
+// pollSurvivors polls the surviving nodes until the job completes,
+// tolerating the transient 503/404 window while the fleet notices the
+// death and migrates the lease.
+func pollSurvivors(t *testing.T, nodes []*clusterNodeProc, jobID string) []byte {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for i := 0; time.Now().Before(deadline); i++ {
+		n := nodes[i%len(nodes)]
+		resp, err := http.Get("http://" + n.addr + "/v1/batch/jobs/" + jobID)
+		if err != nil {
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err == nil && resp.StatusCode == http.StatusOK {
+			return body
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("job never finished on the survivors")
+	return nil
+}
+
+// TestClusterNodeKillFailover: kill the lease holder of a running job;
+// the survivors must finish it to byte-identical output and report the
+// death and the claim on /v1/cluster.
+func TestClusterNodeKillFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a 3-node daemon fleet; skipped in -short")
+	}
+	dir := t.TempDir()
+	bin := buildDaemon(t, dir)
+
+	// Crash-free single-node reference: the canonical bytes.
+	refAddr := freeAddr(t)
+	ref := startDaemon(t, bin, refAddr, filepath.Join(dir, "ref.wal"))
+	refID, err := submitKey(refAddr, clusterKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pollDone(t, refAddr, refID)
+	_ = ref.Process.Signal(syscall.SIGTERM)
+	_ = ref.Wait()
+
+	nodes := startFleet(t, bin, dir)
+
+	// Submit through node 0; the ring may forward it anywhere.
+	jobID, err := submitKey(nodes[0].addr, clusterKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobID != refID {
+		t.Fatalf("cluster job id %s differs from reference %s", jobID, refID)
+	}
+
+	// Find the owner, give it a moment to checkpoint and replicate,
+	// then SIGKILL it mid-job.
+	holder := leaseHolder(t, nodes, jobID)
+	var victim *clusterNodeProc
+	var survivors []*clusterNodeProc
+	for _, n := range nodes {
+		if n.id == holder {
+			victim = n
+		} else {
+			survivors = append(survivors, n)
+		}
+	}
+	if victim == nil {
+		t.Fatalf("lease holder %q is not a fleet member", holder)
+	}
+	time.Sleep(300 * time.Millisecond)
+	if err := victim.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = victim.cmd.Wait()
+	t.Logf("killed lease holder %s mid-job", holder)
+
+	got := pollSurvivors(t, survivors, jobID)
+	if string(got) != string(want) {
+		t.Errorf("response after killing %s differs from the crash-free run:\n--- crash-free ---\n%s\n--- failover ---\n%s",
+			holder, want, got)
+	}
+
+	// The fleet's own view must reflect what happened: the victim dead,
+	// and the lease claimed by a survivor.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var sawDead bool
+		var claims int64
+		for _, n := range survivors {
+			cv, err := fetchClusterView(n.addr)
+			if err != nil {
+				continue
+			}
+			claims += cv.Claims
+			for _, m := range cv.Nodes {
+				if m.ID == holder && m.State == "dead" {
+					sawDead = true
+				}
+			}
+		}
+		if sawDead && claims >= 1 {
+			t.Logf("fleet reports %s dead, %d lease claim(s)", holder, claims)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never reported the failover (dead=%v claims=%d)", sawDead, claims)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// submitKey posts the chaos batch with an explicit idempotency key.
+func submitKey(addr, key string) (string, error) {
+	req, err := http.NewRequest("POST", "http://"+addr+"/v1/batch", strings.NewReader(chaosBatchBody))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", key)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return "", fmt.Errorf("submit: status %d: %s", resp.StatusCode, body)
+	}
+	var ack struct {
+		JobID string `json:"job_id"`
+	}
+	if err := json.Unmarshal(body, &ack); err != nil {
+		return "", err
+	}
+	return ack.JobID, nil
+}

@@ -1,0 +1,686 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"mtsim/internal/cluster"
+)
+
+// Cluster mode: N mtsimd nodes behind one API. internal/cluster owns
+// membership, the consistent-hash ring and the gossiped lease table;
+// this file is the serving half — every HTTP surface of the protocol
+// plus the journal/job-manager integration:
+//
+//   - forwarding: any node fronts the fleet; requests whose ring owner
+//     is another alive node are proxied there with RetryDelay backoff
+//     (sessions route by scale key, async jobs by job id);
+//   - replication: an async job's owner pushes its submit body and
+//     latest checkpoints to the job's ring successors over
+//     PUT /v1/jobs/{id}/state, so the state survives the owner's disk;
+//   - failover: when a dead node's lease expires, the next ring owner
+//     claims the job — it gathers the freshest replica state from the
+//     surviving peers (GET /v1/jobs/{id}/state), journals it as its
+//     own, and resumes from the latest snapshot. Determinism makes the
+//     re-run's response byte-identical to an uncrashed one.
+//   - drain handoff: a gracefully stopping node pushes each owned
+//     unfinished job to a live successor with ?claim=1 and journals a
+//     release, so planned restarts migrate work without waiting for
+//     lease expiry.
+
+// forwardHeader marks a forwarded request so ring-view divergence can
+// never bounce a request between nodes: a forwarded request is always
+// handled locally.
+const forwardHeader = "X-Mtsimd-Forward"
+
+// forwardAttempts bounds the proxy retries before giving up with 503.
+const forwardAttempts = 3
+
+// clusterRuntime is the per-server cluster state.
+type clusterRuntime struct {
+	node *cluster.Node
+	// fwd proxies client requests (no client timeout: the forwarded
+	// request carries its own deadline); xfer moves job state between
+	// nodes and probes peers for claims (bounded, background work).
+	fwd  *http.Client
+	xfer *http.Client
+
+	forwards atomic.Int64
+	claims   atomic.Int64
+	handoffs atomic.Int64
+	pushes   atomic.Int64
+}
+
+// EnableCluster joins this server to a multi-node fleet. It requires
+// EnableJournal first (leases and replicas live in the journal) and
+// must be called before serving starts. The returned node is already
+// probing its peers.
+func (s *Server) EnableCluster(cfg cluster.Config) (*cluster.Node, error) {
+	if s.jm == nil {
+		return nil, errors.New("serve: cluster mode requires EnableJournal first")
+	}
+	if s.cluster != nil {
+		return nil, errors.New("serve: cluster already enabled")
+	}
+	node, err := cluster.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.cluster = &clusterRuntime{
+		node: node,
+		fwd:  &http.Client{},
+		xfer: &http.Client{Timeout: 15 * time.Second},
+	}
+	s.jm.nodeID = node.Self()
+	s.jm.leaseTTL = node.LeaseTTL()
+	s.jm.replicate = s.replicateJob
+	node.LocalLeases = s.jm.leaseTable
+	node.OnExpiredLease = s.claimExpiredLease
+	node.Start()
+	return node, nil
+}
+
+// ClusterForwards, ClusterClaims and ClusterHandoffs expose the fleet
+// gauges (0 when cluster mode is off).
+func (s *Server) ClusterForwards() int64 {
+	if s.cluster == nil {
+		return 0
+	}
+	return s.cluster.forwards.Load()
+}
+func (s *Server) ClusterClaims() int64 {
+	if s.cluster == nil {
+		return 0
+	}
+	return s.cluster.claims.Load()
+}
+func (s *Server) ClusterHandoffs() int64 {
+	if s.cluster == nil {
+		return 0
+	}
+	return s.cluster.handoffs.Load()
+}
+
+// JobState is the wire form of one async job's transferable state: the
+// replication payload, the claim fetch body, and the drain handoff. The
+// snapshots inside are the same versioned CRC-framed machine snapshots
+// the journal holds, so a resumed run is byte-identical wherever it
+// lands.
+type JobState struct {
+	Schema int             `json:"schema"`
+	ID     string          `json:"id"`
+	Key    string          `json:"key"`
+	Holder string          `json:"holder"`
+	Body   json.RawMessage `json:"body"`
+	Ckpts  []JobStateCkpt  `json:"ckpts,omitempty"`
+	// Resp is present once the job finished: replicas serve (and
+	// claimants adopt) the recorded bytes verbatim.
+	Resp json.RawMessage `json:"resp,omitempty"`
+	// Progress orders replicas by freshness: the sum of the latest
+	// checkpointed cycle over batch entries (monotone over a run).
+	Progress int64 `json:"progress"`
+	// Status mirrors the holder's view (queued/running/done).
+	Status string `json:"status"`
+}
+
+// JobStateCkpt is one batch entry's latest checkpoint.
+type JobStateCkpt struct {
+	Entry int    `json:"entry"`
+	Cycle int64  `json:"cycle"`
+	Snap  []byte `json:"snap"`
+}
+
+// fresher reports whether a carries more completed work than b.
+func fresher(a, b *JobState) bool {
+	if b == nil {
+		return a != nil
+	}
+	if a == nil {
+		return false
+	}
+	if (a.Resp != nil) != (b.Resp != nil) {
+		return a.Resp != nil
+	}
+	return a.Progress > b.Progress
+}
+
+// --- job-manager side -------------------------------------------------
+
+// jobState snapshots one job's transferable state (nil if unknown).
+func (jm *jobManager) jobState(id string) *JobState {
+	jm.mu.Lock()
+	job := jm.jobs[id]
+	jm.mu.Unlock()
+	if job == nil {
+		return nil
+	}
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	st := &JobState{
+		Schema: ResponseSchemaVersion,
+		ID:     job.id, Key: job.key, Holder: jm.nodeID,
+		Body: job.body, Status: job.status,
+	}
+	for i, c := range job.ckpts {
+		st.Ckpts = append(st.Ckpts, JobStateCkpt{Entry: i, Cycle: c.Cycle, Snap: c.Snap})
+		st.Progress += c.Cycle
+	}
+	sort.Slice(st.Ckpts, func(i, j int) bool { return st.Ckpts[i].Entry < st.Ckpts[j].Entry })
+	if job.status == JobDone {
+		st.Resp = job.resp
+	}
+	return st
+}
+
+// leaseTable reports the jobs this node currently owns — the ping
+// gossip payload peers base failover on.
+func (jm *jobManager) leaseTable() []cluster.Lease {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	var out []cluster.Lease
+	for _, job := range jm.jobs {
+		job.mu.Lock()
+		if !job.replica && job.status != JobDone {
+			out = append(out, cluster.Lease{
+				JobID: job.id, Holder: jm.nodeID, Status: job.status,
+				Checkpoint: job.ckptN, TTLMS: jm.leaseTTL.Milliseconds(),
+			})
+		}
+		job.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].JobID < out[j].JobID })
+	return out
+}
+
+// ownedUnfinishedIDs lists the jobs a drain must hand off.
+func (jm *jobManager) ownedUnfinishedIDs() []string {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	var ids []string
+	for _, job := range jm.jobs {
+		job.mu.Lock()
+		if !job.replica && job.status != JobDone {
+			ids = append(ids, job.id)
+		}
+		job.mu.Unlock()
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// storeReplica journals and holds another node's job state for
+// failover. Stale pushes (we own or finished the job) are ignored.
+func (jm *jobManager) storeReplica(st *JobState) error {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	if jm.closed {
+		return errors.New("serve: server is draining; not accepting replicas")
+	}
+	job := jm.jobs[st.ID]
+	if job == nil {
+		if err := jm.journal.AppendReplicaSubmit(st.ID, st.Key, st.Body); err != nil {
+			return err
+		}
+		job = &asyncJob{id: st.ID, key: st.Key, body: st.Body,
+			status: JobReplica, replica: true, ckpts: make(map[int]JobCheckpoint)}
+		jm.jobs[st.ID] = job
+	}
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	if !job.replica || job.status == JobDone {
+		return nil
+	}
+	jm.foldCkptsLocked(job, st)
+	if st.Resp != nil {
+		// The owner finished: keep the exact bytes so this node can
+		// serve (or hand a claimant) the verbatim response.
+		if err := jm.journal.AppendDone(st.ID, st.Resp); err == nil {
+			job.status, job.resp = JobDone, st.Resp
+		}
+	}
+	return nil
+}
+
+// adoptOwned makes this node the job's owner: journal whatever state we
+// do not yet hold, append a lease, and queue the job (or record its
+// final response when the state already carries one). Used by failover
+// claims and by the receiving side of a drain handoff.
+func (jm *jobManager) adoptOwned(st *JobState) error {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	if jm.closed {
+		return errors.New("serve: server is draining; not adopting jobs")
+	}
+	job := jm.jobs[st.ID]
+	if job == nil {
+		if err := jm.journal.AppendSubmit(st.ID, st.Key, st.Body); err != nil {
+			return err
+		}
+		job = &asyncJob{id: st.ID, key: st.Key, body: st.Body,
+			status: JobQueued, ckpts: make(map[int]JobCheckpoint)}
+		jm.jobs[st.ID] = job
+	}
+	job.mu.Lock()
+	if job.status == JobDone {
+		job.mu.Unlock()
+		return nil
+	}
+	jm.foldCkptsLocked(job, st)
+	if st.Resp != nil {
+		if err := jm.journal.AppendDone(st.ID, st.Resp); err == nil {
+			job.status, job.resp, job.replica = JobDone, st.Resp, false
+		}
+		job.mu.Unlock()
+		return nil
+	}
+	if !job.replica && (job.status == JobQueued || job.status == JobRunning) {
+		job.mu.Unlock()
+		return nil // already ours and active
+	}
+	_ = jm.journal.AppendLease(st.ID, jm.nodeID, jm.leaseTTL)
+	job.replica, job.status = false, JobQueued
+	job.mu.Unlock()
+	jm.queue = append(jm.queue, job)
+	jm.cond.Signal()
+	return nil
+}
+
+// release demotes a handed-off job to a replica after a drain push.
+func (jm *jobManager) release(id string) {
+	jm.mu.Lock()
+	job := jm.jobs[id]
+	jm.mu.Unlock()
+	if job == nil {
+		return
+	}
+	_ = jm.journal.AppendRelease(id, jm.nodeID)
+	job.mu.Lock()
+	if job.status != JobDone {
+		job.replica, job.status = true, JobReplica
+	}
+	job.mu.Unlock()
+}
+
+// foldCkptsLocked merges the transferred checkpoints that are newer
+// than what the job already holds. Called with job.mu held.
+func (jm *jobManager) foldCkptsLocked(job *asyncJob, st *JobState) {
+	if job.ckpts == nil {
+		job.ckpts = make(map[int]JobCheckpoint)
+	}
+	for _, c := range st.Ckpts {
+		if cur, ok := job.ckpts[c.Entry]; ok && cur.Cycle >= c.Cycle {
+			continue
+		}
+		if err := jm.journal.AppendCkpt(st.ID, c.Entry, c.Cycle, c.Snap); err != nil {
+			return // resume from the older state; still byte-identical
+		}
+		job.ckpts[c.Entry] = JobCheckpoint{Cycle: c.Cycle, Snap: c.Snap}
+		job.ckptN++
+	}
+}
+
+// --- replication ------------------------------------------------------
+
+// replicateJob pushes the job's latest state to its ring successors.
+// Never blocks the simulation: one push runs at a time per job and the
+// state is captured at send time, so the next checkpoint's call picks
+// up anything a skipped push missed.
+func (s *Server) replicateJob(job *asyncJob) {
+	if s.cluster == nil {
+		return
+	}
+	if !job.replBusy.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer job.replBusy.Store(false)
+		s.pushReplica(job.id, false)
+	}()
+}
+
+// pushReplica sends the job's current state to every ring successor
+// (skipping self). Best-effort: a dead replica target just means less
+// redundancy until the membership layer notices.
+func (s *Server) pushReplica(id string, claim bool) {
+	st := s.jm.jobState(id)
+	if st == nil {
+		return
+	}
+	node := s.cluster.node
+	for _, p := range node.Successors(cluster.JobRouteKey(id), node.Replicas()) {
+		if p.ID == node.Self() {
+			continue
+		}
+		_ = s.putJobState(context.Background(), p.URL, st, claim)
+	}
+}
+
+// putJobState PUTs one job state to a peer.
+func (s *Server) putJobState(ctx context.Context, baseURL string, st *JobState, claim bool) error {
+	body, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	url := baseURL + "/v1/jobs/" + st.ID + "/state"
+	if claim {
+		url += "?claim=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.cluster.xfer.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("serve: push job state to %s: status %d", baseURL, resp.StatusCode)
+	}
+	s.cluster.pushes.Add(1)
+	return nil
+}
+
+// --- failover claim ---------------------------------------------------
+
+// claimExpiredLease is the cluster.Node hook: a dead peer's lease has
+// expired and this node is the job's route owner. Gather the freshest
+// surviving state (local replica or any alive peer's), adopt it, and
+// resume. DropLease ends the claim; returning without it retries next
+// probe round.
+func (s *Server) claimExpiredLease(l cluster.Lease) {
+	node := s.cluster.node
+	best := s.jm.jobState(l.JobID)
+	for _, m := range node.Members() {
+		if m.Self || m.State != cluster.StateAlive {
+			continue
+		}
+		st, err := s.fetchJobState(m.URL, l.JobID)
+		if err != nil || st == nil {
+			continue
+		}
+		if fresher(st, best) {
+			best = st
+		}
+	}
+	if best == nil {
+		// No surviving copy anywhere: the job cannot be recovered until
+		// its holder rejoins with its journal. Stop claiming it.
+		node.DropLease(l.JobID)
+		return
+	}
+	if err := s.jm.adoptOwned(best); err != nil {
+		return // draining or journal trouble; retry next round
+	}
+	s.cluster.claims.Add(1)
+	node.DropLease(l.JobID)
+}
+
+// fetchJobState GETs a peer's copy of one job's state (nil if the peer
+// does not hold it).
+func (s *Server) fetchJobState(baseURL, id string) (*JobState, error) {
+	req, err := http.NewRequest(http.MethodGet, baseURL+"/v1/jobs/"+id+"/state", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.cluster.xfer.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve: fetch job state: status %d", resp.StatusCode)
+	}
+	var st JobState
+	if err := json.Unmarshal(body, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// --- drain handoff ----------------------------------------------------
+
+// handoffLeases migrates every owned unfinished job to a live ring
+// successor during graceful shutdown: push with ?claim=1 (the receiver
+// adopts and queues it), then journal our release. Jobs with no live
+// successor stay owned and resume when this node restarts.
+func (s *Server) handoffLeases(ctx context.Context) {
+	node := s.cluster.node
+	for _, id := range s.jm.ownedUnfinishedIDs() {
+		if ctx.Err() != nil {
+			return
+		}
+		// Candidate receivers in ring order, alive-looking nodes first.
+		// The health view is frozen at this point (the prober stopped),
+		// so a stale suspect must not block the drain: pushing to a
+		// truly dead node just fails fast and we try the next.
+		var live, iffy []cluster.Peer
+		for _, p := range node.Successors(cluster.JobRouteKey(id), 1<<30) {
+			if p.ID == node.Self() {
+				continue
+			}
+			if node.Alive(p.ID) {
+				live = append(live, p)
+			} else {
+				iffy = append(iffy, p)
+			}
+		}
+		st := s.jm.jobState(id)
+		if st == nil {
+			continue
+		}
+		for _, p := range append(live, iffy...) {
+			if err := s.putJobState(ctx, p.URL, st, true); err != nil {
+				continue // keep trying; worst case ownership stays here
+			}
+			s.jm.release(id)
+			s.cluster.handoffs.Add(1)
+			break
+		}
+	}
+}
+
+// --- forwarding -------------------------------------------------------
+
+// forwardIfRemote proxies the request to key's route owner when that is
+// another node, reporting whether it handled the request. Forwarded
+// requests (marker header) are always served locally, so divergent ring
+// views degrade to an extra hop, never a loop.
+func (s *Server) forwardIfRemote(w http.ResponseWriter, r *http.Request, key string, body []byte) bool {
+	if s.cluster == nil || r.Header.Get(forwardHeader) != "" {
+		return false
+	}
+	node := s.cluster.node
+	owner := node.RouteOwner(key)
+	if owner == node.Self() {
+		return false
+	}
+	ownerURL, ok := node.PeerURL(owner)
+	if !ok {
+		return false
+	}
+	s.forwardTo(w, r, ownerURL, body)
+	return true
+}
+
+// forwardTo proxies one request with RetryDelay backoff between
+// transport failures; when the owner stays unreachable the client gets
+// a 503 with a jittered Retry-After (the membership layer will route
+// around the dead node shortly).
+func (s *Server) forwardTo(w http.ResponseWriter, r *http.Request, baseURL string, body []byte) {
+	url := baseURL + r.URL.RequestURI()
+	var resp *http.Response
+	var err error
+	for attempt := 0; attempt < forwardAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-r.Context().Done():
+				s.httpError(w, r.Context().Err(), http.StatusServiceUnavailable)
+				return
+			case <-time.After(RetryDelay(attempt-1, 100*time.Millisecond)):
+			}
+		}
+		var req *http.Request
+		req, err = http.NewRequestWithContext(r.Context(), r.Method, url, bytes.NewReader(body))
+		if err != nil {
+			s.httpError(w, err, http.StatusInternalServerError)
+			return
+		}
+		for _, h := range []string{"Content-Type", "Idempotency-Key", "Accept"} {
+			if v := r.Header.Get(h); v != "" {
+				req.Header.Set(h, v)
+			}
+		}
+		req.Header.Set(forwardHeader, s.cluster.node.Self())
+		resp, err = s.cluster.fwd.Do(req)
+		if err == nil {
+			break
+		}
+	}
+	if err != nil {
+		s.httpError(w, fmt.Errorf("forwarding to cluster owner failed: %w", err), http.StatusServiceUnavailable)
+		return
+	}
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+	s.cluster.forwards.Add(1)
+}
+
+// --- HTTP handlers ----------------------------------------------------
+
+// ClusterStatus is the GET /v1/cluster body: fleet topology, per-node
+// health and the merged lease table.
+type ClusterStatus struct {
+	Schema   int              `json:"schema"`
+	Self     string           `json:"self"`
+	Nodes    []cluster.Member `json:"nodes"`
+	Leases   []cluster.Lease  `json:"leases"`
+	Claims   int64            `json:"claims"`
+	Forwards int64            `json:"forwards"`
+	Handoffs int64            `json:"handoffs"`
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "cluster mode disabled: server runs solo"})
+		return
+	}
+	node := s.cluster.node
+	merged := make(map[string]cluster.Lease)
+	for _, l := range node.RemoteLeases() {
+		merged[l.JobID] = l
+	}
+	for _, l := range s.jm.leaseTable() {
+		merged[l.JobID] = l // the local view of a job we own wins
+	}
+	leases := make([]cluster.Lease, 0, len(merged))
+	for _, l := range merged {
+		leases = append(leases, l)
+	}
+	sort.Slice(leases, func(i, j int) bool { return leases[i].JobID < leases[j].JobID })
+	writeJSON(w, http.StatusOK, &ClusterStatus{
+		Schema:   ResponseSchemaVersion,
+		Self:     node.Self(),
+		Nodes:    node.Members(),
+		Leases:   leases,
+		Claims:   s.cluster.claims.Load(),
+		Forwards: s.cluster.forwards.Load(),
+		Handoffs: s.cluster.handoffs.Load(),
+	})
+}
+
+// handleClusterPing answers the membership probe: identity + owned
+// leases. Internal (node-to-node), but safe to expose.
+func (s *Server) handleClusterPing(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "cluster mode disabled: server runs solo"})
+		return
+	}
+	leases := s.jm.leaseTable()
+	if leases == nil {
+		leases = []cluster.Lease{}
+	}
+	writeJSON(w, http.StatusOK, &cluster.PingResponse{NodeID: s.cluster.node.Self(), Leases: leases})
+}
+
+// handleJobStateGet serves this node's copy of a job's state (owner or
+// replica) for claims and handoffs.
+func (s *Server) handleJobStateGet(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil || s.jm == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "cluster mode disabled: server runs solo"})
+		return
+	}
+	st := s.jm.jobState(r.PathValue("id"))
+	if st == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "job state not held here"})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleJobStatePut ingests a pushed job state: a replica copy by
+// default, an ownership transfer with ?claim=1 (drain handoff).
+func (s *Server) handleJobStatePut(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil || s.jm == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "cluster mode disabled: server runs solo"})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	var st JobState
+	if err := json.Unmarshal(body, &st); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if id := r.PathValue("id"); st.ID != id {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("state id %q does not match path id %q", st.ID, id)})
+		return
+	}
+	if st.ID == "" || len(st.Body) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "job state needs id and body"})
+		return
+	}
+	if r.URL.Query().Get("claim") == "1" {
+		if err := s.jm.adoptOwned(&st); err != nil {
+			s.httpError(w, err, http.StatusServiceUnavailable)
+			return
+		}
+	} else {
+		if err := s.jm.storeReplica(&st); err != nil {
+			s.httpError(w, err, http.StatusServiceUnavailable)
+			return
+		}
+		// Replica pushes double as lease knowledge: even if the owner
+		// dies before its first gossip, its replicas can arm failover.
+		s.cluster.node.NoteLease(cluster.Lease{
+			JobID: st.ID, Holder: st.Holder, Status: st.Status, Checkpoint: st.Progress,
+		})
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -14,6 +14,7 @@ import (
 
 	"mtsim/internal/app"
 	"mtsim/internal/apps"
+	"mtsim/internal/cluster"
 	"mtsim/internal/core"
 	"mtsim/internal/exp"
 	"mtsim/internal/machine"
@@ -180,6 +181,12 @@ func (s *Server) httpError(w http.ResponseWriter, err error, fallback int) {
 	case errors.Is(err, machine.ErrMaxCycles):
 		status = http.StatusUnprocessableEntity
 	}
+	if status == http.StatusServiceUnavailable {
+		// 503s are transient by contract (drain, forwarding outage): give
+		// clients the same jittered come-back hint the 429 path sends, so
+		// a draining node's rejected herd does not return in lockstep.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+	}
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
@@ -207,16 +214,24 @@ func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Conte
 	return context.WithTimeout(r.Context(), d)
 }
 
+// sessionKey names the shared session for a scale/metrics pair. It is
+// also the cluster route key for sync requests: every request for the
+// same session lands on the same node, so the memo cache accumulates
+// fleet-wide instead of fragmenting per node.
+func sessionKey(scale app.Scale, collectMetrics bool) string {
+	key := scale.String()
+	if collectMetrics {
+		key += "+metrics"
+	}
+	return key
+}
+
 // session resolves the shared session for a scale/metrics pair. The
 // metrics flag forks the cache key rather than mutating a shared
 // session: Session.CollectMetrics must be set before the first Run and
 // requests run concurrently.
 func (s *Server) session(scale app.Scale, collectMetrics bool) *core.Session {
-	key := scale.String()
-	if collectMetrics {
-		key += "+metrics"
-	}
-	return s.sessions.Get(key)
+	return s.sessions.Get(sessionKey(scale, collectMetrics))
 }
 
 // decodeScale parses an optional scale name (default quick).
@@ -231,8 +246,13 @@ func decodeScale(name string) (app.Scale, error) {
 // under the request deadline, report the paper metrics (and the
 // cycle-accounting record when asked).
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
 	var req RunRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.Unmarshal(body, &req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
 		return
 	}
@@ -249,6 +269,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	a, err := apps.New(req.App, scale)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	// Cluster mode: runs route by session key, so the whole fleet shares
+	// one memo cache per scale instead of one per node.
+	if s.forwardIfRemote(w, r, cluster.SessionRouteKey(sessionKey(scale, req.Metrics)), body) {
 		return
 	}
 
@@ -389,13 +414,24 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		key = req.IdempotencyKey
 	}
 	if key != "" && s.jm != nil {
+		// Async jobs route by job id: the ring owner journals and runs
+		// the job, its successors hold replicas.
+		if s.forwardIfRemote(w, r, cluster.JobRouteKey(JobID(key)), body) {
+			return
+		}
 		job, err := s.jm.submit(key, body)
 		if err != nil {
 			s.httpError(w, err, http.StatusServiceUnavailable)
 			return
 		}
-		status, _ := job.state()
-		writeJSON(w, http.StatusAccepted, &JobStatus{Schema: ResponseSchemaVersion, JobID: job.id, Status: status})
+		status, ckpt, _ := job.state()
+		writeJSON(w, http.StatusAccepted, &JobStatus{
+			Schema: ResponseSchemaVersion, JobID: job.id, Status: status,
+			Checkpoint: ckpt, RetryAfterMS: retryAfterMS(s.cfg.RetryAfter),
+		})
+		return
+	}
+	if s.forwardIfRemote(w, r, cluster.SessionRouteKey(sessionKey(scale, req.Metrics)), body) {
 		return
 	}
 
@@ -439,14 +475,20 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: "async jobs disabled: server runs without a journal"})
 		return
 	}
+	if s.forwardIfRemote(w, r, cluster.JobRouteKey(r.PathValue("id")), nil) {
+		return
+	}
 	job := s.jm.get(r.PathValue("id"))
 	if job == nil {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job id"})
 		return
 	}
-	status, resp := job.state()
+	status, ckpt, resp := job.state()
 	if status != JobDone {
-		writeJSON(w, http.StatusAccepted, &JobStatus{Schema: ResponseSchemaVersion, JobID: job.id, Status: status})
+		writeJSON(w, http.StatusAccepted, &JobStatus{
+			Schema: ResponseSchemaVersion, JobID: job.id, Status: status,
+			Checkpoint: ckpt, RetryAfterMS: retryAfterMS(s.cfg.RetryAfter),
+		})
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -532,17 +574,30 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 // gauges, so a load balancer (or the smoke test) can see queue pressure
 // without scraping expvar.
 type healthzResponse struct {
-	Status             string `json:"status"`
-	Inflight           int64  `json:"inflight"`
-	Queued             int64  `json:"queued"`
-	Sessions           int    `json:"sessions"`
-	UptimeMS           int64  `json:"uptime_ms"`
-	JournalReplayed    int64  `json:"journal_replayed"`
-	CheckpointsWritten int64  `json:"checkpoints_written"`
+	Status             string          `json:"status"`
+	Inflight           int64           `json:"inflight"`
+	Queued             int64           `json:"queued"`
+	Sessions           int             `json:"sessions"`
+	UptimeMS           int64           `json:"uptime_ms"`
+	JournalReplayed    int64           `json:"journal_replayed"`
+	CheckpointsWritten int64           `json:"checkpoints_written"`
+	Cluster            *healthzCluster `json:"cluster,omitempty"`
+}
+
+// healthzCluster is the fleet summary inside /v1/healthz (cluster mode
+// only): this node's identity plus peer health and failover counters.
+type healthzCluster struct {
+	Self     string `json:"self"`
+	Nodes    int    `json:"nodes"`
+	Alive    int    `json:"alive"`
+	Dead     int    `json:"dead"`
+	Claims   int64  `json:"claims"`
+	Forwards int64  `json:"forwards"`
+	Handoffs int64  `json:"handoffs"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, &healthzResponse{
+	resp := &healthzResponse{
 		Status:             "ok",
 		Inflight:           s.gate.Inflight(),
 		Queued:             s.gate.Queued(),
@@ -550,5 +605,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		UptimeMS:           time.Since(s.started).Milliseconds(),
 		JournalReplayed:    s.JournalReplayed(),
 		CheckpointsWritten: s.CheckpointsWritten(),
-	})
+	}
+	if s.cluster != nil {
+		alive, dead := s.cluster.node.AliveCount()
+		resp.Cluster = &healthzCluster{
+			Self:     s.cluster.node.Self(),
+			Nodes:    len(s.cluster.node.Members()),
+			Alive:    alive,
+			Dead:     dead,
+			Claims:   s.cluster.claims.Load(),
+			Forwards: s.cluster.forwards.Load(),
+			Handoffs: s.cluster.handoffs.Load(),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

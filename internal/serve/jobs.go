@@ -23,19 +23,27 @@ import (
 // verbatim) — in both cases the response the client eventually reads is
 // byte-identical to the one an uncrashed server would have produced.
 
-// Job lifecycle states, as reported by JobStatus.
+// Job lifecycle states, as reported by JobStatus. JobReplica marks a
+// job this node holds only as another node's failover copy (cluster
+// mode); it never runs locally unless a claim or handoff promotes it.
 const (
 	JobQueued  = "queued"
 	JobRunning = "running"
 	JobDone    = "done"
+	JobReplica = "replica"
 )
 
 // JobStatus is the body of a 202 reply: the async submission ack and
-// the poll response of a job that has not finished yet.
+// the poll response of a job that has not finished yet. Checkpoint is
+// the index of the latest journaled checkpoint (a monotone progress
+// marker), and RetryAfterMS a jittered poll-pacing hint so clients
+// waiting on /v1/batch/jobs/{id} back off instead of hot-looping.
 type JobStatus struct {
-	Schema int    `json:"schema"`
-	JobID  string `json:"job_id"`
-	Status string `json:"status"`
+	Schema       int    `json:"schema"`
+	JobID        string `json:"job_id"`
+	Status       string `json:"status"`
+	Checkpoint   int64  `json:"checkpoint"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
 }
 
 // JobID derives the stable job id for an idempotency key. The id, not
@@ -49,14 +57,20 @@ func JobID(key string) string {
 
 // asyncJob is one journaled batch job.
 type asyncJob struct {
-	id    string
-	key   string
-	body  json.RawMessage
-	ckpts map[int]JobCheckpoint // resume points from replay
+	id  string
+	key string
 
-	mu     sync.Mutex
-	status string
-	resp   []byte // final response bytes once status == JobDone
+	mu      sync.Mutex
+	body    json.RawMessage
+	ckpts   map[int]JobCheckpoint // latest checkpoint per batch entry
+	status  string
+	resp    []byte // final response bytes once status == JobDone
+	replica bool   // held for another node, never queued while set
+	ckptN   int64  // checkpoints journaled so far (monotone)
+
+	// replBusy serializes replica pushes for this job: at most one push
+	// is in flight, later ones are absorbed by the next checkpoint's.
+	replBusy atomic.Bool
 }
 
 func (j *asyncJob) setStatus(s string) {
@@ -65,11 +79,24 @@ func (j *asyncJob) setStatus(s string) {
 	j.mu.Unlock()
 }
 
-// state returns the status and, when done, the response bytes.
-func (j *asyncJob) state() (string, []byte) {
+// state returns the status, the latest checkpoint index and, when done,
+// the response bytes.
+func (j *asyncJob) state() (string, int64, []byte) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.status, j.resp
+	return j.status, j.ckptN, j.resp
+}
+
+// noteCkpt records a freshly journaled checkpoint so state transfer
+// and the poll body see live progress, not just replayed history.
+func (j *asyncJob) noteCkpt(entry int, cycle int64, snap []byte) {
+	j.mu.Lock()
+	if j.ckpts == nil {
+		j.ckpts = make(map[int]JobCheckpoint)
+	}
+	j.ckpts[entry] = JobCheckpoint{Cycle: cycle, Snap: snap}
+	j.ckptN++
+	j.mu.Unlock()
 }
 
 // jobManager owns the journal and runs async jobs one at a time in
@@ -95,7 +122,18 @@ type jobManager struct {
 
 	replayed     int64
 	ckptsWritten atomic.Int64
+
+	// Cluster wiring (zero/nil when the node runs solo). nodeID is this
+	// node's cluster identity, leaseTTL the lease validity window, and
+	// replicate the hook that pushes a job's latest state to its ring
+	// successors (set by EnableCluster, never blocking the caller).
+	nodeID    string
+	leaseTTL  time.Duration
+	replicate func(*asyncJob)
 }
+
+// clustered reports whether the job manager writes lease records.
+func (jm *jobManager) clustered() bool { return jm.nodeID != "" }
 
 // EnableJournal turns on crash-tolerant async batch jobs: it opens (or
 // creates) the journal at path, replays it, re-queues every unfinished
@@ -119,10 +157,15 @@ func (s *Server) EnableJournal(path string) (replayed int, err error) {
 	jm.cond = sync.NewCond(&jm.mu)
 	jm.baseCtx, jm.cancel = context.WithCancel(context.Background())
 	for _, rj := range jobs {
-		aj := &asyncJob{id: rj.ID, key: rj.Key, body: rj.Body, ckpts: rj.Ckpts}
-		if rj.Resp != nil {
+		aj := &asyncJob{id: rj.ID, key: rj.Key, body: rj.Body, ckpts: rj.Ckpts, ckptN: int64(len(rj.Ckpts))}
+		switch {
+		case rj.Resp != nil:
 			aj.status, aj.resp = JobDone, rj.Resp
-		} else {
+		case !rj.Owned:
+			// A replica (or a job handed off in a previous drain): hold
+			// its state for peers, never run it here.
+			aj.status, aj.replica = JobReplica, true
+		default:
 			aj.status = JobQueued
 			jm.queue = append(jm.queue, aj)
 		}
@@ -175,6 +218,12 @@ func (jm *jobManager) submit(key string, body []byte) (*asyncJob, error) {
 	jm.jobs[id] = job
 	jm.queue = append(jm.queue, job)
 	jm.cond.Signal()
+	if jm.replicate != nil {
+		// Push the submit body to the ring successors right away: a node
+		// that dies before the first checkpoint still leaves its replicas
+		// everything needed to run the job from scratch.
+		jm.replicate(job)
+	}
 	return job, nil
 }
 
@@ -207,14 +256,52 @@ func (jm *jobManager) run() {
 	}
 }
 
+// startLease journals the run's lease and keeps renewing it on a
+// heartbeat until the returned stop func is called. Peers learn the
+// lease from ping gossip; the journal records are what make a restart
+// of this node see the job as its own.
+func (jm *jobManager) startLease(job *asyncJob) (stop func()) {
+	if !jm.clustered() {
+		return func() {}
+	}
+	_ = jm.journal.AppendLease(job.id, jm.nodeID, jm.leaseTTL)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(jm.leaseTTL / 3)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				// Renewal failures (journal closing mid-drain) are not
+				// fatal: the lease just stops renewing.
+				_ = jm.journal.AppendLease(job.id, jm.nodeID, jm.leaseTTL)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}
+
 // runJob executes one job end to end: parse, admit through the shared
 // gate, run each batch entry as a checkpointed simulation (resuming
 // from replayed checkpoints when present), and journal the final
 // response bytes.
 func (jm *jobManager) runJob(job *asyncJob) {
 	s := jm.srv
+	stopLease := jm.startLease(job)
+	defer stopLease()
+	job.mu.Lock()
+	body := job.body
+	job.mu.Unlock()
 	var req BatchRequest
-	if err := json.Unmarshal(job.body, &req); err != nil {
+	if err := json.Unmarshal(body, &req); err != nil {
 		jm.finish(job, encodeJSON(errorResponse{Error: "bad request body: " + err.Error()}))
 		return
 	}
@@ -253,12 +340,18 @@ func (jm *jobManager) runJob(job *asyncJob) {
 					return err
 				}
 				jm.ckptsWritten.Add(1)
+				job.noteCkpt(i, cycle, snap)
+				if jm.replicate != nil {
+					jm.replicate(job) // non-blocking push to ring successors
+				}
 				return nil
 			},
 		}
+		job.mu.Lock()
 		if c, ok := job.ckpts[i]; ok {
 			ck.Resume = c.Snap
 		}
+		job.mu.Unlock()
 		results[i], errs[i] = sess.RunCheckpointedContext(ctx, jobs[i].App, jobs[i].Cfg, ck)
 		if errs[i] != nil {
 			failed++
@@ -304,12 +397,30 @@ func (jm *jobManager) finish(job *asyncJob, resp []byte) {
 	job.mu.Lock()
 	job.status, job.resp = JobDone, resp
 	job.mu.Unlock()
+	if jm.replicate != nil {
+		// Replicate the final bytes too: if this node dies right after
+		// finishing, peers serve the recorded response verbatim instead
+		// of re-running the job.
+		jm.replicate(job)
+	}
 }
 
-// stop drains the dispatcher: no new jobs start, the in-flight job gets
-// until ctx expires to finish (then its context is canceled and it
-// stays resumable), and the journal is flushed and closed.
+// stop drains the dispatcher and closes the journal — the solo-node
+// shutdown path. Cluster shutdown runs stopDispatcher, hands owned
+// leases off, and only then closes the journal (the handoff still
+// appends release records).
 func (jm *jobManager) stop(ctx context.Context) error {
+	err := jm.stopDispatcher(ctx)
+	if cerr := jm.closeJournal(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// stopDispatcher drains the dispatcher: no new jobs start and the
+// in-flight job gets until ctx expires to finish (then its context is
+// canceled and it stays resumable).
+func (jm *jobManager) stopDispatcher(ctx context.Context) error {
 	jm.mu.Lock()
 	if jm.closed {
 		jm.mu.Unlock()
@@ -331,5 +442,10 @@ func (jm *jobManager) stop(ctx context.Context) error {
 		<-done
 	}
 	jm.cancel()
+	return nil
+}
+
+// closeJournal flushes and closes the journal; further appends fail.
+func (jm *jobManager) closeJournal() error {
 	return jm.journal.Close()
 }

@@ -8,6 +8,7 @@ import (
 	"os"
 	"strconv"
 	"sync"
+	"time"
 )
 
 // The job journal is mtsimd's crash-tolerance layer: an append-only
@@ -25,12 +26,28 @@ import (
 // parse. Replay stops at the first record whose CRC, framing or JSON
 // does not verify and truncates the file there, so later appends never
 // interleave with garbage.
+//
+// In cluster mode the journal also carries ownership: submit records
+// gain a role (owner vs replica), and lease/release records track which
+// jobs this node must run after a restart. A node's lease records are
+// its own claims; the cluster-wide lease table lives in memory and is
+// gossiped over ping, not journaled (see internal/cluster).
 
 // Journal record kinds.
 const (
-	recSubmit = "submit" // a job was accepted: body is the BatchRequest
-	recCkpt   = "ckpt"   // one batch entry paused: snap is its machine snapshot
-	recDone   = "done"   // the job finished: resp is the final response body
+	recSubmit  = "submit"  // a job was accepted: body is the BatchRequest
+	recCkpt    = "ckpt"    // one batch entry paused: snap is its machine snapshot
+	recDone    = "done"    // the job finished: resp is the final response body
+	recLease   = "lease"   // this node claimed/renewed ownership of the job
+	recRelease = "release" // this node handed the job off (graceful drain)
+)
+
+// Submit roles. An owner submit is a job this node must run; a replica
+// submit is another node's job held for failover and never queued
+// locally until a lease record promotes it.
+const (
+	roleOwner   = "" // the zero value: pre-cluster journals are all owner
+	roleReplica = "replica"
 )
 
 // journalRecord is one WAL line's JSON payload.
@@ -52,6 +69,12 @@ type journalRecord struct {
 	// Resp is the final response body, stored verbatim so a replayed
 	// job serves bytes identical to the original (done records).
 	Resp json.RawMessage `json:"resp,omitempty"`
+	// Role marks a submit as owner ("") or replica (cluster mode).
+	Role string `json:"role,omitempty"`
+	// Node is the cluster node id writing a lease/release record.
+	Node string `json:"node,omitempty"`
+	// TTLMS is the lease validity window of a lease record.
+	TTLMS int64 `json:"ttl_ms,omitempty"`
 }
 
 // JobCheckpoint is the latest persisted pause point of one batch entry.
@@ -71,6 +94,12 @@ type ReplayedJob struct {
 	// unfinished job; resuming from it skips the already-simulated
 	// cycles without changing a byte of the outcome.
 	Ckpts map[int]JobCheckpoint
+	// Owned reports whether this node must run the job: true for owner
+	// submits and after a lease record, false for replica submits and
+	// after a release record (the latest ownership record wins). A
+	// pre-cluster journal, which has only owner submits, replays with
+	// every job owned — exactly the old behavior.
+	Owned bool
 }
 
 // Journal is the append side of the WAL. Safe for concurrent use.
@@ -148,8 +177,9 @@ func replay(f *os.File) ([]*replayedJob, int64, error) {
 				continue // resubmit of a known key; first submit wins
 			}
 			job := &replayedJob{
-				ReplayedJob: ReplayedJob{ID: rec.ID, Key: rec.Key, Body: rec.Body, Ckpts: make(map[int]JobCheckpoint)},
-				lastSeq:     rec.Seq,
+				ReplayedJob: ReplayedJob{ID: rec.ID, Key: rec.Key, Body: rec.Body,
+					Ckpts: make(map[int]JobCheckpoint), Owned: rec.Role != roleReplica},
+				lastSeq: rec.Seq,
 			}
 			byID[rec.ID] = job
 			jobs = append(jobs, job)
@@ -162,6 +192,20 @@ func replay(f *os.File) ([]*replayedJob, int64, error) {
 			if job := byID[rec.ID]; job != nil {
 				job.Resp = rec.Resp
 				job.Ckpts = nil // no resume needed
+				job.lastSeq = rec.Seq
+			}
+		case recLease:
+			// A lease in our own journal means we claimed the job
+			// (adoption after a peer death, or run-start/renewal).
+			if job := byID[rec.ID]; job != nil {
+				job.Owned = true
+				job.lastSeq = rec.Seq
+			}
+		case recRelease:
+			// We handed the job off during a drain: it is a replica now
+			// and must not re-queue on restart (the claimant runs it).
+			if job := byID[rec.ID]; job != nil {
+				job.Owned = false
 				job.lastSeq = rec.Seq
 			}
 		}
@@ -223,6 +267,26 @@ func (j *Journal) append(rec journalRecord) error {
 // AppendSubmit journals an accepted job before it is acknowledged.
 func (j *Journal) AppendSubmit(id, key string, body json.RawMessage) error {
 	return j.append(journalRecord{Kind: recSubmit, ID: id, Key: key, Body: body})
+}
+
+// AppendReplicaSubmit journals another node's job held for failover:
+// replayed as a non-owned replica, never queued until a lease record
+// promotes it.
+func (j *Journal) AppendReplicaSubmit(id, key string, body json.RawMessage) error {
+	return j.append(journalRecord{Kind: recSubmit, ID: id, Key: key, Body: body, Role: roleReplica})
+}
+
+// AppendLease journals ownership of a job by node: written when a run
+// starts, on every renewal heartbeat while it runs, and when a replica
+// is promoted by failover claim or drain handoff.
+func (j *Journal) AppendLease(id, node string, ttl time.Duration) error {
+	return j.append(journalRecord{Kind: recLease, ID: id, Node: node, TTLMS: ttl.Milliseconds()})
+}
+
+// AppendRelease journals that node handed the job off to another owner
+// (graceful drain); on replay the job demotes to a replica.
+func (j *Journal) AppendRelease(id, node string) error {
+	return j.append(journalRecord{Kind: recRelease, ID: id, Node: node})
 }
 
 // AppendCkpt journals one batch entry's checkpoint.

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func openJournalT(t *testing.T, path string) (*Journal, []*ReplayedJob) {
@@ -143,6 +144,57 @@ func TestJournalStopsAtCorruptRecord(t *testing.T) {
 	defer j2.Close()
 	if len(jobs) != 1 || jobs[0].ID != "b-1" {
 		t.Fatalf("replay past a corrupt record: got %d jobs", len(jobs))
+	}
+}
+
+// TestJournalOwnershipReplay covers the cluster records: owner submits
+// replay owned, replica submits do not, a lease promotes, a release
+// demotes, and the latest ownership record wins.
+func TestJournalOwnershipReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j, _ := openJournalT(t, path)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// b-own: plain owner submit (the pre-cluster shape).
+	must(j.AppendSubmit("b-own", "k1", json.RawMessage(`{}`)))
+	// b-rep: replica held for a peer, never promoted.
+	must(j.AppendReplicaSubmit("b-rep", "k2", json.RawMessage(`{}`)))
+	must(j.AppendCkpt("b-rep", 0, 500, []byte{1}))
+	// b-claim: replica promoted by a failover claim.
+	must(j.AppendReplicaSubmit("b-claim", "k3", json.RawMessage(`{}`)))
+	must(j.AppendLease("b-claim", "node1", 3*time.Second))
+	// b-gone: owned, then handed off during a drain.
+	must(j.AppendSubmit("b-gone", "k4", json.RawMessage(`{}`)))
+	must(j.AppendLease("b-gone", "node1", 3*time.Second))
+	must(j.AppendRelease("b-gone", "node1"))
+	must(j.Close())
+
+	j2, jobs := openJournalT(t, path)
+	defer j2.Close()
+	owned := map[string]bool{}
+	for _, rj := range jobs {
+		owned[rj.ID] = rj.Owned
+	}
+	want := map[string]bool{"b-own": true, "b-rep": false, "b-claim": true, "b-gone": false}
+	for id, w := range want {
+		got, ok := owned[id]
+		if !ok {
+			t.Errorf("job %s missing from replay", id)
+			continue
+		}
+		if got != w {
+			t.Errorf("job %s: Owned = %v, want %v", id, got, w)
+		}
+	}
+	// The replica's checkpoint survives for state transfer.
+	for _, rj := range jobs {
+		if rj.ID == "b-rep" && rj.Ckpts[0].Cycle != 500 {
+			t.Errorf("replica checkpoint lost: %+v", rj.Ckpts)
+		}
 	}
 }
 

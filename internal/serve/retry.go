@@ -23,6 +23,13 @@ func retryAfterSeconds(base time.Duration) int {
 	return int((d + time.Second - 1) / time.Second)
 }
 
+// retryAfterMS is the poll-pacing hint carried in a JobStatus body: one
+// RetryDelay(0) draw in milliseconds, so job pollers inherit the same
+// decorrelated backoff as rejected clients.
+func retryAfterMS(base time.Duration) int64 {
+	return RetryDelay(0, base).Milliseconds()
+}
+
 // RetryDelay returns how long a client should wait before retry number
 // attempt (0-based) of a 429-rejected request: exponential doubling
 // from base, capped at 64x base, with uniform +-50% jitter. A non-

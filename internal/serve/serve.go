@@ -36,6 +36,7 @@ import (
 	"sync"
 	"time"
 
+	"mtsim/internal/cluster"
 	"mtsim/internal/core"
 )
 
@@ -119,8 +120,12 @@ type Server struct {
 	// batch jobs. Set before serving starts, read-only afterwards.
 	jm *jobManager
 
-	httpMu   sync.Mutex
-	httpSrv  *http.Server
+	// cluster is non-nil once EnableCluster has joined this server to a
+	// fleet. Set before serving starts, read-only afterwards.
+	cluster *clusterRuntime
+
+	httpMu  sync.Mutex
+	httpSrv *http.Server
 }
 
 // New builds a Server from cfg (zero value = defaults).
@@ -145,6 +150,12 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/batch/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	// Cluster routes are registered unconditionally and answer 404 until
+	// EnableCluster arms them, so a solo node's surface is unchanged.
+	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+	s.mux.HandleFunc("GET "+cluster.PingPath, s.handleClusterPing)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/state", s.handleJobStateGet)
+	s.mux.HandleFunc("PUT /v1/jobs/{id}/state", s.handleJobStatePut)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
 	return s
 }
@@ -174,6 +185,23 @@ func (s *Server) PublishVars() {
 		expvar.Publish("mtsimd.sessions", expvar.Func(func() any { return s.Sessions() }))
 		expvar.Publish("mtsimd.journal_replayed", expvar.Func(func() any { return s.JournalReplayed() }))
 		expvar.Publish("mtsimd.checkpoints_written", expvar.Func(func() any { return s.CheckpointsWritten() }))
+		expvar.Publish("mtsimd.cluster_alive", expvar.Func(func() any {
+			if s.cluster == nil {
+				return 0
+			}
+			alive, _ := s.cluster.node.AliveCount()
+			return alive
+		}))
+		expvar.Publish("mtsimd.cluster_dead", expvar.Func(func() any {
+			if s.cluster == nil {
+				return 0
+			}
+			_, dead := s.cluster.node.AliveCount()
+			return dead
+		}))
+		expvar.Publish("mtsimd.cluster_claims", expvar.Func(func() any { return s.ClusterClaims() }))
+		expvar.Publish("mtsimd.cluster_forwards", expvar.Func(func() any { return s.ClusterForwards() }))
+		expvar.Publish("mtsimd.cluster_handoffs", expvar.Func(func() any { return s.ClusterHandoffs() }))
 	})
 }
 
@@ -194,7 +222,16 @@ func (s *Server) ListenAndServe(addr string) error {
 // enabled, the async dispatcher is drained the same way — the in-flight
 // job gets until ctx expires, then is aborted (still resumable from its
 // journaled checkpoints) — and the journal is flushed and closed.
+// In cluster mode the drain additionally hands every owned unfinished
+// job to a live ring successor (with a journaled release) before the
+// journal closes, so planned restarts migrate work immediately instead
+// of making peers wait out the lease.
 func (s *Server) Shutdown(ctx context.Context) error {
+	if s.cluster != nil {
+		// Stop probing (and claiming) first: a draining node must not
+		// adopt new work while it is giving its own away.
+		s.cluster.node.Stop()
+	}
 	s.httpMu.Lock()
 	srv := s.httpSrv
 	s.httpMu.Unlock()
@@ -208,7 +245,24 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 	}
 	if s.jm != nil {
-		if jerr := s.jm.stop(ctx); err == nil {
+		jerr := s.jm.stopDispatcher(ctx)
+		if s.cluster != nil {
+			hctx := ctx
+			if ctx.Err() != nil {
+				// The drain deadline went to the in-flight job. The
+				// handoff itself is a handful of bounded PUTs, so give it
+				// a short independent grace rather than stranding owned
+				// jobs until their leases expire on the claimant side.
+				var cancel context.CancelFunc
+				hctx, cancel = context.WithTimeout(context.Background(), 5*time.Second)
+				defer cancel()
+			}
+			s.handoffLeases(hctx)
+		}
+		if cerr := s.jm.closeJournal(); jerr == nil {
+			jerr = cerr
+		}
+		if err == nil {
 			err = jerr
 		}
 	}

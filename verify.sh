@@ -8,11 +8,11 @@ go vet ./...
 go test ./...
 go test -race ./internal/core/... ./internal/machine/...
 # Race pass over the experiment/metrics aggregation path, the fault
-# model, the HTTP serving layer (journal + async jobs included), and
-# the snapshot codec (-short skips the double experiment regeneration
-# and the chaostest daemon-kill harness, which runs in the plain pass
-# above).
-go test -race -short ./internal/exp/... ./internal/net/... ./internal/serve/... ./internal/snap/...
+# model, the HTTP serving layer (journal + async jobs + cluster
+# membership included), and the snapshot codec (-short skips the
+# double experiment regeneration and the chaostest daemon-kill
+# harness, which runs in the plain pass above).
+go test -race -short ./internal/cluster/... ./internal/exp/... ./internal/net/... ./internal/serve/... ./internal/snap/...
 # The cycle-accounting layer carries an exactness guarantee; hold its
 # unit coverage at >= 70%.
 cover=$(go test -cover ./internal/metrics/ | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
