@@ -113,7 +113,7 @@ func suite() []benchmark {
 			return mtsim.RunContext(ctx, cfg, a.Raw, a.Init)
 		}),
 	}}
-	for _, name := range mtsim.AppNames() {
+	for _, name := range mtsim.AllAppNames() {
 		name := name
 		bs = append(bs, benchmark{
 			name: "app-" + name,
@@ -124,6 +124,17 @@ func suite() []benchmark {
 			}),
 		})
 	}
+	bs = append(bs, benchmark{
+		// A dependent-load kernel on the routed mesh: times the link-queue
+		// contention path and pins its simulated work in the record.
+		name: "topology-gather-mesh",
+		run: oneRun(func(ctx context.Context) (*mtsim.Result, error) {
+			a := mtsim.MustNewApp("gather", mtsim.Quick)
+			cfg := mtsim.Config{Procs: 16, Threads: 4, Model: mtsim.SwitchOnLoad, Latency: 200}
+			cfg.Topology = mtsim.TopologyConfig{Kind: mtsim.TopoMesh}
+			return a.RunContext(ctx, cfg)
+		}),
+	})
 	bs = append(bs, benchmark{
 		name: "checkpointed-run",
 		run: oneRun(func(ctx context.Context) (*mtsim.Result, error) {
@@ -147,8 +158,8 @@ func suite() []benchmark {
 			// is the same at any GOMAXPROCS.
 			sess := mtsim.NewSession()
 			sess.Workers = 4
-			jobs := make([]mtsim.RunJob, 0, len(mtsim.AppNames()))
-			for _, name := range mtsim.AppNames() {
+			jobs := make([]mtsim.RunJob, 0, len(mtsim.AllAppNames()))
+			for _, name := range mtsim.AllAppNames() {
 				jobs = append(jobs, mtsim.RunJob{
 					App: mtsim.MustNewApp(name, mtsim.Quick),
 					Cfg: mtsim.Config{Procs: 4, Threads: 2, Model: mtsim.SwitchOnUse, Latency: 200},

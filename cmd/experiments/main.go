@@ -23,6 +23,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -40,6 +41,8 @@ func main() {
 	faults := flag.Float64("faults", 0.05, "harshest fault rate the robustness ablation sweeps to, in [0,1)")
 	jitter := flag.Int("jitter", 0, "latency jitter in cycles for the robustness ablation (0 = half the latency)")
 	seed := flag.Uint64("seed", 1, "seed for the robustness ablation's deterministic fault streams")
+	kernels := flag.String("kernels", "", "comma-separated irregular kernels for the topology ablation (default: all of "+strings.Join(mtsim.IrregularAppNames(), ",")+")")
+	topologies := flag.String("topologies", "", "comma-separated topologies for the topology ablation (default: "+strings.Join(mtsim.TopologyNames(), ",")+")")
 	metricsOut := flag.String("metrics", "", "collect cycle-accounting metrics on every simulation and write the aggregate JSON to this file (\"-\" for stdout)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar (engine counters) on this address, e.g. localhost:6060")
 	flag.Parse()
@@ -78,6 +81,12 @@ func main() {
 	}
 	if *maxMT > 0 {
 		opts = append(opts, mtsim.WithMaxMT(*maxMT))
+	}
+	if *kernels != "" {
+		opts = append(opts, mtsim.WithKernels(strings.Split(*kernels, ",")...))
+	}
+	if *topologies != "" {
+		opts = append(opts, mtsim.WithTopologies(strings.Split(*topologies, ",")...))
 	}
 	if *jobs > 0 {
 		opts = append(opts, mtsim.WithJobs(*jobs))

@@ -28,7 +28,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	for _, a := range apps.All(app.Quick) {
+	for _, a := range append(apps.All(app.Quick), apps.AllIrregular(app.Quick)...) {
 		write("internal/apps/testdata/"+a.Name+".mt", []byte(asm.Format(a.Raw)))
 		g, _, err := a.Grouped()
 		if err != nil {

@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	appName := flag.String("app", "sor", "application: "+strings.Join(mtsim.AppNames(), ", "))
+	appName := flag.String("app", "sor", "application: "+strings.Join(mtsim.AllAppNames(), ", "))
 	modelName := flag.String("model", "explicit-switch", "model: "+strings.Join(mtsim.ModelNames(), ", "))
 	scaleName := flag.String("scale", "quick", "problem scale: quick, medium or full")
 	procs := flag.Int("procs", 8, "processors")
@@ -33,6 +33,7 @@ func main() {
 	window := flag.Bool("window", false, "enable the §5.2 inter-block grouping window (explicit-switch)")
 	runs := flag.Bool("runlengths", true, "collect the run-length histogram")
 	traffic := flag.Bool("traffic", false, "print the per-message-type network breakdown")
+	topoName := flag.String("topology", "constant", "interconnect topology: "+strings.Join(mtsim.TopologyNames(), ", "))
 	faults := flag.Float64("faults", 0, "fault injection rate in [0,1): replies dropped/delayed at this rate, duplicated at half")
 	jitter := flag.Int("jitter", 0, "deterministic per-access latency jitter in cycles (must stay below -latency)")
 	seed := flag.Uint64("seed", 1, "seed for the deterministic fault stream")
@@ -59,6 +60,11 @@ func main() {
 		LatencyJitter:  *jitter,
 		CollectMetrics: *metricsOut != "",
 	}
+	topo, err := mtsim.ParseTopology(*topoName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Topology = mtsim.TopologyConfig{Kind: topo}
 	if *faults > 0 {
 		cfg.Faults = mtsim.FaultConfig{
 			Enabled: true, Seed: *seed,

@@ -1,5 +1,7 @@
 // Package apps is the registry of the paper's seven benchmark
-// applications (Table 1), instantiated at a chosen problem scale.
+// applications (Table 1), instantiated at a chosen problem scale,
+// plus three irregular-workload kernels (gather, hashjoin, spmv)
+// added for the topology experiments.
 package apps
 
 import (
@@ -7,17 +9,35 @@ import (
 
 	"mtsim/internal/app"
 	"mtsim/internal/apps/blkmat"
+	"mtsim/internal/apps/gather"
+	"mtsim/internal/apps/hashjoin"
 	"mtsim/internal/apps/locus"
 	"mtsim/internal/apps/mp3d"
 	"mtsim/internal/apps/sieve"
 	"mtsim/internal/apps/sor"
+	"mtsim/internal/apps/spmv"
 	"mtsim/internal/apps/ugray"
 	"mtsim/internal/apps/water"
 )
 
-// Names lists the applications in the paper's Table 1 order.
+// Names lists the paper's applications in Table 1 order. The irregular
+// kernels are deliberately excluded: this set feeds the paper-replica
+// experiments and their goldens, which must not change as kernels are
+// added. Use IrregularNames or AllNames for the extended set.
 func Names() []string {
 	return []string{"sieve", "blkmat", "sor", "ugray", "water", "locus", "mp3d"}
+}
+
+// IrregularNames lists the irregular-workload kernels used by the
+// topology experiments.
+func IrregularNames() []string {
+	return []string{"gather", "hashjoin", "spmv"}
+}
+
+// AllNames lists every buildable application: the Table 1 set followed
+// by the irregular kernels.
+func AllNames() []string {
+	return append(Names(), IrregularNames()...)
 }
 
 // tableProcs is the processor count at which each application's
@@ -26,13 +46,16 @@ func Names() []string {
 // water entries divide the molecule count evenly (49, 125, 343), which
 // its static load balancing rewards (§3.2).
 var tableProcs = map[string][3]int{
-	"sieve":  {8, 16, 16},
-	"blkmat": {6, 16, 16},
-	"sor":    {4, 8, 16},
-	"ugray":  {8, 16, 16},
-	"water":  {7, 7, 49},
-	"locus":  {8, 16, 16},
-	"mp3d":   {8, 16, 32},
+	"sieve":    {8, 16, 16},
+	"blkmat":   {6, 16, 16},
+	"sor":      {4, 8, 16},
+	"ugray":    {8, 16, 16},
+	"water":    {7, 7, 49},
+	"locus":    {8, 16, 16},
+	"mp3d":     {8, 16, 32},
+	"gather":   {8, 16, 16},
+	"hashjoin": {8, 16, 16},
+	"spmv":     {8, 16, 16},
 }
 
 // New builds one application by name at the given scale.
@@ -53,8 +76,14 @@ func New(name string, s app.Scale) (*app.App, error) {
 		a = locus.New(locus.ParamsFor(s))
 	case "mp3d":
 		a = mp3d.New(mp3d.ParamsFor(s))
+	case "gather":
+		a = gather.New(gather.ParamsFor(s))
+	case "hashjoin":
+		a = hashjoin.New(hashjoin.ParamsFor(s))
+	case "spmv":
+		a = spmv.New(spmv.ParamsFor(s))
 	default:
-		return nil, fmt.Errorf("apps: unknown application %q (have %v)", name, Names())
+		return nil, fmt.Errorf("apps: unknown application %q (have %v)", name, AllNames())
 	}
 	if tp, ok := tableProcs[name]; ok {
 		a.TableProcs = tp[s]
@@ -71,9 +100,17 @@ func MustNew(name string, s app.Scale) *app.App {
 	return a
 }
 
-// All builds the full benchmark set at the given scale.
+// All builds the paper's benchmark set at the given scale.
 func All(s app.Scale) []*app.App {
-	names := Names()
+	return build(Names(), s)
+}
+
+// AllIrregular builds the irregular kernel set at the given scale.
+func AllIrregular(s app.Scale) []*app.App {
+	return build(IrregularNames(), s)
+}
+
+func build(names []string, s app.Scale) []*app.App {
 	out := make([]*app.App, 0, len(names))
 	for _, n := range names {
 		out = append(out, MustNew(n, s))

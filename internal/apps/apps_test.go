@@ -8,6 +8,12 @@ import (
 	"mtsim/internal/machine"
 )
 
+// everyApp is the paper's benchmark set plus the irregular kernels, all
+// at Quick scale.
+func everyApp() []*app.App {
+	return append(apps.All(app.Quick), apps.AllIrregular(app.Quick)...)
+}
+
 // TestAllAppsAllModels is the system's central correctness property:
 // every benchmark application must compute the right answer under every
 // multithreading model, at several machine shapes, and the optimizer's
@@ -23,7 +29,7 @@ func TestAllAppsAllModels(t *testing.T) {
 		machine.SwitchOnUse, machine.ExplicitSwitch, machine.SwitchOnMiss,
 		machine.SwitchOnUseMiss, machine.ConditionalSwitch,
 	}
-	for _, a := range apps.All(app.Quick) {
+	for _, a := range everyApp() {
 		a := a
 		t.Run(a.Name, func(t *testing.T) {
 			t.Parallel()
@@ -52,7 +58,7 @@ func TestAllAppsAllModels(t *testing.T) {
 // have exactly one copy and the directory must match the caches, at
 // every coherence action of every run.
 func TestCoherenceInvariants(t *testing.T) {
-	for _, a := range apps.All(app.Quick) {
+	for _, a := range everyApp() {
 		a := a
 		t.Run(a.Name, func(t *testing.T) {
 			t.Parallel()
@@ -74,7 +80,7 @@ func TestCoherenceInvariants(t *testing.T) {
 // context switches for the stencil-style applications, and never makes
 // any application switch more.
 func TestGroupingReducesSwitches(t *testing.T) {
-	for _, a := range apps.All(app.Quick) {
+	for _, a := range everyApp() {
 		a := a
 		t.Run(a.Name, func(t *testing.T) {
 			t.Parallel()
@@ -100,7 +106,7 @@ func TestGroupingReducesSwitches(t *testing.T) {
 // TestAppInventory sanity-checks each application's metadata and static
 // program shape.
 func TestAppInventory(t *testing.T) {
-	for _, a := range apps.All(app.Quick) {
+	for _, a := range everyApp() {
 		if a.Name == "" || a.Description == "" || a.Problem == "" {
 			t.Errorf("%+v: incomplete metadata", a.Name)
 		}
@@ -138,7 +144,7 @@ func TestScalesBuild(t *testing.T) {
 		t.Skip("full-scale workload generation is slow")
 	}
 	for _, s := range []app.Scale{app.Quick, app.Medium} {
-		for _, name := range apps.Names() {
+		for _, name := range apps.AllNames() {
 			a := apps.MustNew(name, s)
 			if err := a.Raw.Validate(); err != nil {
 				t.Errorf("%s/%s: %v", name, s, err)

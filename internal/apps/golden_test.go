@@ -5,8 +5,6 @@ import (
 	"path/filepath"
 	"testing"
 
-	"mtsim/internal/app"
-	"mtsim/internal/apps"
 	"mtsim/internal/asm"
 )
 
@@ -30,7 +28,7 @@ func init() {
 }
 
 func TestGoldenAssembly(t *testing.T) {
-	for _, a := range apps.All(app.Quick) {
+	for _, a := range everyApp() {
 		a := a
 		t.Run(a.Name, func(t *testing.T) {
 			grouped, _, err := a.Grouped()

@@ -8,28 +8,43 @@ import (
 	"mtsim/internal/app"
 	"mtsim/internal/apps"
 	"mtsim/internal/machine"
+	"mtsim/internal/net"
 )
 
 // FuzzSnapshotRoundtrip fuzzes the checkpoint layer's byte-identity
-// contract across the paper's whole benchmark suite: for any of the
-// seven applications, any switch model and any pause cycle, running to
-// the pause, serializing the machine, restoring it from the bytes and
-// running on must reproduce the uninterrupted run's Result — Metrics
-// included — byte for byte, and still pass the application's own
-// correctness check.
+// contract across the whole application suite — the paper's seven
+// benchmarks plus the irregular kernels — on every switch model and
+// every network topology: for any app, model, topology and pause
+// cycle, running to the pause, serializing the machine (link queues
+// included), restoring it from the bytes and running on must reproduce
+// the uninterrupted run's Result — Metrics included — byte for byte,
+// and still pass the application's own correctness check.
 func FuzzSnapshotRoundtrip(f *testing.F) {
-	f.Add(uint8(0), uint8(4), uint64(500))
-	f.Add(uint8(3), uint8(7), uint64(1))
-	f.Add(uint8(6), uint8(2), uint64(1<<40))
-	f.Add(uint8(2), uint8(0), uint64(12345))
-	f.Fuzz(func(t *testing.T, appIdx, modelIdx uint8, pauseSeed uint64) {
-		names := apps.Names()
+	f.Add(uint8(0), uint8(4), uint8(0), uint64(500))
+	f.Add(uint8(3), uint8(7), uint8(0), uint64(1))
+	f.Add(uint8(6), uint8(2), uint8(0), uint64(1<<40))
+	f.Add(uint8(2), uint8(0), uint8(0), uint64(12345))
+	// Irregular kernels on routed topologies: the link-queue half of the
+	// v3 snapshot only matters when a non-constant network is live.
+	f.Add(uint8(7), uint8(2), uint8(1), uint64(700))
+	f.Add(uint8(8), uint8(4), uint8(2), uint64(333))
+	f.Add(uint8(9), uint8(2), uint8(3), uint64(4096))
+	f.Add(uint8(1), uint8(2), uint8(1), uint64(2500))
+	f.Fuzz(func(t *testing.T, appIdx, modelIdx, topoIdx uint8, pauseSeed uint64) {
+		names := apps.AllNames()
 		a := apps.MustNew(names[int(appIdx)%len(names)], app.Quick)
 		model := machine.Model(int(modelIdx) % machine.NumModels)
+		kind := net.TopologyKind(int(topoIdx) % net.NumTopologies)
+		if model == machine.Ideal {
+			// An ideal machine has no network; Validate rejects a routed
+			// topology on it, so clamp back to the constant kind.
+			kind = net.TopoConstant
+		}
 		cfg := machine.Config{
 			Procs: 4, Threads: 2, Model: model, Latency: 64,
 			CollectMetrics: true, CollectRunLengths: true,
 		}
+		cfg.Topology = net.TopologyConfig{Kind: kind}
 		p, err := a.ProgramFor(model)
 		if err != nil {
 			t.Fatal(err)
@@ -78,8 +93,8 @@ func FuzzSnapshotRoundtrip(f *testing.F) {
 			t.Fatal(err)
 		}
 		if string(wj) != string(gj) {
-			t.Errorf("app=%s model=%s pause=%d: resumed result differs\n--- uninterrupted ---\n%s\n--- resumed ---\n%s",
-				a.Name, model, pause, wj, gj)
+			t.Errorf("app=%s model=%s topo=%s pause=%d: resumed result differs\n--- uninterrupted ---\n%s\n--- resumed ---\n%s",
+				a.Name, model, kind, pause, wj, gj)
 		}
 	})
 }

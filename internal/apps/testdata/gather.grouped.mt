@@ -1,0 +1,50 @@
+.program gather+grouped
+.shared next 2048
+.shared val 2048
+.shared last 2048
+.shared sctr 1
+.shared acc 1
+
+	li	r4, 0
+	li	r5, 2048
+	li	r6, 2048
+	li	r18, 8
+	li	r19, 4096
+seg:
+	li	r8, 6144
+	li	r10, 32
+	faa	r7, 0(r8), r10
+	switch
+	bge	r7, r6, seg.done
+	addi	r11, r7, 32
+	blt	r11, r6, eok
+	mov	r11, r6
+eok:
+	li	r12, 0
+	mov	r13, r7
+node:
+	bge	r13, r11, flush
+	mov	r14, r13
+	li	r15, 0
+hop:
+	bge	r15, r18, hop.done
+	add	r16, r5, r14
+	lw.s	r17, 0(r16)
+	add	r16, r4, r14
+	lw.s	r14, 0(r16)
+	addi	r15, r15, 1
+	switch
+	add	r12, r12, r17
+	j	hop
+hop.done:
+	add	r16, r19, r13
+	sw.s	r14, 0(r16)
+	addi	r13, r13, 1
+	j	node
+flush:
+	li	r8, 6145
+	faa	r9, 0(r8), r12
+	switch
+	j	seg
+seg.done:
+	halt

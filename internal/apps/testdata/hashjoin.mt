@@ -1,0 +1,107 @@
+.program hashjoin
+.shared rkey 512
+.shared rpay 512
+.shared skey 1024
+.shared bkey 896
+.shared bpay 896
+.shared bcnt 64
+.shared bar 2
+.shared sctr1 1
+.shared sctr2 1
+.shared acc 1
+
+	li	r19, 64
+	li	r20, 14
+	li	r21, 3840
+	li	r22, 2048
+	li	r23, 2944
+	li	r25, 3904
+	li	r4, 0
+	li	r5, 512
+	li	r6, 512
+build.seg:
+	li	r8, 3906
+	li	r10, 16
+	faa	r7, 0(r8), r10
+	bge	r7, r6, build.done
+	addi	r11, r7, 16
+	blt	r11, r6, build.eok
+	mov	r11, r6
+build.eok:
+	mov	r13, r7
+build.loop:
+	bge	r13, r11, build.seg
+	add	r16, r4, r13
+	lw.s	r14, 0(r16)
+	rem	r15, r14, r19
+	add	r10, r21, r15
+	li	r9, 1
+	faa	r17, 0(r10), r9
+	mul	r9, r15, r20
+	add	r9, r9, r17
+	add	r10, r22, r9
+	sw.s	r14, 0(r10)
+	add	r16, r5, r13
+	lw.s	r18, 0(r16)
+	add	r10, r23, r9
+	sw.s	r18, 0(r10)
+	addi	r13, r13, 1
+	j	build.loop
+build.done:
+	xori	r26, r26, 1
+	li	r9, 1
+	faa	r10, 0(r25), r9
+	addi	r10, r10, 1
+	bne	r10, r2, .barspin.42
+	sw.s	r0, 0(r25)
+	sw.s	r26, 1(r25)
+	j	.bardone.38
+.barspin.42:
+.barwait.38:
+	lw.s	r9, 1(r25) !spin
+	bne	r9, r26, .barspin.42
+.bardone.38:
+	li	r4, 1024
+	li	r6, 1024
+probe.seg:
+	li	r8, 3907
+	li	r10, 16
+	faa	r7, 0(r8), r10
+	bge	r7, r6, probe.done
+	addi	r11, r7, 16
+	blt	r11, r6, probe.eok
+	mov	r11, r6
+probe.eok:
+	li	r12, 0
+	mov	r13, r7
+probe.loop:
+	bge	r13, r11, probe.flush
+	add	r16, r4, r13
+	lw.s	r14, 0(r16)
+	rem	r15, r14, r19
+	add	r10, r21, r15
+	lw.s	r17, 0(r10)
+	mul	r9, r15, r20
+	li	r18, 0
+probe.scan:
+	bge	r18, r17, probe.next
+	add	r10, r22, r9
+	add	r10, r10, r18
+	lw.s	r24, 0(r10)
+	bne	r24, r14, probe.skip
+	add	r10, r23, r9
+	add	r10, r10, r18
+	lw.s	r24, 0(r10)
+	add	r12, r12, r24
+probe.skip:
+	addi	r18, r18, 1
+	j	probe.scan
+probe.next:
+	addi	r13, r13, 1
+	j	probe.loop
+probe.flush:
+	li	r8, 3908
+	faa	r9, 0(r8), r12
+	j	probe.seg
+probe.done:
+	halt

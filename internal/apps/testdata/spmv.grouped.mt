@@ -1,0 +1,53 @@
+.program spmv+grouped
+.shared rowptr 513
+.shared colidx 2043
+.shared vals 2043
+.shared x 512
+.shared y 512
+.shared sctr 1
+
+	li	r4, 0
+	li	r5, 513
+	li	r6, 2556
+	li	r19, 4599
+	li	r20, 5111
+	li	r21, 512
+seg:
+	li	r8, 5623
+	li	r10, 16
+	faa	r7, 0(r8), r10
+	switch
+	bge	r7, r21, done
+	addi	r11, r7, 16
+	blt	r11, r21, eok
+	mov	r11, r21
+eok:
+	mov	r13, r7
+row:
+	bge	r13, r11, seg
+	add	r16, r4, r13
+	lw.s	r14, 0(r16)
+	lw.s	r15, 1(r16)
+	li	r12, 0
+	switch
+elem:
+	bge	r14, r15, row.store
+	add	r16, r5, r14
+	lw.s	r17, 0(r16)
+	add	r16, r6, r14
+	lw.s	r18, 0(r16)
+	addi	r14, r14, 1
+	switch
+	add	r16, r19, r17
+	lw.s	r17, 0(r16)
+	switch
+	mul	r17, r17, r18
+	add	r12, r12, r17
+	j	elem
+row.store:
+	add	r16, r20, r13
+	sw.s	r12, 0(r16)
+	addi	r13, r13, 1
+	j	row
+done:
+	halt

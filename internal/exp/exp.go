@@ -20,6 +20,7 @@ import (
 	"mtsim/internal/apps"
 	"mtsim/internal/core"
 	"mtsim/internal/machine"
+	"mtsim/internal/net"
 )
 
 // Options configures a generator run. The zero value is not usable; call
@@ -51,8 +52,17 @@ type Options struct {
 	// degraded-network column; zero means half the round trip
 	// (cmd/experiments -jitter).
 	FaultJitter int
+	// Kernels names the irregular-workload kernels the topology
+	// ablation sweeps (cmd/experiments -kernels). Default: all of
+	// apps.IrregularNames.
+	Kernels []string
+	// Topologies names the interconnect topologies the topology
+	// ablation sweeps (cmd/experiments -topologies). Default: every
+	// net.TopologyNames entry, constant first.
+	Topologies []string
 
-	appSet []*app.App
+	appSet    []*app.App
+	kernelSet []*app.App
 	// ctx bounds every simulation and render issued through these
 	// options (WithContext); nil means context.Background().
 	ctx context.Context
@@ -127,6 +137,19 @@ func WithFaults(rate float64, jitter int, seed uint64) Option {
 	}
 }
 
+// WithKernels selects the irregular kernels the topology ablation
+// sweeps. Names are validated by Options.Validate against the full
+// application registry.
+func WithKernels(names ...string) Option {
+	return func(o *Options) { o.Kernels = names }
+}
+
+// WithTopologies selects the interconnect topologies the topology
+// ablation sweeps. Names are validated by Options.Validate.
+func WithTopologies(names ...string) Option {
+	return func(o *Options) { o.Topologies = names }
+}
+
 // defaultMaxMT is the search cap a scale defaults to.
 func defaultMaxMT(s app.Scale) int {
 	if s == app.Quick {
@@ -139,14 +162,16 @@ func defaultMaxMT(s app.Scale) int {
 // defaults (Quick scale, 200-cycle latency, GOMAXPROCS workers).
 func New(out io.Writer, opts ...Option) *Options {
 	o := &Options{
-		Scale:     app.Quick,
-		Latency:   machine.DefaultLatency,
-		MaxMT:     defaultMaxMT(app.Quick),
-		Out:       out,
-		Sess:      core.NewSession(),
-		Jobs:      runtime.GOMAXPROCS(0),
-		FaultSeed: 1,
-		FaultRate: 0.05,
+		Scale:      app.Quick,
+		Latency:    machine.DefaultLatency,
+		MaxMT:      defaultMaxMT(app.Quick),
+		Out:        out,
+		Sess:       core.NewSession(),
+		Jobs:       runtime.GOMAXPROCS(0),
+		FaultSeed:  1,
+		FaultRate:  0.05,
+		Kernels:    apps.IrregularNames(),
+		Topologies: net.TopologyNames(),
 	}
 	for _, opt := range opts {
 		opt(o)
@@ -196,6 +221,27 @@ func (o *Options) Validate() error {
 		return fmt.Errorf("exp: jitter %d: cannot be negative", o.FaultJitter)
 	case o.FaultJitter > 0 && o.FaultJitter >= o.Latency:
 		return fmt.Errorf("exp: jitter %d: must stay below the round trip (latency %d)", o.FaultJitter, o.Latency)
+	case len(o.Kernels) == 0:
+		return fmt.Errorf("exp: no kernels selected (have %v)", apps.AllNames())
+	case len(o.Topologies) == 0:
+		return fmt.Errorf("exp: no topologies selected (have %v)", net.TopologyNames())
+	}
+	// Name checks up front, with the same flag-quality messages the CLI
+	// and the serving layer's experiment decoder surface: a typo fails
+	// in microseconds, not after the sweep reaches the bad cell.
+	valid := make(map[string]bool)
+	for _, n := range apps.AllNames() {
+		valid[n] = true
+	}
+	for _, n := range o.Kernels {
+		if !valid[n] {
+			return fmt.Errorf("exp: unknown kernel %q (have %v)", n, apps.AllNames())
+		}
+	}
+	for _, n := range o.Topologies {
+		if _, err := net.ParseTopology(n); err != nil {
+			return fmt.Errorf("exp: %w", err)
+		}
 	}
 	return nil
 }
@@ -278,7 +324,8 @@ func (o *Options) forEach(n int, f func(i int) error) error {
 // session's singleflight memo returns identical results regardless of
 // which experiment simulates a configuration first.
 func Rendered(o *Options, exps []*Experiment) ([]string, []time.Duration, error) {
-	o.Apps() // build the app set once, before any worker can race on it
+	o.Apps()              // build the app set once, before any worker can race on it
+	_, _ = o.KernelApps() // same for the kernel set; bad names resurface in the render
 	outs := make([]string, len(exps))
 	times := make([]time.Duration, len(exps))
 	err := o.forEach(len(exps), func(i int) error {
@@ -302,6 +349,23 @@ func (o *Options) Apps() []*app.App {
 		o.appSet = apps.All(o.Scale)
 	}
 	return o.appSet
+}
+
+// KernelApps returns the topology ablation's kernel set, built once
+// from the Kernels names at the options scale.
+func (o *Options) KernelApps() ([]*app.App, error) {
+	if o.kernelSet == nil {
+		set := make([]*app.App, 0, len(o.Kernels))
+		for _, n := range o.Kernels {
+			a, err := apps.New(n, o.Scale)
+			if err != nil {
+				return nil, err
+			}
+			set = append(set, a)
+		}
+		o.kernelSet = set
+	}
+	return o.kernelSet, nil
 }
 
 // App returns one application from the set by name.

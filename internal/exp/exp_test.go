@@ -30,8 +30,8 @@ func TestRegistryCompleteAndOrdered(t *testing.T) {
 
 func TestAblationsRegistered(t *testing.T) {
 	abls := exp.Ablations()
-	if len(abls) != 8 {
-		t.Fatalf("ablations = %d, want 8", len(abls))
+	if len(abls) != 9 {
+		t.Fatalf("ablations = %d, want 9", len(abls))
 	}
 	for _, e := range abls {
 		if e.ID == "" || e.Run == nil || e.Title == "" {

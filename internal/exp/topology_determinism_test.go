@@ -1,0 +1,143 @@
+package exp_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"mtsim/internal/app"
+	"mtsim/internal/apps"
+	"mtsim/internal/core"
+	"mtsim/internal/machine"
+	"mtsim/internal/metrics"
+	"mtsim/internal/net"
+)
+
+// kernelTopoCfg is the small machine the irregular-kernel determinism
+// tests run: routed topology, enough threads to interleave, metrics on
+// so the byte-identity check covers the full observability record.
+func kernelTopoCfg(kind net.TopologyKind) machine.Config {
+	cfg := machine.Config{
+		Procs: 4, Threads: 2, Model: machine.SwitchOnLoad, Latency: 64,
+		CollectRunLengths: true,
+	}
+	cfg.Topology = net.TopologyConfig{Kind: kind}
+	return cfg
+}
+
+// TestKernelBatchDeterminismOnTopologies: for every irregular kernel on
+// every routed topology, a batch (with duplicate jobs, to exercise the
+// memo/singleflight paths) must produce byte-identical result summaries
+// and aggregate metrics JSON at worker widths 1, 4 and 16.
+func TestKernelBatchDeterminismOnTopologies(t *testing.T) {
+	for _, name := range apps.IrregularNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			a := apps.MustNew(name, app.Quick)
+			var jobs []core.Job
+			for _, kind := range []net.TopologyKind{net.TopoMesh, net.TopoFatTree, net.TopoDragonfly} {
+				jobs = append(jobs, core.Job{App: a, Cfg: kernelTopoCfg(kind)})
+			}
+			jobs = append(jobs, jobs[0]) // duplicate: memo path
+
+			snapshot := func(workers int) string {
+				s := core.NewSession()
+				s.Workers = workers
+				s.CollectMetrics = true
+				results, err := s.RunBatch(jobs)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				var buf bytes.Buffer
+				for _, r := range results {
+					fmt.Fprintln(&buf, r.Summary())
+				}
+				if err := metrics.WriteJSON(&buf, s.Metrics()); err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				return buf.String()
+			}
+
+			base := snapshot(1)
+			for _, w := range []int{4, 16} {
+				if got := snapshot(w); got != base {
+					t.Errorf("workers=%d output differs from workers=1\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s",
+						w, base, w, got)
+				}
+			}
+		})
+	}
+}
+
+// TestKernelCheckpointResumeOnMesh: pausing an irregular kernel on the
+// mesh topology, snapshotting (link queues included), and resuming in a
+// fresh session must reproduce the uninterrupted run's Result byte for
+// byte — the link-queue state is part of the v3 snapshot payload.
+func TestKernelCheckpointResumeOnMesh(t *testing.T) {
+	ctx := context.Background()
+	for _, name := range apps.IrregularNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			a := apps.MustNew(name, app.Quick)
+			cfg := kernelTopoCfg(net.TopoMesh)
+
+			want, err := a.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			interval := want.Cycles / 7 // several pauses, never on a boundary
+			if interval < 1 {
+				interval = 1
+			}
+
+			var mid []byte
+			s1 := core.NewSession()
+			got, err := s1.RunCheckpointedContext(ctx, a, cfg, core.CheckpointConfig{
+				Interval: interval,
+				OnCheckpoint: func(cycle int64, snap []byte) error {
+					if mid == nil && cycle >= want.Cycles/2 {
+						mid = append([]byte(nil), snap...)
+					}
+					return nil
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameResult(t, "checkpointed", want, got)
+			if mid == nil {
+				t.Fatal("no mid-run snapshot captured")
+			}
+
+			s2 := core.NewSession()
+			resumed, err := s2.RunCheckpointedContext(ctx, a, cfg, core.CheckpointConfig{
+				Interval: interval, Resume: mid,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameResult(t, "resumed", want, resumed)
+		})
+	}
+}
+
+// assertSameResult compares two run results byte-for-byte via their
+// JSON encoding.
+func assertSameResult(t *testing.T, label string, want, got *machine.Result) {
+	t.Helper()
+	wj, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gj, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(wj) != string(gj) {
+		t.Errorf("%s result differs from uninterrupted run\n--- want ---\n%s\n--- got ---\n%s", label, wj, gj)
+	}
+}

@@ -220,6 +220,16 @@ type Config struct {
 	// bandwidth the program demands instead of staying constant. When
 	// enabled, Latency is ignored in favour of the model's output.
 	Congestion net.CongestionConfig
+	// Topology replaces the constant round trip with an explicit link
+	// graph (2D mesh, fat-tree, or dragonfly) with per-link FIFO
+	// contention queues and deterministic routing: each shared access is
+	// routed from its processor's node to the address's memory module
+	// and back, paying queueing delay on every congested link. The zero
+	// value (TopoConstant) is the paper's constant-latency network and
+	// leaves the legacy path untouched. Mutually exclusive with
+	// Congestion (two load-dependent latency models would fight over
+	// the same round trip).
+	Topology net.TopologyConfig
 	// Faults enables fault injection on shared-memory round trips
 	// (drop/duplicate/delay plus degraded latency distributions) and the
 	// requester-side recovery protocol: timeout, NACK-retry with capped
@@ -318,6 +328,7 @@ func (cfg Config) withDefaults() Config {
 	if cfg.MaxCycles == 0 {
 		cfg.MaxCycles = defaultMaxCycles
 	}
+	cfg.Topology = cfg.Topology.WithDefaults(cfg.Procs)
 	cfg.Faults = cfg.Faults.WithDefaults(cfg.Latency)
 	return cfg
 }
@@ -363,6 +374,17 @@ func (cfg Config) Validate() error {
 	}
 	if c.Congestion.Enabled && c.Model == Ideal {
 		return fmt.Errorf("machine: the congestion model does not apply to the ideal (zero latency) machine")
+	}
+	if err := c.Topology.Validate(); err != nil {
+		return err
+	}
+	if c.Topology.Enabled() {
+		if c.Model == Ideal {
+			return fmt.Errorf("machine: the topology model does not apply to the ideal (zero latency) machine")
+		}
+		if c.Congestion.Enabled {
+			return fmt.Errorf("machine: Topology and Congestion are mutually exclusive (both replace the constant round trip)")
+		}
 	}
 	if err := c.Faults.Validate(); err != nil {
 		return err

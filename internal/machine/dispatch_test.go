@@ -7,6 +7,8 @@ import (
 	"math"
 	"testing"
 
+	"mtsim/internal/app"
+	"mtsim/internal/apps"
 	"mtsim/internal/isa"
 	"mtsim/internal/machine"
 	"mtsim/internal/net"
@@ -120,22 +122,32 @@ func runDispatch(t *testing.T, cfg machine.Config, p *prog.Program, mode machine
 }
 
 // FuzzCompiledVsInterpreted is the engine's differential oracle: for
-// fuzzed machine shapes (model, geometry, latency, preemption, faults)
-// and fuzzed program behavior (loop trip counts, a possibly-zero
-// divisor), the compiled engine must produce the byte-identical Result
-// — or the byte-identical error — as the interpreter.
+// fuzzed machine shapes (model, geometry, latency, preemption, faults,
+// network topology) and fuzzed program behavior (loop trip counts, a
+// possibly-zero divisor), the compiled engine must produce the
+// byte-identical Result — or the byte-identical error — as the
+// interpreter.
 func FuzzCompiledVsInterpreted(f *testing.F) {
-	f.Add(uint64(1), uint8(0), uint8(2), uint8(2), uint16(16), int16(0), false, int64(3), uint8(9), 0.0)
-	f.Add(uint64(42), uint8(3), uint8(3), uint8(2), uint16(200), int16(64), true, int64(0), uint8(4), 0.0)
-	f.Add(uint64(7), uint8(5), uint8(1), uint8(4), uint16(80), int16(-1), false, int64(-5), uint8(40), 0.2)
-	f.Add(uint64(99), uint8(6), uint8(2), uint8(1), uint16(4), int16(17), true, int64(1), uint8(70), 0.05)
-	f.Fuzz(func(t *testing.T, seed uint64, modelIdx, procs, threads uint8, latency uint16, preempt int16, crit bool, divisor int64, nloop uint8, rate float64) {
+	f.Add(uint64(1), uint8(0), uint8(2), uint8(2), uint16(16), int16(0), false, int64(3), uint8(9), 0.0, uint8(0))
+	f.Add(uint64(42), uint8(3), uint8(3), uint8(2), uint16(200), int16(64), true, int64(0), uint8(4), 0.0, uint8(0))
+	f.Add(uint64(7), uint8(5), uint8(1), uint8(4), uint16(80), int16(-1), false, int64(-5), uint8(40), 0.2, uint8(0))
+	f.Add(uint64(99), uint8(6), uint8(2), uint8(1), uint16(4), int16(17), true, int64(1), uint8(70), 0.05, uint8(0))
+	// Routed topologies: shared round trips go through the link queues,
+	// so trace timing depends on contention state the engines must agree on.
+	f.Add(uint64(5), uint8(2), uint8(3), uint8(3), uint16(60), int16(0), false, int64(3), uint8(30), 0.0, uint8(1))
+	f.Add(uint64(11), uint8(4), uint8(2), uint8(2), uint16(90), int16(0), true, int64(7), uint8(50), 0.1, uint8(2))
+	f.Add(uint64(23), uint8(3), uint8(4), uint8(2), uint16(40), int16(9), false, int64(2), uint8(20), 0.0, uint8(3))
+	f.Fuzz(func(t *testing.T, seed uint64, modelIdx, procs, threads uint8, latency uint16, preempt int16, crit bool, divisor int64, nloop uint8, rate float64, topoIdx uint8) {
 		model := machine.Model(int(modelIdx) % machine.NumModels)
 		if math.IsNaN(rate) || math.IsInf(rate, 0) || rate < 0 {
 			rate = 0
 		}
 		if rate > 0.25 {
 			rate = 0.25
+		}
+		kind := net.TopologyKind(int(topoIdx) % net.NumTopologies)
+		if model == machine.Ideal {
+			kind = net.TopoConstant // routed topologies are rejected on the ideal machine
 		}
 		cfg := machine.Config{
 			Procs:        1 + int(procs)%4,
@@ -145,6 +157,7 @@ func FuzzCompiledVsInterpreted(f *testing.F) {
 			PreemptLimit: int(preempt),
 			CritPriority: crit,
 		}
+		cfg.Topology = net.TopologyConfig{Kind: kind}
 		if rate > 0 {
 			cfg.Faults = net.FaultConfig{
 				Enabled: true, Seed: seed,
@@ -177,6 +190,39 @@ func TestDispatchModesAgreeAcrossModels(t *testing.T) {
 				if gotErr != wantErr || gotJSON != wantJSON {
 					t.Errorf("compiled differs from interpreted:\ncompiled:    %s%s\ninterpreted: %s%s",
 						gotJSON, gotErr, wantJSON, wantErr)
+				}
+			})
+		}
+	}
+}
+
+// TestDispatchModesAgreeOnKernelTopologies runs the irregular kernels
+// — whose shared-access streams are data-dependent — on every routed
+// topology and asserts compiled/interpreted byte-identity, with each
+// run also passing the kernel's own host-reference check.
+func TestDispatchModesAgreeOnKernelTopologies(t *testing.T) {
+	for _, name := range apps.IrregularNames() {
+		a := apps.MustNew(name, app.Quick)
+		p, err := a.ProgramFor(machine.SwitchOnLoad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, kind := range []net.TopologyKind{net.TopoMesh, net.TopoFatTree, net.TopoDragonfly} {
+			t.Run(fmt.Sprintf("%s/%s", name, kind), func(t *testing.T) {
+				cfg := machine.Config{Procs: 4, Threads: 2, Model: machine.SwitchOnLoad, Latency: 64}
+				cfg.Topology = net.TopologyConfig{Kind: kind}
+				run := func(mode machine.DispatchMode) string {
+					c := cfg
+					c.DispatchMode = mode
+					res, err := machine.RunChecked(c, p, a.Init, a.Check)
+					if err != nil {
+						t.Fatalf("%s: %v", mode, err)
+					}
+					return resultJSON(t, res)
+				}
+				want := run(machine.DispatchInterpreted)
+				if got := run(machine.DispatchCompiled); got != want {
+					t.Errorf("compiled differs from interpreted:\ncompiled:    %s\ninterpreted: %s", got, want)
 				}
 			})
 		}

@@ -117,7 +117,10 @@ type m struct {
 	preempt    int64
 	trace      Tracer
 	congestion *net.Congestion
-	faults     *net.FaultPlan
+	// topo is the explicit-topology network (Config.Topology); nil for
+	// the constant (legacy) network, so the constant path is untouched.
+	topo   *net.Network
+	faults *net.FaultPlan
 	// mx is the cycle-accounting collector (Config.CollectMetrics).
 	// nil when disabled: every hook below sits behind one nil check so
 	// the hot loop pays nothing for the observability layer.
@@ -266,6 +269,9 @@ func newSim(cfg Config, p *prog.Program, init func(*Shared), tr Tracer) (*m, err
 	sim.trace = tr
 	if cfg.Congestion.Enabled {
 		sim.congestion = net.NewCongestion(cfg.Congestion, cfg.Procs)
+	}
+	if cfg.Topology.Enabled() {
+		sim.topo = net.NewNetwork(cfg.Topology, cfg.Procs, cfg.Latency)
 	}
 	if cfg.Faults.Enabled {
 		sim.faults = net.NewFaultPlan(cfg.Faults, cfg.Latency)
@@ -491,6 +497,12 @@ func (sim *m) finish(end int64) {
 	if sim.congestion != nil {
 		sim.res.NetPeakUtilization = sim.congestion.PeakUtilization
 		sim.res.NetFinalLatency = sim.congestion.Latency(end)
+	}
+	if sim.topo != nil {
+		sim.topo.Quiesce(end)
+		sim.res.TopoMaxLatency = sim.topo.MaxLatency
+		sim.res.TopoPeakQueue = sim.topo.PeakQueue
+		sim.res.TopoRequests = sim.topo.Requests
 	}
 	if sim.faults != nil {
 		sim.res.Faults = sim.faults.Stats
@@ -1043,6 +1055,13 @@ func (sim *m) sharedLoadTiming(pr *proc, t *thread, in *isa.Instr, addr, now int
 	if sim.congestion != nil {
 		lat = sim.congestion.Latency(now)
 	}
+	if sim.topo != nil {
+		// Route the access over the explicit link graph: a request to
+		// the address's memory module and the reply back, each paying
+		// queueing delay on every congested link.
+		reqBits, replyBits := roundTripBits(op)
+		lat = sim.topo.RoundTrip(now, int(pr.id), addr, reqBits, replyBits)
+	}
 	ready := now + lat
 	if sim.faults != nil {
 		// Fault injection + recovery protocol: the entire drop/retry
@@ -1390,6 +1409,18 @@ func (sim *m) checkCoherence(line int64) error {
 		}
 	}
 	return nil
+}
+
+// roundTripBits returns the request and reply message sizes of a
+// shared access, for routing over an explicit topology.
+func roundTripBits(op isa.Op) (reqBits, replyBits int64) {
+	switch op {
+	case isa.Faa:
+		return net.Bits(net.FaaReq, net.WordBits), net.Bits(net.FaaReply, net.WordBits)
+	case isa.LdS, isa.FlwS:
+		return net.Bits(net.ReadReq, 0), net.Bits(net.ReadReply, net.DoubleBits)
+	}
+	return net.Bits(net.ReadReq, 0), net.Bits(net.ReadReply, net.WordBits)
 }
 
 // recordUncachedLoad accounts an uncached shared read or Fetch-and-Add.

@@ -76,6 +76,13 @@ type Result struct {
 	NetPeakUtilization float64
 	NetFinalLatency    int64
 
+	// Topology-model observations (Config.Topology runs only): the
+	// largest round trip routed, the worst per-link queueing delay, and
+	// the number of round trips routed.
+	TopoMaxLatency int64
+	TopoPeakQueue  int64
+	TopoRequests   int64
+
 	// Faults is the fault-injection and recovery-protocol accounting
 	// (Config.Faults runs only).
 	Faults net.FaultStats
@@ -211,6 +218,10 @@ func (r *Result) Summary() string {
 	if r.Config.Congestion.Enabled {
 		fmt.Fprintf(&b, "network-model: peak-utilization=%.2f final-latency=%d\n",
 			r.NetPeakUtilization, r.NetFinalLatency)
+	}
+	if r.Config.Topology.Enabled() {
+		fmt.Fprintf(&b, "topology: kind=%s nodes=%d round-trips=%d max-latency=%d peak-queue=%d\n",
+			r.Config.Topology.Kind, r.Config.Topology.Nodes, r.TopoRequests, r.TopoMaxLatency, r.TopoPeakQueue)
 	}
 	if r.Config.Faults.Enabled {
 		fmt.Fprintf(&b, "faults: drops=%d dups=%d delays=%d timeouts=%d retries=%d backoff-cycles=%d hot=%d exhausted=%d\n",

@@ -38,7 +38,10 @@ import (
 // Version 2 appended Config.DispatchMode to the encoded configuration;
 // version-1 snapshots decode with DispatchAuto, which preserves their
 // results exactly (dispatch mode never affects observable behavior).
-const SnapshotVersion = 2
+// Version 3 appended Config.Topology to the configuration and the
+// topology network's link-queue state to the payload; older snapshots
+// decode with the constant (legacy) topology, which is what they ran.
+const SnapshotVersion = 3
 
 // snapMagic brands machine snapshots.
 const snapMagic = "MTSN"
@@ -299,6 +302,21 @@ func (sim *m) encodeState(e *snap.Encoder) {
 		encodeAccts(ms.Threads)
 		e.Bool(ms.Hit)
 	}
+	// Appended by format version 3: the topology network's link queues.
+	e.Bool(sim.topo != nil)
+	if sim.topo != nil {
+		ts := sim.topo.Snapshot()
+		e.U32(uint32(len(ts.FreeAt)))
+		for i := range ts.FreeAt {
+			e.I64(ts.FreeAt[i])
+			e.I64(ts.Enqueued[i])
+			e.I64(ts.Drained[i])
+			e.I64s(ts.Pending[i])
+		}
+		e.I64(ts.Requests)
+		e.I64(ts.PeakQueue)
+		e.I64(ts.MaxLatency)
+	}
 }
 
 // decodeState rebuilds a paused simulation from a payload.
@@ -472,6 +490,36 @@ func decodeState(d *snap.Decoder, p *prog.Program, version uint32) (*m, error) {
 		}
 	} else if sim.mx != nil {
 		return nil, fmt.Errorf("%w: config enables metrics but snapshot lacks collector state", ErrSnapshotMismatch)
+	}
+	if version >= 3 {
+		if d.Bool() {
+			if sim.topo == nil {
+				return nil, fmt.Errorf("%w: snapshot has topology state but config disables it", ErrSnapshotMismatch)
+			}
+			nlinks := int(d.U32())
+			ts := net.TopologyState{
+				FreeAt:   make([]int64, 0, nlinks),
+				Enqueued: make([]int64, 0, nlinks),
+				Drained:  make([]int64, 0, nlinks),
+				Pending:  make([][]int64, 0, nlinks),
+			}
+			for i := 0; i < nlinks && d.Err() == nil; i++ {
+				ts.FreeAt = append(ts.FreeAt, d.I64())
+				ts.Enqueued = append(ts.Enqueued, d.I64())
+				ts.Drained = append(ts.Drained, d.I64())
+				ts.Pending = append(ts.Pending, d.I64s())
+			}
+			ts.Requests = d.I64()
+			ts.PeakQueue = d.I64()
+			ts.MaxLatency = d.I64()
+			if d.Err() == nil {
+				if err := sim.topo.Restore(ts); err != nil {
+					return nil, fmt.Errorf("%w: %v", ErrSnapshotMismatch, err)
+				}
+			}
+		} else if sim.topo != nil {
+			return nil, fmt.Errorf("%w: config enables a topology but snapshot lacks its state", ErrSnapshotMismatch)
+		}
 	}
 
 	if err := d.Finish(); err != nil {
@@ -689,6 +737,12 @@ func encodeConfig(e *snap.Encoder, cfg Config) {
 	e.Bool(cfg.CollectMetrics)
 	e.Bool(cfg.CheckInvariants)
 	e.Int(int(cfg.DispatchMode)) // appended by format version 2
+	// Appended by format version 3.
+	e.Int(int(cfg.Topology.Kind))
+	e.Int(cfg.Topology.Nodes)
+	e.Int(cfg.Topology.HopCycles)
+	e.Int(cfg.Topology.ChannelBits)
+	e.Int(cfg.Topology.MemCycles)
 }
 
 func decodeConfig(d *snap.Decoder, version uint32) Config {
@@ -733,6 +787,13 @@ func decodeConfig(d *snap.Decoder, version uint32) Config {
 	cfg.CheckInvariants = d.Bool()
 	if version >= 2 {
 		cfg.DispatchMode = DispatchMode(d.Int())
+	}
+	if version >= 3 {
+		cfg.Topology.Kind = net.TopologyKind(d.Int())
+		cfg.Topology.Nodes = d.Int()
+		cfg.Topology.HopCycles = d.Int()
+		cfg.Topology.ChannelBits = d.Int()
+		cfg.Topology.MemCycles = d.Int()
 	}
 	return cfg
 }

@@ -67,6 +67,70 @@ func (g *Congestion) Restore(st CongestionState) {
 	g.PeakUtilization = st.PeakUtilization
 }
 
+// TopologyState is the serializable state of a Network runtime: every
+// link's FIFO queue (busy-until time, counters, and the departure times
+// of in-flight messages) plus the observability counters. Configuration
+// and geometry are rebuilt by the restoring side from the effective
+// TopologyConfig.
+type TopologyState struct {
+	FreeAt   []int64
+	Enqueued []int64
+	Drained  []int64
+	Pending  [][]int64
+
+	Requests   int64
+	PeakQueue  int64
+	MaxLatency int64
+}
+
+// Snapshot captures the network's run state.
+func (n *Network) Snapshot() TopologyState {
+	st := TopologyState{
+		FreeAt:     make([]int64, len(n.links)),
+		Enqueued:   make([]int64, len(n.links)),
+		Drained:    make([]int64, len(n.links)),
+		Pending:    make([][]int64, len(n.links)),
+		Requests:   n.Requests,
+		PeakQueue:  n.PeakQueue,
+		MaxLatency: n.MaxLatency,
+	}
+	for i := range n.links {
+		lk := &n.links[i]
+		st.FreeAt[i] = lk.freeAt
+		st.Enqueued[i] = lk.enqueued
+		st.Drained[i] = lk.drained
+		if len(lk.pending) > 0 {
+			st.Pending[i] = append([]int64(nil), lk.pending...)
+		}
+	}
+	return st
+}
+
+// Restore overwrites the network's run state. The link count is pinned
+// by the configuration's geometry, so a mismatch means the snapshot was
+// taken under a different topology.
+func (n *Network) Restore(st TopologyState) error {
+	if len(st.FreeAt) != len(n.links) || len(st.Enqueued) != len(n.links) ||
+		len(st.Drained) != len(n.links) || len(st.Pending) != len(n.links) {
+		return fmt.Errorf("net: topology snapshot has %d links, network has %d", len(st.FreeAt), len(n.links))
+	}
+	for i := range n.links {
+		lk := &n.links[i]
+		lk.freeAt = st.FreeAt[i]
+		lk.enqueued = st.Enqueued[i]
+		lk.drained = st.Drained[i]
+		lk.pending = append(lk.pending[:0], st.Pending[i]...)
+		if lk.enqueued != lk.drained+int64(len(lk.pending)) {
+			return fmt.Errorf("net: topology snapshot link %d counters inconsistent (%d enqueued != %d drained + %d pending)",
+				i, lk.enqueued, lk.drained, len(lk.pending))
+		}
+	}
+	n.Requests = st.Requests
+	n.PeakQueue = st.PeakQueue
+	n.MaxLatency = st.MaxLatency
+	return nil
+}
+
 // FaultPlanState is the serializable state of a FaultPlan. Because Fork
 // derives each access's substream from the root's state *without
 // advancing it* (see rng.Fork), the root state plus the sequence

@@ -33,8 +33,8 @@ func TestCacheLRUEviction(t *testing.T) {
 	c := newSessionCache(1, 2, 0, func(string) *core.Session { builds++; return core.NewSession() })
 	s1 := c.Get("a")
 	c.Get("b")
-	c.Get("a")     // a is now most recent
-	c.Get("c")     // evicts b
+	c.Get("a") // a is now most recent
+	c.Get("c") // evicts b
 	if c.Len() != 2 {
 		t.Fatalf("Len = %d, want 2", c.Len())
 	}

@@ -33,18 +33,31 @@ const ResponseSchemaVersion = 1
 // library path runs — so the server can never accept a configuration
 // the library would reject.
 type ConfigRequest struct {
-	Procs         int            `json:"procs"`
-	Threads       int            `json:"threads"`
-	Model         string         `json:"model"`
-	Latency       int            `json:"latency,omitempty"`
-	SwitchCost    int            `json:"switch_cost,omitempty"`
-	RunLimit      int            `json:"run_limit,omitempty"`
-	CritPriority  bool           `json:"crit_priority,omitempty"`
-	GroupWindow   bool           `json:"group_window,omitempty"`
-	WindowCells   int            `json:"window_cells,omitempty"`
-	LatencyJitter int            `json:"latency_jitter,omitempty"`
-	MaxCycles     int64          `json:"max_cycles,omitempty"`
-	Faults        *FaultsRequest `json:"faults,omitempty"`
+	Procs         int              `json:"procs"`
+	Threads       int              `json:"threads"`
+	Model         string           `json:"model"`
+	Latency       int              `json:"latency,omitempty"`
+	SwitchCost    int              `json:"switch_cost,omitempty"`
+	RunLimit      int              `json:"run_limit,omitempty"`
+	CritPriority  bool             `json:"crit_priority,omitempty"`
+	GroupWindow   bool             `json:"group_window,omitempty"`
+	WindowCells   int              `json:"window_cells,omitempty"`
+	LatencyJitter int              `json:"latency_jitter,omitempty"`
+	MaxCycles     int64            `json:"max_cycles,omitempty"`
+	Topology      *TopologyRequest `json:"topology,omitempty"`
+	Faults        *FaultsRequest   `json:"faults,omitempty"`
+}
+
+// TopologyRequest is the wire form of the interconnect-topology knobs.
+// Kind names a net.TopologyKind ("constant", "mesh", "fattree",
+// "dragonfly"); an unknown name is a 400 listing the valid choices.
+// Zero-valued shape parameters take their Procs-derived defaults.
+type TopologyRequest struct {
+	Kind        string `json:"kind"`
+	Nodes       int    `json:"nodes,omitempty"`
+	HopCycles   int    `json:"hop_cycles,omitempty"`
+	ChannelBits int    `json:"channel_bits,omitempty"`
+	MemCycles   int    `json:"mem_cycles,omitempty"`
 }
 
 // FaultsRequest is the wire form of the fault-injection knobs.
@@ -67,6 +80,16 @@ func (c *ConfigRequest) ToMachine() (machine.Config, error) {
 		CritPriority: c.CritPriority,
 		GroupWindow:  c.GroupWindow, WindowCells: c.WindowCells,
 		LatencyJitter: c.LatencyJitter, MaxCycles: c.MaxCycles,
+	}
+	if t := c.Topology; t != nil {
+		kind, err := net.ParseTopology(t.Kind)
+		if err != nil {
+			return machine.Config{}, err
+		}
+		cfg.Topology = net.TopologyConfig{
+			Kind: kind, Nodes: t.Nodes, HopCycles: t.HopCycles,
+			ChannelBits: t.ChannelBits, MemCycles: t.MemCycles,
+		}
 	}
 	if f := c.Faults; f != nil {
 		cfg.Faults = net.FaultConfig{
@@ -526,6 +549,12 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		opts = append(opts, exp.WithMaxMT(n))
+	}
+	if v := q.Get("kernels"); v != "" {
+		opts = append(opts, exp.WithKernels(strings.Split(v, ",")...))
+	}
+	if v := q.Get("topologies"); v != "" {
+		opts = append(opts, exp.WithTopologies(strings.Split(v, ",")...))
 	}
 	var timeoutMS int64
 	if v := q.Get("timeout_ms"); v != "" {

@@ -104,6 +104,12 @@ type (
 	FaultStats = net.FaultStats
 	// DelayDist selects a degraded round-trip distribution.
 	DelayDist = net.DelayDist
+	// TopologyConfig selects a load-dependent interconnect topology for
+	// Config.Topology (constant, mesh, fattree, dragonfly). The zero
+	// value keeps the paper's constant round trip.
+	TopologyConfig = net.TopologyConfig
+	// TopologyKind names one of the interconnect topologies.
+	TopologyKind = net.TopologyKind
 	// BatchError aggregates per-job failures from Session.RunBatch while
 	// the healthy jobs' results are still returned.
 	BatchError = core.BatchError
@@ -172,6 +178,20 @@ const (
 	DistHotSpot  = net.DistHotSpot
 )
 
+// Interconnect topologies for TopologyConfig.Kind.
+const (
+	TopoConstant  = net.TopoConstant
+	TopoMesh      = net.TopoMesh
+	TopoFatTree   = net.TopoFatTree
+	TopoDragonfly = net.TopoDragonfly
+)
+
+// TopologyNames lists the interconnect topology names.
+func TopologyNames() []string { return net.TopologyNames() }
+
+// ParseTopology resolves a topology name like "mesh".
+func ParseTopology(s string) (TopologyKind, error) { return net.ParseTopology(s) }
+
 // Sentinel errors of the simulator's watchdog.
 var (
 	// ErrMaxCycles marks a run that exceeded Config.MaxCycles — almost
@@ -229,6 +249,14 @@ func ParseScale(s string) (Scale, error) { return app.ParseScale(s) }
 
 // AppNames lists the benchmark applications in Table 1 order.
 func AppNames() []string { return apps.Names() }
+
+// IrregularAppNames lists the irregular-workload kernels added for the
+// topology experiments.
+func IrregularAppNames() []string { return apps.IrregularNames() }
+
+// AllAppNames lists every buildable application: the Table 1 set plus
+// the irregular kernels.
+func AllAppNames() []string { return apps.AllNames() }
 
 // NewApp builds one benchmark application at a scale.
 func NewApp(name string, s Scale) (*App, error) { return apps.New(name, s) }
@@ -323,6 +351,12 @@ var (
 	// WithContext threads a context through every simulation the
 	// experiments run: cancellation aborts rendering cooperatively.
 	WithContext = exp.WithContext
+	// WithKernels selects the irregular kernels the topology ablation
+	// sweeps.
+	WithKernels = exp.WithKernels
+	// WithTopologies selects the interconnect topologies the topology
+	// ablation sweeps.
+	WithTopologies = exp.WithTopologies
 	// WithFaults enables fault injection at a drop/delay rate with
 	// deterministic seed and latency jitter.
 	WithFaults = exp.WithFaults

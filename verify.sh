@@ -18,3 +18,8 @@ go test -race -short ./internal/cluster/... ./internal/exp/... ./internal/net/..
 cover=$(go test -cover ./internal/metrics/ | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
 test -n "$cover"
 awk "BEGIN { exit !($cover >= 70.0) }"
+# The network layer (topology routing/queueing, congestion, faults)
+# decides every shared round trip; hold its unit coverage at >= 70%.
+netcover=$(go test -cover ./internal/net/ | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+test -n "$netcover"
+awk "BEGIN { exit !($netcover >= 70.0) }"
