@@ -7,8 +7,20 @@
 //
 //	mtsimd [-addr :8080] [-workers N] [-queue N] [-timeout 60s] [-drain 30s]
 //	       [-journal PATH] [-checkpoint-every N]
+//	       [-tenants name:weight:rate:burst[:apikey],...] [-quota rate:burst]
+//	       [-fair-share] [-dispatchers N]
 //	       [-node-id ID -peers id1=url1,id2=url2,...] [-heartbeat 500ms]
 //	       [-lease-ttl 3s] [-replicas 2]
+//
+// -tenants declares the serving plane's tenants: a fair-share weight
+// for the async scheduler, a token-bucket admission quota (requests/s
+// and burst; 0:0 = unlimited) and optionally an API key. Requests
+// carry their tenant as "Authorization: Bearer <apikey>" or an
+// X-Tenant-ID header; everything else is the "anonymous" tenant under
+// the -quota default. -fair-share (default on) drains async jobs
+// deficit-round-robin across per-tenant queues so one tenant's flood
+// cannot starve another; per-tenant usage shows up in /v1/healthz,
+// /v2/healthz and expvar.
 //
 // -journal enables crash-tolerant async batch jobs: /v1/batch requests
 // carrying an Idempotency-Key are journaled to PATH (write-ahead,
@@ -41,6 +53,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -48,6 +61,69 @@ import (
 	"mtsim/internal/cluster"
 	"mtsim/internal/serve"
 )
+
+// parseTenants decodes the -tenants flag:
+// "name:weight:rate:burst[:apikey],..." — weight is the fair-share
+// scheduler weight, rate/burst the token-bucket admission quota
+// (0:0 = unlimited), apikey an optional Bearer credential that
+// resolves to the tenant.
+func parseTenants(s string) ([]serve.TenantConfig, error) {
+	var out []serve.TenantConfig
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) < 4 || len(fields) > 5 {
+			return nil, fmt.Errorf("bad -tenants entry %q, want name:weight:rate:burst[:apikey]", part)
+		}
+		tc := serve.TenantConfig{Name: fields[0]}
+		if tc.Name == "" {
+			return nil, fmt.Errorf("bad -tenants entry %q: empty name", part)
+		}
+		var err error
+		if tc.Weight, err = strconv.Atoi(fields[1]); err != nil || tc.Weight < 0 {
+			return nil, fmt.Errorf("bad -tenants entry %q: weight %q", part, fields[1])
+		}
+		rate, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil || rate < 0 {
+			return nil, fmt.Errorf("bad -tenants entry %q: rate %q", part, fields[2])
+		}
+		burst, err := strconv.Atoi(fields[3])
+		if err != nil || burst < 0 {
+			return nil, fmt.Errorf("bad -tenants entry %q: burst %q", part, fields[3])
+		}
+		tc.Rate, tc.Burst = rate, burst
+		if len(fields) == 5 && fields[4] != "" {
+			tc.APIKeys = []string{fields[4]}
+		}
+		out = append(out, tc)
+	}
+	return out, nil
+}
+
+// parseQuota decodes the -quota flag: "rate:burst" (the default
+// admission quota of tenants not named by -tenants; empty or 0:0 =
+// unlimited).
+func parseQuota(s string) (serve.Quota, error) {
+	if s == "" {
+		return serve.Quota{}, nil
+	}
+	rateStr, burstStr, ok := strings.Cut(s, ":")
+	if !ok {
+		return serve.Quota{}, fmt.Errorf("bad -quota %q, want rate:burst", s)
+	}
+	rate, err := strconv.ParseFloat(rateStr, 64)
+	if err != nil || rate < 0 {
+		return serve.Quota{}, fmt.Errorf("bad -quota %q: rate %q", s, rateStr)
+	}
+	burst, err := strconv.Atoi(burstStr)
+	if err != nil || burst < 0 {
+		return serve.Quota{}, fmt.Errorf("bad -quota %q: burst %q", s, burstStr)
+	}
+	return serve.Quota{Rate: rate, Burst: burst}, nil
+}
 
 // parsePeers decodes the -peers flag: "id1=url1,id2=url2,...".
 func parsePeers(s string) ([]cluster.Peer, error) {
@@ -79,6 +155,10 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window")
 	journal := flag.String("journal", "", "write-ahead job journal path; enables crash-tolerant async batch jobs")
 	ckptEvery := flag.Int64("checkpoint-every", 0, "cycles between async-job checkpoints (0 = 100000)")
+	tenants := flag.String("tenants", "", "declared tenants, name:weight:rate:burst[:apikey],...")
+	quota := flag.String("quota", "", "default admission quota for undeclared tenants, rate:burst (empty = unlimited)")
+	fairShare := flag.Bool("fair-share", true, "drain async jobs deficit-round-robin per tenant (false = legacy FIFO)")
+	dispatchers := flag.Int("dispatchers", 0, "async dispatcher pool size (0 = workers/2)")
 	nodeID := flag.String("node-id", "", "this node's cluster id; enables cluster mode with -peers (requires -journal)")
 	peers := flag.String("peers", "", "comma-separated id=url cluster membership, self included")
 	heartbeat := flag.Duration("heartbeat", 0, "cluster health-probe period (0 = 500ms)")
@@ -91,6 +171,18 @@ func main() {
 		os.Exit(2)
 	}
 
+	tenantList, err := parseTenants(*tenants)
+	if err != nil {
+		log.Fatalf("mtsimd: %v", err)
+	}
+	defQuota, err := parseQuota(*quota)
+	if err != nil {
+		log.Fatalf("mtsimd: %v", err)
+	}
+	scheduler := serve.SchedulerFair
+	if !*fairShare {
+		scheduler = serve.SchedulerFIFO
+	}
 	srv := serve.New(serve.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
@@ -98,6 +190,10 @@ func main() {
 		DefaultTimeout:  *timeout,
 		MaxTimeout:      *maxTimeout,
 		CheckpointEvery: *ckptEvery,
+		Tenants:         tenantList,
+		DefaultQuota:    defQuota,
+		Scheduler:       scheduler,
+		Dispatchers:     *dispatchers,
 	})
 	srv.PublishVars()
 	if *journal != "" {

@@ -140,6 +140,9 @@ type Lease struct {
 	Holder     string `json:"holder"`
 	Status     string `json:"status"`
 	Checkpoint int64  `json:"checkpoint"`
+	// Tenant attributes the job for usage accounting, so a node that
+	// claims an expired lease keeps billing the right tenant.
+	Tenant string `json:"tenant,omitempty"`
 	// TTLMS is the remaining validity in milliseconds. Always relative:
 	// receivers re-anchor it to their own clock, so cross-node clock
 	// skew never enters a claim decision.
@@ -159,11 +162,26 @@ type Member struct {
 }
 
 // PingResponse is the body of GET /v1/cluster/ping: the peer's identity
-// plus the leases it currently holds. internal/serve serves it; this
-// package consumes it.
+// plus the leases it currently holds and the per-tenant usage it has
+// accrued locally. internal/serve serves it; this package consumes it.
 type PingResponse struct {
 	NodeID string  `json:"node_id"`
 	Leases []Lease `json:"leases"`
+	// Usage is the peer's locally-accrued per-tenant accounting. Each
+	// node speaks only for work it executed itself; receivers keep the
+	// latest report per (peer, tenant) and sum across peers, so the
+	// cluster-wide totals survive any single node's death.
+	Usage []TenantUsage `json:"usage,omitempty"`
+}
+
+// TenantUsage is one tenant's accrued usage on one node: monotonic
+// counters a node gossips on ping replies so accounting survives
+// failover. QueueMS is total time jobs waited before dispatch.
+type TenantUsage struct {
+	Tenant    string `json:"tenant"`
+	Jobs      int64  `json:"jobs"`
+	SimCycles int64  `json:"sim_cycles"`
+	QueueMS   int64  `json:"queue_ms"`
 }
 
 // member is the prober's book-keeping for one peer.
@@ -193,6 +211,9 @@ type Node struct {
 	// LocalLeases reports the jobs this node currently owns; the serve
 	// layer answers peers' pings with it. Must be set before Start.
 	LocalLeases func() []Lease
+	// LocalUsage reports this node's locally-accrued per-tenant usage
+	// for gossip on ping replies. Optional.
+	LocalUsage func() []TenantUsage
 	// OnExpiredLease fires (on its own goroutine) when a dead peer's
 	// lease has expired and this node is the job's route owner. The
 	// hook must call DropLease once the job is claimed or given up;
@@ -202,6 +223,7 @@ type Node struct {
 	mu       sync.Mutex
 	members  map[string]*member
 	remote   map[string]*remoteLease
+	usage    map[string][]TenantUsage // peer id -> last gossiped usage
 	claiming map[string]bool
 	started  bool
 	stop     chan struct{}
@@ -221,6 +243,7 @@ func New(cfg Config) (*Node, error) {
 		now:      time.Now,
 		members:  make(map[string]*member, len(cfg.Peers)),
 		remote:   make(map[string]*remoteLease),
+		usage:    make(map[string][]TenantUsage),
 		claiming: make(map[string]bool),
 		stop:     make(chan struct{}),
 	}
@@ -340,6 +363,32 @@ func (n *Node) RemoteLeases() []Lease {
 		out = append(out, l)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].JobID < out[j].JobID })
+	return out
+}
+
+// RemoteUsage returns the per-tenant usage gossiped by peers, summed
+// across nodes and sorted by tenant. Reports from dead peers are kept:
+// a node's accrued usage does not vanish with the node, which is what
+// lets cluster-wide accounting survive failover.
+func (n *Node) RemoteUsage() []TenantUsage {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	byTenant := make(map[string]TenantUsage)
+	for _, list := range n.usage {
+		for _, u := range list {
+			t := byTenant[u.Tenant]
+			t.Tenant = u.Tenant
+			t.Jobs += u.Jobs
+			t.SimCycles += u.SimCycles
+			t.QueueMS += u.QueueMS
+			byTenant[u.Tenant] = t
+		}
+	}
+	out := make([]TenantUsage, 0, len(byTenant))
+	for _, u := range byTenant {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
 	return out
 }
 

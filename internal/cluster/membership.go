@@ -101,6 +101,11 @@ func (n *Node) probe(p Peer) {
 	}
 	m.state, m.lastSeen, m.anchor, m.lastErr = StateAlive, now, now, ""
 	n.mergeLeases(p.ID, ping.Leases, now)
+	if len(ping.Usage) > 0 {
+		// Latest report wins; never deleted, so a peer's accrued usage
+		// outlives the peer.
+		n.usage[p.ID] = ping.Usage
+	}
 }
 
 // fetchPing GETs one peer's ping endpoint and validates its identity.

@@ -1,8 +1,8 @@
 package chaostest
 
 import (
+	"context"
 	"encoding/json"
-	"fmt"
 	"io"
 	"math/rand"
 	"net"
@@ -10,10 +10,12 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
-	"strings"
 	"syscall"
 	"testing"
 	"time"
+
+	"mtsim/internal/serve"
+	"mtsim/internal/serve/client"
 )
 
 // chaosBatchBody keeps the daemon busy long enough to be killed
@@ -81,74 +83,60 @@ func startDaemon(t *testing.T, bin, addr, journal string) *exec.Cmd {
 	return nil
 }
 
+// chaosBatch decodes the chaos body into the client's request type.
+func chaosBatch(t *testing.T) *serve.BatchRequest {
+	t.Helper()
+	var b serve.BatchRequest
+	if err := json.Unmarshal([]byte(chaosBatchBody), &b); err != nil {
+		t.Fatalf("decode chaos batch: %v", err)
+	}
+	return &b
+}
+
+// apiClient wraps one daemon address in the /v2 Go client — the
+// harness drives the fleet through the same package real callers use.
+func apiClient(addr string) *client.Client {
+	return client.New("http://" + addr)
+}
+
 // submit posts the chaos batch with the idempotency key; resubmitting
 // after every restart is the point of the key, so connection-level
 // failures (daemon mid-death) are retried by the caller.
-func submit(addr string) (string, error) {
-	req, err := http.NewRequest("POST", "http://"+addr+"/v1/batch", strings.NewReader(chaosBatchBody))
-	if err != nil {
-		return "", err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	req.Header.Set("Idempotency-Key", idempotencyKey)
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return "", err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return "", err
-	}
-	if resp.StatusCode != http.StatusAccepted {
-		return "", fmt.Errorf("submit: status %d: %s", resp.StatusCode, body)
-	}
-	var ack struct {
-		JobID string `json:"job_id"`
-	}
-	if err := json.Unmarshal(body, &ack); err != nil {
-		return "", err
-	}
-	return ack.JobID, nil
+func submit(t *testing.T, addr string) (string, error) {
+	return submitKey(t, addr, idempotencyKey)
 }
 
-// pollOnce fetches the job once: (bytes, true) when done.
+// submitKey posts the chaos batch with an explicit idempotency key.
+func submitKey(t *testing.T, addr, key string) (string, error) {
+	job, err := apiClient(addr).SubmitBatch(context.Background(), chaosBatch(t), key)
+	if err != nil {
+		return "", err
+	}
+	return job.JobID, nil
+}
+
+// pollOnce fetches the job once: (result bytes, true) when done.
 func pollOnce(addr, id string) ([]byte, bool, error) {
-	resp, err := http.Get("http://" + addr + "/v1/batch/jobs/" + id)
+	job, err := apiClient(addr).GetJob(context.Background(), id)
 	if err != nil {
 		return nil, false, err
 	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, false, err
+	if job.Status == serve.JobDone {
+		return job.Result, true, nil
 	}
-	switch resp.StatusCode {
-	case http.StatusOK:
-		return body, true, nil
-	case http.StatusAccepted:
-		return nil, false, nil
-	default:
-		return nil, false, fmt.Errorf("poll: status %d: %s", resp.StatusCode, body)
-	}
+	return nil, false, nil
 }
 
-// pollDone polls until the job finishes.
+// pollDone polls until the job finishes, returning its result bytes.
 func pollDone(t *testing.T, addr, id string) []byte {
 	t.Helper()
-	deadline := time.Now().Add(60 * time.Second)
-	for time.Now().Before(deadline) {
-		body, done, err := pollOnce(addr, id)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if done {
-			return body
-		}
-		time.Sleep(10 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	result, err := apiClient(addr).WaitJob(ctx, id)
+	if err != nil {
+		t.Fatalf("job %s never finished: %v", id, err)
 	}
-	t.Fatalf("job %s never finished", id)
-	return nil
+	return result
 }
 
 // TestSIGKILLRecoveryByteIdentity is the headline chaos test: SIGKILL
@@ -165,7 +153,7 @@ func TestSIGKILLRecoveryByteIdentity(t *testing.T) {
 	// Crash-free reference run.
 	refAddr := freeAddr(t)
 	ref := startDaemon(t, bin, refAddr, filepath.Join(dir, "ref.wal"))
-	id, err := submit(refAddr)
+	id, err := submit(t, refAddr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +171,7 @@ func TestSIGKILLRecoveryByteIdentity(t *testing.T) {
 	for {
 		addr := freeAddr(t)
 		daemon := startDaemon(t, bin, addr, journal)
-		if _, err := submit(addr); err != nil {
+		if _, err := submit(t, addr); err != nil {
 			// The submit itself is idempotent; a replayed journal may
 			// even answer while the resubmit races the dispatcher.
 			t.Fatal(err)

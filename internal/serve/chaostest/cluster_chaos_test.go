@@ -1,7 +1,9 @@
 package chaostest
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -11,6 +13,9 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"mtsim/internal/serve"
+	"mtsim/internal/serve/client"
 )
 
 // Cluster chaos: run a real 3-node mtsimd fleet, SIGKILL the node that
@@ -144,16 +149,9 @@ func pollSurvivors(t *testing.T, nodes []*clusterNodeProc, jobID string) []byte 
 	t.Helper()
 	deadline := time.Now().Add(120 * time.Second)
 	for i := 0; time.Now().Before(deadline); i++ {
-		n := nodes[i%len(nodes)]
-		resp, err := http.Get("http://" + n.addr + "/v1/batch/jobs/" + jobID)
-		if err != nil {
-			time.Sleep(50 * time.Millisecond)
-			continue
-		}
-		body, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if err == nil && resp.StatusCode == http.StatusOK {
-			return body
+		job, err := apiClient(nodes[i%len(nodes)].addr).GetJob(context.Background(), jobID)
+		if err == nil && job.Status == serve.JobDone {
+			return job.Result
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
@@ -174,7 +172,7 @@ func TestClusterNodeKillFailover(t *testing.T) {
 	// Crash-free single-node reference: the canonical bytes.
 	refAddr := freeAddr(t)
 	ref := startDaemon(t, bin, refAddr, filepath.Join(dir, "ref.wal"))
-	refID, err := submitKey(refAddr, clusterKey)
+	refID, err := submitKey(t, refAddr, clusterKey)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +183,7 @@ func TestClusterNodeKillFailover(t *testing.T) {
 	nodes := startFleet(t, bin, dir)
 
 	// Submit through node 0; the ring may forward it anywhere.
-	jobID, err := submitKey(nodes[0].addr, clusterKey)
+	jobID, err := submitKey(t, nodes[0].addr, clusterKey)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,31 +248,124 @@ func TestClusterNodeKillFailover(t *testing.T) {
 	}
 }
 
-// submitKey posts the chaos batch with an explicit idempotency key.
-func submitKey(addr, key string) (string, error) {
-	req, err := http.NewRequest("POST", "http://"+addr+"/v1/batch", strings.NewReader(chaosBatchBody))
+// streamCheckpointIDs tails a job's SSE stream to completion and
+// returns the checkpoint event IDs in delivery order.
+func streamCheckpointIDs(ctx context.Context, addr, jobID string) ([]string, error) {
+	var ids []string
+	err := apiClient(addr).StreamEvents(ctx, jobID, "", func(ev client.Event) error {
+		if ev.Type == "checkpoint" {
+			ids = append(ids, ev.ID)
+		}
+		return nil
+	})
+	if errors.Is(err, client.ErrStreamEnded) {
+		err = nil
+	}
+	return ids, err
+}
+
+// TestClusterSSEFailoverResume: stream a job's checkpoint events from a
+// node that does NOT own the job, SIGKILL the owner mid-stream, then
+// resume with Last-Event-ID on a survivor. The spliced checkpoint ID
+// sequence must equal a crash-free run's exactly — no duplicate and no
+// missing event across the failover. This works because the checkpoint
+// cadence is deterministic (resume from a boundary snapshot lands
+// subsequent checkpoints on the same cycles) and the successor's event
+// history is replicated as a consistent cut.
+func TestClusterSSEFailoverResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a 3-node daemon fleet; skipped in -short")
+	}
+	const sseKey = "chaos-sse-failover"
+	dir := t.TempDir()
+	bin := buildDaemon(t, dir)
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Second)
+	defer cancel()
+
+	// Crash-free single-node reference: the canonical checkpoint IDs.
+	refAddr := freeAddr(t)
+	ref := startDaemon(t, bin, refAddr, filepath.Join(dir, "sse-ref.wal"))
+	refID, err := submitKey(t, refAddr, sseKey)
 	if err != nil {
-		return "", err
+		t.Fatal(err)
 	}
-	req.Header.Set("Content-Type", "application/json")
-	req.Header.Set("Idempotency-Key", key)
-	resp, err := http.DefaultClient.Do(req)
+	want, err := streamCheckpointIDs(ctx, refAddr, refID)
 	if err != nil {
-		return "", err
+		t.Fatalf("reference stream: %v", err)
 	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
+	if len(want) == 0 {
+		t.Fatal("reference run produced no checkpoint events; lower -checkpoint-every")
+	}
+	_ = ref.Process.Signal(syscall.SIGTERM)
+	_ = ref.Wait()
+
+	nodes := startFleet(t, bin, dir)
+	jobID, err := submitKey(t, nodes[0].addr, sseKey)
 	if err != nil {
-		return "", err
+		t.Fatal(err)
 	}
-	if resp.StatusCode != http.StatusAccepted {
-		return "", fmt.Errorf("submit: status %d: %s", resp.StatusCode, body)
+	holder := leaseHolder(t, nodes, jobID)
+	var victim *clusterNodeProc
+	var survivors []*clusterNodeProc
+	for _, n := range nodes {
+		if n.id == holder {
+			victim = n
+		} else {
+			survivors = append(survivors, n)
+		}
 	}
-	var ack struct {
-		JobID string `json:"job_id"`
+	if victim == nil {
+		t.Fatalf("lease holder %q is not a fleet member", holder)
 	}
-	if err := json.Unmarshal(body, &ack); err != nil {
-		return "", err
+
+	// Stream from a survivor (the ring forwards the SSE relay to the
+	// owner) until the owner dies under us mid-stream.
+	killer := time.AfterFunc(300*time.Millisecond, func() {
+		_ = victim.cmd.Process.Kill()
+		_, _ = victim.cmd.Process.Wait()
+	})
+	defer killer.Stop()
+	var got []string
+	err = apiClient(survivors[0].addr).StreamEvents(ctx, jobID, "", func(ev client.Event) error {
+		if ev.Type == "checkpoint" {
+			got = append(got, ev.ID)
+		}
+		return nil
+	})
+	if errors.Is(err, client.ErrStreamEnded) {
+		t.Logf("stream finished before the kill landed; splice still checked below")
+	} else if err == nil {
+		t.Fatal("stream ended without a done event or an error")
+	} else {
+		t.Logf("stream broke after %d checkpoint events (%v); resuming on a survivor", len(got), err)
+		// Resume from the last delivered checkpoint. Retry through the
+		// window where the survivors are still claiming the lease.
+		last := ""
+		if len(got) > 0 {
+			last = got[len(got)-1]
+		}
+		deadline := time.Now().Add(120 * time.Second)
+		for i := 0; ; i++ {
+			err := apiClient(survivors[i%len(survivors)].addr).StreamEvents(ctx, jobID, last, func(ev client.Event) error {
+				if ev.Type == "checkpoint" {
+					got = append(got, ev.ID)
+					last = ev.ID
+				}
+				return nil
+			})
+			if errors.Is(err, client.ErrStreamEnded) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("resumed stream never finished: %v", err)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
 	}
-	return ack.JobID, nil
+
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("spliced checkpoint sequence differs from crash-free run:\n--- crash-free (%d) ---\n%s\n--- spliced (%d) ---\n%s",
+			len(want), strings.Join(want, " "), len(got), strings.Join(got, " "))
+	}
+	t.Logf("spliced %d checkpoint events across the failover with no dup/miss", len(got))
 }

@@ -1,0 +1,275 @@
+// Package client is the minimal Go client of the mtsimd /v2 API
+// (api/openapi.yaml): submit jobs, read them back, wait for results,
+// and tail the SSE progress stream with exact Last-Event-ID resume.
+// The chaos harness drives real daemon fleets through it instead of
+// hand-rolled HTTP, so the client is exercised against every failure
+// mode the harness injects (crashes, failover, spliced streams).
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"mtsim/internal/serve"
+)
+
+// Client talks to one mtsimd base URL (any node of a fleet: the ring
+// forwards). The zero HTTPClient means http.DefaultClient.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// APIKey, when set, is sent as "Authorization: Bearer <APIKey>" and
+	// resolves the tenant server-side.
+	APIKey string
+	// Tenant, when set (and no APIKey), is sent as X-Tenant-ID.
+	Tenant string
+	// HTTPClient overrides the transport (nil = http.DefaultClient).
+	HTTPClient *http.Client
+}
+
+// New returns a client for baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimSuffix(baseURL, "/")}
+}
+
+// APIError is a non-2xx /v2 reply, decoded from the uniform envelope.
+type APIError struct {
+	Status       int
+	Code         string
+	Message      string
+	RetryAfterMS int64
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("mtsimd: %s (%d): %s", e.Code, e.Status, e.Message)
+}
+
+// Event is one SSE frame of a job's progress stream.
+type Event struct {
+	// ID is the resume cursor ("<entry>-<cycle>" on checkpoint events,
+	// empty on status/done).
+	ID string
+	// Type is "status", "checkpoint" or "done".
+	Type string
+	// Data is the frame's JSON payload.
+	Data json.RawMessage
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// setIdentity attaches the tenant identity headers.
+func (c *Client) setIdentity(req *http.Request) {
+	if c.APIKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.APIKey)
+	} else if c.Tenant != "" {
+		req.Header.Set("X-Tenant-ID", c.Tenant)
+	}
+}
+
+// decodeError turns a non-2xx reply into an *APIError.
+func decodeError(status int, body []byte) error {
+	var env serve.V2Error
+	if err := json.Unmarshal(body, &env); err == nil && env.Error.Code != "" {
+		return &APIError{Status: status, Code: env.Error.Code,
+			Message: env.Error.Message, RetryAfterMS: env.Error.RetryAfterMS}
+	}
+	return &APIError{Status: status, Code: "unknown", Message: strings.TrimSpace(string(body))}
+}
+
+// do runs one JSON round trip. out may be nil.
+func (c *Client) do(ctx context.Context, method, path string, in, out any, extra http.Header) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = strings.NewReader(string(b))
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, vs := range extra {
+		for _, v := range vs {
+			req.Header.Set(k, v)
+		}
+	}
+	c.setIdentity(req)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp.StatusCode, raw)
+	}
+	if out != nil {
+		return json.Unmarshal(raw, out)
+	}
+	return nil
+}
+
+// SubmitJob posts one job request (run or batch). idempotencyKey, when
+// non-empty, is sent as the Idempotency-Key header, making a batch
+// durable and async on a journaling server.
+func (c *Client) SubmitJob(ctx context.Context, req *serve.V2JobRequest, idempotencyKey string) (*serve.V2Job, error) {
+	var extra http.Header
+	if idempotencyKey != "" {
+		extra = http.Header{"Idempotency-Key": []string{idempotencyKey}}
+	}
+	var job serve.V2Job
+	if err := c.do(ctx, http.MethodPost, "/v2/jobs", req, &job, extra); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// SubmitBatch is SubmitJob for a batch body.
+func (c *Client) SubmitBatch(ctx context.Context, batch *serve.BatchRequest, idempotencyKey string) (*serve.V2Job, error) {
+	return c.SubmitJob(ctx, &serve.V2JobRequest{Batch: batch}, idempotencyKey)
+}
+
+// Run executes one simulation synchronously and decodes the embedded
+// v1 result document.
+func (c *Client) Run(ctx context.Context, run *serve.RunRequest) (*serve.RunResponse, error) {
+	job, err := c.SubmitJob(ctx, &serve.V2JobRequest{Run: run}, "")
+	if err != nil {
+		return nil, err
+	}
+	var out serve.RunResponse
+	if err := json.Unmarshal(job.Result, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// GetJob reads the job resource.
+func (c *Client) GetJob(ctx context.Context, id string) (*serve.V2Job, error) {
+	var job serve.V2Job
+	if err := c.do(ctx, http.MethodGet, "/v2/jobs/"+id, nil, &job, nil); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// WaitJob polls the job until it is done (pacing by the server's
+// retry_after_ms hint, floored at 10ms) and returns its result bytes —
+// the v1 result document verbatim. Transport errors are returned to
+// the caller, who may retry against another node of a fleet.
+func (c *Client) WaitJob(ctx context.Context, id string) (json.RawMessage, error) {
+	for {
+		job, err := c.GetJob(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if job.Status == serve.JobDone {
+			return job.Result, nil
+		}
+		pause := time.Duration(job.RetryAfterMS) * time.Millisecond
+		if pause < 10*time.Millisecond {
+			pause = 10 * time.Millisecond
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(pause):
+		}
+	}
+}
+
+// Healthz is the decoded GET /v2/healthz body (the fields the harness
+// and operators assert on).
+type Healthz struct {
+	Schema  int                 `json:"schema"`
+	Status  string              `json:"status"`
+	Tenants []serve.TenantUsage `json:"tenants"`
+}
+
+// GetHealthz reads /v2/healthz.
+func (c *Client) GetHealthz(ctx context.Context) (*Healthz, error) {
+	var h Healthz
+	if err := c.do(ctx, http.MethodGet, "/v2/healthz", nil, &h, nil); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// ErrStreamEnded reports that an event stream closed after the job's
+// `done` event — the normal end of a stream.
+var ErrStreamEnded = errors.New("client: event stream ended (job done)")
+
+// StreamEvents tails GET /v2/jobs/{id}/events from lastEventID (""
+// = the start), invoking fn per frame. It returns ErrStreamEnded after
+// the done event, or the transport/parse error that broke the stream —
+// the caller resumes by calling again with the last checkpoint ID it
+// saw (exact resume is the server's contract). fn returning an error
+// stops the stream with that error.
+func (c *Client) StreamEvents(ctx context.Context, id, lastEventID string, fn func(Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v2/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	c.setIdentity(req)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		return decodeError(resp.StatusCode, raw)
+	}
+	var ev Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 8<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if ev.Type != "" {
+				done := ev.Type == "done"
+				if err := fn(ev); err != nil {
+					return err
+				}
+				if done {
+					return ErrStreamEnded
+				}
+			}
+			ev = Event{}
+		case strings.HasPrefix(line, "id: "):
+			ev.ID = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "event: "):
+			ev.Type = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			ev.Data = json.RawMessage(strings.TrimPrefix(line, "data: "))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return io.ErrUnexpectedEOF // stream closed without a done event
+}

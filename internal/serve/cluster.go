@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -118,9 +119,16 @@ type JobState struct {
 	Schema int             `json:"schema"`
 	ID     string          `json:"id"`
 	Key    string          `json:"key"`
+	Tenant string          `json:"tenant,omitempty"`
 	Holder string          `json:"holder"`
 	Body   json.RawMessage `json:"body"`
 	Ckpts  []JobStateCkpt  `json:"ckpts,omitempty"`
+	// Events is the job's complete checkpoint event history at push
+	// time. Together with Ckpts (the latest snapshot per entry) every
+	// push is a consistent cut: the receiver's history is dense up to
+	// its freshest snapshot, so a failover successor's re-run
+	// regenerates exactly the undelivered tail of the SSE sequence.
+	Events []JobEvent `json:"events,omitempty"`
 	// Resp is present once the job finished: replicas serve (and
 	// claimants adopt) the recorded bytes verbatim.
 	Resp json.RawMessage `json:"resp,omitempty"`
@@ -166,8 +174,9 @@ func (jm *jobManager) jobState(id string) *JobState {
 	defer job.mu.Unlock()
 	st := &JobState{
 		Schema: ResponseSchemaVersion,
-		ID:     job.id, Key: job.key, Holder: jm.nodeID,
+		ID:     job.id, Key: job.key, Tenant: job.tenant, Holder: jm.nodeID,
 		Body: job.body, Status: job.status,
+		Events: append([]JobEvent(nil), job.events...),
 	}
 	for i, c := range job.ckpts {
 		st.Ckpts = append(st.Ckpts, JobStateCkpt{Entry: i, Cycle: c.Cycle, Snap: c.Snap})
@@ -190,7 +199,7 @@ func (jm *jobManager) leaseTable() []cluster.Lease {
 		job.mu.Lock()
 		if !job.replica && job.status != JobDone {
 			out = append(out, cluster.Lease{
-				JobID: job.id, Holder: jm.nodeID, Status: job.status,
+				JobID: job.id, Holder: jm.nodeID, Tenant: job.tenant, Status: job.status,
 				Checkpoint: job.ckptN, TTLMS: jm.leaseTTL.Milliseconds(),
 			})
 		}
@@ -226,11 +235,12 @@ func (jm *jobManager) storeReplica(st *JobState) error {
 	}
 	job := jm.jobs[st.ID]
 	if job == nil {
-		if err := jm.journal.AppendReplicaSubmit(st.ID, st.Key, st.Body); err != nil {
+		if err := jm.journal.AppendReplicaSubmit(st.ID, st.Key, st.Tenant, st.Body); err != nil {
 			return err
 		}
-		job = &asyncJob{id: st.ID, key: st.Key, body: st.Body,
-			status: JobReplica, replica: true, ckpts: make(map[int]JobCheckpoint)}
+		job = newAsyncJob(st.ID, st.Key, st.Tenant)
+		job.body, job.status, job.replica = st.Body, JobReplica, true
+		job.ckpts = make(map[int]JobCheckpoint)
 		jm.jobs[st.ID] = job
 	}
 	job.mu.Lock()
@@ -241,11 +251,14 @@ func (jm *jobManager) storeReplica(st *JobState) error {
 	jm.foldCkptsLocked(job, st)
 	if st.Resp != nil {
 		// The owner finished: keep the exact bytes so this node can
-		// serve (or hand a claimant) the verbatim response.
-		if err := jm.journal.AppendDone(st.ID, st.Resp); err == nil {
+		// serve (or hand a claimant) the verbatim response. Usage is nil:
+		// the executing node accounted the job; this copy must not
+		// double-count it on replay.
+		if err := jm.journal.AppendDone(st.ID, st.Resp, nil); err == nil {
 			job.status, job.resp = JobDone, st.Resp
 		}
 	}
+	job.sub.Broadcast()
 	return nil
 }
 
@@ -261,11 +274,12 @@ func (jm *jobManager) adoptOwned(st *JobState) error {
 	}
 	job := jm.jobs[st.ID]
 	if job == nil {
-		if err := jm.journal.AppendSubmit(st.ID, st.Key, st.Body); err != nil {
+		if err := jm.journal.AppendSubmit(st.ID, st.Key, st.Tenant, st.Body); err != nil {
 			return err
 		}
-		job = &asyncJob{id: st.ID, key: st.Key, body: st.Body,
-			status: JobQueued, ckpts: make(map[int]JobCheckpoint)}
+		job = newAsyncJob(st.ID, st.Key, st.Tenant)
+		job.body, job.status = st.Body, JobQueued
+		job.ckpts = make(map[int]JobCheckpoint)
 		jm.jobs[st.ID] = job
 	}
 	job.mu.Lock()
@@ -275,9 +289,11 @@ func (jm *jobManager) adoptOwned(st *JobState) error {
 	}
 	jm.foldCkptsLocked(job, st)
 	if st.Resp != nil {
-		if err := jm.journal.AppendDone(st.ID, st.Resp); err == nil {
+		// Finished elsewhere: usage is nil, the finishing node accounted it.
+		if err := jm.journal.AppendDone(st.ID, st.Resp, nil); err == nil {
 			job.status, job.resp, job.replica = JobDone, st.Resp, false
 		}
+		job.sub.Broadcast()
 		job.mu.Unlock()
 		return nil
 	}
@@ -287,8 +303,9 @@ func (jm *jobManager) adoptOwned(st *JobState) error {
 	}
 	_ = jm.journal.AppendLease(st.ID, jm.nodeID, jm.leaseTTL)
 	job.replica, job.status = false, JobQueued
+	job.sub.Broadcast()
 	job.mu.Unlock()
-	jm.queue = append(jm.queue, job)
+	jm.enqueueLocked(job)
 	jm.cond.Signal()
 	return nil
 }
@@ -310,7 +327,11 @@ func (jm *jobManager) release(id string) {
 }
 
 // foldCkptsLocked merges the transferred checkpoints that are newer
-// than what the job already holds. Called with job.mu held.
+// than what the job already holds, plus the transferred event history.
+// Events this node never saw are journaled as snapless checkpoint
+// records — progress marks, not resume points — so the SSE history a
+// failover successor serves is the complete deterministic sequence
+// with no gaps. Called with job.mu held.
 func (jm *jobManager) foldCkptsLocked(job *asyncJob, st *JobState) {
 	if job.ckpts == nil {
 		job.ckpts = make(map[int]JobCheckpoint)
@@ -323,8 +344,24 @@ func (jm *jobManager) foldCkptsLocked(job *asyncJob, st *JobState) {
 			return // resume from the older state; still byte-identical
 		}
 		job.ckpts[c.Entry] = JobCheckpoint{Cycle: c.Cycle, Snap: c.Snap}
-		job.ckptN++
+		job.insertEventLocked(JobEvent{Entry: c.Entry, Cycle: c.Cycle})
 	}
+	have := make(map[JobEvent]bool, len(job.events))
+	for _, e := range job.events {
+		have[e] = true
+	}
+	for _, e := range st.Events {
+		if have[e] {
+			continue
+		}
+		if err := jm.journal.AppendCkpt(st.ID, e.Entry, e.Cycle, nil); err != nil {
+			break
+		}
+		have[e] = true
+		job.insertEventLocked(e)
+	}
+	job.ckptN = int64(len(job.events))
+	job.sub.Broadcast()
 }
 
 // --- replication ------------------------------------------------------
@@ -543,7 +580,11 @@ func (s *Server) forwardTo(w http.ResponseWriter, r *http.Request, baseURL strin
 			s.httpError(w, err, http.StatusInternalServerError)
 			return
 		}
-		for _, h := range []string{"Content-Type", "Idempotency-Key", "Accept"} {
+		// Authorization / X-Tenant-ID keep the tenant identity across the
+		// hop (the forward marker suppresses a second quota charge);
+		// Last-Event-ID keeps SSE resume cursors working through a proxy.
+		for _, h := range []string{"Content-Type", "Idempotency-Key", "Accept",
+			"Authorization", "X-Tenant-ID", "Last-Event-ID"} {
 			if v := r.Header.Get(h); v != "" {
 				req.Header.Set(h, v)
 			}
@@ -559,13 +600,34 @@ func (s *Server) forwardTo(w http.ResponseWriter, r *http.Request, baseURL strin
 		return
 	}
 	defer resp.Body.Close()
-	for _, h := range []string{"Content-Type", "Retry-After"} {
+	for _, h := range []string{"Content-Type", "Retry-After", "Cache-Control", "X-Accel-Buffering"} {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}
 	}
 	w.WriteHeader(resp.StatusCode)
-	_, _ = io.Copy(w, resp.Body)
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream") {
+		// SSE: relay each chunk as it arrives instead of buffering the
+		// whole (unbounded) stream.
+		fl, _ := w.(http.Flusher)
+		buf := make([]byte, 4096)
+		for {
+			n, rerr := resp.Body.Read(buf)
+			if n > 0 {
+				if _, werr := w.Write(buf[:n]); werr != nil {
+					break
+				}
+				if fl != nil {
+					fl.Flush()
+				}
+			}
+			if rerr != nil {
+				break
+			}
+		}
+	} else {
+		_, _ = io.Copy(w, resp.Body)
+	}
 	s.cluster.forwards.Add(1)
 }
 
@@ -578,6 +640,7 @@ type ClusterStatus struct {
 	Self     string           `json:"self"`
 	Nodes    []cluster.Member `json:"nodes"`
 	Leases   []cluster.Lease  `json:"leases"`
+	Usage    []TenantUsage    `json:"usage,omitempty"`
 	Claims   int64            `json:"claims"`
 	Forwards int64            `json:"forwards"`
 	Handoffs int64            `json:"handoffs"`
@@ -606,6 +669,7 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		Self:     node.Self(),
 		Nodes:    node.Members(),
 		Leases:   leases,
+		Usage:    mergeUsage(s.tenants.table(), node.RemoteUsage()),
 		Claims:   s.cluster.claims.Load(),
 		Forwards: s.cluster.forwards.Load(),
 		Handoffs: s.cluster.handoffs.Load(),
@@ -623,7 +687,11 @@ func (s *Server) handleClusterPing(w http.ResponseWriter, r *http.Request) {
 	if leases == nil {
 		leases = []cluster.Lease{}
 	}
-	writeJSON(w, http.StatusOK, &cluster.PingResponse{NodeID: s.cluster.node.Self(), Leases: leases})
+	writeJSON(w, http.StatusOK, &cluster.PingResponse{
+		NodeID: s.cluster.node.Self(),
+		Leases: leases,
+		Usage:  s.tenants.table(),
+	})
 }
 
 // handleJobStateGet serves this node's copy of a job's state (owner or

@@ -123,6 +123,7 @@ func keyOwnedBy(t *testing.T, peers []cluster.Peer, owner string) string {
 func pollJobAt(t *testing.T, baseURL, id string) []byte {
 	t.Helper()
 	deadline := time.Now().Add(60 * time.Second)
+	lastStatus, lastBody := 0, []byte(nil)
 	for time.Now().Before(deadline) {
 		resp, err := http.Get(baseURL + "/v1/batch/jobs/" + id)
 		if err != nil {
@@ -133,6 +134,7 @@ func pollJobAt(t *testing.T, baseURL, id string) []byte {
 		if err != nil {
 			t.Fatal(err)
 		}
+		lastStatus, lastBody = resp.StatusCode, data
 		switch resp.StatusCode {
 		case http.StatusOK:
 			return data
@@ -144,7 +146,7 @@ func pollJobAt(t *testing.T, baseURL, id string) []byte {
 			t.Fatalf("poll %s at %s: status %d: %s", id, baseURL, resp.StatusCode, data)
 		}
 	}
-	t.Fatalf("job %s did not finish in time", id)
+	t.Fatalf("job %s did not finish in time (last status %d: %s)", id, lastStatus, lastBody)
 	return nil
 }
 
@@ -317,15 +319,34 @@ func TestClusterDrainHandoff(t *testing.T) {
 	n1 := startClusterNode(t, "node1", addr1, peers)
 	n2 := startClusterNode(t, "node2", addr2, peers)
 
+	// The drained job must still be unfinished when Shutdown runs, and
+	// the only thing between the 202 and the Shutdown call is this test
+	// goroutine getting scheduled — under a loaded machine that gap can
+	// exceed the ~2ms a JIT-compiled quick sieve takes. Use a batch big
+	// enough (distinct latencies, so the session memo cannot collapse
+	// it) that finishing inside the gap is impossible; the drain cancels
+	// it immediately, so the extra work is only paid by the reference
+	// run and by node2 after the handoff.
+	var sb strings.Builder
+	sb.WriteString(`{"scale":"quick","jobs":[`)
+	for i := 0; i < 12; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `{"app":"sieve","config":{"procs":4,"threads":2,"model":"switch-on-use","latency":%d}}`, 100+i)
+	}
+	sb.WriteString(`]}`)
+	drainBatchBody := sb.String()
+
 	_, plain := newTestServer(t, Config{})
-	refStatus, ref := postJSON(t, plain.URL+"/v1/batch", asyncBatchBody)
+	refStatus, ref := postJSON(t, plain.URL+"/v1/batch", drainBatchBody)
 	if refStatus != http.StatusOK {
 		t.Fatalf("reference batch: status %d", refStatus)
 	}
 
 	// Submit a job node1 owns, then drain node1 before it can finish.
 	key := keyOwnedBy(t, peers, "node1")
-	status, body := postJSONKey(t, n1.url+"/v1/batch", key, asyncBatchBody)
+	status, body := postJSONKey(t, n1.url+"/v1/batch", key, drainBatchBody)
 	if status != http.StatusAccepted {
 		t.Fatalf("submit: status %d: %s", status, body)
 	}

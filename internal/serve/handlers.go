@@ -265,66 +265,61 @@ func decodeScale(name string) (app.Scale, error) {
 	return app.ParseScale(name)
 }
 
-// handleRun runs one simulation: decode + validate, admit, simulate
-// under the request deadline, report the paper metrics (and the
-// cycle-accounting record when asked).
-func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
-		return
-	}
-	var req RunRequest
-	if err := json.Unmarshal(body, &req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
-		return
-	}
+// validateRun resolves a run request's scale, application and machine
+// configuration — the validation half shared by the v1 handler and the
+// v2 degenerate-job path, so both surfaces accept exactly the same
+// requests.
+func (s *Server) validateRun(req *RunRequest) (app.Scale, *app.App, machine.Config, error) {
 	scale, err := decodeScale(req.Scale)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-		return
+		return 0, nil, machine.Config{}, err
 	}
 	cfg, err := req.Config.ToMachine()
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-		return
+		return 0, nil, machine.Config{}, err
 	}
 	a, err := apps.New(req.App, scale)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-		return
+		return 0, nil, machine.Config{}, err
 	}
-	// Cluster mode: runs route by session key, so the whole fleet shares
-	// one memo cache per scale instead of one per node.
-	if s.forwardIfRemote(w, r, cluster.SessionRouteKey(sessionKey(scale, req.Metrics)), body) {
-		return
-	}
+	return scale, a, cfg, nil
+}
 
-	ctx, cancel := s.requestContext(r, req.TimeoutMS)
-	defer cancel()
+// acquireGate admits through the shared worker gate, accounting the
+// wait as the tenant's queue time.
+func (s *Server) acquireGate(ctx context.Context, t *tenant) (func(), error) {
+	start := time.Now()
 	release, err := s.gate.Acquire(ctx)
+	if t != nil {
+		t.queueMS.Add(time.Since(start).Milliseconds())
+	}
+	return release, err
+}
+
+// execRun is the execution core of a sync run: admit, simulate under
+// ctx, fold in the baseline, account the tenant's usage. Both the v1
+// handler and POST /v2/jobs delegate here — the returned document is
+// the one byte-layout both surfaces serve.
+func (s *Server) execRun(ctx context.Context, t *tenant, scale app.Scale, a *app.App, cfg machine.Config, collectMetrics bool) (*RunResponse, error) {
+	release, err := s.acquireGate(ctx, t)
 	if err != nil {
-		if errors.Is(err, ErrQueueFull) {
-			s.rejectFull(w)
-			return
-		}
-		s.httpError(w, err, http.StatusServiceUnavailable)
-		return
+		return nil, err
 	}
 	defer release()
-
-	sess := s.session(scale, req.Metrics)
+	sess := s.session(scale, collectMetrics)
 	res, err := sess.RunContext(ctx, a, cfg)
 	if err != nil {
-		s.httpError(w, err, http.StatusInternalServerError)
-		return
+		return nil, err
 	}
 	base, err := sess.BaselineContext(ctx, a)
 	if err != nil {
-		s.httpError(w, err, http.StatusInternalServerError)
-		return
+		return nil, err
 	}
-	writeJSON(w, http.StatusOK, &RunResponse{
+	if t != nil {
+		t.jobs.Add(1)
+		t.simCycles.Add(res.Cycles)
+	}
+	return &RunResponse{
 		Schema:         ResponseSchemaVersion,
 		App:            a.Name,
 		Scale:          scale.String(),
@@ -336,7 +331,51 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Efficiency:     res.Efficiency(base),
 		Utilization:    res.Utilization(),
 		Metrics:        res.Metrics,
-	})
+	}, nil
+}
+
+// handleRun runs one simulation: decode + validate, admit, simulate
+// under the request deadline, report the paper metrics (and the
+// cycle-accounting record when asked). A thin shim over execRun — the
+// same core the v2 surface uses — rendering the legacy v1 body.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	var req RunRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	scale, a, cfg, err := s.validateRun(&req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	t, ok := s.admitTenant(w, r, false)
+	if !ok {
+		return
+	}
+	// Cluster mode: runs route by session key, so the whole fleet shares
+	// one memo cache per scale instead of one per node.
+	if s.forwardIfRemote(w, r, cluster.SessionRouteKey(sessionKey(scale, req.Metrics)), body) {
+		return
+	}
+
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	resp, err := s.execRun(ctx, t, scale, a, cfg, req.Metrics)
+	if err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			s.rejectFull(w)
+			return
+		}
+		s.httpError(w, err, http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // parseBatch validates a batch body and resolves its jobs, with the
@@ -410,6 +449,45 @@ func buildBatchResponse(ctx context.Context, sess *core.Session, scale app.Scale
 	return resp, nil
 }
 
+// execBatch is the execution core of a sync batch: admit, run the job
+// list through the session's worker pool, fold job-aligned partial
+// results, account the tenant's usage. Shared by the v1 handler and
+// the v2 sync-batch path, so both surfaces return the same document.
+// An all-jobs-failed batch under a dead deadline surfaces the context
+// error (the caller maps it like a run).
+func (s *Server) execBatch(ctx context.Context, t *tenant, scale app.Scale, jobs []core.Job, collectMetrics bool) (*BatchResponse, error) {
+	release, err := s.acquireGate(ctx, t)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	sess := s.session(scale, collectMetrics)
+	results, batchErr := sess.RunBatchContext(ctx, jobs)
+	resp, err := buildBatchResponse(ctx, sess, scale, jobs, results, batchErr)
+	if err != nil {
+		return nil, err
+	}
+	// A batch with failures still returns 200: the job-aligned errors
+	// carry the detail and the completed jobs' results are usable. An
+	// all-jobs-failed batch under a dead deadline maps like a run.
+	if resp.Failed == len(jobs) && batchErr != nil {
+		if errors.Is(batchErr, context.DeadlineExceeded) || errors.Is(batchErr, context.Canceled) {
+			return nil, batchErr
+		}
+	}
+	if t != nil {
+		var cycles int64
+		for _, res := range results {
+			if res != nil {
+				cycles += res.Cycles
+			}
+		}
+		t.jobs.Add(1)
+		t.simCycles.Add(cycles)
+	}
+	return resp, nil
+}
+
 // handleBatch runs a job list through the session's worker pool under
 // one admission slot and the request deadline, returning job-aligned
 // partial results. With an idempotency key on a journaling server the
@@ -431,6 +509,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
+	t, ok := s.admitTenant(w, r, false)
+	if !ok {
+		return
+	}
 
 	key := r.Header.Get("Idempotency-Key")
 	if key == "" {
@@ -442,7 +524,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if s.forwardIfRemote(w, r, cluster.JobRouteKey(JobID(key)), body) {
 			return
 		}
-		job, err := s.jm.submit(key, body)
+		job, err := s.jm.submit(key, t.name, body)
 		if err != nil {
 			s.httpError(w, err, http.StatusServiceUnavailable)
 			return
@@ -460,32 +542,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
-	release, err := s.gate.Acquire(ctx)
+	resp, err := s.execBatch(ctx, t, scale, jobs, req.Metrics)
 	if err != nil {
 		if errors.Is(err, ErrQueueFull) {
 			s.rejectFull(w)
 			return
 		}
-		s.httpError(w, err, http.StatusServiceUnavailable)
-		return
-	}
-	defer release()
-
-	sess := s.session(scale, req.Metrics)
-	results, batchErr := sess.RunBatchContext(ctx, jobs)
-	resp, err := buildBatchResponse(ctx, sess, scale, jobs, results, batchErr)
-	if err != nil {
 		s.httpError(w, err, http.StatusInternalServerError)
 		return
-	}
-	// A batch with failures still returns 200: the job-aligned errors
-	// carry the detail and the completed jobs' results are usable. An
-	// all-jobs-failed batch under a dead deadline maps like a run.
-	if resp.Failed == len(jobs) && batchErr != nil {
-		if errors.Is(batchErr, context.DeadlineExceeded) || errors.Is(batchErr, context.Canceled) {
-			s.httpError(w, batchErr, http.StatusInternalServerError)
-			return
-		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -498,7 +562,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: "async jobs disabled: server runs without a journal"})
 		return
 	}
-	if s.forwardIfRemote(w, r, cluster.JobRouteKey(r.PathValue("id")), nil) {
+	if !s.jm.owns(r.PathValue("id")) && s.forwardIfRemote(w, r, cluster.JobRouteKey(r.PathValue("id")), nil) {
 		return
 	}
 	job := s.jm.get(r.PathValue("id"))
@@ -610,6 +674,7 @@ type healthzResponse struct {
 	UptimeMS           int64           `json:"uptime_ms"`
 	JournalReplayed    int64           `json:"journal_replayed"`
 	CheckpointsWritten int64           `json:"checkpoints_written"`
+	Tenants            []TenantUsage   `json:"tenants,omitempty"`
 	Cluster            *healthzCluster `json:"cluster,omitempty"`
 }
 
@@ -625,7 +690,11 @@ type healthzCluster struct {
 	Handoffs int64  `json:"handoffs"`
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+// healthz assembles the health document shared by /v1/healthz and
+// /v2/healthz. Tenant usage merges this node's local table with the
+// latest gossiped reports from peers (cluster mode), so accounting is
+// visible fleet-wide and survives failover.
+func (s *Server) healthz() *healthzResponse {
 	resp := &healthzResponse{
 		Status:             "ok",
 		Inflight:           s.gate.Inflight(),
@@ -634,8 +703,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		UptimeMS:           time.Since(s.started).Milliseconds(),
 		JournalReplayed:    s.JournalReplayed(),
 		CheckpointsWritten: s.CheckpointsWritten(),
+		Tenants:            s.tenants.table(),
 	}
 	if s.cluster != nil {
+		resp.Tenants = mergeUsage(resp.Tenants, s.cluster.node.RemoteUsage())
 		alive, dead := s.cluster.node.AliveCount()
 		resp.Cluster = &healthzCluster{
 			Self:     s.cluster.node.Self(),
@@ -647,5 +718,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			Handoffs: s.cluster.handoffs.Load(),
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.healthz())
 }

@@ -6,6 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,14 +17,25 @@ import (
 	"mtsim/internal/machine"
 )
 
-// Async batch jobs. A /v1/batch request carrying an idempotency key on
-// a journaling server is journaled and acknowledged with 202 before it
-// runs; the client polls GET /v1/batch/jobs/{id} for the result. The
-// job's checkpoints and final response all go through the journal, so a
-// SIGKILL at any point leaves the job either resumable (from its latest
-// checkpoint) or already answered (the done record's bytes are served
-// verbatim) — in both cases the response the client eventually reads is
-// byte-identical to the one an uncrashed server would have produced.
+// Async batch jobs. A batch request carrying an idempotency key on a
+// journaling server is journaled and acknowledged with 202 before it
+// runs; the client polls the job resource (or streams its SSE event
+// feed) for the result. The job's checkpoints and final response all go
+// through the journal, so a SIGKILL at any point leaves the job either
+// resumable (from its latest checkpoint) or already answered (the done
+// record's bytes are served verbatim) — in both cases the response the
+// client eventually reads is byte-identical to the one an uncrashed
+// server would have produced.
+//
+// Scheduling is multi-tenant: each tenant has its own FIFO queue, and a
+// pool of dispatchers drains the queues by deficit round-robin weighted
+// by the tenants' configured shares. One tenant's batch flood therefore
+// cannot starve another tenant — exactly the paper's latency-hiding
+// thesis applied to the serving plane: the scheduler always has
+// somewhere useful to switch to. The pool is sized below the gate's
+// worker count, so async work can never occupy every worker and
+// interactive (sync) requests keep bounded queue waits regardless of
+// the async backlog.
 
 // Job lifecycle states, as reported by JobStatus. JobReplica marks a
 // job this node holds only as another node's failover copy (cluster
@@ -37,7 +51,7 @@ const (
 // the poll response of a job that has not finished yet. Checkpoint is
 // the index of the latest journaled checkpoint (a monotone progress
 // marker), and RetryAfterMS a jittered poll-pacing hint so clients
-// waiting on /v1/batch/jobs/{id} back off instead of hot-looping.
+// waiting on the job back off instead of hot-looping.
 type JobStatus struct {
 	Schema       int    `json:"schema"`
 	JobID        string `json:"job_id"`
@@ -55,12 +69,71 @@ func JobID(key string) string {
 	return fmt.Sprintf("b-%016x", h.Sum64())
 }
 
+// JobEvent is one checkpoint progress event on a job's SSE feed: batch
+// entry index and the simulation cycle the checkpoint was taken at.
+// Because checkpoint cycles are deterministic (every CheckpointEvery
+// cycles, and completed runs are byte-identical), the full event
+// sequence of a job is deterministic too — the property that lets a
+// failover successor regenerate exactly the events a dead node never
+// delivered, with no duplicates and no gaps.
+type JobEvent struct {
+	Entry int   `json:"entry"`
+	Cycle int64 `json:"cycle"`
+}
+
+// ID renders the event's SSE id: "<entry>-<cycle>". Events are totally
+// ordered entry-major (entries run sequentially), so this id doubles as
+// a resume cursor via Last-Event-ID.
+func (e JobEvent) ID() string {
+	return strconv.Itoa(e.Entry) + "-" + strconv.FormatInt(e.Cycle, 10)
+}
+
+// after reports whether e comes after o in the deterministic order.
+func (e JobEvent) after(o JobEvent) bool {
+	return e.Entry > o.Entry || (e.Entry == o.Entry && e.Cycle > o.Cycle)
+}
+
+// parseEventID parses a Last-Event-ID back into its event.
+func parseEventID(s string) (JobEvent, bool) {
+	entry, cycle, found := strings.Cut(s, "-")
+	if !found {
+		return JobEvent{}, false
+	}
+	en, err1 := strconv.Atoi(entry)
+	cy, err2 := strconv.ParseInt(cycle, 10, 64)
+	if err1 != nil || err2 != nil || en < 0 || cy < 0 {
+		return JobEvent{}, false
+	}
+	return JobEvent{Entry: en, Cycle: cy}, true
+}
+
+// sortDedupEvents normalizes an event list into the deterministic
+// (entry, cycle) order with duplicates removed.
+func sortDedupEvents(evs []JobEvent) []JobEvent {
+	if len(evs) == 0 {
+		return nil
+	}
+	out := append([]JobEvent(nil), evs...)
+	sort.Slice(out, func(i, j int) bool { return out[j].after(out[i]) })
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[i-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}
+
 // asyncJob is one journaled batch job.
 type asyncJob struct {
-	id  string
-	key string
+	id     string
+	key    string
+	tenant string
 
-	mu      sync.Mutex
+	mu  sync.Mutex
+	sub *sync.Cond // broadcast on new events / status changes (SSE wakeups)
+
 	body    json.RawMessage
 	ckpts   map[int]JobCheckpoint // latest checkpoint per batch entry
 	status  string
@@ -68,14 +141,36 @@ type asyncJob struct {
 	replica bool   // held for another node, never queued while set
 	ckptN   int64  // checkpoints journaled so far (monotone)
 
+	// events is the complete checkpoint event history in deterministic
+	// (entry, cycle) order — what SSE subscribers replay and live-tail.
+	events []JobEvent
+	// entries/entriesDone track batch progress for the advisory ETA.
+	entries     int
+	entriesDone int
+	started     time.Time
+
+	// queuedAt/queueMS account time spent waiting for a dispatcher.
+	queuedAt time.Time
+	queueMS  int64
+
 	// replBusy serializes replica pushes for this job: at most one push
 	// is in flight, later ones are absorbed by the next checkpoint's.
 	replBusy atomic.Bool
 }
 
+func newAsyncJob(id, key, tenant string) *asyncJob {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	j := &asyncJob{id: id, key: key, tenant: tenant}
+	j.sub = sync.NewCond(&j.mu)
+	return j
+}
+
 func (j *asyncJob) setStatus(s string) {
 	j.mu.Lock()
 	j.status = s
+	j.sub.Broadcast()
 	j.mu.Unlock()
 }
 
@@ -87,8 +182,11 @@ func (j *asyncJob) state() (string, int64, []byte) {
 	return j.status, j.ckptN, j.resp
 }
 
-// noteCkpt records a freshly journaled checkpoint so state transfer
-// and the poll body see live progress, not just replayed history.
+// noteCkpt records a freshly journaled checkpoint so state transfer,
+// the poll body and the SSE feed see live progress, not just replayed
+// history. Live emission is always past every recorded event (entries
+// run sequentially and resumes start at the latest checkpoint), so the
+// sorted-order invariant of events holds by appending.
 func (j *asyncJob) noteCkpt(entry int, cycle int64, snap []byte) {
 	j.mu.Lock()
 	if j.ckpts == nil {
@@ -96,13 +194,82 @@ func (j *asyncJob) noteCkpt(entry int, cycle int64, snap []byte) {
 	}
 	j.ckpts[entry] = JobCheckpoint{Cycle: cycle, Snap: snap}
 	j.ckptN++
+	j.insertEventLocked(JobEvent{Entry: entry, Cycle: cycle})
+	j.sub.Broadcast()
 	j.mu.Unlock()
 }
 
-// jobManager owns the journal and runs async jobs one at a time in
-// submit order. A single dispatcher keeps each job's checkpoint stream
-// self-consistent and makes crash recovery deterministic: after a
-// restart the replayed queue re-runs in the original order.
+// insertEventLocked adds one event preserving sorted order (append is
+// the fast path; out-of-order inserts only happen when folding
+// transferred histories). Duplicates are dropped.
+func (j *asyncJob) insertEventLocked(e JobEvent) {
+	n := len(j.events)
+	if n == 0 || e.after(j.events[n-1]) {
+		j.events = append(j.events, e)
+		return
+	}
+	i := sort.Search(n, func(k int) bool { return !e.after(j.events[k]) })
+	if i < n && j.events[i] == e {
+		return
+	}
+	j.events = append(j.events, JobEvent{})
+	copy(j.events[i+1:], j.events[i:])
+	j.events[i] = e
+}
+
+// eventsAfter copies the recorded events strictly after `after` (the
+// zero cursor, Entry:-1, selects everything).
+func (j *asyncJob) eventsAfterLocked(after JobEvent) []JobEvent {
+	i := sort.Search(len(j.events), func(k int) bool { return j.events[k].after(after) })
+	if i == len(j.events) {
+		return nil
+	}
+	return append([]JobEvent(nil), j.events[i:]...)
+}
+
+// etaMSLocked estimates remaining wall time from per-entry progress:
+// elapsed/entriesDone scaled by the entries left. 0 until the first
+// entry completes (no basis for an estimate). Advisory only — it never
+// appears in deterministic payloads.
+func (j *asyncJob) etaMSLocked() int64 {
+	if j.entriesDone == 0 || j.entries == 0 || j.started.IsZero() {
+		return 0
+	}
+	elapsed := time.Since(j.started).Milliseconds()
+	return elapsed * int64(j.entries-j.entriesDone) / int64(j.entriesDone)
+}
+
+// progressLocked sums the latest checkpointed cycle over entries — the
+// deterministic cycles-completed figure events and leases report.
+func (j *asyncJob) progressLocked() int64 {
+	var p int64
+	for _, c := range j.ckpts {
+		p += c.Cycle
+	}
+	return p
+}
+
+// tenantQueue is one tenant's pending-job FIFO plus its deficit
+// counter: credits accumulate by the tenant's weight each round-robin
+// refill and one credit buys one job dispatch.
+type tenantQueue struct {
+	name    string
+	weight  int
+	jobs    []*asyncJob
+	deficit int
+}
+
+// Scheduler policy names (Config.Scheduler).
+const (
+	SchedulerFair = "fair" // deficit round-robin over per-tenant queues (default)
+	SchedulerFIFO = "fifo" // single global queue in submit order
+)
+
+// jobManager owns the journal and runs async jobs through a dispatcher
+// pool over per-tenant queues. Crash recovery stays deterministic: each
+// job's checkpoint stream is self-consistent (one dispatcher runs a job
+// at a time) and every completed job's bytes are independent of when or
+// where it ran.
 type jobManager struct {
 	srv     *Server
 	journal *Journal
@@ -115,10 +282,17 @@ type jobManager struct {
 
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  []*asyncJob
 	jobs   map[string]*asyncJob
 	closed bool
 	wg     sync.WaitGroup
+
+	// Scheduler state: fifo is the single queue of SchedulerFIFO mode;
+	// queues/ring/rr are the deficit-round-robin state of fair mode.
+	fair   bool
+	fifo   []*asyncJob
+	queues map[string]*tenantQueue
+	ring   []string
+	rr     int
 
 	replayed     int64
 	ckptsWritten atomic.Int64
@@ -137,10 +311,11 @@ func (jm *jobManager) clustered() bool { return jm.nodeID != "" }
 
 // EnableJournal turns on crash-tolerant async batch jobs: it opens (or
 // creates) the journal at path, replays it, re-queues every unfinished
-// job, and starts the dispatcher. Finished jobs come back with their
-// recorded responses and are served on GET without re-running. Must be
-// called before the server starts handling requests; returns the number
-// of jobs reconstructed from the journal.
+// job, restores the per-tenant usage its done records carry, and starts
+// the dispatcher pool. Finished jobs come back with their recorded
+// responses and are served on GET without re-running. Must be called
+// before the server starts handling requests; returns the number of
+// jobs reconstructed from the journal.
 func (s *Server) EnableJournal(path string) (replayed int, err error) {
 	if s.jm != nil {
 		return 0, errors.New("serve: journal already enabled")
@@ -153,28 +328,41 @@ func (s *Server) EnableJournal(path string) (replayed int, err error) {
 		srv:     s,
 		journal: j,
 		jobs:    make(map[string]*asyncJob, len(jobs)),
+		fair:    s.cfg.Scheduler != SchedulerFIFO,
+		queues:  make(map[string]*tenantQueue),
 	}
 	jm.cond = sync.NewCond(&jm.mu)
 	jm.baseCtx, jm.cancel = context.WithCancel(context.Background())
 	for _, rj := range jobs {
-		aj := &asyncJob{id: rj.ID, key: rj.Key, body: rj.Body, ckpts: rj.Ckpts, ckptN: int64(len(rj.Ckpts))}
+		aj := newAsyncJob(rj.ID, rj.Key, rj.Tenant)
+		aj.body, aj.ckpts = rj.Body, rj.Ckpts
+		aj.events = sortDedupEvents(rj.Events)
+		aj.ckptN = int64(len(aj.events))
 		switch {
 		case rj.Resp != nil:
 			aj.status, aj.resp = JobDone, rj.Resp
+			if rj.Usage != nil {
+				// The bugfix half of tenancy-through-crashes: a replayed
+				// done record restores the usage it accrued, so counters
+				// do not reset to zero on restart.
+				s.tenants.add(rj.Usage.Tenant, rj.Usage.Jobs, rj.Usage.SimCycles, rj.Usage.QueueMS)
+			}
 		case !rj.Owned:
 			// A replica (or a job handed off in a previous drain): hold
 			// its state for peers, never run it here.
 			aj.status, aj.replica = JobReplica, true
 		default:
 			aj.status = JobQueued
-			jm.queue = append(jm.queue, aj)
+			jm.enqueueLocked(aj)
 		}
 		jm.jobs[aj.id] = aj
 	}
 	jm.replayed = int64(len(jobs))
 	s.jm = jm
-	jm.wg.Add(1)
-	go jm.run()
+	jm.wg.Add(s.cfg.Dispatchers)
+	for i := 0; i < s.cfg.Dispatchers; i++ {
+		go jm.run()
+	}
 	return len(jobs), nil
 }
 
@@ -196,10 +384,83 @@ func (s *Server) CheckpointsWritten() int64 {
 	return s.jm.ckptsWritten.Load()
 }
 
+// enqueueLocked adds a queued job to its tenant's queue (or the global
+// FIFO). Called with jm.mu held.
+func (jm *jobManager) enqueueLocked(job *asyncJob) {
+	job.mu.Lock()
+	job.queuedAt = time.Now()
+	job.mu.Unlock()
+	if !jm.fair {
+		jm.fifo = append(jm.fifo, job)
+		return
+	}
+	q := jm.queues[job.tenant]
+	if q == nil {
+		q = &tenantQueue{name: job.tenant, weight: jm.srv.tenants.get(job.tenant).weight}
+		jm.queues[job.tenant] = q
+		jm.ring = append(jm.ring, job.tenant)
+	}
+	q.jobs = append(q.jobs, job)
+}
+
+// nextLocked pops the next job per the scheduling policy, nil when
+// nothing is queued. Called with jm.mu held.
+//
+// Fair mode is deficit round-robin with unit job cost: the round-robin
+// pointer rests on one tenant at a time; a tenant with credit and work
+// dispatches (one credit per job) without moving the pointer, a tenant
+// with no work forfeits its credit, and when a full pass dispatches
+// nothing every backlogged tenant gains its weight in credits. Over any
+// busy window each backlogged tenant therefore drains proportionally to
+// its weight, within one job.
+func (jm *jobManager) nextLocked() *asyncJob {
+	if !jm.fair {
+		if len(jm.fifo) == 0 {
+			return nil
+		}
+		job := jm.fifo[0]
+		jm.fifo = jm.fifo[1:]
+		return job
+	}
+	total := 0
+	for _, q := range jm.queues {
+		total += len(q.jobs)
+	}
+	if total == 0 {
+		return nil
+	}
+	for {
+		for pass := 0; pass < len(jm.ring); pass++ {
+			q := jm.queues[jm.ring[jm.rr]]
+			if len(q.jobs) == 0 {
+				q.deficit = 0 // no banking credit while idle
+				jm.rr = (jm.rr + 1) % len(jm.ring)
+				continue
+			}
+			if q.deficit > 0 {
+				q.deficit--
+				job := q.jobs[0]
+				q.jobs = q.jobs[1:]
+				if len(q.jobs) == 0 {
+					q.deficit = 0
+				}
+				return job
+			}
+			jm.rr = (jm.rr + 1) % len(jm.ring)
+		}
+		// A full pass dispatched nothing: refill backlogged tenants.
+		for _, q := range jm.queues {
+			if len(q.jobs) > 0 {
+				q.deficit += q.weight
+			}
+		}
+	}
+}
+
 // submit journals and enqueues a new job, or returns the existing one
-// for a repeated idempotency key (first submission wins; the body of a
-// resubmit is ignored).
-func (jm *jobManager) submit(key string, body []byte) (*asyncJob, error) {
+// for a repeated idempotency key (first submission wins; the body and
+// tenant of a resubmit are ignored).
+func (jm *jobManager) submit(key, tenant string, body []byte) (*asyncJob, error) {
 	id := JobID(key)
 	jm.mu.Lock()
 	defer jm.mu.Unlock()
@@ -209,14 +470,18 @@ func (jm *jobManager) submit(key string, body []byte) (*asyncJob, error) {
 	if jm.closed {
 		return nil, errors.New("serve: server is draining; not accepting jobs")
 	}
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
 	// Journal before acknowledging: once the 202 goes out, the job must
 	// survive any crash.
-	if err := jm.journal.AppendSubmit(id, key, body); err != nil {
+	if err := jm.journal.AppendSubmit(id, key, tenant, body); err != nil {
 		return nil, err
 	}
-	job := &asyncJob{id: id, key: key, body: body, status: JobQueued}
+	job := newAsyncJob(id, key, tenant)
+	job.body, job.status = body, JobQueued
 	jm.jobs[id] = job
-	jm.queue = append(jm.queue, job)
+	jm.enqueueLocked(job)
 	jm.cond.Signal()
 	if jm.replicate != nil {
 		// Push the submit body to the ring successors right away: a node
@@ -234,24 +499,48 @@ func (jm *jobManager) get(id string) *asyncJob {
 	return jm.jobs[id]
 }
 
-// run is the dispatcher loop.
+// owns reports whether this node holds id as its owner — a locally
+// submitted, claimed, or drain-adopted job, not a passive replica.
+// Claims and handoffs move ownership without re-keying the hash ring,
+// so reads of an owned job are answered locally instead of being
+// forwarded to the (possibly dead) ring route owner.
+func (jm *jobManager) owns(id string) bool {
+	job := jm.get(id)
+	if job == nil {
+		return false
+	}
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	return !job.replica
+}
+
+// run is one dispatcher of the pool.
 func (jm *jobManager) run() {
 	defer jm.wg.Done()
 	for {
 		jm.mu.Lock()
-		for len(jm.queue) == 0 && !jm.closed {
+		var job *asyncJob
+		for {
+			if jm.closed {
+				// Leave queued jobs in the journal; the next startup
+				// replays and re-queues them.
+				jm.mu.Unlock()
+				return
+			}
+			if job = jm.nextLocked(); job != nil {
+				break
+			}
 			jm.cond.Wait()
 		}
-		if jm.closed {
-			// Leave queued jobs in the journal; the next startup
-			// replays and re-queues them.
-			jm.mu.Unlock()
-			return
-		}
-		job := jm.queue[0]
-		jm.queue = jm.queue[1:]
 		jm.mu.Unlock()
-		job.setStatus(JobRunning)
+		job.mu.Lock()
+		if !job.queuedAt.IsZero() {
+			job.queueMS += time.Since(job.queuedAt).Milliseconds()
+			job.queuedAt = time.Time{}
+		}
+		job.status = JobRunning
+		job.sub.Broadcast()
+		job.mu.Unlock()
 		jm.runJob(job)
 	}
 }
@@ -292,7 +581,7 @@ func (jm *jobManager) startLease(job *asyncJob) (stop func()) {
 // runJob executes one job end to end: parse, admit through the shared
 // gate, run each batch entry as a checkpointed simulation (resuming
 // from replayed checkpoints when present), and journal the final
-// response bytes.
+// response bytes plus the usage the job accrued.
 func (jm *jobManager) runJob(job *asyncJob) {
 	s := jm.srv
 	stopLease := jm.startLease(job)
@@ -302,14 +591,17 @@ func (jm *jobManager) runJob(job *asyncJob) {
 	job.mu.Unlock()
 	var req BatchRequest
 	if err := json.Unmarshal(body, &req); err != nil {
-		jm.finish(job, encodeJSON(errorResponse{Error: "bad request body: " + err.Error()}))
+		jm.finish(job, encodeJSON(errorResponse{Error: "bad request body: " + err.Error()}), 0)
 		return
 	}
 	scale, jobs, err := s.parseBatch(&req)
 	if err != nil {
-		jm.finish(job, encodeJSON(errorResponse{Error: err.Error()}))
+		jm.finish(job, encodeJSON(errorResponse{Error: err.Error()}), 0)
 		return
 	}
+	job.mu.Lock()
+	job.entries, job.entriesDone, job.started = len(jobs), 0, time.Now()
+	job.mu.Unlock()
 
 	d := s.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {
@@ -356,6 +648,10 @@ func (jm *jobManager) runJob(job *asyncJob) {
 		if errs[i] != nil {
 			failed++
 		}
+		job.mu.Lock()
+		job.entriesDone = i + 1
+		job.sub.Broadcast()
+		job.mu.Unlock()
 	}
 	var batchErr error
 	if failed > 0 {
@@ -373,7 +669,13 @@ func (jm *jobManager) runJob(job *asyncJob) {
 		jm.abortOrFail(job, batchErr)
 		return
 	}
-	jm.finish(job, encodeJSON(resp))
+	var simCycles int64
+	for _, r := range results {
+		if r != nil {
+			simCycles += r.Cycles
+		}
+	}
+	jm.finish(job, encodeJSON(resp), simCycles)
 }
 
 // abortOrFail handles a job-level error. During shutdown the job is put
@@ -385,17 +687,24 @@ func (jm *jobManager) abortOrFail(job *asyncJob, err error) {
 		job.setStatus(JobQueued)
 		return
 	}
-	jm.finish(job, encodeJSON(errorResponse{Error: err.Error()}))
+	jm.finish(job, encodeJSON(errorResponse{Error: err.Error()}), 0)
 }
 
-// finish records the job's final response. The journal write comes
-// first; if it fails the in-memory result still serves this process's
-// lifetime and the next startup re-runs the job (deterministically, to
-// the same bytes).
-func (jm *jobManager) finish(job *asyncJob, resp []byte) {
-	_ = jm.journal.AppendDone(job.id, resp)
+// finish records the job's final response and accounts its usage. The
+// journal write comes first (carrying the usage delta, so a restart
+// restores the counters); if it fails the in-memory result still serves
+// this process's lifetime and the next startup re-runs the job
+// (deterministically, to the same bytes).
+func (jm *jobManager) finish(job *asyncJob, resp []byte, simCycles int64) {
+	job.mu.Lock()
+	queueMS := job.queueMS
+	job.mu.Unlock()
+	usage := &TenantUsage{Tenant: job.tenant, Jobs: 1, SimCycles: simCycles, QueueMS: queueMS}
+	_ = jm.journal.AppendDone(job.id, resp, usage)
+	jm.srv.tenants.add(job.tenant, 1, simCycles, queueMS)
 	job.mu.Lock()
 	job.status, job.resp = JobDone, resp
+	job.sub.Broadcast()
 	job.mu.Unlock()
 	if jm.replicate != nil {
 		// Replicate the final bytes too: if this node dies right after
@@ -405,7 +714,7 @@ func (jm *jobManager) finish(job *asyncJob, resp []byte) {
 	}
 }
 
-// stop drains the dispatcher and closes the journal — the solo-node
+// stop drains the dispatchers and closes the journal — the solo-node
 // shutdown path. Cluster shutdown runs stopDispatcher, hands owned
 // leases off, and only then closes the journal (the handoff still
 // appends release records).
@@ -417,9 +726,9 @@ func (jm *jobManager) stop(ctx context.Context) error {
 	return err
 }
 
-// stopDispatcher drains the dispatcher: no new jobs start and the
-// in-flight job gets until ctx expires to finish (then its context is
-// canceled and it stays resumable).
+// stopDispatcher drains the dispatcher pool: no new jobs start and
+// in-flight jobs get until ctx expires to finish (then their contexts
+// are canceled and they stay resumable).
 func (jm *jobManager) stopDispatcher(ctx context.Context) error {
 	jm.mu.Lock()
 	if jm.closed {

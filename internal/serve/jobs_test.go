@@ -227,7 +227,7 @@ func TestRecoveryResumesFromCheckpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := j.AppendSubmit(JobID(key), key, json.RawMessage(body)); err != nil {
+	if err := j.AppendSubmit(JobID(key), key, "", json.RawMessage(body)); err != nil {
 		t.Fatal(err)
 	}
 	if err := j.AppendCkpt(JobID(key), 0, ckpt.Cycle, ckpt.Snap); err != nil {
@@ -298,7 +298,7 @@ func TestReplayedJobWithBadBodyFails(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := j.AppendSubmit(JobID("bad"), "bad", json.RawMessage(`{"jobs":[{"app":"no-such-app","config":{"procs":1,"threads":1,"model":"switch-on-use"}}]}`)); err != nil {
+	if err := j.AppendSubmit(JobID("bad"), "bad", "", json.RawMessage(`{"jobs":[{"app":"no-such-app","config":{"procs":1,"threads":1,"model":"switch-on-use"}}]}`)); err != nil {
 		t.Fatal(err)
 	}
 	if err := j.Close(); err != nil {

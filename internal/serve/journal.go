@@ -75,6 +75,11 @@ type journalRecord struct {
 	Node string `json:"node,omitempty"`
 	// TTLMS is the lease validity window of a lease record.
 	TTLMS int64 `json:"ttl_ms,omitempty"`
+	// Tenant attributes a submit record for accounting and fair-share.
+	Tenant string `json:"tenant,omitempty"`
+	// Usage is the per-tenant usage delta this job accrued (done
+	// records). Replay restores it, so accounting survives a crash.
+	Usage *TenantUsage `json:"usage,omitempty"`
 }
 
 // JobCheckpoint is the latest persisted pause point of one batch entry.
@@ -88,12 +93,22 @@ type ReplayedJob struct {
 	ID   string
 	Key  string
 	Body json.RawMessage
+	// Tenant is the submitting tenant (empty on pre-tenancy journals;
+	// the manager maps that to DefaultTenant).
+	Tenant string
 	// Resp is non-nil iff the job completed before the restart.
 	Resp json.RawMessage
+	// Usage is the accounting delta recorded with the done record, nil
+	// for unfinished jobs and pre-tenancy journals.
+	Usage *TenantUsage
 	// Ckpts holds, per batch entry index, the latest checkpoint of an
 	// unfinished job; resuming from it skips the already-simulated
 	// cycles without changing a byte of the outcome.
 	Ckpts map[int]JobCheckpoint
+	// Events is the checkpoint event history in journal order — every
+	// ckpt record's (entry, cycle), not just the latest per entry — so
+	// an SSE subscriber of a replayed job can be caught up exactly.
+	Events []JobEvent
 	// Owned reports whether this node must run the job: true for owner
 	// submits and after a lease record, false for replica submits and
 	// after a release record (the latest ownership record wins). A
@@ -178,19 +193,27 @@ func replay(f *os.File) ([]*replayedJob, int64, error) {
 			}
 			job := &replayedJob{
 				ReplayedJob: ReplayedJob{ID: rec.ID, Key: rec.Key, Body: rec.Body,
-					Ckpts: make(map[int]JobCheckpoint), Owned: rec.Role != roleReplica},
+					Tenant: rec.Tenant,
+					Ckpts:  make(map[int]JobCheckpoint), Owned: rec.Role != roleReplica},
 				lastSeq: rec.Seq,
 			}
 			byID[rec.ID] = job
 			jobs = append(jobs, job)
 		case recCkpt:
 			if job := byID[rec.ID]; job != nil {
-				job.Ckpts[rec.Job] = JobCheckpoint{Cycle: rec.Cycle, Snap: rec.Snap}
+				// Snapless ckpt records are event-history backfill (cluster
+				// fold of a transferred stream): they extend the event
+				// sequence but are not resume points.
+				if len(rec.Snap) > 0 && job.Ckpts != nil {
+					job.Ckpts[rec.Job] = JobCheckpoint{Cycle: rec.Cycle, Snap: rec.Snap}
+				}
+				job.Events = append(job.Events, JobEvent{Entry: rec.Job, Cycle: rec.Cycle})
 				job.lastSeq = rec.Seq
 			}
 		case recDone:
 			if job := byID[rec.ID]; job != nil {
 				job.Resp = rec.Resp
+				job.Usage = rec.Usage
 				job.Ckpts = nil // no resume needed
 				job.lastSeq = rec.Seq
 			}
@@ -265,15 +288,16 @@ func (j *Journal) append(rec journalRecord) error {
 }
 
 // AppendSubmit journals an accepted job before it is acknowledged.
-func (j *Journal) AppendSubmit(id, key string, body json.RawMessage) error {
-	return j.append(journalRecord{Kind: recSubmit, ID: id, Key: key, Body: body})
+// tenant attributes the job for accounting ("" = pre-tenancy default).
+func (j *Journal) AppendSubmit(id, key, tenant string, body json.RawMessage) error {
+	return j.append(journalRecord{Kind: recSubmit, ID: id, Key: key, Tenant: tenant, Body: body})
 }
 
 // AppendReplicaSubmit journals another node's job held for failover:
 // replayed as a non-owned replica, never queued until a lease record
 // promotes it.
-func (j *Journal) AppendReplicaSubmit(id, key string, body json.RawMessage) error {
-	return j.append(journalRecord{Kind: recSubmit, ID: id, Key: key, Body: body, Role: roleReplica})
+func (j *Journal) AppendReplicaSubmit(id, key, tenant string, body json.RawMessage) error {
+	return j.append(journalRecord{Kind: recSubmit, ID: id, Key: key, Tenant: tenant, Body: body, Role: roleReplica})
 }
 
 // AppendLease journals ownership of a job by node: written when a run
@@ -294,9 +318,11 @@ func (j *Journal) AppendCkpt(id string, jobIdx int, cycle int64, snap []byte) er
 	return j.append(journalRecord{Kind: recCkpt, ID: id, Job: jobIdx, Cycle: cycle, Snap: snap})
 }
 
-// AppendDone journals a job's final response body.
-func (j *Journal) AppendDone(id string, resp json.RawMessage) error {
-	return j.append(journalRecord{Kind: recDone, ID: id, Resp: resp})
+// AppendDone journals a job's final response body plus the usage delta
+// it accrued (nil when unknown, e.g. a replicated finish — the node
+// that ran the cycles did the accounting).
+func (j *Journal) AppendDone(id string, resp json.RawMessage, usage *TenantUsage) error {
+	return j.append(journalRecord{Kind: recDone, ID: id, Resp: resp, Usage: usage})
 }
 
 // Close fsyncs and closes the journal. Further appends fail.

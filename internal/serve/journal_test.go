@@ -30,12 +30,12 @@ func TestJournalReplayRoundtrip(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	must(j.AppendSubmit("b-1", "k1", json.RawMessage(`{"jobs":[]}`)))
+	must(j.AppendSubmit("b-1", "k1", "", json.RawMessage(`{"jobs":[]}`)))
 	must(j.AppendCkpt("b-1", 0, 100, []byte{1, 2, 3}))
 	must(j.AppendCkpt("b-1", 0, 200, []byte{4, 5, 6})) // supersedes the first
 	must(j.AppendCkpt("b-1", 1, 150, []byte{7}))
-	must(j.AppendSubmit("b-2", "k2", json.RawMessage(`{"jobs":[1]}`)))
-	must(j.AppendDone("b-2", json.RawMessage(`{"ok":true}`)))
+	must(j.AppendSubmit("b-2", "k2", "", json.RawMessage(`{"jobs":[1]}`)))
+	must(j.AppendDone("b-2", json.RawMessage(`{"ok":true}`), nil))
 	must(j.Close())
 
 	j2, jobs := openJournalT(t, path)
@@ -70,7 +70,7 @@ func TestJournalReplayRoundtrip(t *testing.T) {
 func TestJournalTruncatesTornTail(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal")
 	j, _ := openJournalT(t, path)
-	if err := j.AppendSubmit("b-1", "k1", json.RawMessage(`{}`)); err != nil {
+	if err := j.AppendSubmit("b-1", "k1", "", json.RawMessage(`{}`)); err != nil {
 		t.Fatal(err)
 	}
 	if err := j.AppendCkpt("b-1", 0, 50, []byte{9}); err != nil {
@@ -107,7 +107,7 @@ func TestJournalTruncatesTornTail(t *testing.T) {
 	if !bytes.Equal(after, clean) {
 		t.Errorf("journal not truncated to the last valid record: %d bytes, want %d", len(after), len(clean))
 	}
-	if err := j2.AppendDone("b-1", json.RawMessage(`{}`)); err != nil {
+	if err := j2.AppendDone("b-1", json.RawMessage(`{}`), nil); err != nil {
 		t.Fatal(err)
 	}
 	j2.Close()
@@ -121,7 +121,7 @@ func TestJournalStopsAtCorruptRecord(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal")
 	j, _ := openJournalT(t, path)
 	for _, id := range []string{"b-1", "b-2", "b-3"} {
-		if err := j.AppendSubmit(id, id, json.RawMessage(`{}`)); err != nil {
+		if err := j.AppendSubmit(id, id, "", json.RawMessage(`{}`)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -160,15 +160,15 @@ func TestJournalOwnershipReplay(t *testing.T) {
 		}
 	}
 	// b-own: plain owner submit (the pre-cluster shape).
-	must(j.AppendSubmit("b-own", "k1", json.RawMessage(`{}`)))
+	must(j.AppendSubmit("b-own", "k1", "", json.RawMessage(`{}`)))
 	// b-rep: replica held for a peer, never promoted.
-	must(j.AppendReplicaSubmit("b-rep", "k2", json.RawMessage(`{}`)))
+	must(j.AppendReplicaSubmit("b-rep", "k2", "", json.RawMessage(`{}`)))
 	must(j.AppendCkpt("b-rep", 0, 500, []byte{1}))
 	// b-claim: replica promoted by a failover claim.
-	must(j.AppendReplicaSubmit("b-claim", "k3", json.RawMessage(`{}`)))
+	must(j.AppendReplicaSubmit("b-claim", "k3", "", json.RawMessage(`{}`)))
 	must(j.AppendLease("b-claim", "node1", 3*time.Second))
 	// b-gone: owned, then handed off during a drain.
-	must(j.AppendSubmit("b-gone", "k4", json.RawMessage(`{}`)))
+	must(j.AppendSubmit("b-gone", "k4", "", json.RawMessage(`{}`)))
 	must(j.AppendLease("b-gone", "node1", 3*time.Second))
 	must(j.AppendRelease("b-gone", "node1"))
 	must(j.Close())

@@ -17,11 +17,25 @@
 //
 // Endpoints (all JSON unless noted):
 //
-//	POST /v1/run              one simulation run
-//	POST /v1/batch            a job list, partial results on failure
-//	GET  /v1/experiments/{id} a rendered paper table/figure (text/plain)
-//	GET  /v1/healthz          liveness + queue gauges
-//	GET  /debug/vars          expvar (includes the mtsimd gauges)
+//	POST /v2/jobs                  submit a job (sync run, sync batch, or
+//	                               async batch with an idempotency key)
+//	GET  /v2/jobs/{id}             poll an async job
+//	GET  /v2/jobs/{id}/events      live progress (Server-Sent Events)
+//	GET  /v2/healthz               liveness + queue gauges + tenant usage
+//	POST /v1/run                   legacy: one simulation run
+//	POST /v1/batch                 legacy: a job list, partial results
+//	GET  /v1/batch/jobs/{id}       legacy: poll an async job
+//	GET  /v1/batch/jobs/{id}/events  live progress (SSE, shared with v2)
+//	GET  /v1/experiments/{id}      a rendered paper table/figure (text)
+//	GET  /v1/healthz               liveness + queue gauges
+//	GET  /debug/vars               expvar (includes the mtsimd gauges)
+//
+// The /v1 surface is a byte-compatible legacy shim: both surfaces
+// delegate to one execution core, /v1 keeps its original renderings.
+// Multi-tenancy: requests carry a tenant (Authorization: Bearer API
+// key, or the X-Tenant-ID header, else "anonymous"); admission is
+// token-bucket per tenant and the async dispatcher drains per-tenant
+// queues deficit-round-robin weighted by TenantConfig.Weight.
 //
 // Results are byte-identical to the library path: the server only ever
 // calls the same deterministic entry points the CLI tools use.
@@ -73,6 +87,24 @@ type Config struct {
 	// re-simulation after a crash more tightly at the cost of more
 	// fsync'd snapshot writes. Only used once EnableJournal is called.
 	CheckpointEvery int64
+	// Tenants declares the known tenants: weights for the fair-share
+	// scheduler, token-bucket quotas, API keys. Requests from tenants
+	// not listed here (header-derived or anonymous) get DefaultQuota
+	// and weight 1.
+	Tenants []TenantConfig
+	// DefaultQuota is the admission quota for undeclared tenants
+	// (zero value = unlimited).
+	DefaultQuota Quota
+	// Scheduler selects how the async dispatcher pool drains queued
+	// jobs: SchedulerFair (default) is deficit-round-robin over
+	// per-tenant queues weighted by TenantConfig.Weight; SchedulerFIFO
+	// is the legacy single global queue.
+	Scheduler string
+	// Dispatchers sizes the async dispatcher pool (default
+	// max(1, Workers/2)). Keeping it below Workers reserves gate slots
+	// for sync requests, so a flood of async submissions cannot starve
+	// interactive traffic.
+	Dispatchers int
 }
 
 // withDefaults fills zero fields.
@@ -104,6 +136,15 @@ func (c Config) withDefaults() Config {
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 100_000
 	}
+	if c.Scheduler == "" {
+		c.Scheduler = SchedulerFair
+	}
+	if c.Dispatchers <= 0 {
+		c.Dispatchers = c.Workers / 2
+		if c.Dispatchers < 1 {
+			c.Dispatchers = 1
+		}
+	}
 	return c
 }
 
@@ -115,6 +156,7 @@ type Server struct {
 	sessions *sessionCache
 	mux      *http.ServeMux
 	started  time.Time
+	tenants  *tenantRegistry
 
 	// jm is non-nil once EnableJournal has armed crash-tolerant async
 	// batch jobs. Set before serving starts, read-only afterwards.
@@ -135,6 +177,7 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		gate:    newGate(cfg.Workers, cfg.QueueDepth),
 		started: time.Now(),
+		tenants: newTenantRegistry(cfg.Tenants, cfg.DefaultQuota),
 	}
 	s.sessions = newSessionCache(4, cfg.MaxSessions, cfg.MaxSessionSims, func(key string) *core.Session {
 		sess := core.NewSession()
@@ -148,8 +191,19 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/batch/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/batch/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		s.handleJobEvents(w, r, false)
+	})
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	// The /v2 surface: jobs unified (sync run = degenerate job), one
+	// error envelope, tenant/quota fields in every response. /v1 above
+	// stays as the byte-compatible legacy surface; both delegate to the
+	// same execution core.
+	s.mux.HandleFunc("POST /v2/jobs", s.handleV2Jobs)
+	s.mux.HandleFunc("GET /v2/jobs/{id}", s.handleV2Job)
+	s.mux.HandleFunc("GET /v2/jobs/{id}/events", s.handleV2JobEvents)
+	s.mux.HandleFunc("GET /v2/healthz", s.handleV2Healthz)
 	// Cluster routes are registered unconditionally and answer 404 until
 	// EnableCluster arms them, so a solo node's surface is unchanged.
 	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
@@ -199,6 +253,7 @@ func (s *Server) PublishVars() {
 			_, dead := s.cluster.node.AliveCount()
 			return dead
 		}))
+		expvar.Publish("mtsimd.tenant_usage", expvar.Func(func() any { return s.tenants.table() }))
 		expvar.Publish("mtsimd.cluster_claims", expvar.Func(func() any { return s.ClusterClaims() }))
 		expvar.Publish("mtsimd.cluster_forwards", expvar.Func(func() any { return s.ClusterForwards() }))
 		expvar.Publish("mtsimd.cluster_handoffs", expvar.Func(func() any { return s.ClusterHandoffs() }))

@@ -1,0 +1,281 @@
+package serve
+
+import (
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mtsim/internal/cluster"
+)
+
+// Multi-tenancy: every request is attributed to a tenant, admission is
+// paced per tenant by a token bucket, async jobs drain through
+// per-tenant queues under deficit-round-robin (see jobs.go), and usage
+// (jobs, sim-cycles, queue time) accrues per tenant — surfaced on
+// healthz/expvar, journaled with done records, and gossiped on cluster
+// pings so accounting survives both restarts and failover.
+//
+// Identity is header-derived: `Authorization: Bearer <api-key>` maps a
+// configured key to its tenant (an unknown key is a 401), otherwise
+// `X-Tenant-ID: <name>` names the tenant directly (created on first
+// use), otherwise the request belongs to DefaultTenant. This is
+// deliberately not an auth system — it is the attribution and isolation
+// layer an auth proxy in front of mtsimd would feed.
+
+// DefaultTenant is the tenant of requests that carry no identity.
+const DefaultTenant = "anonymous"
+
+// TenantUsage is re-exported from internal/cluster (the gossip layer
+// owns the wire type) so serve's callers need only one import.
+type TenantUsage = cluster.TenantUsage
+
+// TenantConfig declares one tenant up front: its fair-share weight, its
+// admission quota, and the API keys that map to it. Tenants not listed
+// here are created on first use with Weight 1 and the server's
+// DefaultQuota.
+type TenantConfig struct {
+	// Name identifies the tenant in headers, accounting and gossip.
+	Name string
+	// Weight is the deficit-round-robin share of the async dispatcher
+	// pool (default 1). A weight-3 tenant drains three jobs for every
+	// one of a weight-1 tenant while both have work queued.
+	Weight int
+	// Rate and Burst parameterize the admission token bucket: Rate
+	// requests/second sustained, Burst extra capacity. Rate 0 means no
+	// quota (admission limited only by the shared gate).
+	Rate  float64
+	Burst int
+	// APIKeys are bearer tokens that resolve to this tenant.
+	APIKeys []string
+}
+
+// Quota is the rate/burst pair applied to tenants without an explicit
+// TenantConfig. The zero value means unlimited.
+type Quota struct {
+	Rate  float64
+	Burst int
+}
+
+// tokenBucket is a standard refill-on-read token bucket. A nil bucket
+// admits everything.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &tokenBucket{rate: rate, burst: b, tokens: b, last: time.Now()}
+}
+
+// take consumes one token if available; otherwise it reports how long
+// until one accrues — the retry_after_ms hint of the 429.
+func (b *tokenBucket) take() (ok bool, retryAfter time.Duration) {
+	if b == nil {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	deficit := 1 - b.tokens
+	return false, time.Duration(math.Ceil(deficit/b.rate*1000)) * time.Millisecond
+}
+
+// remaining reports the whole tokens currently available (for the v2
+// quota field). -1 means unlimited.
+func (b *tokenBucket) remaining() int64 {
+	if b == nil {
+		return -1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	return int64(b.tokens)
+}
+
+// tenant is one tenant's runtime state: quota bucket plus monotonic
+// usage counters (atomics — the hot paths touch them lock-free).
+type tenant struct {
+	name   string
+	weight int
+	bucket *tokenBucket
+
+	jobs      atomic.Int64
+	simCycles atomic.Int64
+	queueMS   atomic.Int64
+}
+
+// usage snapshots the tenant's counters.
+func (t *tenant) usage() TenantUsage {
+	return TenantUsage{
+		Tenant:    t.name,
+		Jobs:      t.jobs.Load(),
+		SimCycles: t.simCycles.Load(),
+		QueueMS:   t.queueMS.Load(),
+	}
+}
+
+// tenantRegistry resolves request identity to tenants and owns the
+// usage table. Tenants are never removed.
+type tenantRegistry struct {
+	mu           sync.RWMutex
+	byName       map[string]*tenant
+	byKey        map[string]*tenant
+	defaultQuota Quota
+}
+
+func newTenantRegistry(configs []TenantConfig, def Quota) *tenantRegistry {
+	reg := &tenantRegistry{
+		byName:       make(map[string]*tenant),
+		byKey:        make(map[string]*tenant),
+		defaultQuota: def,
+	}
+	for _, tc := range configs {
+		if tc.Name == "" {
+			continue
+		}
+		w := tc.Weight
+		if w < 1 {
+			w = 1
+		}
+		t := &tenant{name: tc.Name, weight: w, bucket: newTokenBucket(tc.Rate, tc.Burst)}
+		reg.byName[tc.Name] = t
+		for _, k := range tc.APIKeys {
+			if k != "" {
+				reg.byKey[k] = t
+			}
+		}
+	}
+	return reg
+}
+
+// get returns (creating on first use) the tenant named name.
+func (reg *tenantRegistry) get(name string) *tenant {
+	if name == "" {
+		name = DefaultTenant
+	}
+	reg.mu.RLock()
+	t := reg.byName[name]
+	reg.mu.RUnlock()
+	if t != nil {
+		return t
+	}
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if t = reg.byName[name]; t != nil {
+		return t
+	}
+	t = &tenant{name: name, weight: 1,
+		bucket: newTokenBucket(reg.defaultQuota.Rate, reg.defaultQuota.Burst)}
+	reg.byName[name] = t
+	return t
+}
+
+// byAPIKey resolves a bearer token (nil if unknown).
+func (reg *tenantRegistry) byAPIKey(key string) *tenant {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	return reg.byKey[key]
+}
+
+// resolve maps a request to its tenant. ok=false means the request
+// presented an API key the server does not know — a 401, not a fallback
+// to anonymous (a mistyped key must not silently bill another tenant).
+func (reg *tenantRegistry) resolve(r *http.Request) (t *tenant, ok bool) {
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		key, found := strings.CutPrefix(auth, "Bearer ")
+		if !found {
+			return nil, false
+		}
+		if t = reg.byAPIKey(strings.TrimSpace(key)); t == nil {
+			return nil, false
+		}
+		return t, true
+	}
+	return reg.get(r.Header.Get("X-Tenant-ID")), true
+}
+
+// add folds a usage delta into a tenant's counters — the accrual path
+// for live runs and the restore path for journal replay.
+func (reg *tenantRegistry) add(name string, jobs, simCycles, queueMS int64) {
+	t := reg.get(name)
+	t.jobs.Add(jobs)
+	t.simCycles.Add(simCycles)
+	t.queueMS.Add(queueMS)
+}
+
+// table snapshots every tenant's usage, sorted by name, skipping
+// tenants that have not accrued anything (keeps healthz quiet until
+// tenancy is actually in use).
+func (reg *tenantRegistry) table() []TenantUsage {
+	reg.mu.RLock()
+	tenants := make([]*tenant, 0, len(reg.byName))
+	for _, t := range reg.byName {
+		tenants = append(tenants, t)
+	}
+	reg.mu.RUnlock()
+	out := make([]TenantUsage, 0, len(tenants))
+	for _, t := range tenants {
+		u := t.usage()
+		if u.Jobs == 0 && u.SimCycles == 0 && u.QueueMS == 0 {
+			continue
+		}
+		out = append(out, u)
+	}
+	sortUsage(out)
+	return out
+}
+
+// mergeUsage folds b into a by tenant name (cluster view: local +
+// gossiped remote).
+func mergeUsage(a, b []TenantUsage) []TenantUsage {
+	byName := make(map[string]TenantUsage, len(a)+len(b))
+	for _, u := range append(append([]TenantUsage{}, a...), b...) {
+		t := byName[u.Tenant]
+		t.Tenant = u.Tenant
+		t.Jobs += u.Jobs
+		t.SimCycles += u.SimCycles
+		t.QueueMS += u.QueueMS
+		byName[u.Tenant] = t
+	}
+	out := make([]TenantUsage, 0, len(byName))
+	for _, u := range byName {
+		out = append(out, u)
+	}
+	sortUsage(out)
+	return out
+}
+
+func sortUsage(us []TenantUsage) {
+	for i := 1; i < len(us); i++ { // insertion sort: tables are tiny
+		for j := i; j > 0 && us[j].Tenant < us[j-1].Tenant; j-- {
+			us[j], us[j-1] = us[j-1], us[j]
+		}
+	}
+}

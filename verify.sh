@@ -8,10 +8,11 @@ go vet ./...
 go test ./...
 go test -race ./internal/core/... ./internal/machine/...
 # Race pass over the experiment/metrics aggregation path, the fault
-# model, the HTTP serving layer (journal + async jobs + cluster
-# membership included), and the snapshot codec (-short skips the
-# double experiment regeneration and the chaostest daemon-kill
-# harness, which runs in the plain pass above).
+# model, the HTTP serving layer (journal + async jobs + the fair-share
+# tenant scheduler + SSE streaming + cluster membership included), and
+# the snapshot codec (-short skips the double experiment regeneration
+# and the chaostest daemon-kill harness, which runs in the plain pass
+# above).
 go test -race -short ./internal/cluster/... ./internal/exp/... ./internal/net/... ./internal/serve/... ./internal/snap/...
 # The cycle-accounting layer carries an exactness guarantee; hold its
 # unit coverage at >= 70%.
