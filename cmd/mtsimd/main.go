@@ -11,6 +11,9 @@
 //	       [-fair-share] [-dispatchers N]
 //	       [-node-id ID -peers id1=url1,id2=url2,...] [-heartbeat 500ms]
 //	       [-lease-ttl 3s] [-replicas 2]
+//	       [-breaker-threshold 5] [-breaker-cooldown 2s] [-hedge-fraction 0.1]
+//	       [-brownout-enter 2s] [-brownout-exit 3s]
+//	       [-chaos SCHEDULE -chaos-seed N]
 //
 // -tenants declares the serving plane's tenants: a fair-share weight
 // for the async scheduler, a token-bucket admission quota (requests/s
@@ -35,7 +38,23 @@
 // successors, and when a node dies its expired job leases are claimed
 // and resumed by the survivors — still to byte-identical responses. A
 // graceful drain hands owned jobs to live successors before exit. See
-// GET /v1/cluster for topology, health, and the lease table.
+// GET /v1/cluster for topology, health, breakers, and the lease table.
+//
+// Resilience knobs: every intra-cluster call feeds a per-peer circuit
+// breaker (-breaker-threshold consecutive transport failures open it;
+// after -breaker-cooldown a single half-open probe decides). Forwarded
+// idempotent reads may be hedged to the next ring successor after a
+// latency-derived delay, with -hedge-fraction bounding the extra
+// traffic. -brownout-enter/-brownout-exit tune the hysteretic overload
+// mode that sheds metrics collection and new SSE subscriptions before
+// the server refuses real work.
+//
+// -chaos arms a deterministic fault-injection schedule on the node's
+// outbound intra-cluster transport — partitions, drops, delays, and
+// reply corruption per peer and time window, every decision drawn from
+// -chaos-seed so a run replays exactly. Completed simulation results
+// stay byte-identical under any schedule; only availability and
+// latency degrade. For testing fleets, not production.
 //
 // SIGTERM/SIGINT starts a graceful drain: listeners close immediately,
 // in-flight simulations run to completion until -drain expires, then
@@ -164,6 +183,13 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", 0, "cluster health-probe period (0 = 500ms)")
 	leaseTTL := flag.Duration("lease-ttl", 0, "job lease validity without renewal (0 = 3s)")
 	replicas := flag.Int("replicas", 0, "nodes holding each async job's state, owner included (0 = 2)")
+	chaos := flag.String("chaos", "", "seeded fault-injection schedule for intra-cluster calls, e.g. \"peer=n2,from=2s,to=8s,partition;peer=*,delay=0.3@50ms-200ms\" (requires cluster mode)")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "root seed of the chaos schedule's deterministic decision stream")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive transport failures that trip a peer's circuit breaker (0 = 5, negative disables)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = 2s)")
+	hedgeFraction := flag.Float64("hedge-fraction", 0, "fraction of forwarded reads allowed a hedged duplicate (0 = 0.1, negative disables)")
+	brownoutEnter := flag.Duration("brownout-enter", 0, "sustained high queue saturation before brownout mode (0 = 2s, negative disables)")
+	brownoutExit := flag.Duration("brownout-exit", 0, "sustained low queue saturation before brownout lifts (0 = 3s)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "mtsimd: unexpected argument %q\n", flag.Arg(0))
@@ -194,6 +220,9 @@ func main() {
 		DefaultQuota:    defQuota,
 		Scheduler:       scheduler,
 		Dispatchers:     *dispatchers,
+		HedgeFraction:   *hedgeFraction,
+		BrownoutEnter:   *brownoutEnter,
+		BrownoutExit:    *brownoutExit,
 	})
 	srv.PublishVars()
 	if *journal != "" {
@@ -206,18 +235,32 @@ func main() {
 	if (*nodeID == "") != (*peers == "") {
 		log.Fatalf("mtsimd: -node-id and -peers must be set together")
 	}
+	if *chaos != "" && *nodeID == "" {
+		log.Fatalf("mtsimd: -chaos requires cluster mode (-node-id and -peers)")
+	}
 	if *nodeID != "" {
 		peerList, err := parsePeers(*peers)
 		if err != nil {
 			log.Fatalf("mtsimd: %v", err)
 		}
-		node, err := srv.EnableCluster(cluster.Config{
-			Self:           *nodeID,
-			Peers:          peerList,
-			HeartbeatEvery: *heartbeat,
-			LeaseTTL:       *leaseTTL,
-			Replicas:       *replicas,
-		})
+		cfg := cluster.Config{
+			Self:             *nodeID,
+			Peers:            peerList,
+			HeartbeatEvery:   *heartbeat,
+			LeaseTTL:         *leaseTTL,
+			Replicas:         *replicas,
+			BreakerThreshold: *breakerThreshold,
+			BreakerCooldown:  *breakerCooldown,
+		}
+		if *chaos != "" {
+			rules, err := cluster.ParseChaos(*chaos)
+			if err != nil {
+				log.Fatalf("mtsimd: %v", err)
+			}
+			cfg.Transport = cluster.NewChaosTransport(*chaosSeed, rules, peerList, nil)
+			log.Printf("mtsimd: chaos transport armed: %d rules, seed %d", len(rules), *chaosSeed)
+		}
+		node, err := srv.EnableCluster(cfg)
 		if err != nil {
 			log.Fatalf("mtsimd: %v", err)
 		}

@@ -1,0 +1,223 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// testClock is a manually-advanced clock for breaker tests.
+type testClock struct{ t time.Time }
+
+func (c *testClock) now() time.Time          { return c.t }
+func (c *testClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *testClock) {
+	clk := &testClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(threshold, cooldown)
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerTripThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		b.Report(false)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after 2/3 failures = %q, want closed", got)
+	}
+	b.Report(false) // third consecutive failure trips
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after threshold failures = %q, want open", got)
+	}
+	if got := b.Trips(); got != 1 {
+		t.Fatalf("trips = %d, want 1", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request inside the cooldown")
+	}
+	if !b.Tripped() {
+		t.Fatal("Tripped() = false for an open breaker inside its cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	b.Report(false)
+	b.Report(false)
+	b.Report(true) // success wipes the streak
+	b.Report(false)
+	b.Report(false)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %q after a reset streak, want closed", got)
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Report(false) // trip
+	clk.advance(time.Second)
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state past cooldown = %q, want half-open", got)
+	}
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker refused the half-open probe")
+	}
+	// Only one probe at a time: the next caller must wait.
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	b.Report(true)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after probe success = %q, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("re-closed breaker refused a request")
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Report(false)
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	b.Report(false) // probe failed: reopen, cooldown restarts
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after probe failure = %q, want open", got)
+	}
+	if got := b.Trips(); got != 2 {
+		t.Fatalf("trips = %d, want 2", got)
+	}
+	if b.Allow() {
+		t.Fatal("reopened breaker admitted a request inside the new cooldown")
+	}
+}
+
+func TestBreakerLostProbeReadmits(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Report(false)
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	// The probe's caller dies without reporting. After another cooldown
+	// the circuit admits a fresh probe instead of blocking forever.
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker never re-admitted after a lost probe")
+	}
+}
+
+func TestBreakerStaleReportIgnoredWhileOpen(t *testing.T) {
+	b, _ := newTestBreaker(1, time.Second)
+	b.Report(false) // trip
+	// A request admitted before the trip finishes now, successfully.
+	// Its evidence is stale: the circuit must stay open.
+	b.Report(true)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after stale success report = %q, want open", got)
+	}
+}
+
+func TestBreakerTrippedIsNonConsuming(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Report(false)
+	clk.advance(time.Second)
+	// Ring lookups ask Tripped() repeatedly; none of those calls may
+	// consume the half-open probe slot.
+	for i := 0; i < 5; i++ {
+		if b.Tripped() {
+			t.Fatalf("Tripped() = true past the cooldown (call %d)", i)
+		}
+	}
+	if !b.Allow() {
+		t.Fatal("probe slot was consumed by Tripped() calls")
+	}
+}
+
+func TestRouteOwnerSkipsTrippedPeer(t *testing.T) {
+	peers := []Peer{
+		{ID: "n1", URL: "http://127.0.0.1:1"},
+		{ID: "n2", URL: "http://127.0.0.1:2"},
+		{ID: "n3", URL: "http://127.0.0.1:3"},
+	}
+	n, err := New(Config{Self: "n1", Peers: peers, BreakerThreshold: 1, BreakerCooldown: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a key owned by a remote peer.
+	var key, owner string
+	for i := 0; i < 1000; i++ {
+		k := "key-" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		if o := n.RouteOwner(k); o != "n1" {
+			key, owner = k, o
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no remote-owned key found")
+	}
+	n.ReportPeer(owner, false) // trip the owner's breaker
+	moved := n.RouteOwner(key)
+	if moved == owner {
+		t.Fatalf("RouteOwner still %q with its breaker open", owner)
+	}
+	// All remote breakers tripped: the walk reaches self (never
+	// tripped), so this node adopts the route rather than sending the
+	// request somewhere known-unreachable.
+	for _, p := range peers {
+		if p.ID != "n1" {
+			n.ReportPeer(p.ID, false)
+		}
+	}
+	if got := n.RouteOwner(key); got != "n1" {
+		t.Fatalf("RouteOwner = %q with every remote breaker open, want self", got)
+	}
+}
+
+func TestBreakerStatesSorted(t *testing.T) {
+	peers := []Peer{
+		{ID: "n3", URL: "http://127.0.0.1:3"},
+		{ID: "n1", URL: "http://127.0.0.1:1"},
+		{ID: "n2", URL: "http://127.0.0.1:2"},
+	}
+	n, err := New(Config{Self: "n1", Peers: peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := n.BreakerStates()
+	if len(states) != 2 {
+		t.Fatalf("got %d breaker states, want 2 (self excluded)", len(states))
+	}
+	if states[0].Peer != "n2" || states[1].Peer != "n3" {
+		t.Fatalf("states not sorted by peer: %+v", states)
+	}
+	for _, st := range states {
+		if st.State != BreakerClosed {
+			t.Fatalf("fresh breaker %s state = %q, want closed", st.Peer, st.State)
+		}
+	}
+}
+
+func TestBreakersDisabled(t *testing.T) {
+	peers := []Peer{
+		{ID: "n1", URL: "http://127.0.0.1:1"},
+		{ID: "n2", URL: "http://127.0.0.1:2"},
+	}
+	n, err := New(Config{Self: "n1", Peers: peers, BreakerThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := n.Breaker("n2"); b != nil {
+		t.Fatal("breaker exists with BreakerThreshold < 0")
+	}
+	n.ReportPeer("n2", false) // must not panic
+	if got := len(n.BreakerStates()); got != 0 {
+		t.Fatalf("BreakerStates returned %d entries with breakers disabled", got)
+	}
+}

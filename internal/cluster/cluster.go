@@ -75,6 +75,17 @@ type Config struct {
 	// Client probes peers (default: a client with HeartbeatEvery
 	// timeout so one hung peer cannot stall the probe round).
 	Client *http.Client
+	// Transport, when set, underlies every intra-cluster HTTP client —
+	// the probe client built here and the forwarding/state-transfer
+	// clients the serve layer derives from this config. The chaos
+	// transport plugs in through this seam.
+	Transport http.RoundTripper
+	// BreakerThreshold is how many consecutive request-path failures
+	// trip a peer's circuit breaker (default 5; negative disables
+	// breakers entirely). BreakerCooldown is how long an open breaker
+	// refuses traffic before admitting a half-open probe (default 2s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -100,7 +111,13 @@ func (c Config) withDefaults() Config {
 		c.VNodes = 64
 	}
 	if c.Client == nil {
-		c.Client = &http.Client{Timeout: c.HeartbeatEvery}
+		c.Client = &http.Client{Timeout: c.HeartbeatEvery, Transport: c.Transport}
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
 	}
 	return c
 }
@@ -220,6 +237,10 @@ type Node struct {
 	// until then the claim is not retried.
 	OnExpiredLease func(l Lease)
 
+	// breakers holds one circuit per remote peer (see breaker.go);
+	// empty when Config.BreakerThreshold < 0. Fixed after New.
+	breakers map[string]*Breaker
+
 	mu       sync.Mutex
 	members  map[string]*member
 	remote   map[string]*remoteLease
@@ -245,10 +266,14 @@ func New(cfg Config) (*Node, error) {
 		remote:   make(map[string]*remoteLease),
 		usage:    make(map[string][]TenantUsage),
 		claiming: make(map[string]bool),
+		breakers: make(map[string]*Breaker),
 		stop:     make(chan struct{}),
 	}
 	for _, p := range cfg.Peers {
 		n.members[p.ID] = &member{peer: p, state: StateAlive}
+		if p.ID != cfg.Self && cfg.BreakerThreshold > 0 {
+			n.breakers[p.ID] = NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+		}
 	}
 	return n, nil
 }
@@ -283,19 +308,32 @@ func (n *Node) Alive(id string) bool {
 }
 
 // RouteOwner returns the node that should handle key right now: the
-// first alive node in the key's ring-successor order, falling back to
-// the primary owner if the whole fleet looks down.
+// first alive node in the key's ring-successor order whose circuit
+// breaker is not hard-open, falling back to the first merely-alive node
+// (all breakers tripped) and then to the primary owner (whole fleet
+// looks down). Skipping tripped peers mirrors the dead-peer skip: a
+// peer the request path cannot reach should not own routes, even if it
+// still answers heartbeats.
 func (n *Node) RouteOwner(key string) string {
 	succ := n.ring.successors(key)
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	firstAlive := ""
 	for _, id := range succ {
 		if id == n.cfg.Self {
 			return id
 		}
 		if m := n.members[id]; m != nil && m.state == StateAlive {
-			return id
+			if firstAlive == "" {
+				firstAlive = id
+			}
+			if b := n.breakers[id]; b == nil || !b.Tripped() {
+				return id
+			}
 		}
+	}
+	if firstAlive != "" {
+		return firstAlive
 	}
 	if len(succ) == 0 {
 		return n.cfg.Self

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -32,6 +33,29 @@ type Client struct {
 	Tenant string
 	// HTTPClient overrides the transport (nil = http.DefaultClient).
 	HTTPClient *http.Client
+	// MaxRetries bounds how many times a request rejected with 429 or
+	// 503 is retried, pacing by the server's Retry-After hint (the
+	// envelope's retry_after_ms, or the Retry-After header) and falling
+	// back to serve.RetryDelay jittered exponential backoff when the
+	// server sent none. 0 means the default (3); negative disables
+	// retries. A retry never sleeps past the request context's
+	// deadline: if the server's hint cannot be honored in time, the
+	// rejection is returned immediately instead.
+	MaxRetries int
+}
+
+// defaultMaxRetries is the retry budget when Client.MaxRetries is 0.
+const defaultMaxRetries = 3
+
+func (c *Client) maxRetries() int {
+	switch {
+	case c.MaxRetries < 0:
+		return 0
+	case c.MaxRetries == 0:
+		return defaultMaxRetries
+	default:
+		return c.MaxRetries
+	}
 }
 
 // New returns a client for baseURL.
@@ -78,31 +102,92 @@ func (c *Client) setIdentity(req *http.Request) {
 	}
 }
 
-// decodeError turns a non-2xx reply into an *APIError.
-func decodeError(status int, body []byte) error {
+// decodeError turns a non-2xx reply into an *APIError. When the
+// envelope carries no retry_after_ms, the Retry-After header (whole
+// seconds) fills it in, so v1-style rejections pace retries too.
+func decodeError(resp *http.Response, body []byte) error {
+	out := &APIError{Status: resp.StatusCode, Code: "unknown",
+		Message: strings.TrimSpace(string(body))}
 	var env serve.V2Error
 	if err := json.Unmarshal(body, &env); err == nil && env.Error.Code != "" {
-		return &APIError{Status: status, Code: env.Error.Code,
-			Message: env.Error.Message, RetryAfterMS: env.Error.RetryAfterMS}
+		out.Code, out.Message = env.Error.Code, env.Error.Message
+		out.RetryAfterMS = env.Error.RetryAfterMS
 	}
-	return &APIError{Status: status, Code: "unknown", Message: strings.TrimSpace(string(body))}
+	if out.RetryAfterMS == 0 {
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			out.RetryAfterMS = int64(secs) * 1000
+		}
+	}
+	return out
 }
 
-// do runs one JSON round trip. out may be nil.
+// retryable reports whether err is a server rejection worth retrying:
+// 429 (queue full, quota, doomed deadline) or 503 (draining, brownout).
+func retryable(err error) bool {
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		return false
+	}
+	return apiErr.Status == http.StatusTooManyRequests ||
+		apiErr.Status == http.StatusServiceUnavailable
+}
+
+// retryPause picks the wait before retry number attempt (0-based):
+// the server's hint when it sent one, else decorrelated exponential
+// backoff.
+func retryPause(err error, attempt int) time.Duration {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.RetryAfterMS > 0 {
+		return time.Duration(apiErr.RetryAfterMS) * time.Millisecond
+	}
+	return serve.RetryDelay(attempt, time.Second)
+}
+
+// do runs one JSON round trip, retrying server rejections (429/503)
+// up to maxRetries times at the server's suggested pace. out may be
+// nil.
 func (c *Client) do(ctx context.Context, method, path string, in, out any, extra http.Header) error {
-	var body io.Reader
+	var payload []byte
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
 			return err
 		}
-		body = strings.NewReader(string(b))
+		payload = b
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(ctx, method, path, payload, out, extra)
+		if err == nil || !retryable(err) || attempt >= c.maxRetries() {
+			return err
+		}
+		lastErr = err
+		pause := retryPause(err, attempt)
+		// Never sleep past the caller's deadline: a retry that cannot
+		// land in time is worse than handing back the rejection now
+		// (the caller may have another node to try).
+		if dl, ok := ctx.Deadline(); ok && time.Until(dl) < pause {
+			return lastErr
+		}
+		select {
+		case <-ctx.Done():
+			return lastErr
+		case <-time.After(pause):
+		}
+	}
+}
+
+// doOnce is a single attempt of do.
+func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte, out any, extra http.Header) error {
+	var body io.Reader
+	if payload != nil {
+		body = strings.NewReader(string(payload))
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	for k, vs := range extra {
@@ -121,7 +206,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, extra
 		return err
 	}
 	if resp.StatusCode/100 != 2 {
-		return decodeError(resp.StatusCode, raw)
+		return decodeError(resp, raw)
 	}
 	if out != nil {
 		return json.Unmarshal(raw, out)
@@ -241,7 +326,7 @@ func (c *Client) StreamEvents(ctx context.Context, id, lastEventID string, fn fu
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-		return decodeError(resp.StatusCode, raw)
+		return decodeError(resp, raw)
 	}
 	var ev Event
 	sc := bufio.NewScanner(resp.Body)

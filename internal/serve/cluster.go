@@ -51,13 +51,24 @@ type clusterRuntime struct {
 	// fwd proxies client requests (no client timeout: the forwarded
 	// request carries its own deadline); xfer moves job state between
 	// nodes and probes peers for claims (bounded, background work).
+	// Both share Config.Transport, so a chaos transport perturbs every
+	// intra-cluster call.
 	fwd  *http.Client
 	xfer *http.Client
 
-	forwards atomic.Int64
-	claims   atomic.Int64
-	handoffs atomic.Int64
-	pushes   atomic.Int64
+	// lat tracks forward latencies (hedge-delay source); budget paces
+	// hedges. budget is nil when hedging is disabled.
+	lat    *latencyTracker
+	budget *hedgeBudget
+	// chaos is the installed chaos transport, if any (stats surface).
+	chaos *cluster.ChaosTransport
+
+	forwards  atomic.Int64
+	claims    atomic.Int64
+	handoffs  atomic.Int64
+	pushes    atomic.Int64
+	hedges    atomic.Int64
+	hedgeWins atomic.Int64
 }
 
 // EnableCluster joins this server to a multi-node fleet. It requires
@@ -77,8 +88,15 @@ func (s *Server) EnableCluster(cfg cluster.Config) (*cluster.Node, error) {
 	}
 	s.cluster = &clusterRuntime{
 		node: node,
-		fwd:  &http.Client{},
-		xfer: &http.Client{Timeout: 15 * time.Second},
+		fwd:  &http.Client{Transport: cfg.Transport},
+		xfer: &http.Client{Timeout: 15 * time.Second, Transport: cfg.Transport},
+		lat:  newLatencyTracker(s.cfg.HedgeDelayMin, s.cfg.HedgeDelayMax),
+	}
+	if s.cfg.HedgeFraction > 0 {
+		s.cluster.budget = newHedgeBudget(s.cfg.HedgeFraction)
+	}
+	if ct, ok := cfg.Transport.(*cluster.ChaosTransport); ok {
+		s.cluster.chaos = ct
 	}
 	s.jm.nodeID = node.Self()
 	s.jm.leaseTTL = node.LeaseTTL()
@@ -130,8 +148,12 @@ type JobState struct {
 	// regenerates exactly the undelivered tail of the SSE sequence.
 	Events []JobEvent `json:"events,omitempty"`
 	// Resp is present once the job finished: replicas serve (and
-	// claimants adopt) the recorded bytes verbatim.
-	Resp json.RawMessage `json:"resp,omitempty"`
+	// claimants adopt) the recorded bytes verbatim. Base64 on the wire
+	// (verbatimJSON): a json.RawMessage here would be compacted by the
+	// push path's Marshal and re-indented by the state GET's renderer,
+	// and an adopted response must not differ from the holder's by so
+	// much as a byte of whitespace.
+	Resp verbatimJSON `json:"resp,omitempty"`
 	// Progress orders replicas by freshness: the sum of the latest
 	// checkpointed cycle over batch entries (monotone over a run).
 	Progress int64 `json:"progress"`
@@ -396,17 +418,21 @@ func (s *Server) pushReplica(id string, claim bool) {
 		if p.ID == node.Self() {
 			continue
 		}
-		_ = s.putJobState(context.Background(), p.URL, st, claim)
+		if b := node.Breaker(p.ID); b != nil && !b.Allow() {
+			continue // circuit open: the push would only burn a timeout
+		}
+		_ = s.putJobState(context.Background(), p, st, claim)
 	}
 }
 
-// putJobState PUTs one job state to a peer.
-func (s *Server) putJobState(ctx context.Context, baseURL string, st *JobState, claim bool) error {
+// putJobState PUTs one job state to a peer, feeding the transport
+// outcome to the peer's circuit breaker.
+func (s *Server) putJobState(ctx context.Context, p cluster.Peer, st *JobState, claim bool) error {
 	body, err := json.Marshal(st)
 	if err != nil {
 		return err
 	}
-	url := baseURL + "/v1/jobs/" + st.ID + "/state"
+	url := p.URL + "/v1/jobs/" + st.ID + "/state"
 	if claim {
 		url += "?claim=1"
 	}
@@ -416,13 +442,16 @@ func (s *Server) putJobState(ctx context.Context, baseURL string, st *JobState, 
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := s.cluster.xfer.Do(req)
+	if ctx.Err() == nil {
+		s.cluster.node.ReportPeer(p.ID, err == nil)
+	}
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
 	io.Copy(io.Discard, resp.Body)
 	if resp.StatusCode/100 != 2 {
-		return fmt.Errorf("serve: push job state to %s: status %d", baseURL, resp.StatusCode)
+		return fmt.Errorf("serve: push job state to %s: status %d", p.URL, resp.StatusCode)
 	}
 	s.cluster.pushes.Add(1)
 	return nil
@@ -442,7 +471,7 @@ func (s *Server) claimExpiredLease(l cluster.Lease) {
 		if m.Self || m.State != cluster.StateAlive {
 			continue
 		}
-		st, err := s.fetchJobState(m.URL, l.JobID)
+		st, err := s.fetchJobState(cluster.Peer{ID: m.ID, URL: m.URL}, l.JobID)
 		if err != nil || st == nil {
 			continue
 		}
@@ -464,31 +493,39 @@ func (s *Server) claimExpiredLease(l cluster.Lease) {
 }
 
 // fetchJobState GETs a peer's copy of one job's state (nil if the peer
-// does not hold it).
-func (s *Server) fetchJobState(baseURL, id string) (*JobState, error) {
-	req, err := http.NewRequest(http.MethodGet, baseURL+"/v1/jobs/"+id+"/state", nil)
+// does not hold it). A body that fails to decode counts as a transport
+// failure for the peer's breaker: a chaos-corrupted reply must neither
+// win a freshness contest nor pass as healthy contact.
+func (s *Server) fetchJobState(p cluster.Peer, id string) (*JobState, error) {
+	req, err := http.NewRequest(http.MethodGet, p.URL+"/v1/jobs/"+id+"/state", nil)
 	if err != nil {
 		return nil, err
 	}
 	resp, err := s.cluster.xfer.Do(req)
 	if err != nil {
+		s.cluster.node.ReportPeer(p.ID, false)
 		return nil, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
+		s.cluster.node.ReportPeer(p.ID, false)
 		return nil, err
 	}
 	if resp.StatusCode == http.StatusNotFound {
+		s.cluster.node.ReportPeer(p.ID, true)
 		return nil, nil
 	}
 	if resp.StatusCode != http.StatusOK {
+		s.cluster.node.ReportPeer(p.ID, true)
 		return nil, fmt.Errorf("serve: fetch job state: status %d", resp.StatusCode)
 	}
 	var st JobState
 	if err := json.Unmarshal(body, &st); err != nil {
+		s.cluster.node.ReportPeer(p.ID, false)
 		return nil, err
 	}
+	s.cluster.node.ReportPeer(p.ID, true)
 	return &st, nil
 }
 
@@ -524,7 +561,7 @@ func (s *Server) handoffLeases(ctx context.Context) {
 			continue
 		}
 		for _, p := range append(live, iffy...) {
-			if err := s.putJobState(ctx, p.URL, st, true); err != nil {
+			if err := s.putJobState(ctx, p, st, true); err != nil {
 				continue // keep trying; worst case ownership stays here
 			}
 			s.jm.release(id)
@@ -539,7 +576,9 @@ func (s *Server) handoffLeases(ctx context.Context) {
 // forwardIfRemote proxies the request to key's route owner when that is
 // another node, reporting whether it handled the request. Forwarded
 // requests (marker header) are always served locally, so divergent ring
-// views degrade to an extra hop, never a loop.
+// views degrade to an extra hop, never a loop. Idempotent reads (GETs,
+// minus SSE streams) go through the hedged path; everything else
+// retries candidates sequentially with backoff.
 func (s *Server) forwardIfRemote(w http.ResponseWriter, r *http.Request, key string, body []byte) bool {
 	if s.cluster == nil || r.Header.Get(forwardHeader) != "" {
 		return false
@@ -549,70 +588,107 @@ func (s *Server) forwardIfRemote(w http.ResponseWriter, r *http.Request, key str
 	if owner == node.Self() {
 		return false
 	}
-	ownerURL, ok := node.PeerURL(owner)
-	if !ok {
-		return false
+	cands := s.forwardCandidates(key)
+	if len(cands) == 0 {
+		// Every remote candidate looks down or breaker-tripped; the
+		// route owner (RouteOwner already fell back past tripped
+		// breakers) is the least-bad single bet.
+		url, ok := node.PeerURL(owner)
+		if !ok {
+			return false
+		}
+		cands = []cluster.Peer{{ID: owner, URL: url}}
 	}
-	s.forwardTo(w, r, ownerURL, body)
+	if r.Method == http.MethodGet && !strings.HasSuffix(r.URL.Path, "/events") && s.cluster.budget != nil {
+		s.hedgedForward(w, r, cands, body)
+	} else {
+		s.forwardTo(w, r, cands, body)
+	}
 	return true
 }
 
-// forwardTo proxies one request with RetryDelay backoff between
-// transport failures; when the owner stays unreachable the client gets
-// a 503 with a jittered Retry-After (the membership layer will route
-// around the dead node shortly).
-func (s *Server) forwardTo(w http.ResponseWriter, r *http.Request, baseURL string, body []byte) {
-	url := baseURL + r.URL.RequestURI()
-	var resp *http.Response
-	var err error
-	for attempt := 0; attempt < forwardAttempts; attempt++ {
-		if attempt > 0 {
-			select {
-			case <-r.Context().Done():
-				s.httpError(w, r.Context().Err(), http.StatusServiceUnavailable)
-				return
-			case <-time.After(RetryDelay(attempt-1, 100*time.Millisecond)):
-			}
+// forwardCandidates lists the remote peers a forwarded request for key
+// may be sent to, in ring order: alive, circuit not hard-open, capped
+// at three (the owner plus two fallbacks).
+func (s *Server) forwardCandidates(key string) []cluster.Peer {
+	node := s.cluster.node
+	var out []cluster.Peer
+	for _, p := range node.Successors(key, 1<<30) {
+		if p.ID == node.Self() || !node.Alive(p.ID) {
+			continue
 		}
-		var req *http.Request
-		req, err = http.NewRequestWithContext(r.Context(), r.Method, url, bytes.NewReader(body))
-		if err != nil {
-			s.httpError(w, err, http.StatusInternalServerError)
-			return
+		if b := node.Breaker(p.ID); b != nil && b.Tripped() {
+			continue
 		}
-		// Authorization / X-Tenant-ID keep the tenant identity across the
-		// hop (the forward marker suppresses a second quota charge);
-		// Last-Event-ID keeps SSE resume cursors working through a proxy.
-		for _, h := range []string{"Content-Type", "Idempotency-Key", "Accept",
-			"Authorization", "X-Tenant-ID", "Last-Event-ID"} {
-			if v := r.Header.Get(h); v != "" {
-				req.Header.Set(h, v)
-			}
-		}
-		req.Header.Set(forwardHeader, s.cluster.node.Self())
-		resp, err = s.cluster.fwd.Do(req)
-		if err == nil {
+		if out = append(out, p); len(out) == 3 {
 			break
 		}
 	}
+	return out
+}
+
+// forwardResult is one forwarded response: buffered for ordinary
+// bodies (so a chaos-corrupted reply is caught before any byte reaches
+// the client), streaming for SSE.
+type forwardResult struct {
+	resp   *http.Response
+	body   []byte        // buffered body (stream == nil)
+	stream io.ReadCloser // non-nil for SSE relays
+}
+
+// forwardOnce sends one forwarded copy of r to peer. JSON bodies are
+// buffered and validated: a reply that fails json.Valid is a transport
+// failure (corrupt wire data), not an application response.
+func (s *Server) forwardOnce(ctx context.Context, r *http.Request, peer cluster.Peer, body []byte) (*forwardResult, error) {
+	req, err := http.NewRequestWithContext(ctx, r.Method, peer.URL+r.URL.RequestURI(), bytes.NewReader(body))
 	if err != nil {
-		s.httpError(w, fmt.Errorf("forwarding to cluster owner failed: %w", err), http.StatusServiceUnavailable)
-		return
+		return nil, err
+	}
+	// Authorization / X-Tenant-ID keep the tenant identity across the
+	// hop (the forward marker suppresses a second quota charge);
+	// Last-Event-ID keeps SSE resume cursors working through a proxy.
+	for _, h := range []string{"Content-Type", "Idempotency-Key", "Accept",
+		"Authorization", "X-Tenant-ID", "Last-Event-ID"} {
+		if v := r.Header.Get(h); v != "" {
+			req.Header.Set(h, v)
+		}
+	}
+	req.Header.Set(forwardHeader, s.cluster.node.Self())
+	resp, err := s.cluster.fwd.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream") {
+		return &forwardResult{resp: resp, stream: resp.Body}, nil
 	}
 	defer resp.Body.Close()
+	buf, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), "application/json") && len(buf) > 0 && !json.Valid(buf) {
+		return nil, fmt.Errorf("serve: corrupt reply from %s", peer.ID)
+	}
+	return &forwardResult{resp: resp, body: buf}, nil
+}
+
+// relayForwardResult writes a forwarded response to the client.
+func (s *Server) relayForwardResult(w http.ResponseWriter, res *forwardResult) {
+	resp := res.resp
 	for _, h := range []string{"Content-Type", "Retry-After", "Cache-Control", "X-Accel-Buffering"} {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}
 	}
 	w.WriteHeader(resp.StatusCode)
-	if strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream") {
+	if res.stream != nil {
 		// SSE: relay each chunk as it arrives instead of buffering the
 		// whole (unbounded) stream.
+		defer res.stream.Close()
 		fl, _ := w.(http.Flusher)
 		buf := make([]byte, 4096)
 		for {
-			n, rerr := resp.Body.Read(buf)
+			n, rerr := res.stream.Read(buf)
 			if n > 0 {
 				if _, werr := w.Write(buf[:n]); werr != nil {
 					break
@@ -625,9 +701,56 @@ func (s *Server) forwardTo(w http.ResponseWriter, r *http.Request, baseURL strin
 				break
 			}
 		}
-	} else {
-		_, _ = io.Copy(w, resp.Body)
+		return
 	}
+	_, _ = w.Write(res.body)
+}
+
+// forwardTo proxies one request over the candidate peers with
+// RetryDelay backoff between transport failures, feeding each
+// attempt's outcome to the peer's circuit breaker. The backoff select
+// watches the caller's context, so a canceled client stops burning
+// attempts against a dead peer. When every candidate stays
+// unreachable the client gets a 503 with a jittered Retry-After (the
+// membership layer will route around the dead node shortly).
+func (s *Server) forwardTo(w http.ResponseWriter, r *http.Request, cands []cluster.Peer, body []byte) {
+	node := s.cluster.node
+	var res *forwardResult
+	var err error
+	ci := 0
+	for attempt := 0; attempt < forwardAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-r.Context().Done():
+				s.httpError(w, r.Context().Err(), http.StatusServiceUnavailable)
+				return
+			case <-time.After(RetryDelay(attempt-1, 100*time.Millisecond)):
+			}
+		}
+		p := cands[ci%len(cands)]
+		ci++
+		if b := node.Breaker(p.ID); b != nil && !b.Allow() {
+			err = fmt.Errorf("serve: breaker open for peer %s", p.ID)
+			continue
+		}
+		start := time.Now()
+		res, err = s.forwardOnce(r.Context(), r, p, body)
+		if err != nil && r.Context().Err() != nil {
+			// The caller is gone; the failure says nothing about the peer.
+			s.httpError(w, r.Context().Err(), http.StatusServiceUnavailable)
+			return
+		}
+		node.ReportPeer(p.ID, err == nil)
+		if err == nil {
+			s.cluster.lat.observe(time.Since(start))
+			break
+		}
+	}
+	if err != nil {
+		s.httpError(w, fmt.Errorf("forwarding to cluster owner failed: %w", err), http.StatusServiceUnavailable)
+		return
+	}
+	s.relayForwardResult(w, res)
 	s.cluster.forwards.Add(1)
 }
 
@@ -644,6 +767,15 @@ type ClusterStatus struct {
 	Claims   int64            `json:"claims"`
 	Forwards int64            `json:"forwards"`
 	Handoffs int64            `json:"handoffs"`
+	// Breakers is each remote peer's circuit state as this node sees it.
+	Breakers []cluster.BreakerStatus `json:"breakers,omitempty"`
+	// Hedges/HedgeWins count hedged forwarded reads and the ones where
+	// the hedge answered first.
+	Hedges    int64 `json:"hedges"`
+	HedgeWins int64 `json:"hedge_wins"`
+	// Chaos reports injected-fault counters when this node runs with a
+	// chaos transport installed.
+	Chaos *cluster.ChaosStats `json:"chaos,omitempty"`
 }
 
 func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
@@ -664,16 +796,24 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		leases = append(leases, l)
 	}
 	sort.Slice(leases, func(i, j int) bool { return leases[i].JobID < leases[j].JobID })
-	writeJSON(w, http.StatusOK, &ClusterStatus{
-		Schema:   ResponseSchemaVersion,
-		Self:     node.Self(),
-		Nodes:    node.Members(),
-		Leases:   leases,
-		Usage:    mergeUsage(s.tenants.table(), node.RemoteUsage()),
-		Claims:   s.cluster.claims.Load(),
-		Forwards: s.cluster.forwards.Load(),
-		Handoffs: s.cluster.handoffs.Load(),
-	})
+	status := &ClusterStatus{
+		Schema:    ResponseSchemaVersion,
+		Self:      node.Self(),
+		Nodes:     node.Members(),
+		Leases:    leases,
+		Usage:     mergeUsage(s.tenants.table(), node.RemoteUsage()),
+		Claims:    s.cluster.claims.Load(),
+		Forwards:  s.cluster.forwards.Load(),
+		Handoffs:  s.cluster.handoffs.Load(),
+		Breakers:  node.BreakerStates(),
+		Hedges:    s.cluster.hedges.Load(),
+		HedgeWins: s.cluster.hedgeWins.Load(),
+	}
+	if s.cluster.chaos != nil {
+		st := s.cluster.chaos.Stats()
+		status.Chaos = &st
+	}
+	writeJSON(w, http.StatusOK, status)
 }
 
 // handleClusterPing answers the membership probe: identity + owned

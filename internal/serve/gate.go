@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync/atomic"
+	"time"
 )
 
 // ErrQueueFull is the admission-control rejection: the server already
@@ -11,46 +12,125 @@ import (
 // 429 with a Retry-After hint rather than letting work pile up.
 var ErrQueueFull = errors.New("serve: job queue full")
 
+// ErrDoomed is the deadline-aware rejection: the estimated queue wait
+// alone would consume the request's deadline, so admitting it could
+// only end in a 504 after holding a queue slot the whole time.
+// Handlers map it to 429 + Retry-After — same contract as ErrQueueFull,
+// decided per-request instead of by a fixed cap.
+var ErrDoomed = errors.New("serve: queue wait would exceed the request deadline")
+
 // gate is the server's bounded admission queue: at most `workers`
 // simulations run concurrently and at most `depth` further requests
 // wait for a slot. Everything beyond that is rejected immediately with
 // ErrQueueFull — under overload the server sheds load instead of
 // queueing unboundedly, which keeps latency for admitted requests flat
 // and memory bounded.
+//
+// Admission is additionally deadline-aware: the gate keeps an EWMA of
+// how long admitted requests hold their slot, and a request whose
+// remaining deadline is smaller than the wait its queue position
+// implies is rejected up front with ErrDoomed. That converts
+// certain-to-time-out requests from slow 504s (which occupy queue
+// slots while dying) into immediate 429s the client can retry
+// elsewhere or later.
 type gate struct {
 	cap      int64 // workers + depth
+	workers  int64
 	admitted atomic.Int64
 	inflight atomic.Int64
-	workers  chan struct{}
+	slots    chan struct{}
+
+	svcNS  atomic.Int64 // EWMA of slot-hold time, ns (0 = no samples yet)
+	doomed atomic.Int64 // requests rejected by the deadline-aware check
 }
 
 func newGate(workers, depth int) *gate {
 	return &gate{
 		cap:     int64(workers + depth),
-		workers: make(chan struct{}, workers),
+		workers: int64(workers),
+		slots:   make(chan struct{}, workers),
 	}
 }
 
 // Acquire admits the caller and blocks until a worker slot frees (or
 // ctx ends). On success it returns a release func the caller must call
-// exactly once. ErrQueueFull means the caller was never admitted.
+// exactly once. ErrQueueFull means the cap was hit; ErrDoomed means
+// the caller's deadline cannot survive the current queue. Callers were
+// never admitted on either error.
 func (g *gate) Acquire(ctx context.Context) (release func(), err error) {
+	return g.acquire(ctx, true)
+}
+
+// AcquireWait is Acquire without the deadline-aware shed: durable work
+// (the async dispatcher) prefers waiting out its deadline — an aborted
+// job stays resumable, so rejecting it up front would only add churn.
+func (g *gate) AcquireWait(ctx context.Context) (release func(), err error) {
+	return g.acquire(ctx, false)
+}
+
+func (g *gate) acquire(ctx context.Context, shed bool) (release func(), err error) {
 	if g.admitted.Add(1) > g.cap {
 		g.admitted.Add(-1)
 		return nil, ErrQueueFull
 	}
+	if shed {
+		if dl, ok := ctx.Deadline(); ok {
+			if wait := g.estimatedWait(); wait > 0 && time.Until(dl) < wait {
+				g.admitted.Add(-1)
+				g.doomed.Add(1)
+				return nil, ErrDoomed
+			}
+		}
+	}
 	select {
-	case g.workers <- struct{}{}:
+	case g.slots <- struct{}{}:
 	case <-ctx.Done():
 		g.admitted.Add(-1)
 		return nil, ctx.Err()
 	}
+	start := time.Now()
 	g.inflight.Add(1)
 	return func() {
+		g.observe(time.Since(start))
 		g.inflight.Add(-1)
 		g.admitted.Add(-1)
-		<-g.workers
+		<-g.slots
 	}, nil
+}
+
+// estimatedWait predicts the queue wait a newly admitted request faces:
+// zero with a free slot, else the slot-hold EWMA scaled by how many
+// admitted requests stand in line ahead of it (spread over the worker
+// lanes). Zero when no request has completed yet — with no evidence
+// the gate admits optimistically rather than guessing.
+func (g *gate) estimatedWait() time.Duration {
+	if len(g.slots) < cap(g.slots) {
+		return 0
+	}
+	svc := g.svcNS.Load()
+	if svc == 0 {
+		return 0
+	}
+	waiting := g.admitted.Load() - g.inflight.Load() // includes the caller
+	if waiting < 1 {
+		waiting = 1
+	}
+	return time.Duration(svc * (waiting + g.workers - 1) / g.workers)
+}
+
+// observe folds one slot-hold duration into the EWMA (alpha = 1/8).
+func (g *gate) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	for {
+		old := g.svcNS.Load()
+		nw := ns
+		if old != 0 {
+			nw = old + (ns-old)/8
+		}
+		if g.svcNS.CompareAndSwap(old, nw) {
+			return
+		}
+	}
 }
 
 // Inflight is the number of requests currently holding a worker slot.
@@ -63,4 +143,17 @@ func (g *gate) Queued() int64 {
 		return 0
 	}
 	return q
+}
+
+// Doomed counts requests rejected by the deadline-aware shed.
+func (g *gate) Doomed() int64 { return g.doomed.Load() }
+
+// saturation is the occupied fraction of the gate's waiting room — the
+// brownout controller's load signal.
+func (g *gate) saturation() float64 {
+	depth := g.cap - g.workers
+	if depth <= 0 {
+		return 0
+	}
+	return float64(g.Queued()) / float64(depth)
 }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -197,6 +198,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func (s *Server) httpError(w http.ResponseWriter, err error, fallback int) {
 	status := fallback
 	switch {
+	case errors.Is(err, ErrDoomed):
+		// Deadline-aware shed: the queue wait would consume the request's
+		// deadline, so reject now with a come-back hint instead of holding
+		// a slot until the inevitable 504.
+		status = http.StatusTooManyRequests
 	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -204,7 +210,7 @@ func (s *Server) httpError(w http.ResponseWriter, err error, fallback int) {
 	case errors.Is(err, machine.ErrMaxCycles):
 		status = http.StatusUnprocessableEntity
 	}
-	if status == http.StatusServiceUnavailable {
+	if status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests {
 		// 503s are transient by contract (drain, forwarding outage): give
 		// clients the same jittered come-back hint the 429 path sends, so
 		// a draining node's rejected herd does not return in lockstep.
@@ -301,6 +307,9 @@ func (s *Server) acquireGate(ctx context.Context, t *tenant) (func(), error) {
 // handler and POST /v2/jobs delegate here — the returned document is
 // the one byte-layout both surfaces serve.
 func (s *Server) execRun(ctx context.Context, t *tenant, scale app.Scale, a *app.App, cfg machine.Config, collectMetrics bool) (*RunResponse, error) {
+	if s.shedMetricsNow(collectMetrics) {
+		collectMetrics = false // brownout: results keep flowing, garnish does not
+	}
 	release, err := s.acquireGate(ctx, t)
 	if err != nil {
 		return nil, err
@@ -456,6 +465,9 @@ func buildBatchResponse(ctx context.Context, sess *core.Session, scale app.Scale
 // An all-jobs-failed batch under a dead deadline surfaces the context
 // error (the caller maps it like a run).
 func (s *Server) execBatch(ctx context.Context, t *tenant, scale app.Scale, jobs []core.Job, collectMetrics bool) (*BatchResponse, error) {
+	if s.shedMetricsNow(collectMetrics) {
+		collectMetrics = false // brownout: see execRun
+	}
 	release, err := s.acquireGate(ctx, t)
 	if err != nil {
 		return nil, err
@@ -674,20 +686,28 @@ type healthzResponse struct {
 	UptimeMS           int64           `json:"uptime_ms"`
 	JournalReplayed    int64           `json:"journal_replayed"`
 	CheckpointsWritten int64           `json:"checkpoints_written"`
-	Tenants            []TenantUsage   `json:"tenants,omitempty"`
-	Cluster            *healthzCluster `json:"cluster,omitempty"`
+	// Goroutines is the process gauge (leak canary for chaos runs).
+	Goroutines int `json:"goroutines"`
+	// Doomed counts requests shed by the deadline-aware admission check.
+	Doomed   int64           `json:"doomed"`
+	Brownout *brownoutStatus `json:"brownout,omitempty"`
+	Tenants  []TenantUsage   `json:"tenants,omitempty"`
+	Cluster  *healthzCluster `json:"cluster,omitempty"`
 }
 
 // healthzCluster is the fleet summary inside /v1/healthz (cluster mode
 // only): this node's identity plus peer health and failover counters.
 type healthzCluster struct {
-	Self     string `json:"self"`
-	Nodes    int    `json:"nodes"`
-	Alive    int    `json:"alive"`
-	Dead     int    `json:"dead"`
-	Claims   int64  `json:"claims"`
-	Forwards int64  `json:"forwards"`
-	Handoffs int64  `json:"handoffs"`
+	Self      string                  `json:"self"`
+	Nodes     int                     `json:"nodes"`
+	Alive     int                     `json:"alive"`
+	Dead      int                     `json:"dead"`
+	Claims    int64                   `json:"claims"`
+	Forwards  int64                   `json:"forwards"`
+	Handoffs  int64                   `json:"handoffs"`
+	Hedges    int64                   `json:"hedges"`
+	HedgeWins int64                   `json:"hedge_wins"`
+	Breakers  []cluster.BreakerStatus `json:"breakers,omitempty"`
 }
 
 // healthz assembles the health document shared by /v1/healthz and
@@ -695,6 +715,7 @@ type healthzCluster struct {
 // latest gossiped reports from peers (cluster mode), so accounting is
 // visible fleet-wide and survives failover.
 func (s *Server) healthz() *healthzResponse {
+	s.brownedOut() // fold the current saturation so the report is fresh
 	resp := &healthzResponse{
 		Status:             "ok",
 		Inflight:           s.gate.Inflight(),
@@ -703,19 +724,27 @@ func (s *Server) healthz() *healthzResponse {
 		UptimeMS:           time.Since(s.started).Milliseconds(),
 		JournalReplayed:    s.JournalReplayed(),
 		CheckpointsWritten: s.CheckpointsWritten(),
+		Goroutines:         runtime.NumGoroutine(),
+		Doomed:             s.gate.Doomed(),
 		Tenants:            s.tenants.table(),
+	}
+	if s.bo != nil {
+		resp.Brownout = s.bo.status()
 	}
 	if s.cluster != nil {
 		resp.Tenants = mergeUsage(resp.Tenants, s.cluster.node.RemoteUsage())
 		alive, dead := s.cluster.node.AliveCount()
 		resp.Cluster = &healthzCluster{
-			Self:     s.cluster.node.Self(),
-			Nodes:    len(s.cluster.node.Members()),
-			Alive:    alive,
-			Dead:     dead,
-			Claims:   s.cluster.claims.Load(),
-			Forwards: s.cluster.forwards.Load(),
-			Handoffs: s.cluster.handoffs.Load(),
+			Self:      s.cluster.node.Self(),
+			Nodes:     len(s.cluster.node.Members()),
+			Alive:     alive,
+			Dead:      dead,
+			Claims:    s.cluster.claims.Load(),
+			Forwards:  s.cluster.forwards.Load(),
+			Handoffs:  s.cluster.handoffs.Load(),
+			Hedges:    s.cluster.hedges.Load(),
+			HedgeWins: s.cluster.hedgeWins.Load(),
+			Breakers:  s.cluster.node.BreakerStates(),
 		}
 	}
 	return resp

@@ -613,7 +613,9 @@ func (jm *jobManager) runJob(job *asyncJob) {
 	ctx, cancel := context.WithTimeout(jm.baseCtx, d)
 	defer cancel()
 
-	release, err := s.gate.Acquire(ctx)
+	// AcquireWait: no deadline-aware shed for durable jobs — an aborted
+	// job resumes from its checkpoints, so waiting beats rejection.
+	release, err := s.gate.AcquireWait(ctx)
 	if err != nil {
 		jm.abortOrFail(job, err)
 		return

@@ -50,6 +50,42 @@ const (
 	roleReplica = "replica"
 )
 
+// verbatimJSON carries pre-rendered JSON bytes through an encode/decode
+// round trip without reformatting. encoding/json rewrites a nested
+// json.RawMessage — Marshal compacts it, Encoder.SetIndent re-indents
+// it into the outer document — either of which would silently break the
+// byte-identity promise on recorded responses once they travel inside a
+// journal record or a cluster job-state push. Encoding as a base64
+// string (like []byte) keeps the payload exact. Decoding still accepts
+// a bare JSON value, so records written before this type existed replay
+// with their old (compacted) bytes rather than erroring.
+type verbatimJSON []byte
+
+func (v verbatimJSON) MarshalJSON() ([]byte, error) {
+	if v == nil {
+		return []byte("null"), nil
+	}
+	return json.Marshal([]byte(v))
+}
+
+func (v *verbatimJSON) UnmarshalJSON(data []byte) error {
+	if string(data) == "null" {
+		*v = nil
+		return nil
+	}
+	if len(data) > 0 && data[0] == '"' {
+		var b []byte
+		if err := json.Unmarshal(data, &b); err != nil {
+			return err
+		}
+		*v = b
+		return nil
+	}
+	// Legacy record: the value was stored as an inline JSON document.
+	*v = append([]byte(nil), data...)
+	return nil
+}
+
 // journalRecord is one WAL line's JSON payload.
 type journalRecord struct {
 	Seq  uint64 `json:"seq"`
@@ -66,9 +102,10 @@ type journalRecord struct {
 	Cycle int64 `json:"cycle,omitempty"`
 	// Snap is the machine snapshot (base64 under encoding/json).
 	Snap []byte `json:"snap,omitempty"`
-	// Resp is the final response body, stored verbatim so a replayed
-	// job serves bytes identical to the original (done records).
-	Resp json.RawMessage `json:"resp,omitempty"`
+	// Resp is the final response body, stored verbatim (base64, see
+	// verbatimJSON) so a replayed job serves bytes identical to the
+	// original (done records).
+	Resp verbatimJSON `json:"resp,omitempty"`
 	// Role marks a submit as owner ("") or replica (cluster mode).
 	Role string `json:"role,omitempty"`
 	// Node is the cluster node id writing a lease/release record.
@@ -97,7 +134,7 @@ type ReplayedJob struct {
 	// the manager maps that to DefaultTenant).
 	Tenant string
 	// Resp is non-nil iff the job completed before the restart.
-	Resp json.RawMessage
+	Resp []byte
 	// Usage is the accounting delta recorded with the done record, nil
 	// for unfinished jobs and pre-tenancy journals.
 	Usage *TenantUsage
@@ -321,7 +358,7 @@ func (j *Journal) AppendCkpt(id string, jobIdx int, cycle int64, snap []byte) er
 // AppendDone journals a job's final response body plus the usage delta
 // it accrued (nil when unknown, e.g. a replicated finish — the node
 // that ran the cycles did the accounting).
-func (j *Journal) AppendDone(id string, resp json.RawMessage, usage *TenantUsage) error {
+func (j *Journal) AppendDone(id string, resp []byte, usage *TenantUsage) error {
 	return j.append(journalRecord{Kind: recDone, ID: id, Resp: resp, Usage: usage})
 }
 

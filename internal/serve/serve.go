@@ -105,6 +105,25 @@ type Config struct {
 	// for sync requests, so a flood of async submissions cannot starve
 	// interactive traffic.
 	Dispatchers int
+	// HedgeFraction caps hedged forwarded reads at this fraction of
+	// forward traffic (default 0.1; negative disables hedging). Only
+	// meaningful in cluster mode.
+	HedgeFraction float64
+	// HedgeDelayMin/HedgeDelayMax clamp the hedge delay derived from
+	// the p95 of recent forward latencies (defaults 10ms and 2s).
+	HedgeDelayMin time.Duration
+	HedgeDelayMax time.Duration
+	// BrownoutHighWater/BrownoutLowWater bound the brownout hysteresis
+	// band in units of queue saturation (queued / QueueDepth): sustained
+	// saturation at or above high water enters brownout, sustained
+	// saturation at or below low water leaves it (defaults 0.75 / 0.25).
+	BrownoutHighWater float64
+	BrownoutLowWater  float64
+	// BrownoutEnter/BrownoutExit are how long the saturation must hold
+	// past the respective water mark before the mode flips (defaults
+	// 2s in, 3s out; negative BrownoutEnter disables brownout).
+	BrownoutEnter time.Duration
+	BrownoutExit  time.Duration
 }
 
 // withDefaults fills zero fields.
@@ -145,6 +164,27 @@ func (c Config) withDefaults() Config {
 			c.Dispatchers = 1
 		}
 	}
+	if c.HedgeFraction == 0 {
+		c.HedgeFraction = 0.1
+	}
+	if c.HedgeDelayMin <= 0 {
+		c.HedgeDelayMin = 10 * time.Millisecond
+	}
+	if c.HedgeDelayMax <= 0 {
+		c.HedgeDelayMax = 2 * time.Second
+	}
+	if c.BrownoutHighWater <= 0 {
+		c.BrownoutHighWater = 0.75
+	}
+	if c.BrownoutLowWater <= 0 {
+		c.BrownoutLowWater = 0.25
+	}
+	if c.BrownoutEnter == 0 {
+		c.BrownoutEnter = 2 * time.Second
+	}
+	if c.BrownoutExit <= 0 {
+		c.BrownoutExit = 3 * time.Second
+	}
 	return c
 }
 
@@ -157,6 +197,9 @@ type Server struct {
 	mux      *http.ServeMux
 	started  time.Time
 	tenants  *tenantRegistry
+
+	// bo is the brownout controller (nil when disabled by config).
+	bo *brownout
 
 	// jm is non-nil once EnableJournal has armed crash-tolerant async
 	// batch jobs. Set before serving starts, read-only afterwards.
@@ -178,6 +221,9 @@ func New(cfg Config) *Server {
 		gate:    newGate(cfg.Workers, cfg.QueueDepth),
 		started: time.Now(),
 		tenants: newTenantRegistry(cfg.Tenants, cfg.DefaultQuota),
+	}
+	if cfg.BrownoutEnter > 0 {
+		s.bo = newBrownout(cfg.BrownoutHighWater, cfg.BrownoutLowWater, cfg.BrownoutEnter, cfg.BrownoutExit)
 	}
 	s.sessions = newSessionCache(4, cfg.MaxSessions, cfg.MaxSessionSims, func(key string) *core.Session {
 		sess := core.NewSession()
@@ -257,6 +303,31 @@ func (s *Server) PublishVars() {
 		expvar.Publish("mtsimd.cluster_claims", expvar.Func(func() any { return s.ClusterClaims() }))
 		expvar.Publish("mtsimd.cluster_forwards", expvar.Func(func() any { return s.ClusterForwards() }))
 		expvar.Publish("mtsimd.cluster_handoffs", expvar.Func(func() any { return s.ClusterHandoffs() }))
+		expvar.Publish("mtsimd.doomed", expvar.Func(func() any { return s.gate.Doomed() }))
+		expvar.Publish("mtsimd.brownout", expvar.Func(func() any {
+			if s.bo == nil {
+				return nil
+			}
+			return s.bo.status()
+		}))
+		expvar.Publish("mtsimd.breakers", expvar.Func(func() any {
+			if s.cluster == nil {
+				return nil
+			}
+			return s.cluster.node.BreakerStates()
+		}))
+		expvar.Publish("mtsimd.hedges", expvar.Func(func() any {
+			if s.cluster == nil {
+				return int64(0)
+			}
+			return s.cluster.hedges.Load()
+		}))
+		expvar.Publish("mtsimd.hedge_wins", expvar.Func(func() any {
+			if s.cluster == nil {
+				return int64(0)
+			}
+			return s.cluster.hedgeWins.Load()
+		}))
 	})
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"mtsim/internal/cluster"
 )
@@ -69,6 +70,16 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request, v2 bool
 	}
 	if s.jm == nil {
 		fail(http.StatusNotFound, v2CodeNotFound, "async jobs disabled: server runs without a journal")
+		return
+	}
+	if s.brownedOut() {
+		// Brownout sheds the SSE fan-out before the server refuses real
+		// work: the job keeps running, only the live feed is declined.
+		// Clients fall back to polling (or resume the stream later with
+		// Last-Event-ID — the event history loses nothing).
+		s.bo.shedSSE.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+		fail(http.StatusServiceUnavailable, v2CodeUnavailable, "event streaming shed under overload (brownout); poll the job or retry later")
 		return
 	}
 	if !s.jm.owns(r.PathValue("id")) && s.forwardIfRemote(w, r, cluster.JobRouteKey(r.PathValue("id")), nil) {

@@ -43,6 +43,7 @@ const (
 	v2CodeNotFound      = "not_found"
 	v2CodeQuotaExceeded = "quota_exceeded"
 	v2CodeQueueFull     = "queue_full"
+	v2CodeDoomed        = "deadline_unreachable"
 	v2CodeTimeout       = "timeout"
 	v2CodeUnavailable   = "unavailable"
 	v2CodeMaxCycles     = "max_cycles"
@@ -131,6 +132,10 @@ func (s *Server) v2HTTPError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		s.writeV2Error(w, http.StatusTooManyRequests, v2CodeQueueFull, err.Error())
+	case errors.Is(err, ErrDoomed):
+		// Deadline-aware shed: a 429 the client can retry with a longer
+		// deadline (or elsewhere), instead of a 504 after the wait.
+		s.writeV2Error(w, http.StatusTooManyRequests, v2CodeDoomed, err.Error())
 	case errors.Is(err, context.DeadlineExceeded):
 		s.writeV2Error(w, http.StatusGatewayTimeout, v2CodeTimeout, err.Error())
 	case errors.Is(err, context.Canceled):

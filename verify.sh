@@ -14,6 +14,13 @@ go test -race ./internal/core/... ./internal/machine/...
 # and the chaostest daemon-kill harness, which runs in the plain pass
 # above).
 go test -race -short ./internal/cluster/... ./internal/exp/... ./internal/net/... ./internal/serve/... ./internal/snap/...
+# Race pass over the resilience layer specifically: circuit breakers,
+# the seeded chaos transport, hedged forwarding, brownout/deadline-
+# aware admission, and the retrying client. These are the paths where
+# goroutines race by design (hedges vs primaries, probes vs claims),
+# so they get a dedicated -count=1 run in addition to the -short pass
+# above.
+go test -race -count=1 -run 'Breaker|Chaos|Hedge|Brownout|Doomed|Gate|Retr|ForwardTo|Partition' -short ./internal/cluster/ ./internal/serve/ ./internal/serve/client/
 # The cycle-accounting layer carries an exactness guarantee; hold its
 # unit coverage at >= 70%.
 cover=$(go test -cover ./internal/metrics/ | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
